@@ -1,0 +1,276 @@
+(* defcheck — definability checking on data graphs from the command line.
+
+   Subcommands:
+     info   <instance>                 graph statistics
+     eval   <graph> -l LANG -e EXPR    evaluate a query
+     check  <instance> -l LANG [...]   decide definability, synthesize
+     fig1                              print the paper's running example *)
+
+module Data_graph = Datagraph.Data_graph
+module Relation = Datagraph.Relation
+module Tuple_relation = Datagraph.Tuple_relation
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_instance path =
+  match Datagraph.Graph_io.instance_of_string (read_file path) with
+  | Ok (g, s) -> (g, s)
+  | Error msg ->
+      Printf.eprintf "error: %s: %s\n" path msg;
+      exit 2
+
+let binary_of g s =
+  if Tuple_relation.arity s <> 2 then begin
+    Printf.eprintf "error: relation must be binary for this language\n";
+    exit 2
+  end
+  else begin
+    ignore g;
+    Tuple_relation.to_binary s
+  end
+
+open Cmdliner
+
+let instance_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"INSTANCE" ~doc:"Instance file (node/edge/pair lines).")
+
+let lang_enum =
+  [ ("rpq", `Rpq); ("ree", `Ree); ("rem", `Rem); ("krem", `Krem); ("ucrdpq", `Ucrdpq) ]
+
+let lang_arg =
+  Arg.(
+    value
+    & opt (enum lang_enum) `Rem
+    & info [ "l"; "lang" ] ~docv:"LANG"
+        ~doc:
+          "Query language: $(b,rpq) (regular expressions), $(b,ree) \
+           (regular expressions with equality), $(b,rem) (regular \
+           expressions with memory), $(b,krem) (REM with at most $(b,--k) \
+           registers), $(b,ucrdpq) (unions of conjunctive queries).")
+
+let k_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "k" ] ~docv:"K" ~doc:"Register bound for $(b,krem).")
+
+let synth_arg =
+  Arg.(
+    value & flag
+    & info [ "s"; "synthesize" ]
+        ~doc:"Print a defining query when the relation is definable.")
+
+let info_cmd =
+  let run path =
+    let g, s = load_instance path in
+    Format.printf "nodes: %d@." (Data_graph.size g);
+    Format.printf "edges: %d@." (Data_graph.edge_count g);
+    Format.printf "alphabet: %s@." (String.concat " " (Data_graph.alphabet g));
+    Format.printf "distinct data values (delta): %d@." (Data_graph.delta g);
+    Format.printf "relation arity: %d, tuples: %d@."
+      (Tuple_relation.arity s) (Tuple_relation.cardinal s)
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Print statistics of an instance file.")
+    Term.(const run $ instance_arg)
+
+let expr_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "e"; "expr" ] ~docv:"EXPR" ~doc:"Query expression.")
+
+let eval_cmd =
+  let run path lang expr =
+    let g, _ = load_instance path in
+    let lang =
+      match lang with
+      | `Rpq -> `Rpq
+      | `Ree -> `Ree
+      | `Rem | `Krem -> `Rem
+      | `Ucrdpq ->
+          Printf.eprintf "error: eval supports rpq/ree/rem expressions\n";
+          exit 2
+    in
+    match Query_lang.Query.parse ~lang expr with
+    | Error msg ->
+        Printf.eprintf "parse error: %s\n" msg;
+        exit 2
+    | Ok q ->
+        let r = Query_lang.Query.eval g q in
+        Format.printf "%a@." (Relation.pp g) r
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Evaluate a query expression on a data graph.")
+    Term.(const run $ instance_arg $ lang_arg $ expr_arg)
+
+let print_verdict = function
+  | Some true -> Format.printf "definable: yes@."
+  | Some false -> Format.printf "definable: no@."
+  | None ->
+      Format.printf "definable: unknown (search truncated)@.";
+      exit 3
+
+let check_cmd =
+  let run path lang k synth =
+    let g, s = load_instance path in
+    match lang with
+    | `Ucrdpq ->
+        let r = Definability.Ucrdpq_definability.check g s in
+        Format.printf "definable: %s@." (if r.definable then "yes" else "no");
+        (match r.violation with
+        | Some (h, tup) ->
+            Format.printf "violating homomorphism: %a@."
+              (Definability.Hom.pp g) h;
+            Format.printf "tuple leaving the relation: (%s)@."
+              (String.concat ","
+                 (List.map (Data_graph.name g) tup))
+        | None -> ());
+        if synth && r.definable then begin
+          match Definability.Ucrdpq_definability.defining_query g s with
+          | Some q when q <> [] ->
+              Format.printf "query:@.%s@." (Query_lang.Conjunctive.to_string q)
+          | _ -> Format.printf "query: (empty union)@."
+        end
+    | (`Rpq | `Ree | `Rem | `Krem) as lang ->
+        let s = binary_of g s in
+        let missing, verdict, query =
+          match lang with
+          | `Rpq ->
+              let r = Definability.Rpq_definability.check g s in
+              ( r.missing,
+                r.definable,
+                if synth && r.definable = Some true then
+                  Option.map
+                    (fun (v : _ Definability.Synthesis.verified) ->
+                      assert v.correct;
+                      Regexp.Regex.to_string v.query)
+                    (Definability.Synthesis.rpq g s)
+                else None )
+          | `Ree ->
+              let r = Definability.Ree_definability.check g s in
+              Format.printf "closure size: %d, max height: %d@."
+                r.closure_size r.max_height;
+              ( r.missing,
+                r.definable,
+                if synth && r.definable = Some true then
+                  Option.map
+                    (fun (v : _ Definability.Synthesis.verified) ->
+                      assert v.correct;
+                      Ree_lang.Ree.to_string v.query)
+                    (Definability.Synthesis.ree g s)
+                else None )
+          | `Rem ->
+              let r = Definability.Rem_definability.check g s in
+              ( r.missing,
+                r.definable,
+                if synth && r.definable = Some true then
+                  Option.map
+                    (fun (v : _ Definability.Synthesis.verified) ->
+                      assert v.correct;
+                      Rem_lang.Rem.to_string v.query)
+                    (Definability.Synthesis.rem g s)
+                else None )
+          | `Krem ->
+              let r = Definability.Rem_definability.check_k g ~k s in
+              ( r.missing,
+                r.definable,
+                if synth && r.definable = Some true then
+                  Option.map
+                    (fun (v : _ Definability.Synthesis.verified) ->
+                      assert v.correct;
+                      Rem_lang.Rem.to_string v.query)
+                    (Definability.Synthesis.rem_k g ~k s)
+                else None )
+        in
+        print_verdict verdict;
+        if missing <> [] then begin
+          Format.printf "pairs with no witness:";
+          List.iter
+            (fun (u, v) ->
+              Format.printf " (%s,%s)" (Data_graph.name g u)
+                (Data_graph.name g v))
+            missing;
+          Format.printf "@."
+        end;
+        Option.iter (fun q -> Format.printf "query: %s@." q) query
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Decide whether the instance's relation is definable in a query \
+          language.")
+    Term.(const run $ instance_arg $ lang_arg $ k_arg $ synth_arg)
+
+let census_cmd =
+  let run path max_k sample =
+    let g, _ = load_instance path in
+    let c = Definability.Census.binary ~max_k ?sample g in
+    Format.printf "%a@." Definability.Census.pp c
+  in
+  let max_k_arg =
+    Arg.(value & opt int 1 & info [ "max-k" ] ~docv:"K"
+           ~doc:"Largest register bound column.")
+  in
+  let sample_arg =
+    Arg.(value & opt (some int) None
+         & info [ "sample" ] ~docv:"N"
+             ~doc:"Sample N random relations instead of enumerating all.")
+  in
+  Cmd.v
+    (Cmd.info "census"
+       ~doc:
+         "Count how many binary relations of the graph each query language           can define.")
+    Term.(const run $ instance_arg $ max_k_arg $ sample_arg)
+
+let fit_cmd =
+  let run path =
+    let g, s = load_instance path in
+    let s = binary_of g s in
+    let outcomes = Definability.Schema_mapping.fit g [ ("target", s) ] in
+    List.iter
+      (fun o ->
+        Format.printf "%a@." (Definability.Schema_mapping.pp_outcome g) o)
+      outcomes
+  in
+  Cmd.v
+    (Cmd.info "fit"
+       ~doc:
+         "Fit the instance's relation with the least expressive language           that defines it and print the mapping rule.")
+    Term.(const run $ instance_arg)
+
+let dot_cmd =
+  let run path =
+    let g, s = load_instance path in
+    print_string (Datagraph.Graph_io.to_dot ~relation:s g)
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Print the instance as a Graphviz digraph.")
+    Term.(const run $ instance_arg)
+
+let fig1_cmd =
+  let run () =
+    let g = Datagraph.Graph_gen.fig1 () in
+    let s = Datagraph.Graph_gen.fig1_s2 g in
+    print_string
+      (Datagraph.Graph_io.instance_to_string g (Tuple_relation.of_binary s))
+  in
+  Cmd.v
+    (Cmd.info "fig1"
+       ~doc:
+         "Print the paper's Figure 1 graph with relation S2 as an instance \
+          file.")
+    Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "defcheck" ~version:"1.0.0"
+       ~doc:"Definability of relations on data graphs (PODS 2015).")
+    [ info_cmd; eval_cmd; check_cmd; census_cmd; fit_cmd; dot_cmd; fig1_cmd ]
+
+let () = exit (Cmd.eval main)

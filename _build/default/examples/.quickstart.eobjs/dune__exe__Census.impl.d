@@ -1,0 +1,1 @@
+examples/census.ml: Array Datagraph Definability Format

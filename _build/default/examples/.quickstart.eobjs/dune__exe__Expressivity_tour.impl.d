@@ -1,0 +1,1 @@
+examples/expressivity_tour.ml: Datagraph Definability Format List Query_lang Ree_lang Regexp

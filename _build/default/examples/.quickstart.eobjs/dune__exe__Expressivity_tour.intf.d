@@ -1,0 +1,1 @@
+examples/expressivity_tour.mli:

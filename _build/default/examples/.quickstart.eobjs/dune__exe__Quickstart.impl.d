@@ -1,0 +1,1 @@
+examples/quickstart.ml: Datagraph Definability Format List Query_lang Ree_lang Regexp Rem_lang

@@ -1,0 +1,1 @@
+examples/sat_definability.ml: Array Datagraph Definability Format List Printf Reductions

@@ -1,0 +1,1 @@
+examples/social_network.ml: Datagraph Definability Format List Query_lang Ree_lang

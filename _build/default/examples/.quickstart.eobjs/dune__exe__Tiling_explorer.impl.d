@@ -1,0 +1,1 @@
+examples/tiling_explorer.ml: Array Datagraph Format List Reductions Rem_lang String

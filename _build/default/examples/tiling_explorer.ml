@@ -1,0 +1,111 @@
+(* Theorem 25's reduction, explored: build the data graph for corridor
+   tiling instances and verify its defining properties.
+
+   For each instance we check, mechanically:
+   - condition 2: the encoding of a legal tiling is a data path from p2
+     to q2, and its REM (display (3)) evaluates on the graph to exactly
+     {(p2, q2)};
+   - condition 4 (sampled): the REM of an *illegal* tiling also connects
+     p1 to q1 — the gadgets supply an automorphic copy, so no such REM
+     can define {(p2, q2)};
+   - the graph grows polynomially in the instance size, even though it
+     represents a corridor of exponential width.
+
+   Run with:  dune exec examples/tiling_explorer.exe  *)
+
+module T = Reductions.Tiling
+module RA = Rem_lang.Register_automaton
+module Data_graph = Datagraph.Data_graph
+module Relation = Datagraph.Relation
+
+let explore name inst =
+  let red = T.build inst in
+  let g = red.T.graph in
+  Format.printf "@.== %s ==  (width 2^%d = %d, %d tile types)@." name inst.T.n
+    (T.width inst) inst.T.num_tiles;
+  Format.printf "reduction graph: %d nodes, %d edges, %d data values@."
+    (Data_graph.size g) (Data_graph.edge_count g) (Data_graph.delta g);
+  match T.solve inst with
+  | None -> Format.printf "no legal tiling with <= 8 rows@."
+  | Some tau ->
+      assert (T.is_legal inst tau);
+      Format.printf "legal tiling found (%d rows):@." (Array.length tau);
+      Array.iter
+        (fun row ->
+          Format.printf "  |%s|@."
+            (String.concat ""
+               (Array.to_list (Array.map string_of_int row))))
+        tau;
+      let w = T.encode_tiling inst tau in
+      let e = T.tiling_rem inst tau in
+      Format.printf "encoding: %d letters;  REM (3): %d blocks, %d registers@."
+        (Datagraph.Data_path.length w)
+        (Rem_lang.Basic_rem.length e)
+        (Rem_lang.Basic_rem.registers e);
+      assert (Rem_lang.Basic_rem.matches e w);
+      let rel = RA.eval_on_graph g (RA.of_basic e) in
+      Format.printf "eval(REM) = {(p2,q2)}: %b@."
+        (Relation.equal rel red.T.target);
+      assert (Relation.equal rel red.T.target);
+      (* Now break the tiling and watch the gadgets catch it. *)
+      let bad = Array.map Array.copy tau in
+      bad.(0).(0) <- (bad.(0).(0) + 1) mod inst.T.num_tiles;
+      if not (T.is_legal inst bad) then begin
+        let eb = T.tiling_rem inst bad in
+        let relb = RA.eval_on_graph g (RA.of_basic eb) in
+        Format.printf
+          "a broken tiling's REM also connects (p1,q1): %b — cannot define \
+           {(p2,q2)}@."
+          (Relation.mem relb red.T.p1 red.T.q1);
+        assert (Relation.mem relb red.T.p1 red.T.q1)
+      end
+
+let () =
+  explore "alternating stripes"
+    {
+      T.num_tiles = 2;
+      horiz = [ (0, 1); (1, 0); (0, 0); (1, 1) ];
+      vert = [ (0, 0); (1, 1) ];
+      t_init = 0;
+      t_final = 1;
+      n = 1;
+    };
+  explore "three tiles, width 4"
+    {
+      T.num_tiles = 3;
+      horiz = [ (0, 1); (1, 2); (2, 2); (2, 0); (1, 1) ];
+      vert = [ (0, 0); (1, 1); (2, 2); (0, 2) ];
+      t_init = 0;
+      t_final = 2;
+      n = 2;
+    };
+  explore "unsolvable (no vertical progress)"
+    {
+      T.num_tiles = 2;
+      horiz = [ (0, 0); (1, 1) ];
+      vert = [ (0, 0); (1, 1) ];
+      t_init = 0;
+      t_final = 1;
+      n = 1;
+    };
+  (* Growth: the graph is polynomial in n although the corridor width is
+     exponential. *)
+  Format.printf "@.== growth in n (corridor width 2^n) ==@.";
+  List.iter
+    (fun n ->
+      let inst =
+        {
+          T.num_tiles = 2;
+          horiz = [ (0, 1); (1, 0); (0, 0); (1, 1) ];
+          vert = [ (0, 0); (1, 1) ];
+          t_init = 0;
+          t_final = 1;
+          n;
+        }
+      in
+      let red = T.build inst in
+      Format.printf "n=%d: width %5d, graph %5d nodes %6d edges@." n
+        (T.width inst)
+        (Data_graph.size red.T.graph)
+        (Data_graph.edge_count red.T.graph))
+    [ 1; 2; 3; 4; 5 ]

@@ -1,0 +1,1 @@
+lib/datagraph/automorphism.ml: Array Data_graph Data_path Data_value Format List

@@ -1,0 +1,1 @@
+lib/datagraph/data_graph.ml: Array Data_path Data_value Format Fun Hashtbl List

@@ -1,0 +1,1 @@
+lib/datagraph/data_graph.mli: Data_path Data_value Format

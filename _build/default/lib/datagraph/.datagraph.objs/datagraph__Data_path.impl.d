@@ -1,0 +1,1 @@
+lib/datagraph/data_path.ml: Array Data_value Format Hashtbl List Stdlib

@@ -1,0 +1,1 @@
+lib/datagraph/data_path.mli: Data_value Format

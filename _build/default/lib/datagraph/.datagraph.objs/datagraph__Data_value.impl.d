@@ -1,0 +1,1 @@
+lib/datagraph/data_value.ml: Format Hashtbl Map Set Stdlib

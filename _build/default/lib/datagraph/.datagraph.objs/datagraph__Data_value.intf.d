@@ -1,0 +1,1 @@
+lib/datagraph/data_value.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/datagraph/graph_gen.ml: Array Data_graph Data_value Fun Int64 List Relation

@@ -1,0 +1,1 @@
+lib/datagraph/graph_gen.mli: Data_graph Data_value Relation

@@ -1,0 +1,1 @@
+lib/datagraph/graph_io.ml: Buffer Data_graph Data_value List Printf String Tuple_relation

@@ -1,0 +1,1 @@
+lib/datagraph/graph_io.mli: Data_graph Relation Tuple_relation

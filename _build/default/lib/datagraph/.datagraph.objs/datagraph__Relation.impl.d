@@ -1,0 +1,1 @@
+lib/datagraph/relation.ml: Bytes Data_graph Data_value Format Fun Hashtbl List Stdlib

@@ -1,0 +1,1 @@
+lib/datagraph/relation.mli: Data_graph Data_path Data_value Format

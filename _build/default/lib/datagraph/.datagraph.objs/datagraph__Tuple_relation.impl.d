@@ -1,0 +1,1 @@
+lib/datagraph/tuple_relation.ml: Data_graph Format List Relation Set Stdlib String

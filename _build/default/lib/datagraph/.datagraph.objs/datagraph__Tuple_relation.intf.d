@@ -1,0 +1,1 @@
+lib/datagraph/tuple_relation.mli: Data_graph Format Relation

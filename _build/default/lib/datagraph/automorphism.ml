@@ -1,0 +1,130 @@
+(* Finite-support representation: a map with bindings only where π differs
+   from the identity... except that we also keep identity bindings produced
+   by constructors, which is harmless.  Injectivity and domain/range
+   agreement are enforced at construction. *)
+type t = Data_value.t Data_value.Map.t
+
+let identity = Data_value.Map.empty
+
+let apply pi d =
+  match Data_value.Map.find_opt d pi with Some d' -> d' | None -> d
+
+let of_pairs assoc =
+  let exception Bad in
+  try
+    let pi =
+      List.fold_left
+        (fun m (d, d') ->
+          match Data_value.Map.find_opt d m with
+          | Some existing when not (Data_value.equal existing d') -> raise Bad
+          | _ -> Data_value.Map.add d d' m)
+        Data_value.Map.empty assoc
+    in
+    (* Injectivity. *)
+    let range =
+      Data_value.Map.fold (fun _ d' s -> Data_value.Set.add d' s) pi Data_value.Set.empty
+    in
+    if Data_value.Set.cardinal range <> Data_value.Map.cardinal pi then raise Bad;
+    (* Domain and range must coincide as sets for the identity extension to
+       be a bijection on D. *)
+    let dom =
+      Data_value.Map.fold (fun d _ s -> Data_value.Set.add d s) pi Data_value.Set.empty
+    in
+    if not (Data_value.Set.equal dom range) then raise Bad;
+    Some pi
+  with Bad -> None
+
+let inverse pi =
+  Data_value.Map.fold (fun d d' m -> Data_value.Map.add d' d m) pi Data_value.Map.empty
+
+let compose f g =
+  (* Support of the composite is contained in support f ∪ support g. *)
+  let support =
+    Data_value.Map.fold (fun d _ s -> Data_value.Set.add d s) f
+      (Data_value.Map.fold (fun d _ s -> Data_value.Set.add d s) g Data_value.Set.empty)
+  in
+  Data_value.Set.fold
+    (fun d m ->
+      let d' = apply f (apply g d) in
+      if Data_value.equal d d' then m else Data_value.Map.add d d' m)
+    support Data_value.Map.empty
+
+let support pi =
+  Data_value.Map.fold
+    (fun d d' acc -> if Data_value.equal d d' then acc else d :: acc)
+    pi []
+  |> List.rev
+
+let equal pi1 pi2 =
+  let sup = support pi1 @ support pi2 in
+  List.for_all (fun d -> Data_value.equal (apply pi1 d) (apply pi2 d)) sup
+
+let pp ppf pi =
+  Format.fprintf ppf "{@[<hov>";
+  let first = ref true in
+  Data_value.Map.iter
+    (fun d d' ->
+      if not (Data_value.equal d d') then begin
+        if !first then first := false else Format.fprintf ppf ",@ ";
+        Format.fprintf ppf "%a↦%a" Data_value.pp d Data_value.pp d'
+      end)
+    pi;
+  Format.fprintf ppf "@]}"
+
+let apply_path pi w = Data_path.map_values (apply pi) w
+let apply_graph pi g = Data_graph.map_values (apply pi) g
+
+let permutations vs =
+  let rec perms = function
+    | [] -> [ [] ]
+    | l ->
+        List.concat_map
+          (fun x ->
+            let rest = List.filter (fun y -> not (Data_value.equal x y)) l in
+            List.map (fun p -> x :: p) (perms rest))
+          l
+  in
+  List.map
+    (fun image ->
+      match of_pairs (List.combine vs image) with
+      | Some pi -> pi
+      | None -> assert false)
+    (perms vs)
+
+let matching w1 w2 =
+  if Data_path.length w1 <> Data_path.length w2 then None
+  else if Data_path.labels w1 <> Data_path.labels w2 then None
+  else
+    let v1 = Data_path.values w1 and v2 = Data_path.values w2 in
+    let pairs = Array.to_list (Array.map2 (fun a b -> (a, b)) v1 v2) in
+    (* The pointwise map must be a function and injective; then extend to a
+       bijection by completing with a matching on the symmetric difference
+       of domain and range. *)
+    let exception Bad in
+    try
+      let fwd =
+        List.fold_left
+          (fun m (d, d') ->
+            match Data_value.Map.find_opt d m with
+            | Some e when not (Data_value.equal e d') -> raise Bad
+            | _ -> Data_value.Map.add d d' m)
+          Data_value.Map.empty pairs
+      in
+      let dom =
+        Data_value.Map.fold (fun d _ s -> Data_value.Set.add d s) fwd Data_value.Set.empty
+      in
+      let range =
+        Data_value.Map.fold (fun _ d s -> Data_value.Set.add d s) fwd Data_value.Set.empty
+      in
+      if Data_value.Set.cardinal range <> Data_value.Map.cardinal fwd then raise Bad;
+      (* Complete: values in range \ dom must map somewhere; send them to
+         dom \ range in some order so domain = range as sets. *)
+      let extra_dom = Data_value.Set.elements (Data_value.Set.diff range dom) in
+      let extra_rng = Data_value.Set.elements (Data_value.Set.diff dom range) in
+      let fwd =
+        List.fold_left2
+          (fun m d d' -> Data_value.Map.add d d' m)
+          fwd extra_dom extra_rng
+      in
+      Some fwd
+    with Bad -> None

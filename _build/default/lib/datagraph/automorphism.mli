@@ -1,0 +1,44 @@
+(** Automorphisms of the data domain (Definition 9): bijections
+    [π : D → D].  Only the restriction to a finite set of values ever
+    matters, so we represent an automorphism by its finite support — values
+    outside the support map to themselves.
+
+    For obstruction search (Section 3: "all such obstructions are explicit
+    in G_aut, the disjoint union of G_π for all automorphisms π") only the
+    automorphisms mapping a graph's active domain [D_G] into itself are
+    relevant; these restrict to permutations of [D_G], which
+    {!permutations} enumerates. *)
+
+type t
+
+val identity : t
+
+val of_pairs : (Data_value.t * Data_value.t) list -> t option
+(** [of_pairs assoc] builds the automorphism extending the finite map
+    [assoc] by the identity; [None] if [assoc] is not injective or not a
+    function.  Note the extension is a genuine bijection on [D] only when
+    [assoc]'s domain and range coincide as sets; this holds for all
+    automorphisms produced by {!permutations} and is checked here. *)
+
+val apply : t -> Data_value.t -> Data_value.t
+val inverse : t -> t
+val compose : t -> t -> t
+(** [compose f g] applies [g] first. *)
+
+val support : t -> Data_value.t list
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val apply_path : t -> Data_path.t -> Data_path.t
+(** [π(w)] of Definition 9. *)
+
+val apply_graph : t -> Data_graph.t -> Data_graph.t
+(** [G_π]: relabel every node value through [π]. *)
+
+val permutations : Data_value.t list -> t list
+(** All bijections of the given finite value set (extended by the identity
+    elsewhere).  [List.length (permutations vs) = |vs|!]. *)
+
+val matching : Data_path.t -> Data_path.t -> t option
+(** [matching w1 w2] finds an automorphism [π] with [π(w1) = w2] if one
+    exists — i.e. decides {!Data_path.automorphic} constructively. *)

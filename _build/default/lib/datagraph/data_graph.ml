@@ -1,0 +1,247 @@
+type node = int
+type label = string
+
+type t = {
+  values : Data_value.t array;
+  names : string array;
+  name_index : (string, node) Hashtbl.t;
+  labels : label array;
+  label_index : (label, int) Hashtbl.t;
+  (* succ.(u).(a) and pred.(u).(a) are sorted lists of neighbours. *)
+  succ : node list array array;
+  pred : node list array array;
+  edge_list : (node * int * node) list;
+  domain : Data_value.t array;
+  value_idx : int array;
+}
+
+let size g = Array.length g.values
+let nodes g = List.init (size g) Fun.id
+let value g v = g.values.(v)
+let same_value g u v = Data_value.equal g.values.(u) g.values.(v)
+let name g v = g.names.(v)
+let node_of_name g s = Hashtbl.find g.name_index s
+let domain g = Array.to_list g.domain
+let delta g = Array.length g.domain
+let value_index g v = g.value_idx.(v)
+
+let nodes_with_value g d =
+  List.filter (fun v -> Data_value.equal g.values.(v) d) (nodes g)
+
+let alphabet g = Array.to_list g.labels
+let label_count g = Array.length g.labels
+let label_id g a = Hashtbl.find g.label_index a
+let label_id_opt g a = Hashtbl.find_opt g.label_index a
+let label_name g i = g.labels.(i)
+
+let edges g =
+  List.map (fun (u, a, v) -> (u, g.labels.(a), v)) (List.rev g.edge_list)
+
+let edge_count g = List.length g.edge_list
+let succ_id g u a = g.succ.(u).(a)
+
+let succ g u a =
+  match label_id_opt g a with None -> [] | Some i -> g.succ.(u).(i)
+
+let succ_all g u =
+  let acc = ref [] in
+  for a = Array.length g.labels - 1 downto 0 do
+    List.iter (fun v -> acc := (a, v) :: !acc) g.succ.(u).(a)
+  done;
+  !acc
+
+let pred_id g u a = g.pred.(u).(a)
+let mem_edge g u a v = List.mem v (succ g u a)
+
+let build ~values ~edges =
+  let n = Array.length values in
+  let names = Array.init n (fun i -> "v" ^ string_of_int i) in
+  let name_index = Hashtbl.create (max 1 n) in
+  Array.iteri (fun i s -> Hashtbl.add name_index s i) names;
+  (* Intern labels in first-occurrence order. *)
+  let label_index = Hashtbl.create 8 in
+  let labels_rev = ref [] in
+  let intern a =
+    match Hashtbl.find_opt label_index a with
+    | Some i -> i
+    | None ->
+        let i = Hashtbl.length label_index in
+        Hashtbl.add label_index a i;
+        labels_rev := a :: !labels_rev;
+        i
+  in
+  let interned =
+    List.map
+      (fun (u, a, v) ->
+        if u < 0 || u >= n || v < 0 || v >= n then
+          invalid_arg "Data_graph.build: edge endpoint out of range";
+        (u, intern a, v))
+      edges
+  in
+  let labels = Array.of_list (List.rev !labels_rev) in
+  let nl = Array.length labels in
+  let succ = Array.init n (fun _ -> Array.make nl []) in
+  let pred = Array.init n (fun _ -> Array.make nl []) in
+  let seen = Hashtbl.create (max 1 (List.length interned)) in
+  List.iter
+    (fun (u, a, v) ->
+      if Hashtbl.mem seen (u, a, v) then
+        invalid_arg "Data_graph.build: duplicate edge";
+      Hashtbl.add seen (u, a, v) ();
+      succ.(u).(a) <- v :: succ.(u).(a);
+      pred.(v).(a) <- u :: pred.(v).(a))
+    interned;
+  Array.iter (fun row -> Array.iteri (fun a l -> row.(a) <- List.sort compare l) row) succ;
+  Array.iter (fun row -> Array.iteri (fun a l -> row.(a) <- List.sort compare l) row) pred;
+  let dom =
+    Array.of_list
+      (Data_value.Set.elements (Array.fold_left (fun s d -> Data_value.Set.add d s) Data_value.Set.empty values))
+  in
+  let dom_index = Hashtbl.create 8 in
+  Array.iteri (fun i d -> Hashtbl.add dom_index (Data_value.to_int d) i) dom;
+  let value_idx = Array.map (fun d -> Hashtbl.find dom_index (Data_value.to_int d)) values in
+  {
+    values = Array.copy values;
+    names;
+    name_index;
+    labels;
+    label_index;
+    succ;
+    pred;
+    edge_list = List.rev interned;
+    domain = dom;
+    value_idx;
+  }
+
+let make ~nodes ~edges =
+  let names = Array.of_list (List.map fst nodes) in
+  let values = Array.of_list (List.map snd nodes) in
+  let name_index = Hashtbl.create (max 1 (Array.length names)) in
+  Array.iteri
+    (fun i s ->
+      if Hashtbl.mem name_index s then
+        invalid_arg ("Data_graph.make: duplicate node name " ^ s);
+      Hashtbl.add name_index s i)
+    names;
+  let resolve s =
+    match Hashtbl.find_opt name_index s with
+    | Some i -> i
+    | None -> invalid_arg ("Data_graph.make: unknown node " ^ s)
+  in
+  let edges = List.map (fun (u, a, v) -> (resolve u, a, resolve v)) edges in
+  let g = build ~values ~edges in
+  (* [build] assigned default names; overwrite with the requested ones. *)
+  Array.blit names 0 g.names 0 (Array.length names);
+  Hashtbl.reset g.name_index;
+  Array.iteri (fun i s -> Hashtbl.add g.name_index s i) g.names;
+  g
+
+type path = { start : node; steps : (label * node) list }
+
+let is_path g p =
+  let rec go u = function
+    | [] -> true
+    | (a, v) :: rest -> mem_edge g u a v && go v rest
+  in
+  go p.start p.steps
+
+let path_end p =
+  match List.rev p.steps with [] -> p.start | (_, v) :: _ -> v
+
+let data_path_of g p =
+  if not (is_path g p) then invalid_arg "Data_graph.data_path_of: not a path";
+  let values =
+    Array.of_list (value g p.start :: List.map (fun (_, v) -> value g v) p.steps)
+  in
+  let labels = Array.of_list (List.map fst p.steps) in
+  Data_path.make ~values ~labels
+
+let connects g w =
+  let m = Data_path.length w in
+  (* Frontier: set of (source, current) pairs consistent with the prefix. *)
+  let start =
+    List.filter_map
+      (fun u ->
+        if Data_value.equal (value g u) (Data_path.value_at w 0) then Some (u, u)
+        else None)
+      (nodes g)
+  in
+  let step frontier i =
+    let a = Data_path.label_at w i in
+    let d = Data_path.value_at w (i + 1) in
+    List.concat_map
+      (fun (src, u) ->
+        List.filter_map
+          (fun v ->
+            if Data_value.equal (value g v) d then Some (src, v) else None)
+          (succ g u a))
+      frontier
+    |> List.sort_uniq compare
+  in
+  let rec go frontier i =
+    if i >= m then frontier else go (step frontier i) (i + 1)
+  in
+  go start 0
+
+let connects_pair g w u v = List.mem (u, v) (connects g w)
+
+let map_values f g =
+  build
+    ~values:(Array.map f g.values)
+    ~edges:(List.map (fun (u, a, v) -> (u, g.labels.(a), v)) g.edge_list)
+  |> fun g' ->
+  Array.blit g.names 0 g'.names 0 (Array.length g.names);
+  Hashtbl.reset g'.name_index;
+  Array.iteri (fun i s -> Hashtbl.add g'.name_index s i) g'.names;
+  g'
+
+let constant_values g =
+  let d = if delta g = 0 then Data_value.of_int 0 else g.domain.(0) in
+  map_values (fun _ -> d) g
+
+let disjoint_union g1 g2 =
+  let n1 = size g1 in
+  let embed v = n1 + v in
+  let values = Array.append g1.values g2.values in
+  let edges1 = List.map (fun (u, a, v) -> (u, g1.labels.(a), v)) g1.edge_list in
+  let edges2 =
+    List.map (fun (u, a, v) -> (embed u, g2.labels.(a), embed v)) g2.edge_list
+  in
+  let g = build ~values ~edges:(edges1 @ edges2) in
+  (* Preserve names, disambiguating collisions from g2 with primes. *)
+  let taken = Hashtbl.create 16 in
+  let claim s =
+    let rec go s = if Hashtbl.mem taken s then go (s ^ "'") else s in
+    let s = go s in
+    Hashtbl.add taken s ();
+    s
+  in
+  Array.iteri (fun i s -> g.names.(i) <- claim s) g1.names;
+  Array.iteri (fun i s -> g.names.(n1 + i) <- claim s) g2.names;
+  Hashtbl.reset g.name_index;
+  Array.iteri (fun i s -> Hashtbl.add g.name_index s i) g.names;
+  (g, embed)
+
+let reachable g u =
+  let n = size g in
+  let seen = Array.make n false in
+  let rec dfs v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter (fun (_, w) -> dfs w) (succ_all g v)
+    end
+  in
+  dfs u;
+  seen
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun v ->
+      Format.fprintf ppf "node %s = %a@," (name g v) Data_value.pp (value g v))
+    (nodes g);
+  List.iter
+    (fun (u, a, v) ->
+      Format.fprintf ppf "edge %s -%s-> %s@," (name g u) a (name g v))
+    (edges g);
+  Format.fprintf ppf "@]"

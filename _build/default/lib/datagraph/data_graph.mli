@@ -1,0 +1,126 @@
+(** Data graphs (Definition 1): finite directed graphs with edges labeled by
+    letters of a finite alphabet [Σ] and nodes labeled by data values from a
+    countably infinite domain [D].
+
+    Nodes are dense integer indices [0 .. size g - 1]; every node also
+    carries a human-readable name.  Edge labels are interned: algorithms can
+    work with the dense label indices [0 .. label_count g - 1] and translate
+    back with {!label_name}. *)
+
+type node = int
+type label = string
+
+type t
+
+(** {1 Construction} *)
+
+val make :
+  nodes:(string * Data_value.t) list ->
+  edges:(string * label * string) list ->
+  t
+(** [make ~nodes ~edges] builds a data graph from named nodes.  Node indices
+    are assigned in list order.
+    @raise Invalid_argument on duplicate node names, dangling edge endpoints
+    or duplicate edges. *)
+
+val build :
+  values:Data_value.t array -> edges:(node * label * node) list -> t
+(** Index-based constructor; node [i] is named ["v<i>"]. *)
+
+(** {1 Basic accessors} *)
+
+val size : t -> int
+(** Number of nodes [n]. *)
+
+val nodes : t -> node list
+(** [0; 1; ...; size g - 1]. *)
+
+val value : t -> node -> Data_value.t
+(** The data value [ρ(v)] of a node. *)
+
+val same_value : t -> node -> node -> bool
+(** [same_value g u v] iff [ρ(u) = ρ(v)] — the node partition of the title. *)
+
+val name : t -> node -> string
+val node_of_name : t -> string -> node
+(** @raise Not_found if no node has this name. *)
+
+val domain : t -> Data_value.t list
+(** The distinct data values [D_G] used in the graph, sorted. *)
+
+val delta : t -> int
+(** [δ], the number of distinct data values ([List.length (domain g)]). *)
+
+val value_index : t -> node -> int
+(** Index of [ρ(v)] within [domain g]: a dense id in [0 .. delta g - 1]. *)
+
+val nodes_with_value : t -> Data_value.t -> node list
+
+(** {1 Alphabet and edges} *)
+
+val alphabet : t -> label list
+(** Distinct edge labels in interning order. *)
+
+val label_count : t -> int
+
+val label_id : t -> label -> int
+(** @raise Not_found if the label does not occur in the graph. *)
+
+val label_id_opt : t -> label -> int option
+val label_name : t -> int -> label
+
+val edges : t -> (node * label * node) list
+val edge_count : t -> int
+val mem_edge : t -> node -> label -> node -> bool
+
+val succ : t -> node -> label -> node list
+(** [succ g u a] lists all [v] with an [a]-labeled edge [u -> v].  A label
+    absent from the graph yields []. *)
+
+val succ_id : t -> node -> int -> node list
+(** Like {!succ} with a dense label id. *)
+
+val succ_all : t -> node -> (int * node) list
+(** All outgoing edges of a node as (label id, target) pairs. *)
+
+val pred_id : t -> node -> int -> node list
+(** Sources of [a]-labeled edges into a node, by dense label id. *)
+
+(** {1 Paths} *)
+
+type path = { start : node; steps : (label * node) list }
+(** A path [v1 a1 v2 a2 ... vm] (paper, Section 2). *)
+
+val is_path : t -> path -> bool
+(** Are all steps edges of the graph? *)
+
+val path_end : path -> node
+
+val data_path_of : t -> path -> Data_path.t
+(** The data path [w_ξ] of a path [ξ]: replace every node by its data value.
+    @raise Invalid_argument if [ξ] is not a path of [g]. *)
+
+val connects : t -> Data_path.t -> (node * node) list
+(** [connects g w] lists all pairs [(u, v)] such that [u -w-> v], i.e. some
+    path of [g] from [u] to [v] has data path exactly [w]. *)
+
+val connects_pair : t -> Data_path.t -> node -> node -> bool
+
+(** {1 Transformations} *)
+
+val map_values : (Data_value.t -> Data_value.t) -> t -> t
+(** Relabel every node's data value (e.g. [G_π] for a renaming [π]). *)
+
+val constant_values : t -> t
+(** All nodes relabeled with one shared data value — the Theorem 32
+    embedding of plain graphs into data graphs. *)
+
+val disjoint_union : t -> t -> t * (node -> node)
+(** [disjoint_union g1 g2] returns the union graph and the embedding of
+    [g2]'s nodes into it ([g1]'s nodes keep their indices).  Node names of
+    [g2] are suffixed with ["'"] where needed to stay unique. *)
+
+val reachable : t -> node -> bool array
+(** Nodes reachable from a node by a (possibly empty) path, any labels. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+type t = int
+
+let of_int i = i
+let to_int d = d
+let equal (a : int) b = a = b
+let compare (a : int) b = Stdlib.compare a b
+let hash (d : int) = Hashtbl.hash d
+let pp ppf d = Format.fprintf ppf "%d" d
+let to_string = string_of_int
+
+(* Fresh values live in the negatives so they can never collide with
+   [of_int i] for natural [i]. *)
+let fresh_counter = ref 0
+
+let fresh () =
+  decr fresh_counter;
+  !fresh_counter
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -1,0 +1,33 @@
+(** Data values from a countably infinite domain [D].
+
+    The paper (Definition 1) labels every node of a data graph with a value
+    from an infinite set [D].  Query languages never inspect the identity of
+    a data value — only (in)equality between two values is observable
+    (Fact 10: REM and REE languages are closed under automorphisms of [D]).
+    We therefore represent data values as an abstract type backed by
+    integers and expose only equality, comparison (for use in ordered
+    containers), hashing and pretty-printing. *)
+
+type t
+
+val of_int : int -> t
+(** [of_int i] is the data value canonically associated with the natural
+    number [i].  Distinct integers give distinct values. *)
+
+val to_int : t -> int
+(** Inverse of {!of_int}.  Exposed for serialization and for indexing
+    values in dense arrays; algorithms must not branch on the magnitude. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val fresh : unit -> t
+(** [fresh ()] returns a value distinct from every value previously
+    returned by [fresh] and from every [of_int i] with [i >= 0].  Used by
+    generators that need values outside a graph's active domain. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

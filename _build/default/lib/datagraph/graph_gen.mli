@@ -1,0 +1,54 @@
+(** Data graph generators: the paper's running example and the synthetic
+    families used by the test suite and the benchmark harness. *)
+
+val fig1 : unit -> Data_graph.t
+(** The running example of Figure 1: alphabet [{a}], data values
+    [{0,1,2,3}], nodes [v1..v4], [z1], [z2], [v1'..v4'].  The edge set is
+    reconstructed from the figure and verified against Examples 2, 12 and
+    14 (see the test suite): evaluating [x -aaa-> y] yields exactly the
+    relation S1 listed in Example 12. *)
+
+val fig1_s1 : Data_graph.t -> Relation.t
+(** S1 of Example 12 — all pairs connected by [aaa]. *)
+
+val fig1_s2 : Data_graph.t -> Relation.t
+(** S2 = {(v1,v4), (v1',v4')} — 2-REM-definable, not 1-REM-definable. *)
+
+val fig1_s3 : Data_graph.t -> Relation.t
+(** S3 = {(v1,v3)} — REE-definable, not 1-REM-definable. *)
+
+val line : values:Data_value.t list -> label:string -> Data_graph.t
+(** A simple path [v0 -a-> v1 -a-> ... ] with the given node values. *)
+
+val cycle : values:Data_value.t list -> label:string -> Data_graph.t
+(** A directed cycle with the given node values.
+    @raise Invalid_argument on an empty value list. *)
+
+val complete : n:int -> labels:string list -> value:(int -> Data_value.t) -> Data_graph.t
+(** Complete directed graph (with self-loops) on [n] nodes, every ordered
+    pair connected by every label. *)
+
+val random :
+  ?seed:int ->
+  n:int ->
+  delta:int ->
+  labels:string list ->
+  density:float ->
+  unit ->
+  Data_graph.t
+(** A random data graph: [n] nodes with values drawn uniformly from a pool
+    of [delta] values (each pool value is forced to appear when
+    [delta <= n]), and each of the [n * n * |labels|] possible edges
+    present independently with probability [density].  Deterministic for a
+    given [seed] (default 0).
+    @raise Invalid_argument if [delta < 1], [n < 1] or
+    [not (0. <= density <= 1.)]. *)
+
+val random_relation : ?seed:int -> Data_graph.t -> density:float -> Relation.t
+(** A random binary relation over the nodes of [g]. *)
+
+val random_reachable_relation :
+  ?seed:int -> Data_graph.t -> count:int -> Relation.t
+(** A random relation of up to [count] pairs, each drawn from the pairs
+    [(u, v)] with [v] reachable from [u] — more interesting inputs for
+    definability checks than uniform noise. *)

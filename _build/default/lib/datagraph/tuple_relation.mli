@@ -1,0 +1,44 @@
+(** Relations of arbitrary arity over the nodes of a data graph — the input
+    to UCRDPQ-definability (Definition 13 allows any arity) and the output
+    of conjunctive query evaluation. *)
+
+type t
+
+val arity : t -> int
+val universe : t -> int
+
+val empty : universe:int -> arity:int -> t
+(** The empty relation of the given arity over nodes [0 .. universe-1].
+    @raise Invalid_argument if [arity < 0] or [universe < 0]. *)
+
+val of_list : universe:int -> arity:int -> int list list -> t
+(** @raise Invalid_argument on a tuple of the wrong arity or with an
+    out-of-range node. *)
+
+val to_list : t -> int list list
+(** Tuples in lexicographic order. *)
+
+val mem : t -> int list -> bool
+val add : t -> int list -> t
+val cardinal : t -> int
+val is_empty : t -> bool
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+
+val map : (int -> int) -> t -> t
+(** Image under a node mapping — [h(p)] for each tuple [p] (Lemma 34). *)
+
+val union : t -> t -> t
+val iter : (int list -> unit) -> t -> unit
+val fold : (int list -> 'a -> 'a) -> t -> 'a -> 'a
+val exists : (int list -> bool) -> t -> bool
+val find_opt : (int list -> bool) -> t -> int list option
+
+val of_binary : Relation.t -> t
+(** View a binary {!Relation.t} as an arity-2 tuple relation. *)
+
+val to_binary : t -> Relation.t
+(** @raise Invalid_argument if the arity is not 2. *)
+
+val pp : Data_graph.t -> Format.formatter -> t -> unit
+val pp_raw : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/definability/assignment_graph.ml: Array Datagraph Fun Hashtbl List Rem_lang Witness_search

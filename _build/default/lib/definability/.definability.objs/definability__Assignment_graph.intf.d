@@ -1,0 +1,1 @@
+lib/definability/assignment_graph.mli: Datagraph Rem_lang Witness_search

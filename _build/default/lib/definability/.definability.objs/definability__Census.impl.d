@@ -1,0 +1,1 @@
+lib/definability/census.ml: Array Datagraph Format Hom List Printf Ree_definability Rem_definability Rpq_definability String

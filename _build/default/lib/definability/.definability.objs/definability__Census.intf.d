@@ -1,0 +1,1 @@
+lib/definability/census.mli: Datagraph Format

@@ -1,0 +1,1 @@
+lib/definability/hom.ml: Array Datagraph Format Fun Hashtbl List Queue

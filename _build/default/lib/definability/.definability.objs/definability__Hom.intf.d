@@ -1,0 +1,1 @@
+lib/definability/hom.mli: Datagraph Format

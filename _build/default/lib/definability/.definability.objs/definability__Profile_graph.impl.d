@@ -1,0 +1,1 @@
+lib/definability/profile_graph.ml: Array Datagraph Fun Hashtbl List Printf Queue String Witness_search

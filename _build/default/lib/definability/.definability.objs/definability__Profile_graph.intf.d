@@ -1,0 +1,1 @@
+lib/definability/profile_graph.mli: Datagraph Witness_search

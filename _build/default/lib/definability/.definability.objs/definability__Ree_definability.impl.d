@@ -1,0 +1,1 @@
+lib/definability/ree_definability.ml: Datagraph Hashtbl List Logs Queue Ree_lang

@@ -1,0 +1,1 @@
+lib/definability/ree_definability.mli: Datagraph Ree_lang

@@ -1,0 +1,1 @@
+lib/definability/rem_definability.ml: Assignment_graph Datagraph List Profile_graph Rem_lang Witness_search

@@ -1,0 +1,1 @@
+lib/definability/rem_definability.mli: Datagraph Rem_lang

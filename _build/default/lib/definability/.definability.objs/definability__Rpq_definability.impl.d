@@ -1,0 +1,1 @@
+lib/definability/rpq_definability.ml: Array Datagraph Fun List Regexp Witness_search

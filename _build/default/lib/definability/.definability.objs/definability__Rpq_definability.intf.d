@@ -1,0 +1,1 @@
+lib/definability/rpq_definability.mli: Datagraph Regexp

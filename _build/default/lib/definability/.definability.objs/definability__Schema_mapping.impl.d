@@ -1,0 +1,1 @@
+lib/definability/schema_mapping.ml: Datagraph Format Hom List Query_lang Ree_lang Regexp Rem_lang String Synthesis Ucrdpq_definability

@@ -1,0 +1,1 @@
+lib/definability/schema_mapping.mli: Datagraph Format Hom Query_lang Ree_lang Regexp Rem_lang

@@ -1,0 +1,1 @@
+lib/definability/synthesis.ml: Datagraph Option Query_lang Ree_definability Ree_lang Regexp Rem_definability Rem_lang Rpq_definability

@@ -1,0 +1,1 @@
+lib/definability/synthesis.mli: Datagraph Ree_lang Regexp Rem_lang

@@ -1,0 +1,1 @@
+lib/definability/ucrdpq_definability.ml: Array Datagraph Hom List Option Query_lang Ree_lang Regexp

@@ -1,0 +1,1 @@
+lib/definability/ucrdpq_definability.mli: Datagraph Hom Query_lang

@@ -1,0 +1,1 @@
+lib/definability/witness_search.ml: Array Bytes Datagraph Hashtbl List Logs Queue

@@ -1,0 +1,1 @@
+lib/definability/witness_search.mli: Datagraph

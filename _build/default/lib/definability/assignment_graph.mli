@@ -1,0 +1,50 @@
+(** The k-assignment graph [T_G] (Definition 19): states are pairs
+    [(v, σ)] of a graph node and a register assignment
+    [σ ∈ (D_G ∪ ⊥)^k]; a transition [(v,σ) --↓r̄.a[c]--> (v',σ')] exists
+    when [(v,a,v')] is an edge, [σ' = σ[r̄ → ρ(v)]] and [ρ(v'), σ' ⊨ c].
+
+    Runs of [T_G] correspond to memberships of data paths in basic k-REMs
+    (Lemma 20), so k-REM witnesses for definability are exactly witnesses
+    in the sense of {!Witness_search} over this system.
+
+    The block alphabet ranges over all bind tuples [r̄ ⊆ {1..k}] and all
+    {e complete types} as conditions.  Restricting conditions to single
+    complete types loses no witnesses: refining each condition of a basic
+    REM witness to the complete type realized by its accepting run keeps
+    the connecting path and shrinks the language, preserving both witness
+    conditions.  (The ablation benchmark [condition-alphabet] explores
+    disjunctive conditions and confirms the same verdicts.) *)
+
+type t
+
+val create : ?all_condition_sets:bool -> Datagraph.Data_graph.t -> k:int -> t
+(** Build [T_G] for [k] registers.  With [all_condition_sets] (default
+    false) the block alphabet additionally includes every nonempty
+    disjunction of complete types — exponentially more blocks, same
+    verdicts; used by the ablation benchmark. *)
+
+val graph : t -> Datagraph.Data_graph.t
+val k : t -> int
+
+val num_states : t -> int
+(** [n · (δ+1)^k]. *)
+
+val initial : t -> int -> int
+(** [(v, ⊥^k)] for a source node [v]. *)
+
+val node_of : t -> int -> int
+(** Project a state to its graph node. *)
+
+val assignment_of : t -> int -> Datagraph.Data_value.t option array
+(** The register assignment of a state. *)
+
+val blocks : t -> Witness_search.block array
+(** All blocks [↓r̄.a[t]] as subset-successor maps. *)
+
+val config : t -> Witness_search.config
+(** The search configuration over all [n] nodes as sources. *)
+
+val basic_block_of_name : t -> string -> Rem_lang.Basic_rem.block
+(** Decode a block name (as reported in witnesses) back to a basic REM
+    block, for query synthesis.
+    @raise Not_found on a name not produced by this system. *)

@@ -1,0 +1,32 @@
+(** Definability census: for a (tiny) data graph, count how many binary
+    relations are definable in each query language — a quantitative view
+    of the expressivity hierarchy
+
+    {v RPQ ⊆ RDPQ= ⊆ RDPQ_mem ⊆ UCRDPQ v}
+
+    that the paper's Section 2.2 establishes by examples.  With [n]
+    nodes there are [2^(n²)] binary relations, so exhaustive censuses
+    are for [n ≤ 3]; [sample] draws a random subset otherwise.
+
+    Shared precomputation keeps the census affordable: the full set of
+    data graph homomorphisms decides UCRDPQ-definability of every
+    relation at once (Lemma 34), and the REE closure decides
+    RDPQ_=-definability of every relation at once (Section 4). *)
+
+type t = {
+  relations : int;  (** how many relations were examined *)
+  rpq : int;
+  ree : int;
+  krem : int array;  (** index k = relations definable with ≤ k registers *)
+  rem : int;
+  ucrdpq : int;
+}
+
+val binary :
+  ?max_k:int -> ?sample:int -> ?seed:int -> Datagraph.Data_graph.t -> t
+(** Census over all [2^(n²)] binary relations, or over [sample] random
+    ones when given.  [max_k] bounds the per-k column (default 2).
+    @raise Invalid_argument if exhaustive enumeration would exceed
+    [2^20] relations and no [sample] is given. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,262 @@
+module Data_graph = Datagraph.Data_graph
+module Tuple_relation = Datagraph.Tuple_relation
+
+type t = int array
+
+let reach_matrix g =
+  let n = Data_graph.size g in
+  let m = Array.make_matrix n n false in
+  for u = 0 to n - 1 do
+    let r = Data_graph.reachable g u in
+    for v = 0 to n - 1 do
+      m.(u).(v) <- r.(v)
+    done
+  done;
+  m
+
+let is_hom g h =
+  let n = Data_graph.size g in
+  Array.length h = n
+  && Array.for_all (fun x -> x >= 0 && x < n) h
+  && List.for_all
+       (fun (p, a, q) -> Data_graph.mem_edge g h.(p) a h.(q))
+       (Data_graph.edges g)
+  &&
+  let reach = reach_matrix g in
+  let ok = ref true in
+  for p = 0 to n - 1 do
+    for q = 0 to n - 1 do
+      if reach.(p).(q) then
+        if Data_graph.same_value g p q <> Data_graph.same_value g h.(p) h.(q)
+        then ok := false
+    done
+  done;
+  !ok
+
+let identity g = Array.init (Data_graph.size g) Fun.id
+
+(* ------------------------------------------------------------------ *)
+(* CSP machinery.  Domains are boolean arrays with a cardinality count;
+   constraints are the edge constraints (h(u),h(v)) ∈ E_a and the data
+   constraints same_value(h(p),h(q)) = same_value(p,q) for reachable
+   (p,q).  Both are binary, so AC-3 applies uniformly.                  *)
+
+type domain = { mutable card : int; bits : bool array }
+
+let dom_full n = { card = n; bits = Array.make n true }
+let dom_copy d = { card = d.card; bits = Array.copy d.bits }
+
+let dom_remove d x =
+  if d.bits.(x) then begin
+    d.bits.(x) <- false;
+    d.card <- d.card - 1
+  end
+
+let dom_restrict_to d x =
+  Array.iteri (fun y _ -> if y <> x then dom_remove d y) d.bits
+
+let dom_iter d f =
+  Array.iteri (fun x present -> if present then f x) d.bits
+
+let dom_first d =
+  let rec go x = if d.bits.(x) then x else go (x + 1) in
+  go 0
+
+type csp = {
+  g : Data_graph.t;
+  n : int;
+  (* Binary constraints as (u, v, allowed) with allowed.(x).(y). *)
+  constraints : (int * int * bool array array) array;
+  (* For each variable, indices of constraints mentioning it. *)
+  incident : int list array;
+}
+
+let build_csp g =
+  let n = Data_graph.size g in
+  let reach = reach_matrix g in
+  let constraints = ref [] in
+  (* One constraint per (u, v, a) edge triple; merge edges with the same
+     endpoints into a single conjunction table. *)
+  let edge_tbl : (int * int, bool array array) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (u, a, v) ->
+      let allowed =
+        match Hashtbl.find_opt edge_tbl (u, v) with
+        | Some m -> m
+        | None ->
+            let m = Array.make_matrix n n true in
+            Hashtbl.add edge_tbl (u, v) m;
+            m
+      in
+      let lbl = Data_graph.label_id g a in
+      for x = 0 to n - 1 do
+        let succs = Data_graph.succ_id g x lbl in
+        for y = 0 to n - 1 do
+          if not (List.mem y succs) then allowed.(x).(y) <- false
+        done
+      done)
+    (Data_graph.edges g);
+  Hashtbl.iter (fun (u, v) m -> constraints := (u, v, m) :: !constraints) edge_tbl;
+  (* Data compatibility for reachable pairs (skip trivial p = q). *)
+  for p = 0 to n - 1 do
+    for q = 0 to n - 1 do
+      if p <> q && reach.(p).(q) then begin
+        let want = Data_graph.same_value g p q in
+        let m =
+          Array.init n (fun x ->
+              Array.init n (fun y -> Data_graph.same_value g x y = want))
+        in
+        constraints := (p, q, m) :: !constraints
+      end
+    done
+  done;
+  let constraints = Array.of_list !constraints in
+  let incident = Array.make n [] in
+  Array.iteri
+    (fun ci (u, v, _) ->
+      incident.(u) <- ci :: incident.(u);
+      if v <> u then incident.(v) <- ci :: incident.(v))
+    constraints;
+  { g; n; constraints; incident }
+
+(* Revise both sides of constraint [ci]; returns the list of variables
+   whose domain shrank, or raises [Wipeout]. *)
+exception Wipeout
+
+let revise csp doms ci =
+  let u, v, allowed = csp.constraints.(ci) in
+  let changed = ref [] in
+  let du = doms.(u) and dv = doms.(v) in
+  dom_iter (dom_copy du) (fun x ->
+      let supported = ref false in
+      dom_iter dv (fun y -> if allowed.(x).(y) then supported := true);
+      if not !supported then begin
+        dom_remove du x;
+        if not (List.mem u !changed) then changed := u :: !changed
+      end);
+  dom_iter (dom_copy dv) (fun y ->
+      let supported = ref false in
+      dom_iter du (fun x -> if allowed.(x).(y) then supported := true);
+      if not !supported then begin
+        dom_remove dv y;
+        if not (List.mem v !changed) then changed := v :: !changed
+      end);
+  if du.card = 0 || dv.card = 0 then raise Wipeout;
+  !changed
+
+let propagate csp doms dirty =
+  let queue = Queue.create () in
+  let enqueued = Array.make (Array.length csp.constraints) false in
+  let push ci =
+    if not enqueued.(ci) then begin
+      enqueued.(ci) <- true;
+      Queue.add ci queue
+    end
+  in
+  List.iter (fun v -> List.iter push csp.incident.(v)) dirty;
+  while not (Queue.is_empty queue) do
+    let ci = Queue.pop queue in
+    enqueued.(ci) <- false;
+    let changed = revise csp doms ci in
+    List.iter (fun v -> List.iter push csp.incident.(v)) changed
+  done
+
+(* Generic backtracking search.  [prune doms] may declare a subtree
+   hopeless; [leaf h] is called on every complete homomorphism and
+   returns [true] to stop with this solution. *)
+let solve csp ~prune ~leaf =
+  let exception Found of int array in
+  let rec go doms =
+    if not (prune doms) then begin
+      let var = ref (-1) and best = ref max_int in
+      Array.iteri
+        (fun v d -> if d.card > 1 && d.card < !best then begin
+             var := v;
+             best := d.card
+           end)
+        doms;
+      if !var = -1 then begin
+        let h = Array.map dom_first doms in
+        if leaf h then raise (Found h)
+      end
+      else
+        dom_iter (dom_copy doms.(!var)) (fun x ->
+            let doms' = Array.map dom_copy doms in
+            dom_restrict_to doms'.(!var) x;
+            try
+              propagate csp doms' [ !var ];
+              go doms'
+            with Wipeout -> ())
+    end
+  in
+  let doms = Array.init csp.n (fun _ -> dom_full csp.n) in
+  try
+    propagate csp doms (List.init csp.n Fun.id);
+    go doms;
+    None
+  with
+  | Found h -> Some h
+  | Wipeout -> None
+
+let find_violating g s =
+  let csp = build_csp g in
+  (* Prune when every tuple of S is forced to stay inside S: enumerate
+     each tuple's image product as long as it is small; a large product
+     conservatively counts as a possible violation. *)
+  let cap = 4096 in
+  let tuple_can_escape doms tup =
+    let rec go prefix_rev = function
+      | [] -> not (Tuple_relation.mem s (List.rev prefix_rev))
+      | p :: rest ->
+          let escaped = ref false in
+          dom_iter doms.(p) (fun x ->
+              if not !escaped then escaped := go (x :: prefix_rev) rest);
+          !escaped
+    in
+    let size =
+      List.fold_left (fun acc p -> acc * doms.(p).card) 1 tup
+    in
+    if size > cap then true else go [] tup
+  in
+  let prune doms = not (Tuple_relation.exists (tuple_can_escape doms) s) in
+  let leaf h =
+    Tuple_relation.exists
+      (fun tup -> not (Tuple_relation.mem s (List.map (fun p -> h.(p)) tup)))
+      s
+  in
+  solve csp ~prune ~leaf
+
+let all ?(limit = 100_000) g =
+  let csp = build_csp g in
+  let acc = ref [] in
+  let c = ref 0 in
+  let (_ : int array option) =
+    solve csp
+      ~prune:(fun _ -> false)
+      ~leaf:(fun h ->
+        acc := Array.copy h :: !acc;
+        incr c;
+        !c >= limit)
+  in
+  List.rev !acc
+
+let count ?(limit = 1_000_000) g =
+  let csp = build_csp g in
+  let c = ref 0 in
+  let (_ : int array option) =
+    solve csp
+      ~prune:(fun _ -> false)
+      ~leaf:(fun _ ->
+        incr c;
+        !c >= limit)
+  in
+  !c
+
+let pp g ppf h =
+  Format.fprintf ppf "{@[<hov>";
+  Array.iteri
+    (fun p x ->
+      if p > 0 then Format.fprintf ppf ",@ ";
+      Format.fprintf ppf "%s↦%s" (Data_graph.name g p) (Data_graph.name g x))
+    h;
+  Format.fprintf ppf "@]}"

@@ -1,0 +1,40 @@
+(** Data graph homomorphisms (Definition 33): mappings [h : V → V] such
+    that
+
+    + (single step compatibility) [p -a-> q] implies [h(p) -a-> h(q)], and
+    + (data compatibility of reachable nodes) whenever [q] is reachable
+      from [p], [ρ(p) = ρ(q) ⇔ ρ(h(p)) = ρ(h(q))].
+
+    Lemma 34: a relation is UCRDPQ-definable iff it is preserved by every
+    data graph homomorphism.
+
+    Both conditions are binary constraints over node images, so the
+    searches below run as a CSP: AC-3 arc consistency over the edge and
+    data constraints, then backtracking on the smallest domain.  The
+    violation search additionally prunes subtrees in which every tuple of
+    the target relation can only land inside the relation — without this,
+    deciding preservation would enumerate all homomorphisms, of which
+    even small instances have exponentially many. *)
+
+type t = int array
+(** [h.(p)] is the image of node [p]. *)
+
+val is_hom : Datagraph.Data_graph.t -> t -> bool
+
+val identity : Datagraph.Data_graph.t -> t
+
+val find_violating :
+  Datagraph.Data_graph.t -> Datagraph.Tuple_relation.t -> t option
+(** A homomorphism [h] with [h(p) ∉ S] for some tuple [p ∈ S], if any —
+    a certificate of non-UCRDPQ-definability. *)
+
+val count : ?limit:int -> Datagraph.Data_graph.t -> int
+(** Number of data graph homomorphisms, counting at most [limit]
+    (default [1_000_000]) — a statistic for the benchmarks. *)
+
+val all : ?limit:int -> Datagraph.Data_graph.t -> t list
+(** All data graph homomorphisms (at most [limit], default [100_000]).
+    Shared precomputation for {!Census}: preservation of any relation can
+    then be checked against the list directly. *)
+
+val pp : Datagraph.Data_graph.t -> Format.formatter -> t -> unit

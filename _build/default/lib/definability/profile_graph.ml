@@ -1,0 +1,127 @@
+module Data_graph = Datagraph.Data_graph
+module Data_value = Datagraph.Data_value
+module Data_path = Datagraph.Data_path
+
+type state = { v : int; stored : int list }
+
+type t = {
+  g : Data_graph.t;
+  states : state array;
+  index : (state, int) Hashtbl.t;
+  blocks : Witness_search.block array;
+}
+
+let graph t = t.g
+let num_states t = Array.length t.states
+let node_of t s = t.states.(s).v
+
+(* Enumerate all states reachable from some initial state, in BFS order,
+   so ids are dense. *)
+let enumerate g =
+  let index = Hashtbl.create 256 in
+  let order = ref [] in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  let visit st =
+    if not (Hashtbl.mem index st) then begin
+      Hashtbl.add index st !count;
+      incr count;
+      order := st :: !order;
+      Queue.add st queue
+    end
+  in
+  List.iter
+    (fun v -> visit { v; stored = [ Data_graph.value_index g v ] })
+    (Data_graph.nodes g);
+  while not (Queue.is_empty queue) do
+    let st = Queue.pop queue in
+    List.iter
+      (fun (_, v') ->
+        let dv' = Data_graph.value_index g v' in
+        if List.mem dv' st.stored then visit { v = v'; stored = st.stored }
+        else visit { v = v'; stored = st.stored @ [ dv' ] })
+      (Data_graph.succ_all g st.v)
+  done;
+  (Array.of_list (List.rev !order), index)
+
+let create g =
+  let states, index = enumerate g in
+  let find st = Hashtbl.find_opt index st in
+  let delta = Data_graph.delta g in
+  let labels = List.init (Data_graph.label_count g) Fun.id in
+  let fresh_block lbl =
+    let name = Printf.sprintf "%s!" (Data_graph.label_name g lbl) in
+    let succ s =
+      let st = states.(s) in
+      List.filter_map
+        (fun v' ->
+          let dv' = Data_graph.value_index g v' in
+          if List.mem dv' st.stored then None
+          else find { v = v'; stored = st.stored @ [ dv' ] })
+        (Data_graph.succ_id g st.v lbl)
+    in
+    { Witness_search.name; succ }
+  in
+  let stored_block lbl j =
+    let name = Printf.sprintf "%s=%d" (Data_graph.label_name g lbl) j in
+    let succ s =
+      let st = states.(s) in
+      match List.nth_opt st.stored j with
+      | None -> []
+      | Some dv ->
+          List.filter_map
+            (fun v' ->
+              if Data_graph.value_index g v' = dv then
+                find { v = v'; stored = st.stored }
+              else None)
+            (Data_graph.succ_id g st.v lbl)
+    in
+    { Witness_search.name; succ }
+  in
+  let blocks =
+    List.concat_map
+      (fun lbl ->
+        fresh_block lbl :: List.init delta (fun j -> stored_block lbl j))
+      labels
+    |> Array.of_list
+  in
+  { g; states; index; blocks }
+
+let initial t v =
+  Hashtbl.find t.index { v; stored = [ Data_graph.value_index t.g v ] }
+
+let config t =
+  let n = Data_graph.size t.g in
+  {
+    Witness_search.num_states = num_states t;
+    sources = Array.init n (fun v -> initial t v);
+    node_of = (fun s -> node_of t s);
+    blocks = t.blocks;
+  }
+
+(* Block names spell out a profile: "a!" appends a fresh class, "a=j"
+   repeats class j.  Class 0 is the start value. *)
+let path_of_witness _t names =
+  let values = ref [ 0 ] in
+  let labels = ref [] in
+  let next_class = ref 1 in
+  List.iter
+    (fun name ->
+      match String.index_opt name '!' with
+      | Some i when i = String.length name - 1 ->
+          labels := String.sub name 0 i :: !labels;
+          values := !next_class :: !values;
+          incr next_class
+      | _ -> (
+          match String.index_opt name '=' with
+          | Some i ->
+              labels := String.sub name 0 i :: !labels;
+              let j =
+                int_of_string (String.sub name (i + 1) (String.length name - i - 1))
+              in
+              values := j :: !values
+          | None -> invalid_arg ("Profile_graph.path_of_witness: bad block " ^ name)))
+    names;
+  Data_path.make
+    ~values:(Array.of_list (List.rev_map Data_value.of_int !values))
+    ~labels:(Array.of_list (List.rev !labels))

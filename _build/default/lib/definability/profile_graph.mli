@@ -1,0 +1,34 @@
+(** The profile automaton behind unbounded RDPQ_mem-definability
+    (Lemma 23 + Lemma 15): since a definable relation always has
+    [e_\[w\]]-shaped witnesses — expressions that store each first
+    occurrence of a data value and compare every later occurrence against
+    it — the search can track, instead of a full δ-register assignment,
+    just the ordered list of distinct data values seen so far.
+
+    States are pairs [(v, stored)] with [stored] an ordered duplicate-free
+    list of data-value indices; blocks are ["a!"] (take an [a]-edge to a
+    node whose value is fresh, appending it to [stored]) and ["a=j"]
+    (take an [a]-edge to a node carrying exactly [stored\[j\]]).  Block
+    sequences are in bijection with data-path {e profiles}
+    ({!Datagraph.Data_path.profile}), so witnesses here are exactly the
+    [e_\[w\]] witnesses of Lemma 23 — with [n·Σ_j δ!/(δ−j)!] states
+    instead of [n·(δ+1)^δ].  The [profile-vs-full] ablation benchmark
+    cross-checks the two. *)
+
+type t
+
+val create : Datagraph.Data_graph.t -> t
+val graph : t -> Datagraph.Data_graph.t
+val num_states : t -> int
+
+val initial : t -> int -> int
+(** [(v, [ρ(v)])]: the first value of any data path from [v] is stored. *)
+
+val node_of : t -> int -> int
+val config : t -> Witness_search.config
+
+val path_of_witness : t -> string list -> Datagraph.Data_path.t
+(** The canonical data path realizing a witness block sequence: values
+    are the class indices of the profile the blocks spell out.  Feeding
+    it to {!Rem_lang.Basic_rem.of_data_path} yields the defining
+    [e_\[w\]]. *)

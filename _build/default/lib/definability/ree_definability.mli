@@ -1,0 +1,57 @@
+(** RDPQ_=-definability (Section 4) — PSpace-complete (Theorem 32).
+
+    The decision procedure follows the paper's level hierarchy
+    (Definition 27) in its union-free skeleton: compute the closure of
+    the base relations [S_ε] and [S_a] under composition and the
+    [=]/[≠]-restrictions, each closure element carrying a star-free
+    union-free witness term ({!Ree_lang.Ree_term}).  Unions are only
+    needed at the outermost level (they distribute over concatenation and
+    the restrictions, and witnesses survive unfolding of [e⁺]), so:
+
+    [S] is RDPQ_=-definable iff every pair [(u,v) ∈ S] lies in some
+    closure element [R ⊆ S] — and then the union of the witness terms
+    defines [S].
+
+    The paper's Lemma 28 bounds the hierarchy height by [n²]; the
+    [max_height] statistic lets the test suite check this invariant.
+    (The paper trades this exponential-sized closure for a
+    nondeterministic polynomial-space guess of one branch; deterministic
+    memoized exploration is the Savitch-style equivalent.) *)
+
+type report = {
+  definable : bool option;
+      (** [None] when the closure was truncated before covering [S] *)
+  witnesses : ((int * int) * Ree_lang.Ree_term.t) list;
+      (** per covered pair, a witness term [t] with [(u,v) ∈ S_t ⊆ S] *)
+  missing : (int * int) list;
+  closure_size : int;
+      (** relations explored before deciding — the full closure only when
+          the search could not stop early *)
+  max_height : int;  (** largest restriction nesting depth explored *)
+}
+
+val closure :
+  ?max_size:int ->
+  Datagraph.Data_graph.t ->
+  (Datagraph.Relation.t * Ree_lang.Ree_term.t) list * bool
+(** All term-definable relations on the graph with one witness term each,
+    and whether the closure was truncated at [max_size] (default
+    [200_000]). *)
+
+val check :
+  ?max_size:int -> Datagraph.Data_graph.t -> Datagraph.Relation.t -> report
+(** Decide definability, exploring the closure incrementally and stopping
+    as soon as every pair of the relation has a witness.  [max_size]
+    (default [200_000]) bounds the explored relation count. *)
+
+val is_definable :
+  ?max_size:int -> Datagraph.Data_graph.t -> Datagraph.Relation.t -> bool
+(** @raise Failure if the closure was truncated before deciding. *)
+
+val defining_query :
+  ?max_size:int ->
+  Datagraph.Data_graph.t ->
+  Datagraph.Relation.t ->
+  Ree_lang.Ree.t option
+(** A defining REE (union of witness terms), or [None] if not definable.
+    @raise Failure if the closure was truncated before deciding. *)

@@ -1,0 +1,70 @@
+(** RDPQ_mem-definability (Section 3): can a relation be defined by a
+    regular expression with memory?
+
+    [check_k] decides the bounded-register problem (Theorem 22,
+    [NSpace(O(n²δ^k))]) by witness search over the k-assignment graph
+    (Definition 19): Lemma 18 reduces definability to the existence of a
+    basic k-REM witness per pair, and Lemma 20 turns those into
+    reachability in [T_G].
+
+    [check] decides the unbounded problem (Theorem 24, ExpSpace): by
+    Lemma 23, [S] is definable iff it is δ-definable, and the proof shows
+    [e_\[w\]]-shaped witnesses suffice — so the search runs over the
+    smaller profile automaton ({!Profile_graph}) instead of the full
+    δ-assignment graph. *)
+
+type report = {
+  definable : bool option;
+  witnesses : ((int * int) * string list) list;
+  missing : (int * int) list;
+  tuples_explored : int;
+}
+
+val check_k :
+  ?max_tuples:int ->
+  ?all_condition_sets:bool ->
+  Datagraph.Data_graph.t ->
+  k:int ->
+  Datagraph.Relation.t ->
+  report
+(** The k-RDPQ_mem-definability problem.  [all_condition_sets] switches
+    the ablation block alphabet (see {!Assignment_graph.create}). *)
+
+val check :
+  ?max_tuples:int -> Datagraph.Data_graph.t -> Datagraph.Relation.t -> report
+(** The unbounded RDPQ_mem-definability problem via the profile
+    automaton. *)
+
+val check_delta_registers :
+  ?max_tuples:int -> Datagraph.Data_graph.t -> Datagraph.Relation.t -> report
+(** The unbounded problem decided literally as Lemma 23 states it — as
+    δ-RDPQ_mem-definability over the full δ-assignment graph.  Equivalent
+    to {!check} and much slower; kept for the [profile-vs-full] ablation
+    and cross-checking. *)
+
+val is_definable_k :
+  ?max_tuples:int -> Datagraph.Data_graph.t -> k:int -> Datagraph.Relation.t -> bool
+(** @raise Failure if the search was truncated before deciding. *)
+
+val is_definable :
+  ?max_tuples:int -> Datagraph.Data_graph.t -> Datagraph.Relation.t -> bool
+(** @raise Failure if the search was truncated before deciding. *)
+
+val defining_query_k :
+  ?max_tuples:int ->
+  Datagraph.Data_graph.t ->
+  k:int ->
+  Datagraph.Relation.t ->
+  Rem_lang.Rem.t option
+(** A defining k-REM — the union of basic k-REM witnesses (Lemma 18) —
+    or [None] if not k-definable.
+    @raise Failure if the search was truncated before deciding. *)
+
+val defining_query :
+  ?max_tuples:int ->
+  Datagraph.Data_graph.t ->
+  Datagraph.Relation.t ->
+  Rem_lang.Rem.t option
+(** A defining REM — the union of [e_\[w\]] witnesses (Lemma 15) — or
+    [None] if not definable.
+    @raise Failure if the search was truncated before deciding. *)

@@ -1,0 +1,70 @@
+module Data_graph = Datagraph.Data_graph
+module Relation = Datagraph.Relation
+
+type report = {
+  definable : bool option;
+  witnesses : ((int * int) * string list) list;
+  missing : (int * int) list;
+  tuples_explored : int;
+}
+
+let config g =
+  let n = Data_graph.size g in
+  let labels = List.init (Data_graph.label_count g) Fun.id in
+  let blocks =
+    List.map
+      (fun lbl ->
+        {
+          Witness_search.name = Data_graph.label_name g lbl;
+          succ = (fun v -> Data_graph.succ_id g v lbl);
+        })
+      labels
+    |> Array.of_list
+  in
+  {
+    Witness_search.num_states = n;
+    sources = Array.init n Fun.id;
+    node_of = Fun.id;
+    blocks;
+  }
+
+let report_of_outcome (o : Witness_search.outcome) =
+  match o.verdict with
+  | Witness_search.Definable ->
+      {
+        definable = Some true;
+        witnesses = o.witnesses;
+        missing = [];
+        tuples_explored = o.tuples_explored;
+      }
+  | Witness_search.Not_definable missing ->
+      {
+        definable = Some false;
+        witnesses = o.witnesses;
+        missing;
+        tuples_explored = o.tuples_explored;
+      }
+  | Witness_search.Exhausted ->
+      {
+        definable = None;
+        witnesses = o.witnesses;
+        missing = [];
+        tuples_explored = o.tuples_explored;
+      }
+
+let check ?max_tuples g s =
+  report_of_outcome (Witness_search.search ?max_tuples (config g) ~target:s)
+
+let force_verdict r =
+  match r.definable with
+  | Some b -> b
+  | None -> failwith "definability search truncated; raise max_tuples"
+
+let is_definable ?max_tuples g s = force_verdict (check ?max_tuples g s)
+
+let defining_query ?max_tuples g s =
+  let r = check ?max_tuples g s in
+  if not (force_verdict r) then None
+  else
+    let words = List.sort_uniq compare (List.map snd r.witnesses) in
+    Some (Regexp.Regex.union_of (List.map Regexp.Regex.of_word words))

@@ -1,0 +1,35 @@
+(** RPQ-definability — the baseline problem of reference [3], used by the
+    paper both as the data-free special case and as the target of the
+    G_aut reduction sketched in Section 3.
+
+    A relation [S] is definable by a standard regular expression iff every
+    pair [(u,v) ∈ S] has a witness {e word} [w] with
+    [(u,v) ∈ R(w) ⊆ S], where [R(w)] is the set of pairs connected by a
+    path labeled [w]; the disjunction of witness words then defines [S].
+    Decided by {!Witness_search} over the graph itself (states = nodes,
+    blocks = letters) — PSpace-complete in general [3]. *)
+
+type report = {
+  definable : bool option;
+      (** [None] when the search was truncated (answer unknown) *)
+  witnesses : ((int * int) * string list) list;
+      (** per covered pair, a witness word as a label list *)
+  missing : (int * int) list;  (** pairs with no witness *)
+  tuples_explored : int;
+}
+
+val check :
+  ?max_tuples:int -> Datagraph.Data_graph.t -> Datagraph.Relation.t -> report
+
+val is_definable :
+  ?max_tuples:int -> Datagraph.Data_graph.t -> Datagraph.Relation.t -> bool
+(** @raise Failure if the search was truncated before deciding. *)
+
+val defining_query :
+  ?max_tuples:int ->
+  Datagraph.Data_graph.t ->
+  Datagraph.Relation.t ->
+  Regexp.Regex.t option
+(** A defining regular expression (the union of witness words), or [None]
+    if not definable.
+    @raise Failure if the search was truncated before deciding. *)

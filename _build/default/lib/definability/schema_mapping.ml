@@ -1,0 +1,83 @@
+module Data_graph = Datagraph.Data_graph
+module Relation = Datagraph.Relation
+module Tuple_relation = Datagraph.Tuple_relation
+
+type query =
+  | Rpq of Regexp.Regex.t
+  | Ree of Ree_lang.Ree.t
+  | Rem of Rem_lang.Rem.t
+  | Ucrdpq of Query_lang.Conjunctive.t
+
+type rule = { target : string; query : query }
+
+type outcome =
+  | Fitted of rule
+  | Unfittable of {
+      target : string;
+      violation : (Hom.t * int list) option;
+    }
+
+let lang_name = function
+  | Rpq _ -> "RPQ"
+  | Ree _ -> "RDPQ="
+  | Rem _ -> "RDPQmem"
+  | Ucrdpq _ -> "UCRDPQ"
+
+let fit ?max_tuples ?max_size g targets =
+  List.map
+    (fun (target, s) ->
+      let fitted q = Fitted { target; query = q } in
+      match Synthesis.rpq ?max_tuples g s with
+      | Some v when v.Synthesis.correct -> fitted (Rpq v.Synthesis.query)
+      | _ -> (
+          match Synthesis.ree ?max_size g s with
+          | Some v when v.Synthesis.correct -> fitted (Ree v.Synthesis.query)
+          | _ -> (
+              match Synthesis.rem ?max_tuples g s with
+              | Some v when v.Synthesis.correct ->
+                  fitted (Rem v.Synthesis.query)
+              | _ -> (
+                  let ts = Tuple_relation.of_binary s in
+                  match Ucrdpq_definability.defining_query g ts with
+                  | Some q when q <> [] -> fitted (Ucrdpq q)
+                  | Some _ ->
+                      (* the empty relation: the empty union defines it *)
+                      fitted (Ucrdpq [])
+                  | None ->
+                      let r = Ucrdpq_definability.check g ts in
+                      Unfittable
+                        { target; violation = r.Ucrdpq_definability.violation }))))
+    targets
+
+let verify g rule s =
+  match rule.query with
+  | Rpq e -> Relation.equal (Query_lang.Query.eval g (Query_lang.Query.Rpq e)) s
+  | Ree e -> Relation.equal (Query_lang.Query.eval g (Query_lang.Query.Ree e)) s
+  | Rem e -> Relation.equal (Query_lang.Query.eval g (Query_lang.Query.Rem e)) s
+  | Ucrdpq [] -> Relation.is_empty s
+  | Ucrdpq q ->
+      Tuple_relation.equal
+        (Query_lang.Conjunctive.eval g q)
+        (Tuple_relation.of_binary s)
+
+let pp_query ppf = function
+  | Rpq e -> Regexp.Regex.pp ppf e
+  | Ree e -> Ree_lang.Ree.pp ppf e
+  | Rem e -> Rem_lang.Rem.pp ppf e
+  | Ucrdpq [] -> Format.pp_print_string ppf "(empty union)"
+  | Ucrdpq q -> Query_lang.Conjunctive.pp ppf q
+
+let pp_rule ppf rule =
+  Format.fprintf ppf "%s(x,y) <- [%s] %a" rule.target
+    (lang_name rule.query) pp_query rule.query
+
+let pp_outcome g ppf = function
+  | Fitted rule -> pp_rule ppf rule
+  | Unfittable { target; violation } -> (
+      Format.fprintf ppf "%s: not definable in any language here" target;
+      match violation with
+      | Some (h, tup) ->
+          Format.fprintf ppf " (homomorphism %a moves (%s) out)" (Hom.pp g) h
+            (String.concat ","
+               (List.map (Data_graph.name g) tup))
+      | None -> ())

@@ -1,0 +1,45 @@
+(** Schema-mapping extraction — the paper's motivating application
+    (Introduction; see also the GAV remark after Lemma 34).
+
+    Given a source data graph and example target relations, find for
+    each target the {e least expressive} language that can define it and
+    synthesize the defining query.  The result is a specification of the
+    source-to-target mapping: each rule says "target [R] is the answer
+    of query [q] on the source". *)
+
+type query =
+  | Rpq of Regexp.Regex.t
+  | Ree of Ree_lang.Ree.t
+  | Rem of Rem_lang.Rem.t
+  | Ucrdpq of Query_lang.Conjunctive.t
+
+type rule = { target : string; query : query }
+
+type outcome =
+  | Fitted of rule
+  | Unfittable of {
+      target : string;
+      violation : (Hom.t * int list) option;
+          (** the Lemma 34 certificate: a homomorphism moving an example
+              tuple out of the relation — no UCRDPQ (hence no query of
+              any language here) fits *)
+    }
+
+val fit :
+  ?max_tuples:int ->
+  ?max_size:int ->
+  Datagraph.Data_graph.t ->
+  (string * Datagraph.Relation.t) list ->
+  outcome list
+(** Fit every named target relation, trying RPQ, then RDPQ_=, then
+    RDPQ_mem, then UCRDPQ.  Synthesized queries are simplified and
+    verified by evaluation before being returned. *)
+
+val verify :
+  Datagraph.Data_graph.t -> rule -> Datagraph.Relation.t -> bool
+(** Re-evaluate a rule's query against the graph and compare with the
+    relation. *)
+
+val lang_name : query -> string
+val pp_rule : Format.formatter -> rule -> unit
+val pp_outcome : Datagraph.Data_graph.t -> Format.formatter -> outcome -> unit

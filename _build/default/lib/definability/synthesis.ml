@@ -1,0 +1,44 @@
+module Relation = Datagraph.Relation
+module Query = Query_lang.Query
+
+type 'q verified = {
+  query : 'q;
+  evaluated : Relation.t;
+  correct : bool;
+}
+
+let verify g s expr =
+  let evaluated = Query.eval g expr in
+  (evaluated, Relation.equal evaluated s)
+
+let rpq ?max_tuples g s =
+  Option.map
+    (fun q ->
+      let query = Regexp.Regex.simplify q in
+      let evaluated, correct = verify g s (Query.Rpq query) in
+      { query; evaluated; correct })
+    (Rpq_definability.defining_query ?max_tuples g s)
+
+let rem ?max_tuples g s =
+  Option.map
+    (fun q ->
+      let query = Rem_lang.Rem.simplify q in
+      let evaluated, correct = verify g s (Query.Rem query) in
+      { query; evaluated; correct })
+    (Rem_definability.defining_query ?max_tuples g s)
+
+let rem_k ?max_tuples g ~k s =
+  Option.map
+    (fun q ->
+      let query = Rem_lang.Rem.simplify q in
+      let evaluated, correct = verify g s (Query.Rem query) in
+      { query; evaluated; correct })
+    (Rem_definability.defining_query_k ?max_tuples g ~k s)
+
+let ree ?max_size g s =
+  Option.map
+    (fun q ->
+      let query = Ree_lang.Ree.simplify q in
+      let evaluated, correct = verify g s (Query.Ree query) in
+      { query; evaluated; correct })
+    (Ree_definability.defining_query ?max_size g s)

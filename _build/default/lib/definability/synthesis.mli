@@ -1,0 +1,37 @@
+(** Query synthesis (Section 6, Discussion): turn the decision procedures'
+    witnesses into actual defining queries, and verify them by evaluation.
+
+    As the paper notes, the synthesized queries are star-free unions of
+    per-pair witnesses — correct but not "interesting"; their worst-case
+    size is what the lower bounds dictate. *)
+
+type 'q verified = {
+  query : 'q;
+  evaluated : Datagraph.Relation.t;  (** [Q(G)], for the record *)
+  correct : bool;  (** [Q(G) = S] — always true unless a bug *)
+}
+
+val rpq :
+  ?max_tuples:int ->
+  Datagraph.Data_graph.t ->
+  Datagraph.Relation.t ->
+  Regexp.Regex.t verified option
+
+val rem :
+  ?max_tuples:int ->
+  Datagraph.Data_graph.t ->
+  Datagraph.Relation.t ->
+  Rem_lang.Rem.t verified option
+
+val rem_k :
+  ?max_tuples:int ->
+  Datagraph.Data_graph.t ->
+  k:int ->
+  Datagraph.Relation.t ->
+  Rem_lang.Rem.t verified option
+
+val ree :
+  ?max_size:int ->
+  Datagraph.Data_graph.t ->
+  Datagraph.Relation.t ->
+  Ree_lang.Ree.t verified option

@@ -1,0 +1,91 @@
+module Data_graph = Datagraph.Data_graph
+module Relation = Datagraph.Relation
+module Tuple_relation = Datagraph.Tuple_relation
+module Conjunctive = Query_lang.Conjunctive
+module Query = Query_lang.Query
+
+type report = {
+  definable : bool;
+  violation : (Hom.t * int list) option;
+}
+
+let check g s =
+  match Hom.find_violating g s with
+  | None -> { definable = true; violation = None }
+  | Some h ->
+      let tup =
+        Tuple_relation.find_opt
+          (fun tup -> not (Tuple_relation.mem s (List.map (fun p -> h.(p)) tup)))
+          s
+      in
+      { definable = false; violation = Some (h, Option.get tup) }
+
+let is_definable g s = (check g s).definable
+
+let is_definable_binary g s = is_definable g (Tuple_relation.of_binary s)
+
+let var i = "x" ^ string_of_int i
+
+let phi_g g =
+  let n = Data_graph.size g in
+  let letters =
+    List.map (fun a -> Regexp.Regex.Letter a) (Data_graph.alphabet g)
+  in
+  let sigma_plus = Regexp.Regex.Plus (Regexp.Regex.union_of letters) in
+  let ree_of r = Ree_lang.Ree.of_regex r in
+  let edge_atoms =
+    List.map
+      (fun (p, a, q) ->
+        {
+          Conjunctive.src = var p;
+          dst = var q;
+          expr = Query.Rpq (Regexp.Regex.Letter a);
+        })
+      (Data_graph.edges g)
+  in
+  let reach_pairs =
+    if letters = [] then Relation.empty n
+    else Relation.transitive_closure (Relation.step_relation g)
+  in
+  let value = Data_graph.value g in
+  let eq_atoms =
+    Relation.fold
+      (fun p q acc ->
+        {
+          Conjunctive.src = var p;
+          dst = var q;
+          expr = Query.Ree (Ree_lang.Ree.EqTest (ree_of sigma_plus));
+        }
+        :: acc)
+      (Relation.restrict_eq ~value reach_pairs)
+      []
+  in
+  let neq_atoms =
+    Relation.fold
+      (fun p q acc ->
+        {
+          Conjunctive.src = var p;
+          dst = var q;
+          expr = Query.Ree (Ree_lang.Ree.NeqTest (ree_of sigma_plus));
+        }
+        :: acc)
+      (Relation.restrict_neq ~value reach_pairs)
+      []
+  in
+  let ground_atoms =
+    List.init n (fun i ->
+        { Conjunctive.src = var i; dst = var i; expr = Query.Rpq Regexp.Regex.Eps })
+  in
+  ground_atoms @ edge_atoms @ eq_atoms @ neq_atoms
+
+let defining_query g s =
+  if not (is_definable g s) then None
+  else
+    let body = phi_g g in
+    let queries =
+      Tuple_relation.fold
+        (fun tup acc ->
+          { Conjunctive.head = List.map var tup; atoms = body } :: acc)
+        s []
+    in
+    Some (List.rev queries)

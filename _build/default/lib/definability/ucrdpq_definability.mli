@@ -1,0 +1,37 @@
+(** UCRDPQ-definability (Section 5) — coNP-complete (Theorem 35).
+
+    By Lemma 34, a relation [S] (of any arity) is definable by a union of
+    conjunctive regular data path queries iff every data graph
+    homomorphism preserves [S].  The checker searches for a violating
+    homomorphism; when none exists, {!defining_query} emits the canonical
+    query of the Lemma 34 proof — one CRDPQ per tuple of [S], all sharing
+    the body [φ_G] that pins valuations to homomorphisms using one atom
+    per edge plus [(Σ⁺)=] and [(Σ⁺)≠] atoms for reachable pairs. *)
+
+type report = {
+  definable : bool;
+  violation : (Hom.t * int list) option;
+      (** a homomorphism [h] and a tuple [p ∈ S] with [h(p) ∉ S] *)
+}
+
+val check :
+  Datagraph.Data_graph.t -> Datagraph.Tuple_relation.t -> report
+
+val is_definable :
+  Datagraph.Data_graph.t -> Datagraph.Tuple_relation.t -> bool
+
+val is_definable_binary :
+  Datagraph.Data_graph.t -> Datagraph.Relation.t -> bool
+
+val phi_g : Datagraph.Data_graph.t -> Query_lang.Conjunctive.atom list
+(** The body [φ_G(x̄)] of Lemma 34 over variables ["x0" … "x<n-1>"]
+    (one per node), including a trivial [xi -eps-> xi] atom per node so
+    every variable occurs. *)
+
+val defining_query :
+  Datagraph.Data_graph.t ->
+  Datagraph.Tuple_relation.t ->
+  Query_lang.Conjunctive.t option
+(** The canonical defining UCRDPQ, or [None] if not definable.  For the
+    empty relation the result is the empty union [[]] (which
+    {!Query_lang.Conjunctive.eval} rejects; it denotes ∅). *)

@@ -1,0 +1,155 @@
+module Relation = Datagraph.Relation
+
+let log_src =
+  Logs.Src.create "definability.witness_search"
+    ~doc:"tuple-of-subsets witness search"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type block = { name : string; succ : int -> int list }
+
+type config = {
+  num_states : int;
+  sources : int array;
+  node_of : int -> int;
+  blocks : block array;
+}
+
+type verdict =
+  | Definable
+  | Not_definable of (int * int) list
+  | Exhausted
+
+type outcome = {
+  verdict : verdict;
+  covered : Relation.t;
+  witnesses : ((int * int) * string list) list;
+  tuples_explored : int;
+}
+
+(* A tuple ⟨Q_1,…,Q_n⟩ is a Bytes bit-matrix: row i holds source i's
+   reachable state set. *)
+
+let search ?(max_tuples = 2_000_000) cfg ~target =
+  let n = Array.length cfg.sources in
+  if Relation.universe target <> n then
+    invalid_arg "Witness_search.search: target universe <> number of sources";
+  let row_bytes = (cfg.num_states + 7) / 8 in
+  let total = n * row_bytes in
+  let get_bit t i s =
+    Bytes.get_uint8 t ((i * row_bytes) + (s lsr 3)) land (1 lsl (s land 7)) <> 0
+  in
+  let set_bit t i s =
+    let idx = (i * row_bytes) + (s lsr 3) in
+    Bytes.set_uint8 t idx (Bytes.get_uint8 t idx lor (1 lsl (s land 7)))
+  in
+  let is_zero t = Bytes.for_all (fun c -> c = '\000') t in
+  (* Initial tuple. *)
+  let t0 = Bytes.make total '\000' in
+  Array.iteri (fun i s -> set_bit t0 i s) cfg.sources;
+  (* Visited table and BFS bookkeeping.  Parents record (parent id, block
+     index) for witness reconstruction. *)
+  let visited : (string, int) Hashtbl.t = Hashtbl.create 4096 in
+  let parents : (int * int) option array ref = ref (Array.make 1024 None) in
+  let tuples : Bytes.t array ref = ref (Array.make 1024 Bytes.empty) in
+  let count = ref 0 in
+  let register t parent =
+    let id = !count in
+    incr count;
+    if id >= Array.length !parents then begin
+      let parents' = Array.make (2 * id) None in
+      Array.blit !parents 0 parents' 0 id;
+      parents := parents';
+      let tuples' = Array.make (2 * id) Bytes.empty in
+      Array.blit !tuples 0 tuples' 0 id;
+      tuples := tuples'
+    end;
+    !parents.(id) <- parent;
+    !tuples.(id) <- t;
+    Hashtbl.add visited (Bytes.to_string t) id;
+    id
+  in
+  let queue = Queue.create () in
+  Queue.add (register t0 None) queue;
+  let covered = ref (Relation.empty n) in
+  let witness_ids : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+  let target_card = Relation.cardinal target in
+  let done_ = ref (target_card = 0) in
+  let truncated = ref false in
+  (* Per-block successor application on a whole tuple. *)
+  let apply block t =
+    let t' = Bytes.make total '\000' in
+    for i = 0 to n - 1 do
+      for s = 0 to cfg.num_states - 1 do
+        if get_bit t i s then
+          List.iter (fun s' -> set_bit t' i s') (block.succ s)
+      done
+    done;
+    t'
+  in
+  while (not !done_) && not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    let t = !tuples.(id) in
+    (* Safety: every reachable state projects into the target. *)
+    let safe = ref true in
+    (try
+       for i = 0 to n - 1 do
+         for s = 0 to cfg.num_states - 1 do
+           if get_bit t i s && not (Relation.mem target i (cfg.node_of s))
+           then begin
+             safe := false;
+             raise Exit
+           end
+         done
+       done
+     with Exit -> ());
+    if !safe then begin
+      for i = 0 to n - 1 do
+        for s = 0 to cfg.num_states - 1 do
+          if get_bit t i s then begin
+            let q = cfg.node_of s in
+            if not (Relation.mem !covered i q) then begin
+              covered := Relation.add !covered i q;
+              Hashtbl.replace witness_ids (i, q) id
+            end
+          end
+        done
+      done;
+      if Relation.cardinal !covered = target_card then done_ := true
+    end;
+    if not !done_ then
+      Array.iteri
+        (fun bi block ->
+          let t' = apply block t in
+          if
+            (not (is_zero t'))
+            && not (Hashtbl.mem visited (Bytes.to_string t'))
+          then
+            if !count >= max_tuples then truncated := true
+            else Queue.add (register t' (Some (id, bi))) queue)
+        cfg.blocks
+  done;
+  (* Reconstruct block sequences for covered pairs. *)
+  let path_of id =
+    let rec go id acc =
+      match !parents.(id) with
+      | None -> acc
+      | Some (pid, bi) -> go pid (cfg.blocks.(bi).name :: acc)
+    in
+    go id []
+  in
+  let witnesses =
+    Hashtbl.fold (fun pair id acc -> ((pair, path_of id)) :: acc) witness_ids []
+    |> List.sort compare
+  in
+  let verdict =
+    if Relation.cardinal !covered = target_card then Definable
+    else if !truncated then Exhausted
+    else Not_definable (Relation.to_list (Relation.diff target !covered))
+  in
+  Log.debug (fun m ->
+      m "explored %d tuples; covered %d/%d pairs%s" !count
+        (Relation.cardinal !covered)
+        target_card
+        (if !truncated then " (truncated)" else ""));
+  { verdict; covered = !covered; witnesses; tuples_explored = !count }

@@ -1,0 +1,1 @@
+lib/query/conjunctive.ml: Array Datagraph Format Hashtbl List Query String

@@ -1,0 +1,1 @@
+lib/query/conjunctive.mli: Datagraph Format Query

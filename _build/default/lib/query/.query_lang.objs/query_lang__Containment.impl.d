@@ -1,0 +1,1 @@
+lib/query/containment.ml: Array Datagraph List Query Ree_lang Regexp Rem_lang

@@ -1,0 +1,1 @@
+lib/query/query.ml: Array Datagraph Format Ree_lang Regexp Rem_lang Result

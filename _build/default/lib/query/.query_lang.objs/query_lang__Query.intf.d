@@ -1,0 +1,1 @@
+lib/query/query.mli: Datagraph Format Ree_lang Regexp Rem_lang

@@ -1,0 +1,101 @@
+module Data_graph = Datagraph.Data_graph
+module Relation = Datagraph.Relation
+module Tuple_relation = Datagraph.Tuple_relation
+
+type atom = { src : string; dst : string; expr : Query.expr }
+type crdpq = { head : string list; atoms : atom list }
+type t = crdpq list
+
+let variables q =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let note v =
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.add seen v ();
+      out := v :: !out
+    end
+  in
+  List.iter
+    (fun a ->
+      note a.src;
+      note a.dst)
+    q.atoms;
+  List.rev !out
+
+let arity q = List.length q.head
+
+let eval_crdpq g q =
+  let vars = variables q in
+  List.iter
+    (fun z ->
+      if not (List.mem z vars) then
+        invalid_arg ("Conjunctive.eval_crdpq: head variable " ^ z
+                     ^ " not in body"))
+    q.head;
+  let n = Data_graph.size g in
+  (* Evaluate each atom's expression once. *)
+  let atom_rels =
+    List.map (fun a -> (a.src, a.dst, Query.eval g a.expr)) q.atoms
+  in
+  let var_index = Hashtbl.create 8 in
+  List.iteri (fun i v -> Hashtbl.add var_index v i) vars;
+  let nv = List.length vars in
+  let assignment = Array.make nv (-1) in
+  let results = ref (Tuple_relation.empty ~universe:n ~arity:(arity q)) in
+  (* Backtracking join: assign variables in order; after each assignment
+     check every atom whose endpoints are both assigned. *)
+  let consistent upto =
+    List.for_all
+      (fun (x, y, rel) ->
+        let ix = Hashtbl.find var_index x and iy = Hashtbl.find var_index y in
+        if ix > upto || iy > upto then true
+        else Relation.mem rel assignment.(ix) assignment.(iy))
+      atom_rels
+  in
+  let rec assign i =
+    if i >= nv then begin
+      let tuple =
+        List.map (fun z -> assignment.(Hashtbl.find var_index z)) q.head
+      in
+      results := Tuple_relation.add !results tuple
+    end
+    else
+      for v = 0 to n - 1 do
+        assignment.(i) <- v;
+        if consistent i then assign (i + 1);
+        assignment.(i) <- -1
+      done
+  in
+  if nv = 0 then
+    (* m = 0: the empty conjunction is satisfied by the empty valuation. *)
+    results := Tuple_relation.add !results []
+  else assign 0;
+  !results
+
+let eval g = function
+  | [] -> invalid_arg "Conjunctive.eval: empty union"
+  | q :: rest ->
+      List.fold_left
+        (fun acc q' ->
+          if arity q' <> arity q then
+            invalid_arg "Conjunctive.eval: mixed arities";
+          Tuple_relation.union acc (eval_crdpq g q'))
+        (eval_crdpq g q) rest
+
+let defines g q s = Tuple_relation.equal (eval g q) s
+
+let pp_crdpq ppf q =
+  Format.fprintf ppf "Ans(%s) :- @[<hov>" (String.concat "," q.head);
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf " /\\@ ")
+    (fun ppf a ->
+      Format.fprintf ppf "%s -[%s]-> %s" a.src (Query.to_string a.expr) a.dst)
+    ppf q.atoms;
+  Format.fprintf ppf "@]"
+
+let pp ppf t =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ UNION@ ")
+    pp_crdpq ppf t
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,40 @@
+(** Conjunctive regular data path queries and their unions
+    (Definition 13):
+
+    {v Ans(z̄) := ⋀_{1≤i≤m} x_i -e_i-> y_i v}
+
+    where the [e_i] are all REMs or all REEs (we also allow plain RPQ
+    atoms, which both subsume), and [z̄] is a tuple of variables among the
+    [x_i], [y_i].  A UCRDPQ is a finite set of CRDPQs of equal arity. *)
+
+type atom = { src : string; dst : string; expr : Query.expr }
+(** One conjunct [src -expr-> dst]; [src]/[dst] are variable names. *)
+
+type crdpq = { head : string list; atoms : atom list }
+(** [head] is [z̄].  Every head variable must occur in some atom
+    (checked at evaluation). *)
+
+type t = crdpq list
+(** A UCRDPQ; all members must have the same arity. *)
+
+val variables : crdpq -> string list
+(** Variables of the body, in first-occurrence order. *)
+
+val arity : crdpq -> int
+
+val eval_crdpq :
+  Datagraph.Data_graph.t -> crdpq -> Datagraph.Tuple_relation.t
+(** [Q(G)]: all [µ(z̄)] over valuations [µ] satisfying every atom —
+    computed by evaluating each atom to a binary relation and joining by
+    backtracking over variables.
+    @raise Invalid_argument if a head variable occurs in no atom. *)
+
+val eval : Datagraph.Data_graph.t -> t -> Datagraph.Tuple_relation.t
+(** Union of the member answers.
+    @raise Invalid_argument on an empty union or mixed arities. *)
+
+val defines :
+  Datagraph.Data_graph.t -> t -> Datagraph.Tuple_relation.t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

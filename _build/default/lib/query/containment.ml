@@ -1,0 +1,53 @@
+module Data_path = Datagraph.Data_path
+module Data_value = Datagraph.Data_value
+
+(* Enumerate profile-canonical data paths: values are restricted-growth
+   strings (position 0 is class 0; each later position uses an existing
+   class or the next fresh one), letters range over the alphabet.  Calls
+   [visit] on each path of length 0..max_len; stops early when [visit]
+   returns [Some _]. *)
+let enumerate ~max_len ~alphabet ~visit =
+  let exception Found of Data_path.t in
+  let rec go values_rev labels_rev next_class len =
+    let path () =
+      Data_path.make
+        ~values:
+          (Array.of_list (List.rev_map Data_value.of_int values_rev))
+        ~labels:(Array.of_list (List.rev labels_rev))
+    in
+    let w = path () in
+    (match visit w with Some w -> raise (Found w) | None -> ());
+    if len < max_len then
+      List.iter
+        (fun a ->
+          for c = 0 to next_class do
+            go (c :: values_rev) (a :: labels_rev)
+              (max next_class (c + 1))
+              (len + 1)
+          done)
+        alphabet
+  in
+  try
+    go [ 0 ] [] 1 0;
+    None
+  with Found w -> Some w
+
+let alphabet_of = function
+  | Query.Rpq e -> Regexp.Regex.alphabet e
+  | Query.Rem e -> Rem_lang.Rem.alphabet e
+  | Query.Ree e -> Ree_lang.Ree.alphabet e
+
+let refute ?(max_len = 5) ~alphabet e1 e2 =
+  let alphabet =
+    List.sort_uniq compare (alphabet @ alphabet_of e1 @ alphabet_of e2)
+  in
+  let alphabet = if alphabet = [] then [ "a" ] else alphabet in
+  enumerate ~max_len ~alphabet ~visit:(fun w ->
+      if Query.matches_path e1 w && not (Query.matches_path e2 w) then Some w
+      else None)
+
+let contained_bounded ?max_len e1 e2 =
+  refute ?max_len ~alphabet:[] e1 e2 = None
+
+let equivalent_bounded ?max_len e1 e2 =
+  contained_bounded ?max_len e1 e2 && contained_bounded ?max_len e2 e1

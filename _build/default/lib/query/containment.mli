@@ -1,0 +1,35 @@
+(** Bounded query containment over {e all} data paths.
+
+    Containment of data path queries over all graphs is the subject of
+    the paper's reference [17]: ExpSpace-complete for positive REM,
+    PSpace-complete for positive REE, and {e undecidable} for full REM.
+    This module provides the decidable bounded version used for testing
+    and exploration: search for a data path of length at most [max_len]
+    in [L(e1) \ L(e2)].
+
+    Because REM/REE languages are closed under automorphisms (Fact 10),
+    it suffices to enumerate {e profile-canonical} paths — value
+    sequences that are restricted-growth strings (each value is either
+    one already used or the next fresh index).  A refutation of length
+    [≤ max_len] exists iff a canonical one does, so [refute] is complete
+    up to the bound. *)
+
+val refute :
+  ?max_len:int ->
+  alphabet:string list ->
+  Query.expr ->
+  Query.expr ->
+  Datagraph.Data_path.t option
+(** A data path in [L(e1) \ L(e2)] of length at most [max_len]
+    (default 5), over the given alphabet (letters of both expressions
+    are added automatically).  [None] means containment holds up to the
+    bound. *)
+
+val contained_bounded :
+  ?max_len:int -> Query.expr -> Query.expr -> bool
+(** [refute] with the expressions' own alphabets; [true] when no bounded
+    counterexample exists. *)
+
+val equivalent_bounded :
+  ?max_len:int -> Query.expr -> Query.expr -> bool
+(** Bounded containment in both directions. *)

@@ -1,0 +1,1 @@
+lib/reductions/cnf.ml: Array Format List

@@ -1,0 +1,1 @@
+lib/reductions/gaut.ml: Array Datagraph Definability List Printf

@@ -1,0 +1,1 @@
+lib/reductions/gaut.mli: Datagraph

@@ -1,0 +1,1 @@
+lib/reductions/rpq_embedding.mli: Datagraph

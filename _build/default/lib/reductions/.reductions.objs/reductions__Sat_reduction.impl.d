@@ -1,0 +1,1 @@
+lib/reductions/sat_reduction.ml: Array Cnf Datagraph Definability Fun List Printf

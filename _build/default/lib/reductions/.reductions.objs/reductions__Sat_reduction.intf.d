@@ -1,0 +1,1 @@
+lib/reductions/sat_reduction.mli: Cnf Datagraph

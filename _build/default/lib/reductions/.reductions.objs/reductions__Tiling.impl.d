@@ -1,0 +1,1 @@
+lib/reductions/tiling.ml: Array Datagraph Fun List Printf Rem_lang

@@ -1,0 +1,1 @@
+lib/reductions/tiling.mli: Datagraph Rem_lang

@@ -1,0 +1,79 @@
+type literal = { var : int; positive : bool }
+type clause = literal * literal * literal
+type t = { num_vars : int; clauses : clause list }
+
+let literal_of_int num_vars x =
+  if x = 0 then invalid_arg "Cnf.make: zero literal";
+  let var = abs x - 1 in
+  if var >= num_vars then invalid_arg "Cnf.make: variable out of range";
+  { var; positive = x > 0 }
+
+let make ~num_vars clauses =
+  if num_vars < 1 then invalid_arg "Cnf.make: num_vars < 1";
+  let lit = literal_of_int num_vars in
+  { num_vars; clauses = List.map (fun (a, b, c) -> (lit a, lit b, lit c)) clauses }
+
+let eval_lit asg l = if l.positive then asg.(l.var) else not asg.(l.var)
+
+let eval f asg =
+  List.for_all (fun (a, b, c) -> eval_lit asg a || eval_lit asg b || eval_lit asg c) f.clauses
+
+let satisfying_assignment f =
+  let n = f.num_vars in
+  let asg = Array.make n false in
+  let rec go i =
+    if i >= n then if eval f asg then Some (Array.copy asg) else None
+    else begin
+      asg.(i) <- false;
+      match go (i + 1) with
+      | Some _ as r -> r
+      | None ->
+          asg.(i) <- true;
+          let r = go (i + 1) in
+          asg.(i) <- false;
+          r
+    end
+  in
+  go 0
+
+let satisfiable f = satisfying_assignment f <> None
+
+let random ?(seed = 0) ~num_vars ~num_clauses () =
+  if num_vars < 3 then invalid_arg "Cnf.random: need at least 3 variables";
+  let state = ref (seed * 2654435761 lor 1) in
+  let next () =
+    let s = !state in
+    let s = s lxor (s lsl 13) in
+    let s = s lxor (s lsr 7) in
+    let s = s lxor (s lsl 17) in
+    state := s;
+    s land max_int
+  in
+  let rand_var exclude =
+    let rec go () =
+      let v = next () mod num_vars in
+      if List.mem v exclude then go () else v
+    in
+    go ()
+  in
+  let clauses =
+    List.init num_clauses (fun _ ->
+        let v1 = rand_var [] in
+        let v2 = rand_var [ v1 ] in
+        let v3 = rand_var [ v1; v2 ] in
+        let lit v = { var = v; positive = next () land 1 = 0 } in
+        (lit v1, lit v2, lit v3))
+  in
+  { num_vars; clauses }
+
+let pp_lit ppf l =
+  Format.fprintf ppf "%sp%d" (if l.positive then "" else "~") (l.var + 1)
+
+let pp ppf f =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf " & ")
+    (fun ppf (a, b, c) ->
+      Format.fprintf ppf "(%a|%a|%a)" pp_lit a pp_lit b pp_lit c)
+    ppf f.clauses
+
+let to_string f = Format.asprintf "%a" pp f

@@ -1,0 +1,30 @@
+(** Boolean 3-CNF formulas — the source problem of the Theorem 35 coNP
+    lower bound, with a brute-force satisfiability oracle for
+    cross-checking the reduction. *)
+
+type literal = { var : int; positive : bool }
+(** Variables are 0-indexed. *)
+
+type clause = literal * literal * literal
+
+type t = { num_vars : int; clauses : clause list }
+
+val make : num_vars:int -> (int * int * int) list -> t
+(** Clauses in DIMACS style: nonzero 1-indexed integers, sign is polarity.
+    [make ~num_vars:2 [ (1, -2, 2) ]] is [(p1 ∨ ¬p2 ∨ p2)].
+    @raise Invalid_argument on zero or out-of-range literals. *)
+
+val eval : t -> bool array -> bool
+(** Truth value under an assignment (indexed by variable). *)
+
+val satisfiable : t -> bool
+(** Brute force over the [2^num_vars] assignments. *)
+
+val satisfying_assignment : t -> bool array option
+
+val random : ?seed:int -> num_vars:int -> num_clauses:int -> unit -> t
+(** Random clauses over three distinct variables with random polarities;
+    deterministic per seed. [num_vars >= 3] required. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

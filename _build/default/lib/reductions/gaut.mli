@@ -1,0 +1,45 @@
+(** The G_aut construction sketched at the start of Section 3: reduce
+    RDPQ_mem-definability on a data graph [G] to plain RPQ-definability
+    on a graph where data values have become ordinary letters.
+
+    The construction, following the sketch:
+
+    - [G_aut] is the disjoint union of one copy [G_π] of [G] per
+      automorphism [π] of the active domain [D_G] (a permutation of the
+      δ data values — δ! copies);
+    - each edge [(u, a, v)] of a copy is relabeled [a@d] where [d] is the
+      copy's value of [v], so the label word of a path spells the data
+      path's values (except the first);
+    - every node [u] gets an entry node [û] with an edge [û -val@d-> u]
+      spelling the first data value.
+
+    A word from an entry node then determines a data path [w], and its
+    relation on [G_aut] collects, over all [π], the pairs connected by
+    [π(w)] in [G] — exactly the obstruction set that a basic REM witness
+    must avoid.  Hence [S] is RDPQ_mem-definable on [G] iff
+    [Ŝ = {(û_π, v_π) | (u,v) ∈ S, π}] is RPQ-definable on [G_aut],
+    giving the paper's ExpSpace upper bound via the PSpace-complete
+    RPQ-definability of [3] (the graph blows up by the δ! factor).
+
+    This module is a cross-check: the test suite compares the verdict of
+    this reduction against the direct profile-automaton checker on small
+    graphs. *)
+
+type t = {
+  graph : Datagraph.Data_graph.t;  (** [G_aut] with entry nodes *)
+  copies : int;  (** δ! *)
+  node : copy:int -> int -> int;  (** node [v] in copy [π_i] *)
+  entry : copy:int -> int -> int;  (** entry node [û] in copy [π_i] *)
+}
+
+val build : Datagraph.Data_graph.t -> t
+
+val lift_relation : t -> Datagraph.Relation.t -> Datagraph.Relation.t
+(** [Ŝ]: one [(û_π, v_π)] pair per pair of [S] and copy [π]. *)
+
+val rem_definable_via_rpq :
+  ?max_tuples:int -> Datagraph.Data_graph.t -> Datagraph.Relation.t -> bool
+(** Decide RDPQ_mem-definability of [S] on [G] by RPQ-definability of
+    [Ŝ] on [G_aut] — Theorem 24's bound by way of [3].  Equivalent to
+    {!Definability.Rem_definability.is_definable}; exponentially larger
+    input, so only sensible for tiny δ. *)

@@ -1,0 +1,6 @@
+let embed g = Datagraph.Data_graph.constant_values g
+
+let agree ?max_tuples ?max_size g s =
+  let rpq = Definability.Rpq_definability.is_definable ?max_tuples g s in
+  let ree = Definability.Ree_definability.is_definable ?max_size (embed g) s in
+  (rpq, ree)

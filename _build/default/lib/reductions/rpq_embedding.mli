@@ -1,0 +1,19 @@
+(** The PSpace-hardness reduction of Theorem 32: RPQ-definability reduces
+    to RDPQ_=-definability by giving every node the same data value.
+
+    On such a graph [(e)≠] sub-expressions denote the empty relation and
+    [(e)=] collapses to [e], so an REE defines [T] iff some plain regular
+    expression does. *)
+
+val embed : Datagraph.Data_graph.t -> Datagraph.Data_graph.t
+(** The graph [H'] with a constant data value. *)
+
+val agree :
+  ?max_tuples:int ->
+  ?max_size:int ->
+  Datagraph.Data_graph.t ->
+  Datagraph.Relation.t ->
+  bool * bool
+(** [(rpq_definable_on g, ree_definable_on (embed g))] — Theorem 32
+    asserts these are equal; the test suite and the benchmark harness
+    check this on random graphs. *)

@@ -1,0 +1,112 @@
+module Data_graph = Datagraph.Data_graph
+module Data_value = Datagraph.Data_value
+module Tuple_relation = Datagraph.Tuple_relation
+
+type t = {
+  graph : Data_graph.t;
+  target : Tuple_relation.t;
+}
+
+let node_count (f : Cnf.t) = 2 + (2 * f.num_vars) + (16 * List.length f.clauses)
+
+let build (f : Cnf.t) =
+  let n = f.num_vars in
+  let clauses = Array.of_list f.clauses in
+  let m = Array.length clauses in
+  let dv = Data_value.of_int 0 in
+  let nodes = ref [] in
+  let edges = ref [] in
+  let node name =
+    nodes := (name, dv) :: !nodes;
+    name
+  in
+  let edge u a v = edges := (u, a, v) :: !edges in
+  let one = node "one" and zero = node "zero" in
+  edge one "T" one;
+  edge zero "F" zero;
+  List.iter
+    (fun x ->
+      edge x "beta" x;
+      edge x "gamma" x)
+    [ one; zero ];
+  edge one "alpha" zero;
+  edge zero "alpha" one;
+  (* β is complete on {0,1} so assignment homomorphisms can follow the
+     literal chains whatever the neighbouring truth values are. *)
+  edge one "beta" zero;
+  edge zero "beta" one;
+  let pos = Array.init n (fun i -> node (Printf.sprintf "p%d" (i + 1))) in
+  let neg = Array.init n (fun i -> node (Printf.sprintf "np%d" (i + 1))) in
+  let lit_node (l : Cnf.literal) = if l.positive then pos.(l.var) else neg.(l.var) in
+  for i = 0 to n - 1 do
+    edge pos.(i) "gamma" pos.(i);
+    edge neg.(i) "gamma" neg.(i);
+    edge pos.(i) "alpha" neg.(i);
+    edge neg.(i) "alpha" pos.(i);
+    if i < n - 1 then begin
+      edge pos.(i) "beta" pos.(i + 1);
+      edge neg.(i) "beta" neg.(i + 1)
+    end
+    else begin
+      edge pos.(i) "beta" one;
+      edge pos.(i) "beta" zero;
+      edge neg.(i) "beta" one;
+      edge neg.(i) "beta" zero
+    end
+  done;
+  let cnode = Array.init m (fun i -> node (Printf.sprintf "C%d" (i + 1))) in
+  let lnode =
+    Array.init m (fun i ->
+        Array.init 8 (fun j -> node (Printf.sprintf "L%d_%d" (i + 1) j)))
+  in
+  let rnode =
+    Array.init m (fun i ->
+        Array.init 8 (fun j ->
+            if j = 0 then "" else node (Printf.sprintf "R%d_%d" (i + 1) j)))
+  in
+  let bit_node j k =
+    (* Bit [k] (1-indexed, most significant first) of [j ∈ 0..7]. *)
+    if (j lsr (3 - k)) land 1 = 1 then one else zero
+  in
+  for i = 0 to m - 1 do
+    let l1, l2, l3 = clauses.(i) in
+    edge cnode.(i) "l1" (lit_node l1);
+    edge cnode.(i) "l2" (lit_node l2);
+    edge cnode.(i) "l3" (lit_node l3);
+    if i < m - 1 then edge cnode.(i) "gamma" cnode.(i + 1);
+    for j = 0 to 7 do
+      edge lnode.(i).(j) "l" lnode.(i).(j);
+      edge lnode.(i).(j) "l1" (bit_node j 1);
+      edge lnode.(i).(j) "l2" (bit_node j 2);
+      edge lnode.(i).(j) "l3" (bit_node j 3);
+      if i < m - 1 then
+        for k = 0 to 7 do
+          edge lnode.(i).(j) "gamma" lnode.(i + 1).(k)
+        done;
+      if j >= 1 then begin
+        edge rnode.(i).(j) "l1" (bit_node j 1);
+        edge rnode.(i).(j) "l2" (bit_node j 2);
+        edge rnode.(i).(j) "l3" (bit_node j 3);
+        if i < m - 1 then
+          for k = 1 to 7 do
+            edge rnode.(i).(j) "gamma" rnode.(i + 1).(k)
+          done
+      end
+    done
+  done;
+  let graph = Data_graph.make ~nodes:(List.rev !nodes) ~edges:(List.rev !edges) in
+  let s_names =
+    Array.to_list cnode
+    @ List.concat_map
+        (fun i -> Array.to_list lnode.(i))
+        (List.init m Fun.id)
+  in
+  let target =
+    Tuple_relation.of_list ~universe:(Data_graph.size graph) ~arity:1
+      (List.map (fun name -> [ Data_graph.node_of_name graph name ]) s_names)
+  in
+  { graph; target }
+
+let definable f =
+  let r = build f in
+  Definability.Ucrdpq_definability.is_definable r.graph r.target

@@ -1,0 +1,40 @@
+(** The coNP-hardness reduction of Theorem 35 (Figure 3): from a Boolean
+    3-CNF formula [F] over variables [p1..pn] with clauses [C1..Cm],
+    build a data graph [G] and a unary relation
+
+    {v S = { ⟨C_i⟩ | 1 ≤ i ≤ m } ∪ { ⟨L^j_i⟩ | 1 ≤ i ≤ m, 0 ≤ j ≤ 7 } v}
+
+    such that [F] is unsatisfiable iff [S] is UCRDPQ-definable.
+
+    All nodes share one data value (the reduction is purely structural).
+    The gadget, following the proof of Theorem 35:
+
+    - nodes [1] and [0] are pinned by unique [T]/[F] self-loops;
+    - each literal node carries a [γ] self-loop, [α] edges swap [p_i] and
+      [¬p_i] (and [1]/[0]), and [β] chains [p_1 → p_2 → ⋯ → p_n → {0,1}]
+      force every homomorphism to map the literals either into the
+      literal nodes or onto a truth assignment in [{0,1}];
+    - clause nodes [C_i] have [l1]/[l2]/[l3] edges to their literals and a
+      [γ] chain [C_1 → ⋯ → C_m];
+    - [L^j_i] (j ∈ 0..7) and [R^j_i] (j ∈ 1..7) carry [l1]/[l2]/[l3]
+      edges to the bits of [j] and complete [γ] edges between consecutive
+      columns within each family; [L]-nodes additionally carry an [l]
+      self-loop pinning their images to the [L] family.
+
+    A satisfying assignment yields a homomorphism sending each [C_i] to
+    [R^{j_i}_i ∉ S]; when [F] is unsatisfiable, every homomorphism routes
+    the clause chain through [C] or [L] nodes — all in [S]. *)
+
+type t = {
+  graph : Datagraph.Data_graph.t;
+  target : Datagraph.Tuple_relation.t;  (** the unary relation [S] *)
+}
+
+val build : Cnf.t -> t
+
+val node_count : Cnf.t -> int
+(** Size of the reduction graph, without building it: [2 + 2n + 16m]. *)
+
+val definable : Cnf.t -> bool
+(** Run the UCRDPQ-definability checker on the reduction — by Theorem 35
+    this equals [not (Cnf.satisfiable f)]. *)

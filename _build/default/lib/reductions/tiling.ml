@@ -1,0 +1,435 @@
+module Data_graph = Datagraph.Data_graph
+module Data_value = Datagraph.Data_value
+module Data_path = Datagraph.Data_path
+module Relation = Datagraph.Relation
+module Basic_rem = Rem_lang.Basic_rem
+module Condition = Rem_lang.Condition
+
+type instance = {
+  num_tiles : int;
+  horiz : (int * int) list;
+  vert : (int * int) list;
+  t_init : int;
+  t_final : int;
+  n : int;
+}
+
+type reduction = {
+  graph : Data_graph.t;
+  p1 : int;
+  q1 : int;
+  p2 : int;
+  q2 : int;
+  target : Relation.t;
+}
+
+type tiling = int array array
+
+let width inst = 1 lsl inst.n
+
+let validate inst =
+  if inst.n < 1 then invalid_arg "Tiling: n must be >= 1";
+  if inst.num_tiles < 1 then invalid_arg "Tiling: need at least one tile type";
+  let ok t = t >= 0 && t < inst.num_tiles in
+  if not (ok inst.t_init && ok inst.t_final) then
+    invalid_arg "Tiling: initial/final tile out of range";
+  if
+    not
+      (List.for_all (fun (a, b) -> ok a && ok b) inst.horiz
+      && List.for_all (fun (a, b) -> ok a && ok b) inst.vert)
+  then invalid_arg "Tiling: compatibility pair out of range"
+
+(* Letters: "$", "a" (the paper's α), unbarred tiles "t<i>", barred "u<i>". *)
+let unbarred t = Printf.sprintf "t%d" t
+let barred t = Printf.sprintf "u%d" t
+
+let tile_letters inst =
+  let ts = List.init inst.num_tiles Fun.id in
+  (List.map unbarred ts, List.map barred ts)
+
+(* Data values: d_k = 2k (bit 0 at position k), e_k = 2k+1 (bit 1). *)
+let d_val k = Data_value.of_int (2 * k)
+let e_val k = Data_value.of_int ((2 * k) + 1)
+
+type spec = D | F of Data_value.t
+(** One address position: a full D-box or a fixed value. *)
+
+let is_legal inst tau =
+  let w = width inst in
+  let rows = Array.length tau in
+  rows > 0
+  && Array.for_all (fun row -> Array.length row = w) tau
+  && tau.(0).(0) = inst.t_init
+  && tau.(rows - 1).(w - 1) = inst.t_final
+  && Array.for_all
+       (fun row ->
+         List.for_all
+           (fun c -> List.mem (row.(c), row.(c + 1)) inst.horiz)
+           (List.init (w - 1) Fun.id))
+       tau
+  && List.for_all
+       (fun r ->
+         Array.for_all
+           (fun c -> List.mem (tau.(r).(c), tau.(r + 1).(c)) inst.vert)
+           (Array.init w Fun.id))
+       (List.init (rows - 1) Fun.id)
+
+let solve ?(max_rows = 8) inst =
+  validate inst;
+  let w = width inst in
+  (* Enumerate horizontally consistent rows. *)
+  let rec rows_from acc c =
+    if c >= w then [ Array.of_list (List.rev acc) ]
+    else
+      List.concat_map
+        (fun t ->
+          match acc with
+          | prev :: _ when not (List.mem (prev, t) inst.horiz) -> []
+          | _ -> rows_from (t :: acc) (c + 1))
+        (List.init inst.num_tiles Fun.id)
+  in
+  let all_rows = rows_from [] 0 in
+  let vert_ok r1 r2 =
+    Array.for_all (fun c -> List.mem (r1.(c), r2.(c)) inst.vert) (Array.init w Fun.id)
+  in
+  (* BFS over row sequences. *)
+  let starts = List.filter (fun r -> r.(0) = inst.t_init) all_rows in
+  let final_row r = r.(w - 1) = inst.t_final in
+  let rec bfs frontier depth =
+    match List.find_opt (fun path -> final_row (List.hd path)) frontier with
+    | Some path -> Some (Array.of_list (List.rev path))
+    | None ->
+        if depth >= max_rows then None
+        else
+          let next =
+            List.concat_map
+              (fun path ->
+                let top = List.hd path in
+                List.filter_map
+                  (fun r -> if vert_ok top r then Some (r :: path) else None)
+                  all_rows)
+              frontier
+          in
+          if next = [] then None else bfs next (depth + 1)
+  in
+  bfs (List.map (fun r -> [ r ]) starts) 1
+
+(* ------------------------------------------------------------------ *)
+(* Encoding of tilings as data paths and as the REM of display (3).    *)
+
+let p2_value = Data_value.of_int 1001
+let q2_value = Data_value.of_int 1002
+let p1_value = Data_value.of_int 1003
+let q1_value = Data_value.of_int 1004
+
+let cells inst tau =
+  let w = width inst in
+  List.concat_map
+    (fun r -> List.init w (fun c -> (c, tau.(r).(c))))
+    (List.init (Array.length tau) Fun.id)
+
+let encode_tiling inst tau =
+  validate inst;
+  let w = width inst in
+  let values = ref [ p2_value ] in
+  let labels = ref [] in
+  let push l v =
+    labels := l :: !labels;
+    values := v :: !values
+  in
+  let pending = ref "$" in
+  List.iter
+    (fun (c, t) ->
+      for k = inst.n downto 1 do
+        let v = if (c lsr (k - 1)) land 1 = 1 then e_val k else d_val k in
+        if k = inst.n then push !pending v else push "a" v
+      done;
+      pending := (if c = w - 1 then barred t else unbarred t))
+    (cells inst tau);
+  push !pending (d_val 1);
+  push "$" q2_value;
+  Data_path.make
+    ~values:(Array.of_list (List.rev !values))
+    ~labels:(Array.of_list (List.rev !labels))
+
+let tiling_rem inst tau =
+  validate inst;
+  let w = width inst in
+  let cs = cells inst tau in
+  let reg k = k - 1 in
+  let cond_at c k =
+    if (c lsr (k - 1)) land 1 = 1 then Condition.Neq (reg k)
+    else Condition.Eq (reg k)
+  in
+  let blocks = ref [ { Basic_rem.bind = []; label = "$"; cond = Condition.True } ] in
+  let push b = blocks := b :: !blocks in
+  let rec go i = function
+    | [] -> ()
+    | (c, t) :: rest ->
+        (* α-blocks inside this cell's address.  For the first cell they
+           bind the registers; for later cells they test the bits.  The
+           position-n value was handled by the previous block's
+           bind/cond; position 1 is bound by the tile block (first cell)
+           or tested by the last α-block here (later cells). *)
+        if i = 0 then
+          for k = inst.n downto 2 do
+            push { Basic_rem.bind = [ reg k ]; label = "a"; cond = Condition.True }
+          done
+        else
+          for k = inst.n - 1 downto 1 do
+            push { Basic_rem.bind = []; label = "a"; cond = cond_at c k }
+          done;
+        let letter = if c = w - 1 then barred t else unbarred t in
+        let cond =
+          match rest with
+          | [] -> Condition.True
+          | (c', _) :: _ -> cond_at c' inst.n
+        in
+        let bind = if i = 0 then [ reg 1 ] else [] in
+        push { Basic_rem.bind; label = letter; cond };
+        go (i + 1) rest
+  in
+  go 0 cs;
+  push { Basic_rem.bind = []; label = "$"; cond = Condition.True };
+  List.rev !blocks
+
+(* ------------------------------------------------------------------ *)
+(* Graph construction.                                                 *)
+
+let build inst =
+  validate inst;
+  let n = inst.n in
+  let unb, brd = tile_letters inst in
+  let all_tiles = unb @ brd in
+  let nodes = ref [] in
+  let edges = ref [] in
+  let counter = ref 0 in
+  let node name value =
+    nodes := (name, value) :: !nodes;
+    name
+  in
+  let gensym prefix =
+    incr counter;
+    Printf.sprintf "%s_%d" prefix !counter
+  in
+  let edge u l v = edges := (u, l, v) :: !edges in
+  let connect srcs labels dsts =
+    List.iter
+      (fun u -> List.iter (fun l -> List.iter (fun v -> edge u l v) dsts) labels)
+      srcs
+  in
+  (* A D-box: 2n nodes carrying every counter value. *)
+  let box tag =
+    let tag = gensym tag in
+    List.concat_map
+      (fun k ->
+        [
+          node (Printf.sprintf "%s_d%d" tag k) (d_val k);
+          node (Printf.sprintf "%s_e%d" tag k) (e_val k);
+        ])
+      (List.init n (fun i -> i + 1))
+  in
+  (* A free section: a D-box with complete self-edges over [letters]. *)
+  let free_box tag letters =
+    let b = box tag in
+    connect b letters b;
+    b
+  in
+  (* An address block: positions n down to 1, α edges between consecutive
+     position groups; returns (entry group, exit group). *)
+  let addr_block tag spec =
+    let tag = gensym tag in
+    let groups =
+      List.mapi
+        (fun idx s ->
+          let k = n - idx in
+          match s with
+          | D ->
+              List.concat_map
+                (fun j ->
+                  [
+                    node (Printf.sprintf "%s_p%d_d%d" tag k j) (d_val j);
+                    node (Printf.sprintf "%s_p%d_e%d" tag k j) (e_val j);
+                  ])
+                (List.init n (fun i -> i + 1))
+          | F v -> [ node (Printf.sprintf "%s_p%d_f" tag k) v ])
+        spec
+    in
+    let rec link = function
+      | g1 :: (g2 :: _ as rest) ->
+          connect g1 [ "a" ] g2;
+          link rest
+      | _ -> ()
+    in
+    link groups;
+    (List.hd groups, List.nth groups (List.length groups - 1))
+  in
+  let all_d = List.init n (fun i -> F (d_val (n - i))) in
+  let all_e = List.init n (fun i -> F (e_val (n - i))) in
+  let all_free = List.init n (fun _ -> D) in
+  let pin spec_base k v =
+    List.mapi (fun idx s -> if n - idx = k then F v else s) spec_base
+  in
+  (* Endpoints. *)
+  let p2 = node "p2" p2_value and q2 = node "q2" q2_value in
+  let p1 = node "p1" p1_value and q1 = node "q1" q1_value in
+  (* --- p2 part: the "all tilings" ladder ---------------------------- *)
+  let ladder =
+    List.map
+      (fun idx ->
+        let k = n - idx in
+        [ node (Printf.sprintf "lad_d%d" k) (d_val k);
+          node (Printf.sprintf "lad_e%d" k) (e_val k) ])
+      (List.init n Fun.id)
+  in
+  let lad_entry = List.hd ladder in
+  let lad_exit = List.nth ladder (n - 1) in
+  connect [ p2 ] [ "$" ] lad_entry;
+  let rec link_lad = function
+    | g1 :: (g2 :: _ as rest) ->
+        connect g1 [ "a" ] g2;
+        link_lad rest
+    | _ -> ()
+  in
+  link_lad ladder;
+  connect lad_exit all_tiles lad_entry;
+  let pre = node "pre" (d_val 1) in
+  connect lad_exit brd [ pre ];
+  edge pre "$" q2;
+  (* --- p1 part: one gadget family per error kind -------------------- *)
+  let tail = free_box "tail" (all_tiles @ [ "a" ]) in
+  connect tail [ "$" ] [ q1 ];
+  let first_chain tag =
+    let entry, exit = addr_block tag all_d in
+    connect [ p1 ] [ "$" ] entry;
+    exit
+  in
+  (* (i) address of τ(0,1) has a wrong bit k. *)
+  for k = 1 to n do
+    let first_exit = first_chain "g1first" in
+    let wrong = if k = 1 then d_val 1 else e_val k in
+    let entry, exit = addr_block "g1addr" (pin all_free k wrong) in
+    connect first_exit unb entry;
+    connect exit all_tiles tail
+  done;
+  (* (ii) successor errors; x and y are consecutive addresses. *)
+  let succ_gadget xspec yspec =
+    let first_exit = first_chain "g2first" in
+    let fb = free_box "g2free" (all_tiles @ [ "a" ]) in
+    connect first_exit all_tiles fb;
+    let xe, xx = addr_block "g2x" xspec in
+    connect first_exit all_tiles xe;
+    connect fb all_tiles xe;
+    let ye, yx = addr_block "g2y" yspec in
+    connect xx all_tiles ye;
+    connect yx all_tiles tail
+  in
+  for k = 1 to n do
+    (* carry into k is 1 (bits below k all 1): *)
+    let low_ones spec =
+      List.fold_left (fun s j -> pin s j (e_val j)) spec (List.init (k - 1) (fun i -> i + 1))
+    in
+    (* (a) x_k = 1 and y_k = 1 (should flip to 0) *)
+    succ_gadget (low_ones (pin all_free k (e_val k))) (pin all_free k (e_val k));
+    (* (b) x_k = 0 and y_k = 0 (should flip to 1) *)
+    succ_gadget (low_ones (pin all_free k (d_val k))) (pin all_free k (d_val k));
+    (* (c) carry is 0 (witness bit j < k is 0) and y_k ≠ x_k *)
+    for j = 1 to k - 1 do
+      let base = pin all_free j (d_val j) in
+      succ_gadget (pin base k (d_val k)) (pin all_free k (e_val k));
+      succ_gadget (pin base k (e_val k)) (pin all_free k (d_val k))
+    done
+  done;
+  (* (iii) a barred letter after an address with bit k = 0. *)
+  for k = 1 to n do
+    let first_exit = first_chain "g3first" in
+    let fb = free_box "g3free" (all_tiles @ [ "a" ]) in
+    connect first_exit all_tiles fb;
+    connect first_exit brd tail;
+    let xe, xx = addr_block "g3x" (pin all_free k (d_val k)) in
+    connect first_exit all_tiles xe;
+    connect fb all_tiles xe;
+    connect xx brd tail
+  done;
+  (* (iv) an unbarred letter after the all-ones address. *)
+  begin
+    let first_exit = first_chain "g4first" in
+    let fb = free_box "g4free" (all_tiles @ [ "a" ]) in
+    connect first_exit all_tiles fb;
+    let xe, xx = addr_block "g4x" all_e in
+    connect first_exit all_tiles xe;
+    connect fb all_tiles xe;
+    connect xx unb tail
+  end;
+  (* (v) the tiling does not begin with t_init. *)
+  begin
+    let ze, zx = addr_block "g5z" all_free in
+    connect [ p1 ] [ "$" ] ze;
+    let wrong = List.filter (fun l -> l <> unbarred inst.t_init) all_tiles in
+    connect zx wrong tail
+  end;
+  (* (vi) the tiling does not end with t_final. *)
+  begin
+    let fb = free_box "g6free" (all_tiles @ [ "a" ]) in
+    connect [ p1 ] [ "$" ] fb;
+    let prebox = box "g6pre" in
+    let wrong = List.filter (fun l -> l <> barred inst.t_final) all_tiles in
+    connect fb wrong prebox;
+    connect prebox [ "$" ] [ q1 ]
+  end;
+  (* (vii) horizontally incompatible adjacent tiles. *)
+  for t1 = 0 to inst.num_tiles - 1 do
+    for t2 = 0 to inst.num_tiles - 1 do
+      if not (List.mem (t1, t2) inst.horiz) then begin
+        let fb = free_box "g7free" (all_tiles @ [ "a" ]) in
+        connect [ p1 ] [ "$" ] fb;
+        let ae, ax = addr_block "g7addr" all_free in
+        connect fb [ unbarred t1 ] ae;
+        connect ax [ unbarred t2; barred t2 ] tail
+      end
+    done
+  done;
+  (* (viii) vertically incompatible tiles in the last column. *)
+  for t1 = 0 to inst.num_tiles - 1 do
+    for t2 = 0 to inst.num_tiles - 1 do
+      if not (List.mem (t1, t2) inst.vert) then begin
+        let fb1 = free_box "g8free" (all_tiles @ [ "a" ]) in
+        connect [ p1 ] [ "$" ] fb1;
+        let e1e, e1x = addr_block "g8a" all_e in
+        connect fb1 all_tiles e1e;
+        let fb2 = free_box "g8mid" (unb @ [ "a" ]) in
+        connect e1x [ barred t1 ] fb2;
+        let e2e, e2x = addr_block "g8b" all_e in
+        connect fb2 unb e2e;
+        connect e2x [ barred t2 ] tail
+      end
+    done
+  done;
+  (* (ix) vertically incompatible tiles in another column. *)
+  for t1 = 0 to inst.num_tiles - 1 do
+    for t2 = 0 to inst.num_tiles - 1 do
+      if not (List.mem (t1, t2) inst.vert) then begin
+        let fb1 = free_box "g9free" (all_tiles @ [ "a" ]) in
+        connect [ p1 ] [ "$" ] fb1;
+        let dae, dax = addr_block "g9a" all_d in
+        connect [ p1 ] [ "$" ] dae;
+        connect fb1 all_tiles dae;
+        let fb2 = free_box "g9mid1" (unb @ [ "a" ]) in
+        connect dax [ unbarred t1 ] fb2;
+        let fb3 = free_box "g9mid2" (unb @ [ "a" ]) in
+        connect fb2 brd fb3;
+        let dbe, dbx = addr_block "g9b" all_d in
+        connect fb3 unb dbe;
+        connect fb2 brd dbe;
+        connect dbx [ unbarred t2 ] tail
+      end
+    done
+  done;
+  let graph = Data_graph.make ~nodes:(List.rev !nodes) ~edges:(List.rev !edges) in
+  let node_of name = Data_graph.node_of_name graph name in
+  let p1 = node_of p1
+  and q1 = node_of q1
+  and p2 = node_of p2
+  and q2 = node_of q2 in
+  let target = Relation.of_list (Data_graph.size graph) [ (p2, q2) ] in
+  { graph; p1; q1; p2; q2; target }

@@ -1,0 +1,74 @@
+(** The ExpSpace-hardness reduction of Theorem 25: from an instance of the
+    exponential-width corridor tiling problem, build a data graph in which
+    the singleton relation [{(p2, q2)}] is RDPQ_mem-definable iff a legal
+    tiling exists.
+
+    A tiling instance has tile types [T = {0..num_tiles-1}], horizontal /
+    vertical compatibility relations, an initial and a final tile type,
+    and a width exponent [n] — the corridor has [2^n] columns.  A tiling
+    [τ : rows × 2^n → T] is {e legal} when [τ(0,0) = t_init],
+    [τ(R, 2^n-1) = t_final], and all adjacencies are compatible.
+
+    The graph is the disjoint union of
+    [p2 -$-> all tilings -$-> q2] — a two-row column ladder whose data
+    values encode an [n]-bit address counter — and
+    [p1 -$-> illegal tilings -$-> q1] — one gadget family per error kind
+    (wrong second address; counter-increment errors, split into the three
+    carry cases; a barred tile at a non-final column; an unbarred tile at
+    the final column; wrong first/last tile; horizontal and vertical
+    incompatibilities, the latter split into final-column and
+    other-column variants).  Free sections and unconstrained address
+    positions are "D-boxes" of [2n] nodes carrying all the counter data
+    values, so every illegal data path has an automorphic copy from [p1]
+    to [q1] (the paper's key trick for keeping the graph polynomial).
+
+    The paper sketches the increment-error checking with O(n) gadgets;
+    we implement the complete case split (which is O(n²) gadgets — still
+    polynomial): for the lowest erroneous bit [k], either the carry into
+    [k] is 1 (all lower bits 1) and bit [k] fails to flip, or the carry
+    is 0 (witnessed by a lower 0-bit [j]) and bit [k] flips. *)
+
+type instance = {
+  num_tiles : int;
+  horiz : (int * int) list;  (** (left, right) compatible pairs *)
+  vert : (int * int) list;  (** (below, above) compatible pairs *)
+  t_init : int;
+  t_final : int;
+  n : int;  (** corridor width is [2^n]; [n >= 1] *)
+}
+
+type reduction = {
+  graph : Datagraph.Data_graph.t;
+  p1 : int;
+  q1 : int;
+  p2 : int;
+  q2 : int;
+  target : Datagraph.Relation.t;  (** [{(p2, q2)}] *)
+}
+
+val build : instance -> reduction
+
+val width : instance -> int
+(** [2^n]. *)
+
+type tiling = int array array
+(** [tiling.(row).(col)], each entry a tile type. *)
+
+val is_legal : instance -> tiling -> bool
+
+val solve : ?max_rows:int -> instance -> tiling option
+(** Search for a legal tiling with at most [max_rows] rows (default 8) —
+    the brute-force oracle the reduction is cross-checked against. *)
+
+val encode_tiling : instance -> tiling -> Datagraph.Data_path.t
+(** The data path encoding a tiling per the proof: [$], then for each
+    cell (bottom row to top, left column to right) the [n]-value address
+    of its column followed by its tile letter ([t<i>], barred [u<i>] in
+    the last column), then [$]. *)
+
+val tiling_rem : instance -> tiling -> Rem_lang.Basic_rem.t
+(** The REM of display (3): stores the first address in registers
+    [r_n..r_1] and checks every later address bit against them.  Its
+    language contains exactly the automorphic copies of
+    [encode_tiling τ]; evaluated on the reduction graph it connects
+    [(p2, q2)], and — when [τ] is legal — nothing else. *)

@@ -1,0 +1,1 @@
+lib/ree/ree.ml: Datagraph Format Hashtbl List Obj Printf Regexp Rem_lang String

@@ -1,0 +1,1 @@
+lib/ree/ree.mli: Datagraph Format Regexp Rem_lang

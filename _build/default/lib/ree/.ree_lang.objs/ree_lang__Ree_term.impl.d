@@ -1,0 +1,1 @@
+lib/ree/ree_term.ml: Datagraph Format List Ree

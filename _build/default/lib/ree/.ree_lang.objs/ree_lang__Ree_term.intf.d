@@ -1,0 +1,1 @@
+lib/ree/ree_term.mli: Datagraph Format Ree

@@ -1,0 +1,44 @@
+(** Regular expressions with equality — REE (Definition 7):
+
+    {v e := ε | a | e + e | e · e | e⁺ | e= | e≠ v}
+
+    [e=] keeps the data paths of [L(e)] whose first and last data values
+    coincide; [e≠] keeps those where they differ.  REE is strictly less
+    expressive than REM (Example 12) but strictly more than plain regular
+    expressions. *)
+
+type t =
+  | Eps
+  | Letter of string
+  | Union of t * t
+  | Concat of t * t
+  | Plus of t
+  | EqTest of t  (** [e=] *)
+  | NeqTest of t  (** [e≠] *)
+
+val size : t -> int
+val alphabet : t -> string list
+val equal : t -> t -> bool
+
+val matches : t -> Datagraph.Data_path.t -> bool
+(** [w ∈ L(e)] per Definition 7, by memoized recursion over subpaths. *)
+
+val to_rem : t -> Rem_lang.Rem.t
+(** The standard embedding of REE into REM ([20]): each [=]/[≠] node gets
+    a dedicated register bound at its first value and tested at its last.
+    [L(to_rem e) = L(e)]; the test suite checks this differentially. *)
+
+val of_regex : Regexp.Regex.t -> t
+(** Embed a standard regular expression (no equality tests). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val parse : string -> (t, string) result
+(** Concrete syntax: as {!Regexp.Regex.parse} plus postfix [=] and [!=],
+    e.g. the paper's Example 8 [((a)≠ · (b)≠)≠] is ["((a)!= (b)!=)!="],
+    and [e3] of Example 12 is ["(a (a)= a)="]. *)
+
+val simplify : t -> t
+(** Language-preserving cleanup: unit elements, duplicate union branches,
+    idempotent restrictions ([  (e=)= = e=], [(ε)= = ε]). *)

@@ -1,0 +1,62 @@
+module Data_graph = Datagraph.Data_graph
+module Relation = Datagraph.Relation
+
+type t =
+  | Eps
+  | Letter of string
+  | Concat of t * t
+  | EqTest of t
+  | NeqTest of t
+
+let rec to_ree = function
+  | Eps -> Ree.Eps
+  | Letter a -> Ree.Letter a
+  | Concat (t1, t2) -> Ree.Concat (to_ree t1, to_ree t2)
+  | EqTest t -> Ree.EqTest (to_ree t)
+  | NeqTest t -> Ree.NeqTest (to_ree t)
+
+let relation g t =
+  let value = Data_graph.value g in
+  let rec go = function
+    | Eps -> Relation.identity (Data_graph.size g)
+    | Letter a -> Relation.edge_relation g a
+    | Concat (t1, t2) -> Relation.compose (go t1) (go t2)
+    | EqTest t -> Relation.restrict_eq ~value (go t)
+    | NeqTest t -> Relation.restrict_neq ~value (go t)
+  in
+  go t
+
+let rec height = function
+  | Eps | Letter _ -> 0
+  | Concat (t1, t2) -> max (height t1) (height t2)
+  | EqTest t | NeqTest t -> 1 + height t
+
+let rec size = function
+  | Eps | Letter _ -> 1
+  | Concat (t1, t2) -> 1 + size t1 + size t2
+  | EqTest t | NeqTest t -> 1 + size t
+
+let equal = ( = )
+
+let rec pp_prec prec ppf t =
+  let paren p body =
+    if prec > p then Format.fprintf ppf "(%t)" body else body ppf
+  in
+  match t with
+  | Eps -> Format.pp_print_string ppf "eps"
+  | Letter a -> Format.pp_print_string ppf a
+  | Concat (t1, t2) ->
+      paren 1 (fun ppf ->
+          Format.fprintf ppf "%a %a" (pp_prec 1) t1 (pp_prec 2) t2)
+  | EqTest t1 -> paren 2 (fun ppf -> Format.fprintf ppf "%a=" (pp_prec 3) t1)
+  | NeqTest t1 ->
+      paren 2 (fun ppf -> Format.fprintf ppf "%a!=" (pp_prec 3) t1)
+
+let pp = pp_prec 0
+let to_string t = Format.asprintf "%a" pp t
+
+let concat_of = function
+  | [] -> Eps
+  | t :: rest -> List.fold_left (fun acc x -> Concat (acc, x)) t rest
+
+let matches t w = Ree.matches (to_ree t) w

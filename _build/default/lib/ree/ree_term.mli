@@ -1,0 +1,40 @@
+(** Star-free, union-free REE terms:
+
+    {v t := ε | a | t · t | t= | t≠ v}
+
+    These are the per-pair witnesses of the REE definability procedure
+    (Section 4).  Unions and iterations distribute over [=]/[≠] and
+    concatenation, and a witness data path survives unfolding of every
+    [e⁺], so a relation is RDPQ_=-definable iff every pair of it is
+    covered by the relation [S_t ⊆ S] of some such term — see
+    {!Definability.Ree_definability}.
+
+    The relation semantics is compositional (Lemma 29):
+    [S_{t1·t2} = S_{t1} ∘ S_{t2}], [S_{t=} = (S_t)=], [S_{t≠} = (S_t)≠]. *)
+
+type t =
+  | Eps
+  | Letter of string
+  | Concat of t * t
+  | EqTest of t
+  | NeqTest of t
+
+val to_ree : t -> Ree.t
+
+val relation : Datagraph.Data_graph.t -> t -> Datagraph.Relation.t
+(** [S_t] on the given graph, computed compositionally. *)
+
+val height : t -> int
+(** Nesting depth of [=]/[≠] restrictions — the level (Definition 27) at
+    which [S_t] first appears. *)
+
+val size : t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val concat_of : t list -> t
+(** n-ary concatenation; [Eps] for the empty list. *)
+
+val matches : t -> Datagraph.Data_path.t -> bool
+(** Direct membership — equivalent to [Ree.matches (to_ree t)]. *)

@@ -1,0 +1,1 @@
+lib/regexp/nfa.ml: Array Datagraph Hashtbl List Queue Regex

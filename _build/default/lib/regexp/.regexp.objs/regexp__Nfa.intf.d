@@ -1,0 +1,1 @@
+lib/regexp/nfa.mli: Datagraph Regex

@@ -1,0 +1,1 @@
+lib/regexp/regex.ml: Format List Printf String

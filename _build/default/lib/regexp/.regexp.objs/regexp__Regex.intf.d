@@ -1,0 +1,1 @@
+lib/regexp/regex.mli: Format

@@ -1,0 +1,50 @@
+(** Standard regular expressions over the finite alphabet [Σ] — the query
+    language of plain RPQs (Definition 11) and the baseline of [3] that the
+    paper's Section 3 reduction targets.
+
+    Edge labels are arbitrary strings, so the concrete syntax separates
+    letters with whitespace or [.]; [|] is union, postfix [+] is one-or-more
+    iteration (the paper's [e⁺]) and postfix [*] is zero-or-more. *)
+
+type t =
+  | Empty  (** the empty language ∅ *)
+  | Eps  (** ε — on data paths, the single-value paths *)
+  | Letter of string
+  | Union of t * t
+  | Concat of t * t
+  | Plus of t  (** e⁺, one or more iterations *)
+  | Star of t  (** e*, zero or more; e* ≡ ε | e⁺ *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val equal : t -> t -> bool
+
+val parse : string -> (t, string) result
+(** Parse the concrete syntax.  Letters are identifiers
+    [[A-Za-z0-9_'$]+] (excluding the keywords [eps] and [empty]);
+    juxtaposition or [.] concatenates; [|] unions; postfix [+]/[*]
+    iterate; parentheses group. *)
+
+val matches : t -> string list -> bool
+(** Is the given word (list of labels) in the language? *)
+
+val alphabet : t -> string list
+(** Letters occurring in the expression, each once, sorted. *)
+
+val union_of : t list -> t
+(** n-ary union; [Empty] for the empty list. *)
+
+val concat_of : t list -> t
+(** n-ary concatenation; [Eps] for the empty list. *)
+
+val of_word : string list -> t
+(** The expression denoting exactly one word. *)
+
+val size : t -> int
+(** Number of AST nodes. *)
+
+val simplify : t -> t
+(** Language-preserving cleanup: unit and absorbing elements of union and
+    concatenation, duplicate union branches, collapsed iterations.  The
+    synthesized defining queries of {!Definability} are unions of witness
+    words, so this mostly shrinks their shared structure. *)

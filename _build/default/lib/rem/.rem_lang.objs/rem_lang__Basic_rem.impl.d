@@ -1,0 +1,1 @@
+lib/rem/basic_rem.ml: Array Condition Datagraph Format Hashtbl List Printf Rem String

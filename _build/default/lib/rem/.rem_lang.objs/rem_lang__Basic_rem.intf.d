@@ -1,0 +1,1 @@
+lib/rem/basic_rem.mli: Condition Datagraph Format Rem

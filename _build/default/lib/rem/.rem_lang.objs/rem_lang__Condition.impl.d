@@ -1,0 +1,1 @@
+lib/rem/condition.ml: Array Datagraph Format List Printf String

@@ -1,0 +1,1 @@
+lib/rem/condition.mli: Datagraph Format

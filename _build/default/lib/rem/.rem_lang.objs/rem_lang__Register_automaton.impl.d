@@ -1,0 +1,1 @@
+lib/rem/register_automaton.ml: Array Basic_rem Condition Datagraph Hashtbl List Option Queue Rem

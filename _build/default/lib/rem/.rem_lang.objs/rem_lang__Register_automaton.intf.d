@@ -1,0 +1,1 @@
+lib/rem/register_automaton.mli: Basic_rem Condition Datagraph Rem

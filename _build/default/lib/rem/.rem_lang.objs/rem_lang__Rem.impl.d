@@ -1,0 +1,1 @@
+lib/rem/rem.ml: Array Condition Datagraph Format Hashtbl List Obj Option Printf Regexp Set Stdlib String

@@ -1,0 +1,1 @@
+lib/rem/rem.mli: Condition Datagraph Format Regexp

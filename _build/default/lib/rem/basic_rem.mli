@@ -1,0 +1,39 @@
+(** Basic k-REMs (Definition 16): expressions of the form
+    [↓r̄1.a1\[c1\] · ↓r̄2.a2\[c2\] ⋯ ↓r̄m.am\[cm\]] — REMs built without
+    union and iteration.  Lemma 18 shows definable relations are definable
+    by unions of such witnesses, so the decision procedures search over
+    them.
+
+    A basic REM is a list of blocks; block [i]'s binding applies to the
+    data value {e before} its letter and its condition to the value
+    {e after} (which is also the value the next block's binding sees). *)
+
+type block = {
+  bind : int list;  (** registers set to the value before the letter *)
+  label : string;
+  cond : Condition.t;  (** checked against the value after the letter *)
+}
+
+type t = block list
+(** The empty list denotes [ε] (a single data value, no letters). *)
+
+val to_rem : t -> Rem.t
+val registers : t -> int
+val length : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val matches : t -> Datagraph.Data_path.t -> bool
+(** Direct semantics — equivalent to [Rem.matches (to_rem b)] but without
+    the generic machinery: a single left-to-right pass. *)
+
+val of_data_path : Datagraph.Data_path.t -> t
+(** The expression [e_\[w\]] of Lemma 15, with [L(e_\[w\]) = \[w\]] (the
+    automorphism class of [w]).  The first occurrence of each data value is
+    stored in a dedicated register; repeats are tested [=] against it.
+
+    Note: the construction printed in the paper's proof of Lemma 15 omits
+    a test on fresh values, under which e.g. [e_\[0a1\]] would also accept
+    [0a0]; we additionally test each fresh value [≠] against all registers
+    bound so far, which restores [L(e_\[w\]) = \[w\]] (the property the
+    rest of the paper uses).  See test [lemma15_freshness]. *)

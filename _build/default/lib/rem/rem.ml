@@ -1,0 +1,389 @@
+module Data_path = Datagraph.Data_path
+module Data_value = Datagraph.Data_value
+
+type t =
+  | Eps
+  | Letter of string
+  | Union of t * t
+  | Concat of t * t
+  | Plus of t
+  | Test of t * Condition.t
+  | Bind of int list * t
+
+let star e = Union (Eps, Plus e)
+
+let rec registers_max = function
+  | Eps | Letter _ -> -1
+  | Union (e1, e2) | Concat (e1, e2) -> max (registers_max e1) (registers_max e2)
+  | Plus e -> registers_max e
+  | Test (e, c) -> max (registers_max e) (Condition.max_register c)
+  | Bind (rs, e) ->
+      List.fold_left max (registers_max e) rs
+
+let registers e = registers_max e + 1
+
+let rec size = function
+  | Eps | Letter _ -> 1
+  | Union (e1, e2) | Concat (e1, e2) -> 1 + size e1 + size e2
+  | Plus e | Test (e, _) | Bind (_, e) -> 1 + size e
+
+let rec alphabet_acc acc = function
+  | Eps -> acc
+  | Letter a -> a :: acc
+  | Union (e1, e2) | Concat (e1, e2) -> alphabet_acc (alphabet_acc acc e1) e2
+  | Plus e | Test (e, _) | Bind (_, e) -> alphabet_acc acc e
+
+let alphabet e = List.sort_uniq compare (alphabet_acc [] e)
+let equal = ( = )
+
+let rec of_regex = function
+  | Regexp.Regex.Empty ->
+      (* The REM grammar has no ∅; an unsatisfiable test is equivalent. *)
+      Test (Eps, Condition.ff)
+  | Regexp.Regex.Eps -> Eps
+  | Regexp.Regex.Letter a -> Letter a
+  | Regexp.Regex.Union (e1, e2) -> Union (of_regex e1, of_regex e2)
+  | Regexp.Regex.Concat (e1, e2) -> Concat (of_regex e1, of_regex e2)
+  | Regexp.Regex.Plus e -> Plus (of_regex e)
+  | Regexp.Regex.Star e -> star (of_regex e)
+
+(* ------------------------------------------------------------------ *)
+(* Semantics (Definition 5), by memoized recursion over subpaths.
+   [outcomes e i j sigma] is the set of σ' with (e, w[i..j], σ) ⊢ σ'.
+   Recursion through Plus on a zero-length subpath can revisit a
+   configuration; since binds at a fixed position only move registers
+   towards the value at that position, revisits contribute nothing new
+   and are cut off (least fixpoint). *)
+
+module Assignments = Set.Make (struct
+  type t = int option list
+
+  let compare = Stdlib.compare
+end)
+
+let key_of_assignment sigma =
+  Array.to_list (Array.map (Option.map Data_value.to_int) sigma)
+
+let assignment_of_key key =
+  Array.of_list (List.map (Option.map Data_value.of_int) key)
+
+let final_assignments ~k e w sigma =
+  if Array.length sigma <> k then
+    invalid_arg "Rem.final_assignments: assignment length <> k";
+  if registers e > k then
+    invalid_arg "Rem.final_assignments: expression uses more registers than k";
+  let memo : (int * int * int * int option list, Assignments.t) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let visiting = Hashtbl.create 64 in
+  (* Number expression nodes for memo keys. *)
+  let ids = Hashtbl.create 64 in
+  let next_id = ref 0 in
+  let id_of e =
+    match Hashtbl.find_opt ids (Obj.repr e) with
+    | Some i -> i
+    | None ->
+        let i = !next_id in
+        incr next_id;
+        Hashtbl.add ids (Obj.repr e) i;
+        i
+  in
+  let rec outcomes e i j sigma =
+    let key = (id_of e, i, j, key_of_assignment sigma) in
+    match Hashtbl.find_opt memo key with
+    | Some s -> s
+    | None ->
+        if Hashtbl.mem visiting key then Assignments.empty
+        else begin
+          Hashtbl.add visiting key ();
+          let result = compute e i j sigma in
+          Hashtbl.remove visiting key;
+          Hashtbl.replace memo key result;
+          result
+        end
+  and compute e i j sigma =
+    match e with
+    | Eps ->
+        if i = j then Assignments.singleton (key_of_assignment sigma)
+        else Assignments.empty
+    | Letter a ->
+        if j = i + 1 && Data_path.label_at w i = a then
+          Assignments.singleton (key_of_assignment sigma)
+        else Assignments.empty
+    | Union (e1, e2) ->
+        Assignments.union (outcomes e1 i j sigma) (outcomes e2 i j sigma)
+    | Concat (e1, e2) ->
+        let acc = ref Assignments.empty in
+        for l = i to j do
+          Assignments.iter
+            (fun s1 ->
+              acc :=
+                Assignments.union !acc
+                  (outcomes e2 l j (assignment_of_key s1)))
+            (outcomes e1 i l sigma)
+        done;
+        !acc
+    | Plus e1 ->
+        (* (e⁺,i,j,σ) ⊢ σ' iff (e,i,j,σ) ⊢ σ', or one iteration of e up to
+           some split l followed by e⁺ on the rest.  Cycles through
+           zero-length iterations revisit the same memo key and are cut off
+           by the visiting set; they contribute no new assignments because
+           binds at a fixed position only move registers towards that
+           position's value. *)
+        let acc = ref (outcomes e1 i j sigma) in
+        for l = i to j do
+          Assignments.iter
+            (fun s1 ->
+              acc :=
+                Assignments.union !acc (outcomes e l j (assignment_of_key s1)))
+            (outcomes e1 i l sigma)
+        done;
+        !acc
+    | Test (e1, c) ->
+        let d = Data_path.value_at w j in
+        Assignments.filter
+          (fun s -> Condition.sat c ~d ~assignment:(assignment_of_key s))
+          (outcomes e1 i j sigma)
+    | Bind (rs, e1) ->
+        let d = Data_path.value_at w i in
+        let sigma' = Array.copy sigma in
+        List.iter (fun r -> sigma'.(r) <- Some d) rs;
+        outcomes e1 i j sigma'
+  in
+  let result = outcomes e 0 (Data_path.length w) sigma in
+  List.map assignment_of_key (Assignments.elements result)
+
+let matches e w =
+  let k = registers e in
+  final_assignments ~k e w (Array.make k None) <> []
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing.  Precedence: union 0, concat 1, postfix 2, atom 3. *)
+
+let pp_registers ppf rs =
+  match rs with
+  | [ r ] -> Format.fprintf ppf "@@r%d" (r + 1)
+  | _ ->
+      Format.fprintf ppf "@@{%s}"
+        (String.concat "," (List.map (fun r -> Printf.sprintf "r%d" (r + 1)) rs))
+
+let rec pp_prec prec ppf e =
+  let paren p body =
+    if prec > p then Format.fprintf ppf "(%t)" body else body ppf
+  in
+  match e with
+  | Eps -> Format.pp_print_string ppf "eps"
+  | Letter a -> Format.pp_print_string ppf a
+  | Union (e1, e2) ->
+      paren 0 (fun ppf ->
+          Format.fprintf ppf "%a | %a" (pp_prec 1) e1 (pp_prec 0) e2)
+  | Concat (e1, e2) ->
+      paren 1 (fun ppf ->
+          Format.fprintf ppf "%a %a" (pp_prec 1) e1 (pp_prec 2) e2)
+  | Plus e1 -> paren 2 (fun ppf -> Format.fprintf ppf "%a+" (pp_prec 3) e1)
+  | Test (e1, c) ->
+      paren 2 (fun ppf ->
+          Format.fprintf ppf "%a[%s]" (pp_prec 3) e1 (Condition.to_string c))
+  | Bind (rs, e1) ->
+      (* A bind scopes over everything to its right in a concatenation, so
+         it must be parenthesized whenever anything follows it. *)
+      paren 0 (fun ppf ->
+          Format.fprintf ppf "%a %a" pp_registers rs (pp_prec 1) e1)
+
+let pp = pp_prec 0
+let to_string e = Format.asprintf "%a" pp e
+
+(* ------------------------------------------------------------------ *)
+(* Parser. *)
+
+type token =
+  | Tid of string
+  | Tlparen
+  | Trparen
+  | Tbar
+  | Tplus
+  | Tstar
+  | Tdot
+  | Tbind of int list
+  | Tcond of Condition.t
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\'' || c = '$'
+
+let parse_register_list s =
+  (* "r1,r2,r3" -> [0;1;2] *)
+  let parts = String.split_on_char ',' s in
+  let parse_one p =
+    let p = String.trim p in
+    if String.length p >= 2 && p.[0] = 'r' then
+      match int_of_string_opt (String.sub p 1 (String.length p - 1)) with
+      | Some i when i >= 1 -> Some (i - 1)
+      | _ -> None
+    else None
+  in
+  let regs = List.map parse_one parts in
+  if List.exists (fun r -> r = None) regs then None
+  else Some (List.map Option.get regs)
+
+let tokenize s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then Ok (List.rev acc)
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '(' -> go (i + 1) (Tlparen :: acc)
+      | ')' -> go (i + 1) (Trparen :: acc)
+      | '|' -> go (i + 1) (Tbar :: acc)
+      | '+' -> go (i + 1) (Tplus :: acc)
+      | '*' -> go (i + 1) (Tstar :: acc)
+      | '.' -> go (i + 1) (Tdot :: acc)
+      | '[' -> (
+          match String.index_from_opt s i ']' with
+          | None -> Error "unterminated condition ["
+          | Some j -> (
+              match Condition.parse (String.sub s (i + 1) (j - i - 1)) with
+              | Ok c -> go (j + 1) (Tcond c :: acc)
+              | Error msg -> Error ("in condition: " ^ msg)))
+      | '@' ->
+          if i + 1 < n && s.[i + 1] = '{' then
+            match String.index_from_opt s i '}' with
+            | None -> Error "unterminated register tuple @{"
+            | Some j -> (
+                match parse_register_list (String.sub s (i + 2) (j - i - 2)) with
+                | Some rs -> go (j + 1) (Tbind rs :: acc)
+                | None -> Error "bad register tuple")
+          else begin
+            let j = ref (i + 1) in
+            while !j < n && is_ident_char s.[!j] do
+              incr j
+            done;
+            match parse_register_list (String.sub s (i + 1) (!j - i - 1)) with
+            | Some rs -> go !j (Tbind rs :: acc)
+            | None -> Error "bad register after @"
+          end
+      | c when is_ident_char c ->
+          let j = ref i in
+          while !j < n && is_ident_char s.[!j] do
+            incr j
+          done;
+          go !j (Tid (String.sub s i (!j - i)) :: acc)
+      | c -> Error (Printf.sprintf "unexpected character %C at offset %d" c i)
+  in
+  go 0 []
+
+let parse s =
+  match tokenize s with
+  | Error _ as e -> e
+  | Ok tokens -> (
+      let toks = ref tokens in
+      let peek () = match !toks with [] -> None | t :: _ -> Some t in
+      let advance () = match !toks with [] -> () | _ :: r -> toks := r in
+      let exception Fail of string in
+      let rec union () =
+        let e = concat () in
+        match peek () with
+        | Some Tbar ->
+            advance ();
+            Union (e, union ())
+        | _ -> e
+      and concat () =
+        match peek () with
+        | Some (Tbind rs) ->
+            advance ();
+            Bind (rs, concat ())
+        | _ ->
+            let e = iter () in
+            let rec more acc =
+              match peek () with
+              | Some Tdot ->
+                  advance ();
+                  continue acc
+              | Some (Tid _ | Tlparen | Tbind _) -> continue acc
+              | _ -> acc
+            and continue acc =
+              match peek () with
+              | Some (Tbind rs) ->
+                  advance ();
+                  (* A mid-expression bind scopes over the rest of the
+                     concatenation: e1 @r e2 = e1 · (↓r.e2). *)
+                  Concat (acc, Bind (rs, concat ()))
+              | _ -> more (Concat (acc, iter ()))
+            in
+            more e
+      and iter () =
+        let e = atom () in
+        let rec post acc =
+          match peek () with
+          | Some Tplus ->
+              advance ();
+              post (Plus acc)
+          | Some Tstar ->
+              advance ();
+              post (star acc)
+          | Some (Tcond c) ->
+              advance ();
+              post (Test (acc, c))
+          | _ -> acc
+        in
+        post e
+      and atom () =
+        match peek () with
+        | Some (Tid "eps") ->
+            advance ();
+            Eps
+        | Some (Tid a) ->
+            advance ();
+            Letter a
+        | Some Tlparen -> (
+            advance ();
+            let e = union () in
+            match peek () with
+            | Some Trparen ->
+                advance ();
+                e
+            | _ -> raise (Fail "expected )"))
+        | _ -> raise (Fail "expected letter, eps or (")
+      in
+      try
+        let e = union () in
+        match !toks with
+        | [] -> Ok e
+        | _ -> Error "trailing tokens after expression"
+      with Fail msg -> Error msg)
+
+let rec union_branches acc = function
+  | Union (e1, e2) -> union_branches (union_branches acc e1) e2
+  | e -> e :: acc
+
+let union_of = function
+  | [] -> Test (Eps, Condition.ff) (* the empty language *)
+  | e :: rest -> List.fold_left (fun acc x -> Union (acc, x)) e rest
+
+let rec simplify e =
+  match e with
+  | Eps | Letter _ -> e
+  | Union _ ->
+      let branches =
+        union_branches [] e |> List.map simplify |> List.sort_uniq compare
+      in
+      union_of (List.rev branches)
+  | Concat (e1, e2) -> (
+      match (simplify e1, simplify e2) with
+      | Eps, e | e, Eps -> e
+      | e1, e2 -> Concat (e1, e2))
+  | Plus e1 -> (
+      match simplify e1 with Plus e -> Plus e | e -> Plus e)
+  | Test (e1, c) -> (
+      match (simplify e1, c) with
+      | e, Condition.True -> e
+      | Test (e, c'), c -> Test (e, Condition.And (c', c))
+      | e, c -> Test (e, c))
+  | Bind (rs, e1) -> (
+      match (List.sort_uniq compare rs, simplify e1) with
+      | [], e -> e
+      | rs, Bind (rs', e) -> Bind (List.sort_uniq compare (rs @ rs'), e)
+      | rs, e -> Bind (rs, e))

@@ -1,0 +1,62 @@
+(** Regular expressions with memory — REM (Definition 4):
+
+    {v e := ε | a | e + e | e · e | e⁺ | e[c] | ↓r̄.e v}
+
+    with [a ∈ Σ], [c] a condition over registers and [r̄] a tuple of
+    registers.  [↓r̄.e] stores the {e first} data value of the path in the
+    registers [r̄] and runs [e]; [e[c]] runs [e] and then checks [c]
+    against the {e last} data value (Definition 5).  Registers are
+    0-indexed; [registers e] gives the number [k] of registers needed.
+
+    [matches] implements Definition 5 directly (a memoized least-fixpoint
+    recursion over subpaths); {!Register_automaton} gives the equivalent
+    automaton-based semantics, and the test suite cross-checks the two. *)
+
+type t =
+  | Eps
+  | Letter of string
+  | Union of t * t
+  | Concat of t * t
+  | Plus of t
+  | Test of t * Condition.t  (** [e\[c\]] *)
+  | Bind of int list * t  (** [↓r̄.e] *)
+
+val registers : t -> int
+(** [k]: one more than the largest register index mentioned (0 if none). *)
+
+val size : t -> int
+val alphabet : t -> string list
+val equal : t -> t -> bool
+
+val matches : t -> Datagraph.Data_path.t -> bool
+(** [w ∈ L(e)]: is there [σ] with [(e, w, ⊥^k) ⊢ σ]? *)
+
+val final_assignments :
+  k:int -> t -> Datagraph.Data_path.t -> Datagraph.Data_value.t option array ->
+  Datagraph.Data_value.t option array list
+(** All [σ'] with [(e, w, σ) ⊢ σ']; the fully general form of
+    Definition 5.  [k] must be at least [registers e]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val parse : string -> (t, string) result
+(** Concrete syntax, e.g. the paper's Example 6
+    [↓r1·a·↓r2·b·a\[r1=\]·b\[r2≠\]] is written
+    ["@r1 a @r2 b a[r1=] b[r2!=]"]: [@ri] (or [@{r1,r2}]) binds the value
+    reached at that point into registers, a bracketed condition tests the
+    value reached at that point, letters/(...)/[|]/[+]/[*]/[.] are as in
+    {!Regex.parse}.  A prefix [@r̄] binds the first value (↓r̄ applies to
+    everything that follows within the current group); [e\[c\]] attaches to
+    the preceding atom. *)
+
+val star : t -> t
+(** [e* ≡ ε + e⁺] — a convenience; the paper's grammar has only [e⁺]. *)
+
+val of_regex : Regexp.Regex.t -> t
+(** Embed a standard regular expression (no registers). *)
+
+val simplify : t -> t
+(** Language-preserving cleanup: unit elements, duplicate union branches,
+    merged adjacent binds ([↓r̄.↓r̄'.e = ↓(r̄∪r̄').e]), merged tests
+    ([e[c][c'] = e[c ∧ c']]), dropped trivial tests and empty binds. *)

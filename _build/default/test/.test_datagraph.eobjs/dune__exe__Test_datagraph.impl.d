@@ -1,0 +1,1 @@
+test/test_datagraph.ml: Alcotest Array Datagraph List String

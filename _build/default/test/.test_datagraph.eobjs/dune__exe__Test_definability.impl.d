@@ -1,0 +1,1 @@
+test/test_definability.ml: Alcotest Array Datagraph Definability Fun List Query_lang Regexp Rem_lang

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Datagraph Definability List Printf Query_lang Ree_lang Regexp Rem_lang

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Datagraph List QCheck QCheck_alcotest Query_lang Ree_lang Regexp

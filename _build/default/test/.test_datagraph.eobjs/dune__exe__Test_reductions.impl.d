@@ -1,0 +1,1 @@
+test/test_reductions.ml: Alcotest Array Datagraph Definability Fun List Option Printf Reductions Rem_lang

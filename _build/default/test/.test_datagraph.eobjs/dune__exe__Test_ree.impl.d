@@ -1,0 +1,1 @@
+test/test_ree.ml: Alcotest Array Datagraph List QCheck QCheck_alcotest Ree_lang Rem_lang

@@ -1,0 +1,1 @@
+test/test_regex.ml: Alcotest Datagraph List QCheck QCheck_alcotest Regexp String

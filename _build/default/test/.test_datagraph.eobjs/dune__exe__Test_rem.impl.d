@@ -1,0 +1,1 @@
+test/test_rem.ml: Alcotest Array Datagraph List QCheck QCheck_alcotest Rem_lang

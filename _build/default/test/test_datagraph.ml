@@ -1,0 +1,333 @@
+(* Tests for the data-graph substrate: data values, data paths,
+   automorphisms, graphs, generators and the textual format. *)
+
+module DV = Datagraph.Data_value
+module DP = Datagraph.Data_path
+module DG = Datagraph.Data_graph
+module Auto = Datagraph.Automorphism
+module Gen = Datagraph.Graph_gen
+module Io = Datagraph.Graph_io
+
+let dv = DV.of_int
+
+let path values labels =
+  DP.make
+    ~values:(Array.of_list (List.map dv values))
+    ~labels:(Array.of_list labels)
+
+(* ---------- Data_value ---------- *)
+
+let test_value_basics () =
+  Alcotest.(check bool) "equal" true (DV.equal (dv 3) (dv 3));
+  Alcotest.(check bool) "not equal" false (DV.equal (dv 3) (dv 4));
+  Alcotest.(check int) "roundtrip" 42 (DV.to_int (dv 42));
+  let f1 = DV.fresh () and f2 = DV.fresh () in
+  Alcotest.(check bool) "fresh distinct" false (DV.equal f1 f2);
+  Alcotest.(check bool) "fresh below naturals" true (DV.to_int f1 < 0)
+
+(* ---------- Data_path ---------- *)
+
+let test_path_construction () =
+  let w = path [ 0; 1; 0 ] [ "a"; "b" ] in
+  Alcotest.(check int) "length" 2 (DP.length w);
+  Alcotest.(check int) "first" 0 (DV.to_int (DP.first w));
+  Alcotest.(check int) "last" 0 (DV.to_int (DP.last w));
+  Alcotest.(check string) "label" "b" (DP.label_at w 1);
+  Alcotest.(check int) "value" 1 (DV.to_int (DP.value_at w 1));
+  Alcotest.check_raises "mismatched lengths"
+    (Invalid_argument "Data_path.make: need one more value than labels")
+    (fun () -> ignore (DP.make ~values:[| dv 0 |] ~labels:[| "a" |]))
+
+let test_path_singleton () =
+  let w = DP.singleton (dv 7) in
+  Alcotest.(check int) "length 0" 0 (DP.length w);
+  Alcotest.(check bool) "first = last" true (DV.equal (DP.first w) (DP.last w))
+
+let test_path_concat () =
+  let w1 = path [ 0; 1 ] [ "a" ] and w2 = path [ 1; 2 ] [ "b" ] in
+  let w = DP.concat w1 w2 in
+  Alcotest.(check int) "length" 2 (DP.length w);
+  Alcotest.(check string) "pp" "0 a 1 b 2" (DP.to_string w);
+  (* Shared value appears once. *)
+  Alcotest.(check int) "middle" 1 (DV.to_int (DP.value_at w 1));
+  Alcotest.(check bool) "mismatch rejected" true
+    (DP.concat_opt w2 w1 = None);
+  (* Concatenation with a singleton is the identity. *)
+  let id_left = DP.concat (DP.singleton (dv 0)) w1 in
+  Alcotest.(check bool) "eps left unit" true (DP.equal id_left w1)
+
+let test_path_profile () =
+  let w = path [ 0; 1; 0; 2 ] [ "a"; "a"; "a" ] in
+  Alcotest.(check (array int)) "profile" [| 0; 1; 0; 3 |] (DP.profile w)
+
+let test_automorphic () =
+  let w1 = path [ 0; 1; 0; 1 ] [ "a"; "a"; "a" ] in
+  let w2 = path [ 2; 3; 2; 3 ] [ "a"; "a"; "a" ] in
+  let w3 = path [ 0; 1; 0; 2 ] [ "a"; "a"; "a" ] in
+  let w4 = path [ 0; 1; 0; 1 ] [ "a"; "a"; "b" ] in
+  Alcotest.(check bool) "same pattern" true (DP.automorphic w1 w2);
+  Alcotest.(check bool) "different pattern" false (DP.automorphic w1 w3);
+  Alcotest.(check bool) "different labels" false (DP.automorphic w1 w4)
+
+let test_matching () =
+  let w1 = path [ 0; 1; 0; 1 ] [ "a"; "a"; "a" ] in
+  let w2 = path [ 2; 3; 2; 3 ] [ "a"; "a"; "a" ] in
+  (match Auto.matching w1 w2 with
+  | None -> Alcotest.fail "expected a matching automorphism"
+  | Some pi ->
+      Alcotest.(check bool) "maps w1 to w2" true
+        (DP.equal (Auto.apply_path pi w1) w2));
+  let w3 = path [ 0; 1; 0; 2 ] [ "a"; "a"; "a" ] in
+  Alcotest.(check bool) "no matching" true (Auto.matching w1 w3 = None)
+
+let test_permutations () =
+  let perms = Auto.permutations [ dv 0; dv 1; dv 2 ] in
+  Alcotest.(check int) "3! permutations" 6 (List.length perms);
+  (* Each is a bijection of the set. *)
+  List.iter
+    (fun pi ->
+      let image =
+        List.sort compare
+          (List.map (fun d -> DV.to_int (Auto.apply pi d)) [ dv 0; dv 1; dv 2 ])
+      in
+      Alcotest.(check (list int)) "bijection" [ 0; 1; 2 ] image)
+    perms
+
+let test_automorphism_ops () =
+  match Auto.of_pairs [ (dv 0, dv 1); (dv 1, dv 0) ] with
+  | None -> Alcotest.fail "swap should be an automorphism"
+  | Some swap ->
+      Alcotest.(check bool) "involution" true
+        (Auto.equal (Auto.compose swap swap) Auto.identity);
+      Alcotest.(check bool) "inverse" true
+        (Auto.equal (Auto.inverse swap) swap);
+      Alcotest.(check bool) "non-injective rejected" true
+        (Auto.of_pairs [ (dv 0, dv 2); (dv 1, dv 2); (dv 2, dv 0) ] = None);
+      (* Domain/range mismatch rejected (not extendable by identity). *)
+      Alcotest.(check bool) "dom<>range rejected" true
+        (Auto.of_pairs [ (dv 0, dv 1) ] = None)
+
+(* ---------- Data_graph ---------- *)
+
+let triangle () =
+  DG.make
+    ~nodes:[ ("x", dv 0); ("y", dv 1); ("z", dv 0) ]
+    ~edges:[ ("x", "a", "y"); ("y", "b", "z"); ("z", "a", "x") ]
+
+let test_graph_basics () =
+  let g = triangle () in
+  Alcotest.(check int) "size" 3 (DG.size g);
+  Alcotest.(check int) "delta" 2 (DG.delta g);
+  Alcotest.(check (list string)) "alphabet" [ "a"; "b" ] (DG.alphabet g);
+  Alcotest.(check int) "edges" 3 (DG.edge_count g);
+  Alcotest.(check bool) "same value" true
+    (DG.same_value g (DG.node_of_name g "x") (DG.node_of_name g "z"));
+  Alcotest.(check bool) "mem edge" true
+    (DG.mem_edge g (DG.node_of_name g "x") "a" (DG.node_of_name g "y"));
+  Alcotest.(check bool) "absent edge" false
+    (DG.mem_edge g (DG.node_of_name g "x") "b" (DG.node_of_name g "y"));
+  Alcotest.(check (list int)) "succ on unknown label" []
+    (DG.succ g 0 "zzz")
+
+let test_graph_validation () =
+  Alcotest.check_raises "duplicate name"
+    (Invalid_argument "Data_graph.make: duplicate node name x") (fun () ->
+      ignore (DG.make ~nodes:[ ("x", dv 0); ("x", dv 1) ] ~edges:[]));
+  Alcotest.check_raises "unknown endpoint"
+    (Invalid_argument "Data_graph.make: unknown node w") (fun () ->
+      ignore (DG.make ~nodes:[ ("x", dv 0) ] ~edges:[ ("x", "a", "w") ]));
+  Alcotest.check_raises "duplicate edge"
+    (Invalid_argument "Data_graph.build: duplicate edge") (fun () ->
+      ignore
+        (DG.make
+           ~nodes:[ ("x", dv 0); ("y", dv 1) ]
+           ~edges:[ ("x", "a", "y"); ("x", "a", "y") ]))
+
+let test_graph_paths () =
+  let g = triangle () in
+  let x = DG.node_of_name g "x" in
+  let p = { DG.start = x; steps = [ ("a", 1); ("b", 2) ] } in
+  Alcotest.(check bool) "is path" true (DG.is_path g p);
+  let w = DG.data_path_of g p in
+  Alcotest.(check string) "data path" "0 a 1 b 0" (DP.to_string w);
+  Alcotest.(check bool) "not a path" false
+    (DG.is_path g { DG.start = x; steps = [ ("b", 1) ] })
+
+let test_connects () =
+  let g = Gen.fig1 () in
+  (* From Example 12: 0a1a0a1 connects exactly (v1,v4). *)
+  let w = path [ 0; 1; 0; 1 ] [ "a"; "a"; "a" ] in
+  let v = DG.node_of_name g in
+  Alcotest.(check (list (pair int int)))
+    "0a1a0a1" [ (v "v1", v "v4") ] (DG.connects g w);
+  (* 2a3a2a3 connects exactly (v1',v4'). *)
+  let w' = path [ 2; 3; 2; 3 ] [ "a"; "a"; "a" ] in
+  Alcotest.(check (list (pair int int)))
+    "2a3a2a3" [ (v "v1'", v "v4'") ] (DG.connects g w');
+  (* 0a1a1a0 connects exactly (v1,v3)  (w5 of Example 12). *)
+  let w5 = path [ 0; 1; 1; 0 ] [ "a"; "a"; "a" ] in
+  Alcotest.(check (list (pair int int)))
+    "0a1a1a0" [ (v "v1", v "v3") ] (DG.connects g w5)
+
+let test_reachable () =
+  let g = triangle () in
+  let r = DG.reachable g 0 in
+  Alcotest.(check (array bool)) "all reachable" [| true; true; true |] r;
+  let line = Gen.line ~values:[ dv 0; dv 1; dv 2 ] ~label:"a" in
+  Alcotest.(check (array bool))
+    "line from middle" [| false; true; true |] (DG.reachable line 1)
+
+let test_map_values () =
+  let g = triangle () in
+  let g' = DG.constant_values g in
+  Alcotest.(check int) "constant delta" 1 (DG.delta g');
+  Alcotest.(check int) "same size" (DG.size g) (DG.size g');
+  Alcotest.(check int) "same edges" (DG.edge_count g) (DG.edge_count g');
+  Alcotest.(check string) "names preserved" "y" (DG.name g' 1)
+
+let test_disjoint_union () =
+  let g1 = triangle () and g2 = triangle () in
+  let g, embed = DG.disjoint_union g1 g2 in
+  Alcotest.(check int) "size" 6 (DG.size g);
+  Alcotest.(check int) "edges" 6 (DG.edge_count g);
+  Alcotest.(check int) "embedding" 3 (embed 0);
+  (* No cross edges. *)
+  let r = DG.reachable g 0 in
+  Alcotest.(check bool) "no crossing" false r.(embed 0);
+  (* g2's names got primed. *)
+  Alcotest.(check string) "renamed" "x'" (DG.name g (embed 0))
+
+(* ---------- Figure 1 ---------- *)
+
+let test_fig1_shape () =
+  let g = Gen.fig1 () in
+  Alcotest.(check int) "10 nodes" 10 (DG.size g);
+  Alcotest.(check int) "12 edges" 12 (DG.edge_count g);
+  Alcotest.(check int) "4 values" 4 (DG.delta g);
+  Alcotest.(check (list string)) "unary alphabet" [ "a" ] (DG.alphabet g)
+
+let test_fig1_s1_is_aaa () =
+  (* S1 of Example 12 is exactly the pairs connected by words of length 3. *)
+  let g = Gen.fig1 () in
+  let s1 = Gen.fig1_s1 g in
+  let aaa = Datagraph.Relation.edge_relation g "a" in
+  let aaa3 = Datagraph.Relation.(compose aaa (compose aaa aaa)) in
+  Alcotest.(check bool) "S1 = E^3" true (Datagraph.Relation.equal s1 aaa3)
+
+(* ---------- Generators ---------- *)
+
+let test_generators () =
+  let c = Gen.cycle ~values:[ dv 0; dv 1; dv 2 ] ~label:"a" in
+  Alcotest.(check int) "cycle edges" 3 (DG.edge_count c);
+  let l = Gen.line ~values:[ dv 0; dv 1 ] ~label:"a" in
+  Alcotest.(check int) "line edges" 1 (DG.edge_count l);
+  let k = Gen.complete ~n:3 ~labels:[ "a"; "b" ] ~value:(fun _ -> dv 0) in
+  Alcotest.(check int) "complete edges" 18 (DG.edge_count k)
+
+let test_random_generator () =
+  let g = Gen.random ~seed:5 ~n:6 ~delta:3 ~labels:[ "a"; "b" ] ~density:0.4 () in
+  Alcotest.(check int) "n nodes" 6 (DG.size g);
+  Alcotest.(check bool) "delta bounded" true (DG.delta g <= 3);
+  (* Values forced to cover the pool when delta <= n. *)
+  Alcotest.(check int) "delta reached" 3 (DG.delta g);
+  (* Determinism. *)
+  let g' = Gen.random ~seed:5 ~n:6 ~delta:3 ~labels:[ "a"; "b" ] ~density:0.4 () in
+  Alcotest.(check int) "same edge count" (DG.edge_count g) (DG.edge_count g');
+  let g'' = Gen.random ~seed:6 ~n:6 ~delta:3 ~labels:[ "a"; "b" ] ~density:0.4 () in
+  Alcotest.(check bool) "seed matters" true
+    (DG.edge_count g <> DG.edge_count g'' || DG.edges g <> DG.edges g'')
+
+(* ---------- Graph_io ---------- *)
+
+let test_io_roundtrip () =
+  let g = Gen.fig1 () in
+  let s = Datagraph.Tuple_relation.of_binary (Gen.fig1_s2 g) in
+  let text = Io.instance_to_string g s in
+  match Io.instance_of_string text with
+  | Error msg -> Alcotest.fail msg
+  | Ok (g', s') ->
+      Alcotest.(check int) "size" (DG.size g) (DG.size g');
+      Alcotest.(check int) "edges" (DG.edge_count g) (DG.edge_count g');
+      Alcotest.(check bool) "relation" true
+        (Datagraph.Tuple_relation.equal s s');
+      Alcotest.(check int) "value preserved"
+        (DV.to_int (DG.value g (DG.node_of_name g "z1")))
+        (DV.to_int (DG.value g' (DG.node_of_name g' "z1")))
+
+let test_to_dot () =
+  let g = Gen.fig1 () in
+  let r = Datagraph.Tuple_relation.of_binary (Gen.fig1_s2 g) in
+  let dot = Io.to_dot ~relation:r g in
+  Alcotest.(check bool) "digraph header" true
+    (String.length dot > 7 && String.sub dot 0 7 = "digraph");
+  (* one node line per node, one edge line per edge, one dashed line per
+     relation pair *)
+  let count_sub sub =
+    let n = ref 0 and i = ref 0 in
+    let len = String.length sub in
+    while !i + len <= String.length dot do
+      if String.sub dot !i len = sub then incr n;
+      incr i
+    done;
+    !n
+  in
+  Alcotest.(check int) "edges" 12 (count_sub "label=\"a\"");
+  Alcotest.(check int) "relation pairs" 2 (count_sub "style=dashed")
+
+let test_io_errors () =
+  let bad l = match Io.instance_of_string l with Ok _ -> false | Error _ -> true in
+  Alcotest.(check bool) "bad directive" true (bad "frob x y");
+  Alcotest.(check bool) "bad value" true (bad "node x abc");
+  Alcotest.(check bool) "unknown node in pair" true
+    (bad "node x 0\npair x y");
+  Alcotest.(check bool) "mixed arity" true
+    (bad "node x 0\npair x x\ntuple x x x");
+  Alcotest.(check bool) "comments ok" false
+    (bad "# hello\nnode x 0 # inline\n")
+
+let () =
+  Alcotest.run "datagraph"
+    [
+      ( "data_value",
+        [ Alcotest.test_case "basics" `Quick test_value_basics ] );
+      ( "data_path",
+        [
+          Alcotest.test_case "construction" `Quick test_path_construction;
+          Alcotest.test_case "singleton" `Quick test_path_singleton;
+          Alcotest.test_case "concat" `Quick test_path_concat;
+          Alcotest.test_case "profile" `Quick test_path_profile;
+          Alcotest.test_case "automorphic" `Quick test_automorphic;
+        ] );
+      ( "automorphism",
+        [
+          Alcotest.test_case "matching" `Quick test_matching;
+          Alcotest.test_case "permutations" `Quick test_permutations;
+          Alcotest.test_case "operations" `Quick test_automorphism_ops;
+        ] );
+      ( "data_graph",
+        [
+          Alcotest.test_case "basics" `Quick test_graph_basics;
+          Alcotest.test_case "validation" `Quick test_graph_validation;
+          Alcotest.test_case "paths" `Quick test_graph_paths;
+          Alcotest.test_case "connects" `Quick test_connects;
+          Alcotest.test_case "reachable" `Quick test_reachable;
+          Alcotest.test_case "map_values" `Quick test_map_values;
+          Alcotest.test_case "disjoint_union" `Quick test_disjoint_union;
+        ] );
+      ( "fig1",
+        [
+          Alcotest.test_case "shape" `Quick test_fig1_shape;
+          Alcotest.test_case "s1 = aaa" `Quick test_fig1_s1_is_aaa;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "structured" `Quick test_generators;
+          Alcotest.test_case "random" `Quick test_random_generator;
+        ] );
+      ( "graph_io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
+          Alcotest.test_case "errors" `Quick test_io_errors;
+          Alcotest.test_case "dot export" `Quick test_to_dot;
+        ] );
+    ]

@@ -1,0 +1,189 @@
+(* Integration properties across the whole stack, on random instances:
+
+   - the expressivity hierarchy RPQ ⇒ REE ⇒ REM ⇒ UCRDPQ on definable
+     relations (each definable relation stays definable one level up);
+   - monotonicity of k-REM definability in k;
+   - Lemma 23: unbounded REM definability = δ-register definability,
+     checked as profile-automaton search vs full assignment-graph search;
+   - the condition-alphabet ablation: single complete types vs all
+     disjunctions of complete types give the same verdicts;
+   - synthesized queries re-evaluate to the input relation;
+   - query evaluation distributes as Lemma 29 predicts. *)
+
+module Rel = Datagraph.Relation
+module DG = Datagraph.Data_graph
+module Gen = Datagraph.Graph_gen
+module Rpq = Definability.Rpq_definability
+module Remd = Definability.Rem_definability
+module Reed = Definability.Ree_definability
+module Ucd = Definability.Ucrdpq_definability
+
+(* A pool of small random instances; graphs are kept tiny because the
+   checkers are (correctly!) exponential. *)
+let instances =
+  List.concat_map
+    (fun seed ->
+      let g =
+        Gen.random ~seed ~n:4 ~delta:2 ~labels:[ "a" ] ~density:0.4 ()
+      in
+      let g2 =
+        Gen.random ~seed:(seed + 50) ~n:4 ~delta:3 ~labels:[ "a"; "b" ]
+          ~density:0.3 ()
+      in
+      [
+        (g, Gen.random_reachable_relation ~seed g ~count:2);
+        (g2, Gen.random_reachable_relation ~seed g2 ~count:2);
+      ])
+    [ 1; 2; 3; 4; 5 ]
+
+let test_hierarchy () =
+  List.iteri
+    (fun i (g, s) ->
+      let name what = Printf.sprintf "instance %d: %s" i what in
+      let rpq = Rpq.is_definable g s in
+      let ree = Reed.is_definable g s in
+      let rem = Remd.is_definable g s in
+      let uc = Ucd.is_definable_binary g s in
+      Alcotest.(check bool) (name "rpq->ree") true ((not rpq) || ree);
+      Alcotest.(check bool) (name "ree->rem") true ((not ree) || rem);
+      Alcotest.(check bool) (name "rem->ucrdpq") true ((not rem) || uc))
+    instances
+
+let test_k_monotone () =
+  List.iteri
+    (fun i (g, s) ->
+      let d0 = Remd.is_definable_k g ~k:0 s in
+      let d1 = Remd.is_definable_k g ~k:1 s in
+      let d2 = Remd.is_definable_k g ~k:2 s in
+      let name = Printf.sprintf "instance %d" i in
+      Alcotest.(check bool) (name ^ " 0->1") true ((not d0) || d1);
+      Alcotest.(check bool) (name ^ " 1->2") true ((not d1) || d2);
+      (* k = 0 coincides with RPQ-definability. *)
+      Alcotest.(check bool) (name ^ " k0=rpq") d0 (Rpq.is_definable g s))
+    instances
+
+let test_profile_vs_full_delta () =
+  (* Lemma 23 / the profile-vs-full ablation. *)
+  List.iteri
+    (fun i (g, s) ->
+      if DG.delta g <= 2 then
+        Alcotest.(check bool)
+          (Printf.sprintf "instance %d" i)
+          (Remd.is_definable g s)
+          (Remd.is_definable_k g ~k:(DG.delta g) s))
+    instances
+
+let test_condition_alphabet_ablation () =
+  (* Searching with all disjunctions of complete types is equivalent to
+     single complete types (see Assignment_graph). *)
+  List.iteri
+    (fun i (g, s) ->
+      let plain = (Remd.check_k g ~k:1 s).definable in
+      let full = (Remd.check_k ~all_condition_sets:true g ~k:1 s).definable in
+      Alcotest.(check bool) (Printf.sprintf "instance %d" i) true (plain = full))
+    instances
+
+let test_synthesis_verified () =
+  List.iteri
+    (fun i (g, s) ->
+      let name what = Printf.sprintf "instance %d: %s" i what in
+      (match Definability.Synthesis.rpq g s with
+      | Some v -> Alcotest.(check bool) (name "rpq") true v.correct
+      | None -> ());
+      (match Definability.Synthesis.ree g s with
+      | Some v -> Alcotest.(check bool) (name "ree") true v.correct
+      | None -> ());
+      (match Definability.Synthesis.rem g s with
+      | Some v -> Alcotest.(check bool) (name "rem") true v.correct
+      | None -> ());
+      match Definability.Synthesis.rem_k g ~k:1 s with
+      | Some v -> Alcotest.(check bool) (name "rem_k") true v.correct
+      | None -> ())
+    instances
+
+let test_ucrdpq_canonical_queries () =
+  (* For definable relations on tiny graphs, evaluate the canonical
+     phi_G-based query and compare. *)
+  List.iteri
+    (fun i (g, s) ->
+      if DG.size g <= 4 then
+        let ts = Datagraph.Tuple_relation.of_binary s in
+        if Ucd.is_definable g ts then
+          match Ucd.defining_query g ts with
+          | Some (_ :: _ as q) ->
+              let r = Query_lang.Conjunctive.eval g q in
+              Alcotest.(check bool)
+                (Printf.sprintf "instance %d" i)
+                true
+                (Datagraph.Tuple_relation.equal r ts)
+          | _ -> ())
+    instances
+
+let test_eval_consistency () =
+  (* The same relation computed three ways: REE evaluation via register
+     automata, via the term semantics, and via an equivalent REM. *)
+  let term =
+    Ree_lang.Ree_term.EqTest
+      (Ree_lang.Ree_term.Concat
+         (Ree_lang.Ree_term.Letter "a", Ree_lang.Ree_term.Letter "a"))
+  in
+  let ree = Ree_lang.Ree_term.to_ree term in
+  List.iteri
+    (fun i (g, _) ->
+      let direct = Ree_lang.Ree_term.relation g term in
+      let via_rem =
+        Rem_lang.Register_automaton.eval_on_graph g
+          (Rem_lang.Register_automaton.of_rem (Ree_lang.Ree.to_rem ree))
+      in
+      let via_query = Query_lang.Query.eval g (Query_lang.Query.Ree ree) in
+      Alcotest.(check bool) (Printf.sprintf "instance %d a" i) true
+        (Rel.equal direct via_rem);
+      Alcotest.(check bool) (Printf.sprintf "instance %d b" i) true
+        (Rel.equal direct via_query))
+    instances
+
+let test_witnesses_are_witnesses () =
+  (* Every witness word reported by the RPQ checker genuinely witnesses
+     its pair: it connects the pair and connects nothing outside S. *)
+  List.iteri
+    (fun i (g, s) ->
+      let r = Rpq.check g s in
+      List.iter
+        (fun ((u, v), word) ->
+          let e = Regexp.Regex.of_word word in
+          let rel = Regexp.Nfa.eval_on_graph g (Regexp.Nfa.of_regex e) in
+          Alcotest.(check bool)
+            (Printf.sprintf "instance %d connects" i)
+            true (Rel.mem rel u v);
+          Alcotest.(check bool)
+            (Printf.sprintf "instance %d no extraneous" i)
+            true (Rel.subset rel s))
+        r.witnesses)
+    instances
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "hierarchy",
+        [
+          Alcotest.test_case "rpq->ree->rem->ucrdpq" `Slow test_hierarchy;
+          Alcotest.test_case "k monotone" `Slow test_k_monotone;
+          Alcotest.test_case "profile vs delta (Lemma 23)" `Slow
+            test_profile_vs_full_delta;
+          Alcotest.test_case "condition alphabet ablation" `Slow
+            test_condition_alphabet_ablation;
+        ] );
+      ( "synthesis",
+        [
+          Alcotest.test_case "synthesized queries verify" `Slow
+            test_synthesis_verified;
+          Alcotest.test_case "canonical UCRDPQ queries" `Slow
+            test_ucrdpq_canonical_queries;
+        ] );
+      ( "consistency",
+        [
+          Alcotest.test_case "evaluation agreement" `Quick test_eval_consistency;
+          Alcotest.test_case "witnesses verified" `Slow
+            test_witnesses_are_witnesses;
+        ] );
+    ]

@@ -1,0 +1,248 @@
+(* Tests for query evaluation (Definition 11) and conjunctive queries
+   (Definition 13), centred on the paper's Examples 12 and 14. *)
+
+module Query = Query_lang.Query
+module Conj = Query_lang.Conjunctive
+module Rel = Datagraph.Relation
+module TRel = Datagraph.Tuple_relation
+module DG = Datagraph.Data_graph
+module Gen = Datagraph.Graph_gen
+
+let fig1 = Gen.fig1 ()
+
+let parse ~lang s =
+  match Query.parse ~lang s with Ok q -> q | Error m -> failwith m
+
+let test_eval_rpq () =
+  let q1 = parse ~lang:`Rpq "a a a" in
+  Alcotest.(check bool) "Q1(G) = S1" true
+    (Rel.equal (Query.eval fig1 q1) (Gen.fig1_s1 fig1));
+  Alcotest.(check bool) "defines" true
+    (Query.defines fig1 q1 (Gen.fig1_s1 fig1))
+
+let test_eval_rem () =
+  let q2 = parse ~lang:`Rem "@r1 a @r2 a[r1=] a[r2=]" in
+  Alcotest.(check bool) "Q2(G) = S2" true
+    (Rel.equal (Query.eval fig1 q2) (Gen.fig1_s2 fig1))
+
+let test_eval_ree () =
+  let q3 = parse ~lang:`Ree "(a (a)= a)=" in
+  Alcotest.(check bool) "Q3(G) = S3" true
+    (Rel.equal (Query.eval fig1 q3) (Gen.fig1_s3 fig1))
+
+let test_matches_path () =
+  let w =
+    Datagraph.Data_path.make
+      ~values:[| Datagraph.Data_value.of_int 0; Datagraph.Data_value.of_int 1 |]
+      ~labels:[| "a" |]
+  in
+  Alcotest.(check bool) "rpq sees labels only" true
+    (Query.matches_path (parse ~lang:`Rpq "a") w);
+  Alcotest.(check bool) "ree neq" true
+    (Query.matches_path (parse ~lang:`Ree "(a)!=") w);
+  Alcotest.(check bool) "ree eq" false
+    (Query.matches_path (parse ~lang:`Ree "(a)=") w)
+
+(* Example 14, Q4: unique valuation. *)
+let q4 =
+  let a = Query.Rpq (Regexp.Regex.Letter "a") in
+  {
+    Conj.head = [ "x1"; "y1" ];
+    atoms =
+      [
+        { Conj.src = "x1"; dst = "y1"; expr = a };
+        { Conj.src = "x1"; dst = "y2"; expr = a };
+        { Conj.src = "y2"; dst = "y1"; expr = a };
+      ];
+  }
+
+let test_q4 () =
+  let result = Conj.eval fig1 [ q4 ] in
+  let v = DG.node_of_name fig1 in
+  Alcotest.(check int) "single tuple" 1 (TRel.cardinal result);
+  Alcotest.(check bool) "is (v1,v2)" true
+    (TRel.mem result [ v "v1"; v "v2" ])
+
+let test_q5 () =
+  let a_neq = Query.Ree Ree_lang.Ree.(NeqTest (Letter "a")) in
+  let q5 =
+    {
+      Conj.head = [ "x1"; "y1"; "x2" ];
+      atoms =
+        [
+          { Conj.src = "x1"; dst = "y1"; expr = a_neq };
+          { Conj.src = "x2"; dst = "y1"; expr = a_neq };
+        ];
+    }
+  in
+  let result = Conj.eval fig1 [ q5 ] in
+  let v = DG.node_of_name fig1 in
+  (* The paper's three canonical tuples are present... *)
+  List.iter
+    (fun t -> Alcotest.(check bool) "paper tuple" true (TRel.mem result t))
+    [
+      [ v "v1"; v "z2"; v "z1" ];
+      [ v "v3"; v "v4"; v "v2'" ];
+      [ v "v3"; v "v3'"; v "v2'" ];
+    ];
+  (* ... as are their symmetric and diagonal variants (standard
+     semantics quantifies valuations freely). *)
+  Alcotest.(check bool) "symmetric" true
+    (TRel.mem result [ v "z1"; v "z2"; v "v1" ]);
+  Alcotest.(check bool) "diagonal" true
+    (TRel.mem result [ v "v1"; v "z2"; v "v1" ])
+
+let test_conjunctive_validation () =
+  Alcotest.check_raises "head var not in body"
+    (Invalid_argument "Conjunctive.eval_crdpq: head variable z not in body")
+    (fun () -> ignore (Conj.eval_crdpq fig1 { q4 with head = [ "z" ] }));
+  Alcotest.check_raises "empty union"
+    (Invalid_argument "Conjunctive.eval: empty union") (fun () ->
+      ignore (Conj.eval fig1 []));
+  Alcotest.check_raises "mixed arity"
+    (Invalid_argument "Conjunctive.eval: mixed arities") (fun () ->
+      ignore (Conj.eval fig1 [ q4; { q4 with head = [ "x1" ] } ]))
+
+let test_union_semantics () =
+  (* A UCRDPQ answer is the union of member answers. *)
+  let single name =
+    {
+      Conj.head = [ name; name ];
+      atoms =
+        [ { Conj.src = name; dst = name; expr = Query.Rpq Regexp.Regex.Eps } ];
+    }
+  in
+  let q = [ single "x"; single "y" ] in
+  let r = Conj.eval fig1 q in
+  (* Each member yields all (v,v): union is the same set. *)
+  Alcotest.(check int) "diagonal tuples" (DG.size fig1) (TRel.cardinal r)
+
+let test_rdpq_as_crdpq () =
+  (* A regular data path query is the m=1 special case of a CRDPQ.  The
+     two evaluations agree. *)
+  let e = parse ~lang:`Rem "@r1 a a[r1=]" in
+  let direct = Query.eval fig1 e in
+  let as_conj =
+    Conj.eval fig1
+      [ { Conj.head = [ "x"; "y" ]; atoms = [ { Conj.src = "x"; dst = "y"; expr = e } ] } ]
+  in
+  Alcotest.(check bool) "agree" true (Rel.equal direct (TRel.to_binary as_conj))
+
+let test_boolean_query () =
+  (* Arity 0: nonempty iff the body is satisfiable. *)
+  let q =
+    {
+      Conj.head = [];
+      atoms = [ { Conj.src = "x"; dst = "y"; expr = parse ~lang:`Rpq "a a a" } ];
+    }
+  in
+  Alcotest.(check int) "satisfiable" 1 (TRel.cardinal (Conj.eval fig1 [ q ]));
+  let q' =
+    {
+      Conj.head = [];
+      atoms = [ { Conj.src = "x"; dst = "y"; expr = parse ~lang:`Rpq "b" } ];
+    }
+  in
+  Alcotest.(check int) "unsatisfiable" 0 (TRel.cardinal (Conj.eval fig1 [ q' ]))
+
+let test_containment_on_graph () =
+  let a = parse ~lang:`Rpq "a" in
+  let aaa = parse ~lang:`Rpq "a a a" in
+  let aplus = parse ~lang:`Rpq "a+" in
+  Alcotest.(check bool) "a <= a+" true (Query.contained_on fig1 a aplus);
+  Alcotest.(check bool) "aaa <= a+" true (Query.contained_on fig1 aaa aplus);
+  Alcotest.(check bool) "a+ not <= a" false (Query.contained_on fig1 aplus a);
+  (* An REE refinement is contained in its base. *)
+  let e = parse ~lang:`Ree "(a (a)= a)=" in
+  Alcotest.(check bool) "restricted <= base" true
+    (Query.contained_on fig1 e aaa);
+  Alcotest.(check bool) "self equivalent" true (Query.equivalent_on fig1 e e)
+
+let test_simplify_query () =
+  let e = parse ~lang:`Rpq "(a | a) eps a" in
+  let e' = Query.simplify e in
+  Alcotest.(check bool) "same answer" true (Query.equivalent_on fig1 e e');
+  Alcotest.(check string) "shrunk" "a . a" (Query.to_string e')
+
+let test_bounded_containment () =
+  let module Ct = Query_lang.Containment in
+  let rpq s = parse ~lang:`Rpq s and ree s = parse ~lang:`Ree s in
+  (* a ⊆ a|b over all paths. *)
+  Alcotest.(check bool) "a <= a|b" true
+    (Ct.contained_bounded (rpq "a") (rpq "a | b"));
+  (* a|b ⊄ a: refuted by a b-path. *)
+  (match Ct.refute ~alphabet:[] (rpq "a | b") (rpq "a") with
+  | Some w -> Alcotest.(check string) "witness" "b" (Datagraph.Data_path.label_at w 0)
+  | None -> Alcotest.fail "expected refutation");
+  (* (a)= ⊆ a but not conversely. *)
+  Alcotest.(check bool) "(a)= <= a" true
+    (Ct.contained_bounded (ree "(a)=") (rpq "a"));
+  Alcotest.(check bool) "a not <= (a)=" false
+    (Ct.contained_bounded (rpq "a") (ree "(a)="));
+  (* Equality vs memory: (a a)= coincides with @r1 a a[r1=]. *)
+  let rem s = parse ~lang:`Rem s in
+  Alcotest.(check bool) "ree = rem encoding" true
+    (Ct.equivalent_bounded (ree "(a a)=") (rem "@r1 a a[r1=]"));
+  (* The canonical separation: interleaved memory is not expressible;
+     here just check the two differ as languages. *)
+  Alcotest.(check bool) "xyxy differs from (a a a)=" false
+    (Ct.equivalent_bounded
+       (rem "@r1 a @r2 a[r1=] a[r2=]")
+       (ree "(a a a)="))
+
+let prop_simplify_equivalent_bounded =
+  (* simplify is a language-preserving transformation; check it through
+     the containment lens on REE expressions. *)
+  QCheck.Test.make ~name:"simplify equivalent (bounded)" ~count:40
+    (QCheck.make ~print:Ree_lang.Ree.to_string
+       QCheck.Gen.(
+         sized_size (int_bound 4) (fun n ->
+             fix
+               (fun self n ->
+                 if n <= 0 then
+                   oneof [ return Ree_lang.Ree.Eps; return (Ree_lang.Ree.Letter "a") ]
+                 else
+                   frequency
+                     [
+                       (2, map2 (fun a b -> Ree_lang.Ree.Union (a, b)) (self (n / 2)) (self (n / 2)));
+                       (2, map2 (fun a b -> Ree_lang.Ree.Concat (a, b)) (self (n / 2)) (self (n / 2)));
+                       (1, map (fun a -> Ree_lang.Ree.EqTest a) (self (n - 1)));
+                       (1, map (fun a -> Ree_lang.Ree.NeqTest a) (self (n - 1)));
+                     ])
+               n)))
+    (fun e ->
+      Query_lang.Containment.equivalent_bounded ~max_len:4
+        (Query.Ree e)
+        (Query.Ree (Ree_lang.Ree.simplify e)))
+
+let () =
+  Alcotest.run "query"
+    [
+      ( "regular data path queries",
+        [
+          Alcotest.test_case "rpq" `Quick test_eval_rpq;
+          Alcotest.test_case "rem" `Quick test_eval_rem;
+          Alcotest.test_case "ree" `Quick test_eval_ree;
+          Alcotest.test_case "matches_path" `Quick test_matches_path;
+        ] );
+      ( "conjunctive queries",
+        [
+          Alcotest.test_case "example 14 Q4" `Quick test_q4;
+          Alcotest.test_case "example 14 Q5" `Quick test_q5;
+          Alcotest.test_case "validation" `Quick test_conjunctive_validation;
+          Alcotest.test_case "union" `Quick test_union_semantics;
+          Alcotest.test_case "RDPQ as CRDPQ" `Quick test_rdpq_as_crdpq;
+          Alcotest.test_case "boolean query" `Quick test_boolean_query;
+        ] );
+      ( "containment and simplification",
+        [
+          Alcotest.test_case "containment on a graph" `Quick
+            test_containment_on_graph;
+          Alcotest.test_case "simplify" `Quick test_simplify_query;
+          Alcotest.test_case "bounded containment" `Quick
+            test_bounded_containment;
+        ] );
+      ( "containment properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_simplify_equivalent_bounded ] );
+    ]

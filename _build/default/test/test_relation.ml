@@ -1,0 +1,193 @@
+(* Tests for binary and tuple relations, including QCheck properties of
+   the Definition 26 operators. *)
+
+module Rel = Datagraph.Relation
+module TRel = Datagraph.Tuple_relation
+module DV = Datagraph.Data_value
+
+let dv = DV.of_int
+
+(* ---------- unit tests ---------- *)
+
+let test_basics () =
+  let r = Rel.of_list 4 [ (0, 1); (1, 2); (3, 3) ] in
+  Alcotest.(check int) "cardinal" 3 (Rel.cardinal r);
+  Alcotest.(check bool) "mem" true (Rel.mem r 1 2);
+  Alcotest.(check bool) "not mem" false (Rel.mem r 2 1);
+  Alcotest.(check (list (pair int int)))
+    "to_list sorted" [ (0, 1); (1, 2); (3, 3) ] (Rel.to_list r);
+  let r' = Rel.remove (Rel.add r 2 0) 0 1 in
+  Alcotest.(check bool) "added" true (Rel.mem r' 2 0);
+  Alcotest.(check bool) "removed" false (Rel.mem r' 0 1);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Relation: node out of range") (fun () ->
+      ignore (Rel.mem r 0 4))
+
+let test_set_ops () =
+  let r1 = Rel.of_list 3 [ (0, 1); (1, 2) ] in
+  let r2 = Rel.of_list 3 [ (1, 2); (2, 0) ] in
+  Alcotest.(check (list (pair int int)))
+    "union" [ (0, 1); (1, 2); (2, 0) ]
+    (Rel.to_list (Rel.union r1 r2));
+  Alcotest.(check (list (pair int int)))
+    "inter" [ (1, 2) ]
+    (Rel.to_list (Rel.inter r1 r2));
+  Alcotest.(check (list (pair int int)))
+    "diff" [ (0, 1) ]
+    (Rel.to_list (Rel.diff r1 r2));
+  Alcotest.(check bool) "subset" true (Rel.subset (Rel.inter r1 r2) r1);
+  Alcotest.(check bool) "not subset" false (Rel.subset r1 r2)
+
+let test_compose () =
+  let r1 = Rel.of_list 4 [ (0, 1); (1, 2) ] in
+  let r2 = Rel.of_list 4 [ (1, 3); (2, 0) ] in
+  Alcotest.(check (list (pair int int)))
+    "compose" [ (0, 3); (1, 0) ]
+    (Rel.to_list (Rel.compose r1 r2));
+  (* Identity is neutral. *)
+  Alcotest.(check bool) "left unit" true
+    (Rel.equal (Rel.compose (Rel.identity 4) r1) r1);
+  Alcotest.(check bool) "right unit" true
+    (Rel.equal (Rel.compose r1 (Rel.identity 4)) r1)
+
+let test_restrict () =
+  (* Values: 0 -> a, 1 -> b, 2 -> a *)
+  let value = function 0 -> dv 10 | 1 -> dv 11 | _ -> dv 10 in
+  let r = Rel.full 3 in
+  let eq = Rel.restrict_eq ~value r in
+  let neq = Rel.restrict_neq ~value r in
+  Alcotest.(check int) "eq pairs" 5 (Rel.cardinal eq);
+  Alcotest.(check bool) "eq mem" true (Rel.mem eq 0 2);
+  Alcotest.(check bool) "eq self" true (Rel.mem eq 1 1);
+  Alcotest.(check int) "partition" 9 (Rel.cardinal (Rel.union eq neq));
+  Alcotest.(check bool) "disjoint" true (Rel.is_empty (Rel.inter eq neq))
+
+let test_transitive_closure () =
+  let r = Rel.of_list 4 [ (0, 1); (1, 2); (2, 3) ] in
+  let tc = Rel.transitive_closure r in
+  Alcotest.(check int) "closure size" 6 (Rel.cardinal tc);
+  Alcotest.(check bool) "long hop" true (Rel.mem tc 0 3);
+  Alcotest.(check bool) "not reflexive" false (Rel.mem tc 0 0);
+  (* Cycle: closure contains self-loops. *)
+  let c = Rel.of_list 2 [ (0, 1); (1, 0) ] in
+  Alcotest.(check bool) "cycle self" true
+    (Rel.mem (Rel.transitive_closure c) 0 0)
+
+let test_edge_relations () =
+  let g = Datagraph.Graph_gen.fig1 () in
+  let ra = Rel.edge_relation g "a" in
+  Alcotest.(check int) "a edges" 12 (Rel.cardinal ra);
+  Alcotest.(check bool) "absent label empty" true
+    (Rel.is_empty (Rel.edge_relation g "b"));
+  Alcotest.(check bool) "step = union" true
+    (Rel.equal ra (Rel.step_relation g))
+
+let test_map () =
+  let r = Rel.of_list 3 [ (0, 1); (1, 2) ] in
+  let m = Rel.map (fun v -> (v + 1) mod 3) r in
+  Alcotest.(check (list (pair int int))) "mapped" [ (1, 2); (2, 0) ] (Rel.to_list m)
+
+(* ---------- tuple relations ---------- *)
+
+let test_tuple_basics () =
+  let r = TRel.of_list ~universe:4 ~arity:3 [ [ 0; 1; 2 ]; [ 1; 1; 1 ] ] in
+  Alcotest.(check int) "cardinal" 2 (TRel.cardinal r);
+  Alcotest.(check bool) "mem" true (TRel.mem r [ 1; 1; 1 ]);
+  Alcotest.check_raises "wrong arity"
+    (Invalid_argument "Tuple_relation: wrong arity") (fun () ->
+      ignore (TRel.mem r [ 0; 1 ]));
+  let m = TRel.map (fun v -> (v + 1) mod 4) r in
+  Alcotest.(check bool) "mapped" true (TRel.mem m [ 1; 2; 3 ])
+
+let test_tuple_binary_roundtrip () =
+  let b = Rel.of_list 5 [ (0, 4); (2, 2) ] in
+  let t = TRel.of_binary b in
+  Alcotest.(check int) "arity" 2 (TRel.arity t);
+  Alcotest.(check bool) "roundtrip" true (Rel.equal b (TRel.to_binary t))
+
+(* ---------- QCheck properties ---------- *)
+
+let rel_gen n =
+  QCheck.Gen.(
+    list_size (int_bound (n * 2))
+      (pair (int_bound (n - 1)) (int_bound (n - 1)))
+    |> map (fun pairs -> Rel.of_list n pairs))
+
+let arb_rel n =
+  QCheck.make ~print:(fun r -> Format.asprintf "%a" Rel.pp_raw r) (rel_gen n)
+
+let prop_compose_assoc =
+  QCheck.Test.make ~name:"compose associative" ~count:200
+    (QCheck.triple (arb_rel 5) (arb_rel 5) (arb_rel 5))
+    (fun (a, b, c) ->
+      Rel.equal
+        (Rel.compose a (Rel.compose b c))
+        (Rel.compose (Rel.compose a b) c))
+
+let prop_compose_distributes =
+  QCheck.Test.make ~name:"compose distributes over union" ~count:200
+    (QCheck.triple (arb_rel 5) (arb_rel 5) (arb_rel 5))
+    (fun (a, b, c) ->
+      Rel.equal
+        (Rel.compose a (Rel.union b c))
+        (Rel.union (Rel.compose a b) (Rel.compose a c)))
+
+let prop_union_commutes =
+  QCheck.Test.make ~name:"union commutative" ~count:200
+    (QCheck.pair (arb_rel 6) (arb_rel 6))
+    (fun (a, b) -> Rel.equal (Rel.union a b) (Rel.union b a))
+
+let prop_restrict_partition =
+  QCheck.Test.make ~name:"=/≠ restrictions partition" ~count:200 (arb_rel 6)
+    (fun r ->
+      let value v = dv (v mod 3) in
+      let eq = Rel.restrict_eq ~value r and neq = Rel.restrict_neq ~value r in
+      Rel.equal (Rel.union eq neq) r && Rel.is_empty (Rel.inter eq neq))
+
+let prop_closure_idempotent =
+  QCheck.Test.make ~name:"transitive closure idempotent" ~count:100
+    (arb_rel 5) (fun r ->
+      let tc = Rel.transitive_closure r in
+      Rel.equal tc (Rel.transitive_closure tc))
+
+let prop_closure_transitive =
+  QCheck.Test.make ~name:"closure is transitive" ~count:100 (arb_rel 5)
+    (fun r ->
+      let tc = Rel.transitive_closure r in
+      Rel.subset (Rel.compose tc tc) tc)
+
+let prop_hash_consistent =
+  QCheck.Test.make ~name:"equal implies same hash" ~count:200
+    (QCheck.pair (arb_rel 4) (arb_rel 4))
+    (fun (a, b) -> (not (Rel.equal a b)) || Rel.hash a = Rel.hash b)
+
+let () =
+  Alcotest.run "relation"
+    [
+      ( "binary",
+        [
+          Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "set ops" `Quick test_set_ops;
+          Alcotest.test_case "compose" `Quick test_compose;
+          Alcotest.test_case "restrict" `Quick test_restrict;
+          Alcotest.test_case "transitive closure" `Quick test_transitive_closure;
+          Alcotest.test_case "edge relations" `Quick test_edge_relations;
+          Alcotest.test_case "map" `Quick test_map;
+        ] );
+      ( "tuple",
+        [
+          Alcotest.test_case "basics" `Quick test_tuple_basics;
+          Alcotest.test_case "binary roundtrip" `Quick test_tuple_binary_roundtrip;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_compose_assoc;
+            prop_compose_distributes;
+            prop_union_commutes;
+            prop_restrict_partition;
+            prop_closure_idempotent;
+            prop_closure_transitive;
+            prop_hash_consistent;
+          ] );
+    ]
