@@ -1,0 +1,75 @@
+type t = { rows : int; cols : int; row : Bitset.t array }
+
+let create rows cols =
+  if rows < 0 then invalid_arg "Bitmatrix.create: negative rows";
+  { rows; cols; row = Array.init rows (fun _ -> Bitset.create cols) }
+
+let rows m = m.rows
+let cols m = m.cols
+
+let check_row m i op =
+  if i < 0 || i >= m.rows then
+    invalid_arg (Printf.sprintf "Bitmatrix.%s: row %d out of [0, %d)" op i m.rows)
+
+let get m i j =
+  check_row m i "get";
+  Bitset.mem m.row.(i) j
+
+let set m i j =
+  check_row m i "set";
+  Bitset.add m.row.(i) j
+
+let unset m i j =
+  check_row m i "unset";
+  Bitset.remove m.row.(i) j
+
+let row m i =
+  check_row m i "row";
+  m.row.(i)
+
+let copy m = { m with row = Array.map Bitset.copy m.row }
+
+let equal a b =
+  a.rows = b.rows && a.cols = b.cols
+  && Array.for_all2 Bitset.equal a.row b.row
+
+let transpose m =
+  let t = create m.cols m.rows in
+  for i = 0 to m.rows - 1 do
+    Bitset.iter (fun j -> Bitset.add t.row.(j) i) m.row.(i)
+  done;
+  t
+
+let inter_inplace dst src =
+  if dst.rows <> src.rows || dst.cols <> src.cols then
+    invalid_arg "Bitmatrix.inter_inplace: dimension mismatch";
+  for i = 0 to dst.rows - 1 do
+    Bitset.inter_inplace dst.row.(i) src.row.(i)
+  done
+
+let set_diagonal m =
+  if m.rows <> m.cols then invalid_arg "Bitmatrix.set_diagonal: not square";
+  for i = 0 to m.rows - 1 do
+    Bitset.add m.row.(i) i
+  done
+
+(* Warshall with word-parallel row unions: row_i |= row_k whenever the
+   (i, k) bit is set.  O(n^2 * n / word_size). *)
+let closure_inplace m =
+  if m.rows <> m.cols then invalid_arg "Bitmatrix.closure_inplace: not square";
+  for k = 0 to m.rows - 1 do
+    let rk = m.row.(k) in
+    for i = 0 to m.rows - 1 do
+      if i <> k && Bitset.mem m.row.(i) k then Bitset.union_inplace m.row.(i) rk
+    done
+  done
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.rows - 1 do
+    for j = 0 to m.cols - 1 do
+      Format.pp_print_char ppf (if get m i j then '1' else '.')
+    done;
+    if i < m.rows - 1 then Format.pp_print_cut ppf ()
+  done;
+  Format.fprintf ppf "@]"
