@@ -1,3 +1,6 @@
+module Bitset = Util.Bitset
+module Bitmatrix = Util.Bitmatrix
+
 type node = int
 type label = string
 
@@ -11,9 +14,20 @@ type t = {
   succ : node list array array;
   pred : node list array array;
   edge_list : (node * int * node) list;
+  (* Precomputed at build time so [edges] and [edge_count] are O(1). *)
+  edges_resolved : (node * label * node) list;
+  num_edges : int;
   domain : Data_value.t array;
   value_idx : int array;
+  (* Lazily-built caches.  A graph is immutable after construction (the
+     constructors only retouch [names]), so these never invalidate. *)
+  uid : int;
+  mutable adj_cache : Bitmatrix.t array option;
+  mutable reach_cache : Bitmatrix.t option;
 }
+
+let uid_counter = ref 0
+let uid g = g.uid
 
 let size g = Array.length g.values
 let nodes g = List.init (size g) Fun.id
@@ -34,10 +48,8 @@ let label_id g a = Hashtbl.find g.label_index a
 let label_id_opt g a = Hashtbl.find_opt g.label_index a
 let label_name g i = g.labels.(i)
 
-let edges g =
-  List.map (fun (u, a, v) -> (u, g.labels.(a), v)) (List.rev g.edge_list)
-
-let edge_count g = List.length g.edge_list
+let edges g = g.edges_resolved
+let edge_count g = g.num_edges
 let succ_id g u a = g.succ.(u).(a)
 
 let succ g u a =
@@ -51,7 +63,49 @@ let succ_all g u =
   !acc
 
 let pred_id g u a = g.pred.(u).(a)
-let mem_edge g u a v = List.mem v (succ g u a)
+
+let adjacency g =
+  match g.adj_cache with
+  | Some a -> a
+  | None ->
+      let n = size g in
+      let a =
+        Array.init (Array.length g.labels) (fun _ -> Bitmatrix.create n n)
+      in
+      Array.iteri
+        (fun u row ->
+          Array.iteri
+            (fun lbl succs -> List.iter (fun v -> Bitmatrix.set a.(lbl) u v) succs)
+            row)
+        g.succ;
+      g.adj_cache <- Some a;
+      a
+
+let adjacency_matrix g lbl = (adjacency g).(lbl)
+
+let reachability_matrix g =
+  match g.reach_cache with
+  | Some m -> m
+  | None ->
+      let n = size g in
+      let m = Bitmatrix.create n n in
+      Array.iter
+        (fun am ->
+          for u = 0 to n - 1 do
+            Bitset.union_inplace (Bitmatrix.row m u) (Bitmatrix.row am u)
+          done)
+        (adjacency g);
+      Bitmatrix.set_diagonal m;
+      Bitmatrix.closure_inplace m;
+      g.reach_cache <- Some m;
+      m
+
+let mem_edge g u a v =
+  u >= 0 && u < size g && v >= 0 && v < size g
+  &&
+  match label_id_opt g a with
+  | None -> false
+  | Some lbl -> Bitmatrix.get (adjacency g).(lbl) u v
 
 let build ~values ~edges =
   let n = Array.length values in
@@ -109,8 +163,13 @@ let build ~values ~edges =
     succ;
     pred;
     edge_list = List.rev interned;
+    edges_resolved = List.map (fun (u, a, v) -> (u, labels.(a), v)) interned;
+    num_edges = List.length interned;
     domain = dom;
     value_idx;
+    uid = (incr uid_counter; !uid_counter);
+    adj_cache = None;
+    reach_cache = None;
   }
 
 let make ~nodes ~edges =
@@ -223,16 +282,8 @@ let disjoint_union g1 g2 =
   (g, embed)
 
 let reachable g u =
-  let n = size g in
-  let seen = Array.make n false in
-  let rec dfs v =
-    if not seen.(v) then begin
-      seen.(v) <- true;
-      List.iter (fun (_, w) -> dfs w) (succ_all g v)
-    end
-  in
-  dfs u;
-  seen
+  let m = reachability_matrix g in
+  Array.init (size g) (fun v -> Bitmatrix.get m u v)
 
 let pp ppf g =
   Format.fprintf ppf "@[<v>";

@@ -32,6 +32,11 @@ val build :
 val size : t -> int
 (** Number of nodes [n]. *)
 
+val uid : t -> int
+(** Unique per constructed graph.  Graphs are immutable, so derived
+    structures (CSPs, matrices) keyed by [uid] never need invalidation —
+    this backs the per-graph caches in [Hom] and friends. *)
+
 val nodes : t -> node list
 (** [0; 1; ...; size g - 1]. *)
 
@@ -70,8 +75,15 @@ val label_id_opt : t -> label -> int option
 val label_name : t -> int -> label
 
 val edges : t -> (node * label * node) list
+(** Edges in input order with resolved label names; precomputed at build
+    time, O(1). *)
+
 val edge_count : t -> int
+(** O(1): stored at build time. *)
+
 val mem_edge : t -> node -> label -> node -> bool
+(** O(1): one bit probe of the cached adjacency matrix.  Out-of-range
+    endpoints and unknown labels answer [false]. *)
 
 val succ : t -> node -> label -> node list
 (** [succ g u a] lists all [v] with an [a]-labeled edge [u -> v].  A label
@@ -121,6 +133,23 @@ val disjoint_union : t -> t -> t * (node -> node)
     [g2] are suffixed with ["'"] where needed to stay unique. *)
 
 val reachable : t -> node -> bool array
-(** Nodes reachable from a node by a (possibly empty) path, any labels. *)
+(** Nodes reachable from a node by a (possibly empty) path, any labels.
+    A row of {!reachability_matrix}, decoded. *)
+
+(** {1 Packed adjacency and reachability}
+
+    A graph is immutable once constructed, so both caches below are
+    built lazily on first use and shared by every subsequent call.
+    Callers must treat the returned matrices as read-only. *)
+
+val adjacency_matrix : t -> int -> Util.Bitmatrix.t
+(** [adjacency_matrix g a]: the n×n bit-matrix of the [a]-labeled edges,
+    by dense label id.  Row [u] is the successor set of [u]. *)
+
+val reachability_matrix : t -> Util.Bitmatrix.t
+(** The reflexive-transitive closure of the edge relation (any label):
+    bit [(u, v)] iff some (possibly empty) path leads from [u] to [v].
+    Built once per graph — the per-call DFS sweeps this replaces were
+    the dominant cost of [Hom.is_hom] and [Hom.build_csp]. *)
 
 val pp : Format.formatter -> t -> unit
