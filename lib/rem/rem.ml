@@ -55,6 +55,46 @@ let rec of_regex = function
    towards the value at that position, revisits contribute nothing new
    and are cut off (least fixpoint). *)
 
+(* Memo keys need a node identity for subexpressions.  Annotate the
+   expression with explicit structural numbers in one pass: a pre-order
+   id per node.  (The previous [Obj.repr]-keyed physical identity was a
+   correctness hazard: value sharing — hash-consing, flambda-style
+   lifting of equal subterms — would merge distinct occurrences.) *)
+type ann = { id : int; desc : desc }
+
+and desc =
+  | AEps
+  | ALetter of string
+  | AUnion of ann * ann
+  | AConcat of ann * ann
+  | APlus of ann
+  | ATest of ann * Condition.t
+  | ABind of int list * ann
+
+let annotate e =
+  let next = ref 0 in
+  let rec go e =
+    let id = !next in
+    incr next;
+    let desc =
+      match e with
+      | Eps -> AEps
+      | Letter a -> ALetter a
+      | Union (e1, e2) ->
+          let a1 = go e1 in
+          AUnion (a1, go e2)
+      | Concat (e1, e2) ->
+          let a1 = go e1 in
+          AConcat (a1, go e2)
+      | Plus e1 -> APlus (go e1)
+      | Test (e1, c) -> ATest (go e1, c)
+      | Bind (rs, e1) -> ABind (rs, go e1)
+    in
+    { id; desc }
+  in
+  let a = go e in
+  (a, !next)
+
 module Assignments = Set.Make (struct
   type t = int option list
 
@@ -67,52 +107,48 @@ let key_of_assignment sigma =
 let assignment_of_key key =
   Array.of_list (List.map (Option.map Data_value.of_int) key)
 
-let final_assignments ~k e w sigma =
+let check_args ~k e sigma =
   if Array.length sigma <> k then
     invalid_arg "Rem.final_assignments: assignment length <> k";
   if registers e > k then
-    invalid_arg "Rem.final_assignments: expression uses more registers than k";
+    invalid_arg "Rem.final_assignments: expression uses more registers than k"
+
+(* Reference implementation: assignment-list memo keys, value sets of
+   assignment lists.  Kept as the semantic baseline the packed fast path
+   below is tested against, and as the fallback when packing does not
+   fit in a word. *)
+let final_assignments_generic ~k e w sigma =
+  check_args ~k e sigma;
+  let ae, _count = annotate e in
   let memo : (int * int * int * int option list, Assignments.t) Hashtbl.t =
     Hashtbl.create 256
   in
   let visiting = Hashtbl.create 64 in
-  (* Number expression nodes for memo keys. *)
-  let ids = Hashtbl.create 64 in
-  let next_id = ref 0 in
-  let id_of e =
-    match Hashtbl.find_opt ids (Obj.repr e) with
-    | Some i -> i
-    | None ->
-        let i = !next_id in
-        incr next_id;
-        Hashtbl.add ids (Obj.repr e) i;
-        i
-  in
-  let rec outcomes e i j sigma =
-    let key = (id_of e, i, j, key_of_assignment sigma) in
+  let rec outcomes ae i j sigma =
+    let key = (ae.id, i, j, key_of_assignment sigma) in
     match Hashtbl.find_opt memo key with
     | Some s -> s
     | None ->
         if Hashtbl.mem visiting key then Assignments.empty
         else begin
           Hashtbl.add visiting key ();
-          let result = compute e i j sigma in
+          let result = compute ae i j sigma in
           Hashtbl.remove visiting key;
           Hashtbl.replace memo key result;
           result
         end
-  and compute e i j sigma =
-    match e with
-    | Eps ->
+  and compute ae i j sigma =
+    match ae.desc with
+    | AEps ->
         if i = j then Assignments.singleton (key_of_assignment sigma)
         else Assignments.empty
-    | Letter a ->
+    | ALetter a ->
         if j = i + 1 && Data_path.label_at w i = a then
           Assignments.singleton (key_of_assignment sigma)
         else Assignments.empty
-    | Union (e1, e2) ->
+    | AUnion (e1, e2) ->
         Assignments.union (outcomes e1 i j sigma) (outcomes e2 i j sigma)
-    | Concat (e1, e2) ->
+    | AConcat (e1, e2) ->
         let acc = ref Assignments.empty in
         for l = i to j do
           Assignments.iter
@@ -123,7 +159,7 @@ let final_assignments ~k e w sigma =
             (outcomes e1 i l sigma)
         done;
         !acc
-    | Plus e1 ->
+    | APlus e1 ->
         (* (e⁺,i,j,σ) ⊢ σ' iff (e,i,j,σ) ⊢ σ', or one iteration of e up to
            some split l followed by e⁺ on the rest.  Cycles through
            zero-length iterations revisit the same memo key and are cut off
@@ -135,23 +171,25 @@ let final_assignments ~k e w sigma =
           Assignments.iter
             (fun s1 ->
               acc :=
-                Assignments.union !acc (outcomes e l j (assignment_of_key s1)))
+                Assignments.union !acc (outcomes ae l j (assignment_of_key s1)))
             (outcomes e1 i l sigma)
         done;
         !acc
-    | Test (e1, c) ->
+    | ATest (e1, c) ->
         let d = Data_path.value_at w j in
         Assignments.filter
           (fun s -> Condition.sat c ~d ~assignment:(assignment_of_key s))
           (outcomes e1 i j sigma)
-    | Bind (rs, e1) ->
+    | ABind (rs, e1) ->
         let d = Data_path.value_at w i in
         let sigma' = Array.copy sigma in
         List.iter (fun r -> sigma'.(r) <- Some d) rs;
         outcomes e1 i j sigma'
   in
-  let result = outcomes e 0 (Data_path.length w) sigma in
+  let result = outcomes ae 0 (Data_path.length w) sigma in
   List.map assignment_of_key (Assignments.elements result)
+
+let final_assignments ~k e w sigma = final_assignments_generic ~k e w sigma
 
 let matches e w =
   let k = registers e in
