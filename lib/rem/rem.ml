@@ -189,7 +189,128 @@ let final_assignments_generic ~k e w sigma =
   let result = outcomes ae 0 (Data_path.length w) sigma in
   List.map assignment_of_key (Assignments.elements result)
 
-let final_assignments ~k e w sigma = final_assignments_generic ~k e w sigma
+(* Packed fast path: the data values in play are exactly those of [w]
+   and of the initial assignment, so a register holds one of at most
+   [V + 1] states (⊥ or one of [V] values).  Give each value a small
+   code (⊥ = 0) and pack the whole assignment into one int, [vbits]
+   bits per register.  Memo keys become an int pair and outcome sets
+   become sets of ints — no per-lookup list allocation, no polymorphic
+   compare over options. *)
+
+module IntSet = Set.Make (Int)
+
+let final_assignments_packed ~k ~vals ~code_of ~vbits e w sigma =
+  let m = Data_path.length w in
+  let mask = (1 lsl vbits) - 1 in
+  let get p r = (p lsr (r * vbits)) land mask in
+  let pack sigma =
+    let p = ref 0 in
+    Array.iteri
+      (fun r d ->
+        match d with
+        | None -> ()
+        | Some d -> p := !p lor (code_of d lsl (r * vbits)))
+      sigma;
+    !p
+  in
+  let unpack p =
+    Array.init k (fun r ->
+        let c = get p r in
+        if c = 0 then None else Some (Data_value.of_int vals.(c - 1)))
+  in
+  let rec sat_packed c dc p =
+    match c with
+    | Condition.True -> true
+    | Condition.Eq r -> get p r = dc
+    | Condition.Neq r ->
+        let g = get p r in
+        g = 0 || g <> dc
+    | Condition.And (c1, c2) -> sat_packed c1 dc p && sat_packed c2 dc p
+    | Condition.Or (c1, c2) -> sat_packed c1 dc p || sat_packed c2 dc p
+    | Condition.Not c1 -> not (sat_packed c1 dc p)
+  in
+  let ae, _count = annotate e in
+  let stride = m + 2 in
+  let memo : (int * int, IntSet.t) Hashtbl.t = Hashtbl.create 256 in
+  let visiting : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let rec outcomes ae i j p =
+    let key = (((ae.id * stride) + i) * stride + j, p) in
+    match Hashtbl.find_opt memo key with
+    | Some s -> s
+    | None ->
+        if Hashtbl.mem visiting key then IntSet.empty
+        else begin
+          Hashtbl.add visiting key ();
+          let result = compute ae i j p in
+          Hashtbl.remove visiting key;
+          Hashtbl.replace memo key result;
+          result
+        end
+  and compute ae i j p =
+    match ae.desc with
+    | AEps -> if i = j then IntSet.singleton p else IntSet.empty
+    | ALetter a ->
+        if j = i + 1 && Data_path.label_at w i = a then IntSet.singleton p
+        else IntSet.empty
+    | AUnion (e1, e2) -> IntSet.union (outcomes e1 i j p) (outcomes e2 i j p)
+    | AConcat (e1, e2) ->
+        let acc = ref IntSet.empty in
+        for l = i to j do
+          IntSet.iter
+            (fun p1 -> acc := IntSet.union !acc (outcomes e2 l j p1))
+            (outcomes e1 i l p)
+        done;
+        !acc
+    | APlus e1 ->
+        (* Same least-fixpoint cutoff as the generic implementation. *)
+        let acc = ref (outcomes e1 i j p) in
+        for l = i to j do
+          IntSet.iter
+            (fun p1 -> acc := IntSet.union !acc (outcomes ae l j p1))
+            (outcomes e1 i l p)
+        done;
+        !acc
+    | ATest (e1, c) ->
+        let dc = code_of (Data_path.value_at w j) in
+        IntSet.filter (fun p -> sat_packed c dc p) (outcomes e1 i j p)
+    | ABind (rs, e1) ->
+        let dc = code_of (Data_path.value_at w i) in
+        let p' =
+          List.fold_left
+            (fun p r ->
+              (p land lnot (mask lsl (r * vbits))) lor (dc lsl (r * vbits)))
+            p rs
+        in
+        outcomes e1 i j p'
+  in
+  let result = outcomes ae 0 m (pack sigma) in
+  IntSet.elements result
+  |> List.map unpack
+  |> List.sort (fun a b ->
+         Stdlib.compare (key_of_assignment a) (key_of_assignment b))
+
+let final_assignments ~k e w sigma =
+  check_args ~k e sigma;
+  (* Code table for the values of [w] and [sigma]; ⊥ is code 0. *)
+  let codes : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let enter d =
+    let v = Data_value.to_int d in
+    if not (Hashtbl.mem codes v) then Hashtbl.add codes v (Hashtbl.length codes + 1)
+  in
+  Array.iter enter (Data_path.values w);
+  Array.iter (function Some d -> enter d | None -> ()) sigma;
+  let nvals = Hashtbl.length codes in
+  let rec bits_for n = if n <= 1 then 1 else 1 + bits_for (n / 2) in
+  let vbits = bits_for nvals in
+  if k * vbits > Sys.int_size - 2 then
+    (* Assignments too wide to pack into one word — delegate. *)
+    final_assignments_generic ~k e w sigma
+  else begin
+    let vals = Array.make nvals 0 in
+    Hashtbl.iter (fun v c -> vals.(c - 1) <- v) codes;
+    let code_of d = Hashtbl.find codes (Data_value.to_int d) in
+    final_assignments_packed ~k ~vals ~code_of ~vbits e w sigma
+  end
 
 let matches e w =
   let k = registers e in

@@ -35,7 +35,19 @@ val final_assignments :
   k:int -> t -> Datagraph.Data_path.t -> Datagraph.Data_value.t option array ->
   Datagraph.Data_value.t option array list
 (** All [σ'] with [(e, w, σ) ⊢ σ']; the fully general form of
-    Definition 5.  [k] must be at least [registers e]. *)
+    Definition 5.  [k] must be at least [registers e].
+
+    Runs a packed evaluator: assignments are encoded as small value
+    indices packed into one [int], so memo lookups allocate no lists.
+    When [k × bits-per-value] exceeds a word the evaluator falls back to
+    {!final_assignments_generic}. *)
+
+val final_assignments_generic :
+  k:int -> t -> Datagraph.Data_path.t -> Datagraph.Data_value.t option array ->
+  Datagraph.Data_value.t option array list
+(** Reference implementation of {!final_assignments} with unpacked memo
+    keys — the semantic baseline the packed evaluator is tested against,
+    and its fallback for very wide assignments.  Same results, slower. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
