@@ -1,18 +1,9 @@
 module Data_graph = Datagraph.Data_graph
 module Tuple_relation = Datagraph.Tuple_relation
+module Bitset = Util.Bitset
+module Bitmatrix = Util.Bitmatrix
 
 type t = int array
-
-let reach_matrix g =
-  let n = Data_graph.size g in
-  let m = Array.make_matrix n n false in
-  for u = 0 to n - 1 do
-    let r = Data_graph.reachable g u in
-    for v = 0 to n - 1 do
-      m.(u).(v) <- r.(v)
-    done
-  done;
-  m
 
 let is_hom g h =
   let n = Data_graph.size g in
@@ -22,11 +13,11 @@ let is_hom g h =
        (fun (p, a, q) -> Data_graph.mem_edge g h.(p) a h.(q))
        (Data_graph.edges g)
   &&
-  let reach = reach_matrix g in
+  let reach = Data_graph.reachability_matrix g in
   let ok = ref true in
   for p = 0 to n - 1 do
     for q = 0 to n - 1 do
-      if reach.(p).(q) then
+      if Bitmatrix.get reach p q then
         if Data_graph.same_value g p q <> Data_graph.same_value g h.(p) h.(q)
         then ok := false
     done
@@ -36,167 +27,297 @@ let is_hom g h =
 let identity g = Array.init (Data_graph.size g) Fun.id
 
 (* ------------------------------------------------------------------ *)
-(* CSP machinery.  Domains are boolean arrays with a cardinality count;
+(* CSP machinery.  Domains are bitsets with a maintained cardinality;
    constraints are the edge constraints (h(u),h(v)) ∈ E_a and the data
    constraints same_value(h(p),h(q)) = same_value(p,q) for reachable
-   (p,q).  Both are binary, so AC-3 applies uniformly.                  *)
+   (p,q).  Both are binary, so AC-3 applies uniformly.  A support check
+   is one word-parallel row-AND ([Bitset.disjoint] of a constraint row
+   with the neighbour domain), and every domain removal is recorded on
+   a trail so backtracking undoes exactly the removals of the abandoned
+   subtree instead of copying all domains at every branch node.         *)
 
-type domain = { mutable card : int; bits : bool array }
-
-let dom_full n = { card = n; bits = Array.make n true }
-let dom_copy d = { card = d.card; bits = Array.copy d.bits }
-
-let dom_remove d x =
-  if d.bits.(x) then begin
-    d.bits.(x) <- false;
-    d.card <- d.card - 1
-  end
-
-let dom_restrict_to d x =
-  Array.iteri (fun y _ -> if y <> x then dom_remove d y) d.bits
-
-let dom_iter d f =
-  Array.iteri (fun x present -> if present then f x) d.bits
-
-let dom_first d =
-  let rec go x = if d.bits.(x) then x else go (x + 1) in
-  go 0
+type domain = { bits : Bitset.t; mutable card : int }
 
 type csp = {
-  g : Data_graph.t;
   n : int;
-  (* Binary constraints as (u, v, allowed) with allowed.(x).(y). *)
-  constraints : (int * int * bool array array) array;
+  (* Binary constraints as (u, v, allowed, allowedᵀ); rows of [allowed]
+     index u-values, rows of the transpose index v-values.  The data
+     constraints all share two matrices (same-value / distinct-value),
+     which are symmetric and hence self-transposed. *)
+  constraints : (int * int * Bitmatrix.t * Bitmatrix.t) array;
   (* For each variable, indices of constraints mentioning it. *)
   incident : int list array;
+  (* Root domains after the initial arc-consistency pass — a pure
+     function of the CSP, computed once and copied into each search.
+     [None] = not yet computed; [Some None] = wiped out (no solutions
+     at all); [Some (Some doms)] = the arc-consistent template. *)
+  mutable root : domain array option option;
 }
 
-let build_csp g =
+type state = {
+  doms : domain array;
+  (* Removals, packed as var * n + value. *)
+  mutable trail : int array;
+  mutable trail_len : int;
+  (* AC-3 worklist, shared across all branch nodes of one search.  The
+     drain loop restores [enqueued] to all-false before returning (or on
+     Wipeout), so no per-propagation allocation is needed. *)
+  mutable work : int array;
+  mutable work_len : int;
+  enqueued : bool array;
+}
+
+let build_csp_uncached g =
   let n = Data_graph.size g in
-  let reach = reach_matrix g in
+  let reach = Data_graph.reachability_matrix g in
   let constraints = ref [] in
-  (* One constraint per (u, v, a) edge triple; merge edges with the same
-     endpoints into a single conjunction table. *)
-  let edge_tbl : (int * int, bool array array) Hashtbl.t = Hashtbl.create 64 in
+  (* One constraint per (u, v) edge pair; edges with the same endpoints
+     conjoin into a single table by intersecting adjacency matrices. *)
+  let edge_tbl : (int * int, Bitmatrix.t) Hashtbl.t = Hashtbl.create 64 in
   List.iter
     (fun (u, a, v) ->
-      let allowed =
-        match Hashtbl.find_opt edge_tbl (u, v) with
-        | Some m -> m
-        | None ->
-            let m = Array.make_matrix n n true in
-            Hashtbl.add edge_tbl (u, v) m;
-            m
-      in
-      let lbl = Data_graph.label_id g a in
-      for x = 0 to n - 1 do
-        let succs = Data_graph.succ_id g x lbl in
-        for y = 0 to n - 1 do
-          if not (List.mem y succs) then allowed.(x).(y) <- false
-        done
-      done)
+      let adj = Data_graph.adjacency_matrix g (Data_graph.label_id g a) in
+      match Hashtbl.find_opt edge_tbl (u, v) with
+      | Some m -> Bitmatrix.inter_inplace m adj
+      | None -> Hashtbl.add edge_tbl (u, v) (Bitmatrix.copy adj))
     (Data_graph.edges g);
-  Hashtbl.iter (fun (u, v) m -> constraints := (u, v, m) :: !constraints) edge_tbl;
-  (* Data compatibility for reachable pairs (skip trivial p = q). *)
+  (* Data compatibility for reachable pairs (skip trivial p = q).  All
+     standalone data constraints share the two matrices below. *)
+  let same = Bitmatrix.create n n in
+  let diff = Bitmatrix.create n n in
+  for x = 0 to n - 1 do
+    for y = 0 to n - 1 do
+      if Data_graph.same_value g x y then Bitmatrix.set same x y
+      else Bitmatrix.set diff x y
+    done
+  done;
+  (* The data matrices are symmetric and [revise] works both directions,
+     so one constraint per unordered pair {p, q} suffices; and when the
+     pair also carries an edge constraint, intersect the data matrix into
+     it instead of adding a second constraint on the same pair. *)
   for p = 0 to n - 1 do
-    for q = 0 to n - 1 do
-      if p <> q && reach.(p).(q) then begin
-        let want = Data_graph.same_value g p q in
-        let m =
-          Array.init n (fun x ->
-              Array.init n (fun y -> Data_graph.same_value g x y = want))
-        in
-        constraints := (p, q, m) :: !constraints
+    for q = p + 1 to n - 1 do
+      if Bitmatrix.get reach p q || Bitmatrix.get reach q p then begin
+        let m = if Data_graph.same_value g p q then same else diff in
+        let merged = ref false in
+        List.iter
+          (fun key ->
+            match Hashtbl.find_opt edge_tbl key with
+            | Some em ->
+                Bitmatrix.inter_inplace em m;
+                merged := true
+            | None -> ())
+          [ (p, q); (q, p) ];
+        if not !merged then constraints := (p, q, m, m) :: !constraints
       end
     done
   done;
-  let constraints = Array.of_list !constraints in
+  Hashtbl.iter
+    (fun (u, v) m ->
+      constraints := (u, v, m, Bitmatrix.transpose m) :: !constraints)
+    edge_tbl;
+  (* A constraint whose matrix is all-true (every row full) can never
+     prune a value; revising it on every propagation is pure waste.  In
+     particular, on a single-valued graph the [same] matrix is full and
+     every reachable pair's data constraint drops out here. *)
+  let never_prunes (_, _, m, _) =
+    let full = ref true in
+    for x = 0 to n - 1 do
+      if Bitset.cardinal (Bitmatrix.row m x) <> n then full := false
+    done;
+    !full
+  in
+  let constraints =
+    Array.of_list (List.filter (fun c -> not (never_prunes c)) !constraints)
+  in
   let incident = Array.make n [] in
   Array.iteri
-    (fun ci (u, v, _) ->
+    (fun ci (u, v, _, _) ->
       incident.(u) <- ci :: incident.(u);
       if v <> u then incident.(v) <- ci :: incident.(v))
     constraints;
-  { g; n; constraints; incident }
+  { n; constraints; incident; root = None }
 
-(* Revise both sides of constraint [ci]; returns the list of variables
-   whose domain shrank, or raises [Wipeout]. *)
+(* The CSP is a pure function of the (immutable) graph; remember the
+   most recent one so repeated searches on the same graph — the census,
+   the benchmarks, any preservation check over many relations — build
+   it once. *)
+let csp_cache : (int * csp) option ref = ref None
+
+let build_csp g =
+  match !csp_cache with
+  | Some (uid, csp) when uid = Data_graph.uid g -> csp
+  | _ ->
+      let csp = build_csp_uncached g in
+      csp_cache := Some (Data_graph.uid g, csp);
+      csp
+
 exception Wipeout
 
-let revise csp doms ci =
-  let u, v, allowed = csp.constraints.(ci) in
-  let changed = ref [] in
-  let du = doms.(u) and dv = doms.(v) in
-  dom_iter (dom_copy du) (fun x ->
-      let supported = ref false in
-      dom_iter dv (fun y -> if allowed.(x).(y) then supported := true);
-      if not !supported then begin
-        dom_remove du x;
-        if not (List.mem u !changed) then changed := u :: !changed
-      end);
-  dom_iter (dom_copy dv) (fun y ->
-      let supported = ref false in
-      dom_iter du (fun x -> if allowed.(x).(y) then supported := true);
-      if not !supported then begin
-        dom_remove dv y;
-        if not (List.mem v !changed) then changed := v :: !changed
-      end);
-  if du.card = 0 || dv.card = 0 then raise Wipeout;
-  !changed
+let fresh_state csp doms =
+  {
+    doms;
+    trail = Array.make (max 16 (4 * csp.n)) 0;
+    trail_len = 0;
+    work = Array.make (max 16 (Array.length csp.constraints)) 0;
+    work_len = 0;
+    enqueued = Array.make (Array.length csp.constraints) false;
+  }
 
-let propagate csp doms dirty =
-  let queue = Queue.create () in
-  let enqueued = Array.make (Array.length csp.constraints) false in
-  let push ci =
-    if not enqueued.(ci) then begin
-      enqueued.(ci) <- true;
-      Queue.add ci queue
-    end
-  in
-  List.iter (fun v -> List.iter push csp.incident.(v)) dirty;
-  while not (Queue.is_empty queue) do
-    let ci = Queue.pop queue in
-    enqueued.(ci) <- false;
-    let changed = revise csp doms ci in
-    List.iter (fun v -> List.iter push csp.incident.(v)) changed
+let trail_push st e =
+  if st.trail_len >= Array.length st.trail then begin
+    let t = Array.make (2 * Array.length st.trail) 0 in
+    Array.blit st.trail 0 t 0 st.trail_len;
+    st.trail <- t
+  end;
+  st.trail.(st.trail_len) <- e;
+  st.trail_len <- st.trail_len + 1
+
+let dom_remove csp st var x =
+  let d = st.doms.(var) in
+  if Bitset.mem d.bits x then begin
+    Bitset.remove d.bits x;
+    d.card <- d.card - 1;
+    trail_push st ((var * csp.n) + x)
+  end
+
+let undo_to csp st mark =
+  while st.trail_len > mark do
+    st.trail_len <- st.trail_len - 1;
+    let e = st.trail.(st.trail_len) in
+    let d = st.doms.(e / csp.n) in
+    Bitset.add d.bits (e mod csp.n);
+    d.card <- d.card + 1
   done
+
+(* Revise both sides of constraint [ci]; reports which sides shrank, or
+   raises [Wipeout]. *)
+let revise csp st ci =
+  let u, v, m, mt = csp.constraints.(ci) in
+  let du = st.doms.(u) and dv = st.doms.(v) in
+  let changed_u = ref false and changed_v = ref false in
+  Bitset.iter
+    (fun x ->
+      if Bitset.disjoint (Bitmatrix.row m x) dv.bits then begin
+        dom_remove csp st u x;
+        changed_u := true
+      end)
+    du.bits;
+  Bitset.iter
+    (fun y ->
+      if Bitset.disjoint (Bitmatrix.row mt y) du.bits then begin
+        dom_remove csp st v y;
+        changed_v := true
+      end)
+    dv.bits;
+  if du.card = 0 || dv.card = 0 then raise Wipeout;
+  (u, !changed_u, v, !changed_v)
+
+let push_work st ci =
+  if not st.enqueued.(ci) then begin
+    st.enqueued.(ci) <- true;
+    if st.work_len >= Array.length st.work then begin
+      let w = Array.make (2 * Array.length st.work) 0 in
+      Array.blit st.work 0 w 0 st.work_len;
+      st.work <- w
+    end;
+    st.work.(st.work_len) <- ci;
+    st.work_len <- st.work_len + 1
+  end
+
+let propagate csp st dirty =
+  List.iter (fun v -> List.iter (push_work st) csp.incident.(v)) dirty;
+  try
+    while st.work_len > 0 do
+      st.work_len <- st.work_len - 1;
+      let ci = st.work.(st.work_len) in
+      st.enqueued.(ci) <- false;
+      let u, cu, v, cv = revise csp st ci in
+      if cu then List.iter (push_work st) csp.incident.(u);
+      if cv then List.iter (push_work st) csp.incident.(v)
+    done
+  with Wipeout ->
+    (* Restore the worklist invariant before unwinding. *)
+    while st.work_len > 0 do
+      st.work_len <- st.work_len - 1;
+      st.enqueued.(st.work.(st.work_len)) <- false
+    done;
+    raise Wipeout
+
+let dom_first d =
+  match Bitset.first d.bits with
+  | Some x -> x
+  | None -> raise Wipeout
+
+(* Arc-consistent root domains: a pure function of the CSP, so computed
+   once and copied into each search instead of re-propagating all
+   constraints from full domains on every call. *)
+let root_doms csp =
+  match csp.root with
+  | Some r -> r
+  | None ->
+      let doms =
+        Array.init csp.n (fun _ -> { bits = Bitset.full csp.n; card = csp.n })
+      in
+      let st = fresh_state csp doms in
+      let r =
+        try
+          propagate csp st (List.init csp.n Fun.id);
+          Some doms
+        with Wipeout -> None
+      in
+      csp.root <- Some r;
+      r
+
+let copy_doms doms =
+  Array.map (fun d -> { bits = Bitset.copy d.bits; card = d.card }) doms
 
 (* Generic backtracking search.  [prune doms] may declare a subtree
    hopeless; [leaf h] is called on every complete homomorphism and
    returns [true] to stop with this solution. *)
-let solve csp ~prune ~leaf =
+let solve_from csp st ~prune ~leaf =
   let exception Found of int array in
-  let rec go doms =
-    if not (prune doms) then begin
+  let rec go () =
+    if not (prune st.doms) then begin
       let var = ref (-1) and best = ref max_int in
       Array.iteri
-        (fun v d -> if d.card > 1 && d.card < !best then begin
-             var := v;
-             best := d.card
-           end)
-        doms;
+        (fun v d ->
+          if d.card > 1 && d.card < !best then begin
+            var := v;
+            best := d.card
+          end)
+        st.doms;
       if !var = -1 then begin
-        let h = Array.map dom_first doms in
+        let h = Array.map dom_first st.doms in
         if leaf h then raise (Found h)
       end
       else
-        dom_iter (dom_copy doms.(!var)) (fun x ->
-            let doms' = Array.map dom_copy doms in
-            dom_restrict_to doms'.(!var) x;
-            try
-              propagate csp doms' [ !var ];
-              go doms'
-            with Wipeout -> ())
+        let var = !var in
+        let values = Bitset.to_list st.doms.(var).bits in
+        List.iter
+          (fun x ->
+            let mark = st.trail_len in
+            (try
+               List.iter
+                 (fun y -> if y <> x then dom_remove csp st var y)
+                 values;
+               propagate csp st [ var ];
+               go ()
+             with Wipeout -> ());
+            undo_to csp st mark)
+          values
     end
   in
-  let doms = Array.init csp.n (fun _ -> dom_full csp.n) in
   try
-    propagate csp doms (List.init csp.n Fun.id);
-    go doms;
+    go ();
     None
-  with
-  | Found h -> Some h
-  | Wipeout -> None
+  with Found h -> Some h
+
+let solve csp ~prune ~leaf =
+  match root_doms csp with
+  | None -> None
+  | Some template ->
+      solve_from csp (fresh_state csp (copy_doms template)) ~prune ~leaf
 
 let find_violating g s =
   let csp = build_csp g in
@@ -209,13 +330,12 @@ let find_violating g s =
       | [] -> not (Tuple_relation.mem s (List.rev prefix_rev))
       | p :: rest ->
           let escaped = ref false in
-          dom_iter doms.(p) (fun x ->
-              if not !escaped then escaped := go (x :: prefix_rev) rest);
+          Bitset.iter
+            (fun x -> if not !escaped then escaped := go (x :: prefix_rev) rest)
+            doms.(p).bits;
           !escaped
     in
-    let size =
-      List.fold_left (fun acc p -> acc * doms.(p).card) 1 tup
-    in
+    let size = List.fold_left (fun acc p -> acc * doms.(p).card) 1 tup in
     if size > cap then true else go [] tup
   in
   let prune doms = not (Tuple_relation.exists (tuple_can_escape doms) s) in
