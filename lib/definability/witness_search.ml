@@ -1,4 +1,5 @@
 module Relation = Datagraph.Relation
+module Bitset = Util.Bitset
 
 let log_src =
   Logs.Src.create "definability.witness_search"
@@ -27,31 +28,75 @@ type outcome = {
   tuples_explored : int;
 }
 
-(* A tuple ⟨Q_1,…,Q_n⟩ is a Bytes bit-matrix: row i holds source i's
-   reachable state set. *)
+(* A tuple ⟨Q_1,…,Q_n⟩ is an array of bitsets: entry i holds source i's
+   reachable state set, packed one state per bit.  Applying a block is a
+   union of precomputed successor rows over the set bits; the safety
+   check is a word-parallel disjointness test against a precomputed
+   "unsafe states" mask per source. *)
+
+module Tuple_key = struct
+  (* The hash is computed once at construction and stored: every tuple
+     is hashed at least twice (membership probe, then insertion), and
+     hashing the full bit pattern is the dominant cost of the BFS loop.
+     [Hashtbl.hash] would not do: it samples only a bounded prefix of
+     the structure, which collides catastrophically on wide tuples. *)
+  type t = { h : int; rows : Bitset.t array }
+
+  let equal a b =
+    a.h = b.h
+    && Array.length a.rows = Array.length b.rows
+    &&
+    let rec go i = i < 0 || (Bitset.equal a.rows.(i) b.rows.(i) && go (i - 1)) in
+    go (Array.length a.rows - 1)
+
+  let hash k = k.h
+
+  let make rows =
+    let h = ref 0 in
+    Array.iter (fun b -> h := (!h * 1000003) lxor Bitset.hash b) rows;
+    { h = !h land max_int; rows }
+end
+
+module Tuple_tbl = Hashtbl.Make (Tuple_key)
 
 let search ?(max_tuples = 2_000_000) cfg ~target =
   let n = Array.length cfg.sources in
   if Relation.universe target <> n then
     invalid_arg "Witness_search.search: target universe <> number of sources";
-  let row_bytes = (cfg.num_states + 7) / 8 in
-  let total = n * row_bytes in
-  let get_bit t i s =
-    Bytes.get_uint8 t ((i * row_bytes) + (s lsr 3)) land (1 lsl (s land 7)) <> 0
+  let ns = cfg.num_states in
+  (* Deterministic successor rows per block, built once: row s is the
+     successor set of state s. *)
+  let succ_rows =
+    Array.map
+      (fun block ->
+        Array.init ns (fun s ->
+            let row = Bitset.create ns in
+            List.iter (fun s' -> Bitset.add row s') (block.succ s);
+            row))
+      cfg.blocks
   in
-  let set_bit t i s =
-    let idx = (i * row_bytes) + (s lsr 3) in
-    Bytes.set_uint8 t idx (Bytes.get_uint8 t idx lor (1 lsl (s land 7)))
+  (* States whose projection leaves the target, per source. *)
+  let bad =
+    Array.init n (fun i ->
+        let b = Bitset.create ns in
+        for s = 0 to ns - 1 do
+          if not (Relation.mem target i (cfg.node_of s)) then Bitset.add b s
+        done;
+        b)
   in
-  let is_zero t = Bytes.for_all (fun c -> c = '\000') t in
   (* Initial tuple. *)
-  let t0 = Bytes.make total '\000' in
-  Array.iteri (fun i s -> set_bit t0 i s) cfg.sources;
+  let t0 =
+    Tuple_key.make
+      (Array.init n (fun i ->
+           let b = Bitset.create ns in
+           Bitset.add b cfg.sources.(i);
+           b))
+  in
   (* Visited table and BFS bookkeeping.  Parents record (parent id, block
      index) for witness reconstruction. *)
-  let visited : (string, int) Hashtbl.t = Hashtbl.create 4096 in
+  let visited : int Tuple_tbl.t = Tuple_tbl.create 4096 in
   let parents : (int * int) option array ref = ref (Array.make 1024 None) in
-  let tuples : Bytes.t array ref = ref (Array.make 1024 Bytes.empty) in
+  let tuples : Tuple_key.t array ref = ref (Array.make 1024 t0) in
   let count = ref 0 in
   let register t parent =
     let id = !count in
@@ -60,13 +105,13 @@ let search ?(max_tuples = 2_000_000) cfg ~target =
       let parents' = Array.make (2 * id) None in
       Array.blit !parents 0 parents' 0 id;
       parents := parents';
-      let tuples' = Array.make (2 * id) Bytes.empty in
+      let tuples' = Array.make (2 * id) t0 in
       Array.blit !tuples 0 tuples' 0 id;
       tuples := tuples'
     end;
     !parents.(id) <- parent;
     !tuples.(id) <- t;
-    Hashtbl.add visited (Bytes.to_string t) id;
+    Tuple_tbl.add visited t id;
     id
   in
   let queue = Queue.create () in
@@ -77,57 +122,46 @@ let search ?(max_tuples = 2_000_000) cfg ~target =
   let done_ = ref (target_card = 0) in
   let truncated = ref false in
   (* Per-block successor application on a whole tuple. *)
-  let apply block t =
-    let t' = Bytes.make total '\000' in
-    for i = 0 to n - 1 do
-      for s = 0 to cfg.num_states - 1 do
-        if get_bit t i s then
-          List.iter (fun s' -> set_bit t' i s') (block.succ s)
-      done
-    done;
-    t'
+  let apply rows t =
+    Array.map
+      (fun qi ->
+        let q' = Bitset.create ns in
+        Bitset.iter (fun s -> Bitset.union_inplace q' rows.(s)) qi;
+        q')
+      t
   in
   while (not !done_) && not (Queue.is_empty queue) do
     let id = Queue.pop queue in
-    let t = !tuples.(id) in
+    let t = (!tuples.(id)).Tuple_key.rows in
     (* Safety: every reachable state projects into the target. *)
     let safe = ref true in
-    (try
-       for i = 0 to n - 1 do
-         for s = 0 to cfg.num_states - 1 do
-           if get_bit t i s && not (Relation.mem target i (cfg.node_of s))
-           then begin
-             safe := false;
-             raise Exit
-           end
-         done
-       done
-     with Exit -> ());
+    for i = 0 to n - 1 do
+      if not (Bitset.disjoint t.(i) bad.(i)) then safe := false
+    done;
     if !safe then begin
       for i = 0 to n - 1 do
-        for s = 0 to cfg.num_states - 1 do
-          if get_bit t i s then begin
+        Bitset.iter
+          (fun s ->
             let q = cfg.node_of s in
             if not (Relation.mem !covered i q) then begin
               covered := Relation.add !covered i q;
               Hashtbl.replace witness_ids (i, q) id
-            end
-          end
-        done
+            end)
+          t.(i)
       done;
       if Relation.cardinal !covered = target_card then done_ := true
     end;
     if not !done_ then
       Array.iteri
-        (fun bi block ->
-          let t' = apply block t in
-          if
-            (not (is_zero t'))
-            && not (Hashtbl.mem visited (Bytes.to_string t'))
-          then
-            if !count >= max_tuples then truncated := true
-            else Queue.add (register t' (Some (id, bi))) queue)
-        cfg.blocks
+        (fun bi rows ->
+          let rows' = apply rows t in
+          if Array.exists (fun q -> not (Bitset.is_empty q)) rows' then begin
+            let t' = Tuple_key.make rows' in
+            if not (Tuple_tbl.mem visited t') then
+              if !count >= max_tuples then truncated := true
+              else Queue.add (register t' (Some (id, bi))) queue
+          end)
+        succ_rows
   done;
   (* Reconstruct block sequences for covered pairs. *)
   let path_of id =
