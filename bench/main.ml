@@ -31,6 +31,23 @@ let wall f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* Repeat [f] often enough that the total runtime is measurable and
+   report seconds per call; used for the acceptance metrics recorded in
+   BENCH_1.json. *)
+let time_per_call f =
+  (* Start from a compacted heap so timings do not depend on garbage
+     left behind by whatever ran before this metric. *)
+  Gc.compact ();
+  ignore (f ());
+  let _, t1 = wall f in
+  let reps = max 1 (min 100_000 (int_of_float (0.25 /. Float.max t1 1e-7))) in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (f ())
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  (dt /. float_of_int reps, reps)
+
 let header title =
   Printf.printf "\n=== %s ===\n%!" title
 
@@ -286,11 +303,21 @@ let table8 () =
 (* ------------------------------------------------------------------ *)
 (* T9: definability census — the hierarchy, quantified.                *)
 
+let census_graphs () =
+  let dv = Datagraph.Data_value.of_int in
+  [
+    ("line 0-1-0", Gen.line ~values:[ dv 0; dv 1; dv 0 ] ~label:"a");
+    ("cycle 0-0-0", Gen.cycle ~values:[ dv 0; dv 0; dv 0 ] ~label:"a");
+    ("cycle 0-1-0", Gen.cycle ~values:[ dv 0; dv 1; dv 0 ] ~label:"a");
+    ("fork", Datagraph.Data_graph.build
+               ~values:[| dv 0; dv 1; dv 1 |]
+               ~edges:[ (0, "a", 1); (0, "a", 2) ]);
+  ]
+
 let table9 () =
   header "T9: definability census over all 2^(n^2) binary relations";
   Printf.printf "%-16s %-6s %-6s %-6s %-8s %-8s\n" "graph" "RPQ" "RDPQ="
     "REM" "UCRDPQ" "total";
-  let dv = Datagraph.Data_value.of_int in
   List.iter
     (fun (name, g) ->
       let c = Definability.Census.binary ~max_k:0 g in
@@ -298,14 +325,7 @@ let table9 () =
         c.Definability.Census.rpq c.Definability.Census.ree
         c.Definability.Census.rem c.Definability.Census.ucrdpq
         c.Definability.Census.relations)
-    [
-      ("line 0-1-0", Gen.line ~values:[ dv 0; dv 1; dv 0 ] ~label:"a");
-      ("cycle 0-0-0", Gen.cycle ~values:[ dv 0; dv 0; dv 0 ] ~label:"a");
-      ("cycle 0-1-0", Gen.cycle ~values:[ dv 0; dv 1; dv 0 ] ~label:"a");
-      ("fork", Datagraph.Data_graph.build
-                 ~values:[| dv 0; dv 1; dv 1 |]
-                 ~edges:[ (0, "a", 1); (0, "a", 2) ]);
-    ];
+    (census_graphs ());
   print_endline "expected shape: counts monotone along the hierarchy;\n\
                  symmetric graphs cap even UCRDPQ below the total."
 
@@ -419,6 +439,7 @@ let bechamel_tests () =
                   ~label:"a")));
     ]
 
+(* Returns (name, estimated ns/run) rows for the JSON record. *)
 let run_bechamel () =
   header "Bechamel micro-benchmarks (median ns/run via OLS)";
   let ols =
@@ -430,7 +451,7 @@ let run_bechamel () =
   let results = Analyze.all ols (Toolkit.Instance.monotonic_clock :> Measure.witness) raw in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
   Printf.printf "%-40s %-16s\n" "benchmark" "time/run";
-  List.iter
+  List.filter_map
     (fun (name, ols) ->
       match Analyze.OLS.estimates ols with
       | Some [ est ] ->
@@ -440,23 +461,170 @@ let run_bechamel () =
             else if est > 1e3 then Printf.sprintf "%.3f us" (est /. 1e3)
             else Printf.sprintf "%.0f ns" est
           in
-          Printf.printf "%-40s %-16s\n%!" name pretty
-      | _ -> Printf.printf "%-40s (no estimate)\n%!" name)
+          Printf.printf "%-40s %-16s\n%!" name pretty;
+          Some (name, est)
+      | _ ->
+          Printf.printf "%-40s (no estimate)\n%!" name;
+          None)
     (List.sort compare rows)
 
+(* ------------------------------------------------------------------ *)
+(* JSON benchmark record (--json): per-table wall times, bechamel
+   estimates, and the acceptance metrics tracked across PRs (Hom.count
+   on the T9 census graphs, k=2 REM definability on the Fig. 1 / S2
+   instance).  With --baseline FILE, the acceptance numbers of an
+   earlier record are embedded and per-metric speedups computed.        *)
+
+let acceptance_metrics () =
+  let g = Gen.fig1 () in
+  let s2 = Gen.fig1_s2 g in
+  let homs =
+    List.map
+      (fun (name, cg) ->
+        let id =
+          "hom-count-" ^ String.map (fun c -> if c = ' ' then '-' else c) name
+        in
+        let secs, reps = time_per_call (fun () -> Definability.Hom.count cg) in
+        (id, secs, reps))
+      (census_graphs ())
+  in
+  let secs, reps = time_per_call (fun () -> Remd.is_definable_k g ~k:2 s2) in
+  homs @ [ ("krem-k2-fig1-s2", secs, reps) ]
+
+(* Minimal scanner for the acceptance section of an earlier --json
+   record: the writer puts one entry per line, so a line-based scan
+   suffices (no JSON dependency in the package).                        *)
+let read_baseline path =
+  let contains_from line i sub =
+    let n = String.length sub in
+    String.length line - i >= n && String.sub line i n = sub
+  in
+  let find_sub line sub =
+    let rec go i =
+      if i + String.length sub > String.length line then None
+      else if contains_from line i sub then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let ic =
+    try open_in path
+    with Sys_error msg ->
+      Printf.eprintf "bench: cannot read baseline: %s\n%!" msg;
+      exit 2
+  in
+  let rec go acc =
+    match input_line ic with
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+    | line -> (
+        let line = String.trim line in
+        match find_sub line "\"secs_per_call\":" with
+        | Some j when String.length line > 0 && line.[0] = '"' -> (
+            match String.index_from_opt line 1 '"' with
+            | Some close ->
+                let key = String.sub line 1 (close - 1) in
+                let rest =
+                  String.sub line
+                    (j + String.length "\"secs_per_call\":")
+                    (String.length line - j - String.length "\"secs_per_call\":")
+                in
+                let num =
+                  String.trim rest |> String.split_on_char ','
+                  |> List.hd |> String.trim
+                in
+                (match float_of_string_opt num with
+                | Some f -> go ((key, f) :: acc)
+                | None -> go acc)
+            | None -> go acc)
+        | _ -> go acc)
+  in
+  go []
+
+let write_json ~path ~table_times ~acceptance ~bechamel ~baseline =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"definability-bench-1\",\n";
+  p "  \"command\": \"dune exec bench/main.exe -- tables --json\",\n";
+  p "  \"tables_wall_secs\": {\n";
+  let rec commas f = function
+    | [] -> ()
+    | [ x ] -> f x; p "\n"
+    | x :: rest -> f x; p ",\n"; commas f rest
+  in
+  commas (fun (name, dt) -> p "    \"%s\": %.6f" name dt) table_times;
+  p "  },\n";
+  p "  \"acceptance\": {\n";
+  commas
+    (fun (name, secs, reps) ->
+      p "    \"%s\": { \"secs_per_call\": %.9e, \"calls\": %d }" name secs reps)
+    acceptance;
+  p "  },\n";
+  (match baseline with
+  | None -> ()
+  | Some base ->
+      p "  \"baseline_acceptance_secs_per_call\": {\n";
+      commas (fun (name, secs) -> p "    \"%s\": %.9e" name secs) base;
+      p "  },\n";
+      p "  \"speedup_vs_baseline\": {\n";
+      let speedups =
+        List.filter_map
+          (fun (name, secs, _) ->
+            match List.assoc_opt name base with
+            | Some b when secs > 0. -> Some (name, b /. secs)
+            | _ -> None)
+          acceptance
+      in
+      commas (fun (name, s) -> p "    \"%s\": %.2f" name s) speedups;
+      p "  },\n");
+  p "  \"bechamel_ns_per_run\": {\n";
+  commas (fun (name, est) -> p "    \"%s\": %.1f" name est) bechamel;
+  p "  }\n";
+  p "}\n";
+  close_out oc
+
 let () =
-  let tables_only = Array.exists (fun a -> a = "tables") Sys.argv in
-  table1 ();
-  table2 ();
-  table3 ();
-  table4 ();
-  table5 ();
-  table6 ();
-  table7 ();
-  table8 ();
-  table9 ();
-  ablation_condition_alphabet ();
-  ablation_profile_vs_full ();
-  ablation_gaut ();
-  if not tables_only then run_bechamel ();
+  let argv = Array.to_list Sys.argv in
+  let tables_only = List.mem "tables" argv in
+  let json = List.mem "--json" argv in
+  let rec opt_after key = function
+    | [ a ] when a = key ->
+        Printf.eprintf "bench: %s requires a value\n%!" key;
+        exit 2
+    | a :: b :: _ when a = key -> Some b
+    | _ :: rest -> opt_after key rest
+    | [] -> None
+  in
+  let out = Option.value ~default:"BENCH_1.json" (opt_after "--out" argv) in
+  let baseline = Option.map read_baseline (opt_after "--baseline" argv) in
+  let tabs =
+    [
+      ("T1", table1); ("T2", table2); ("T3", table3); ("T4", table4);
+      ("T5", table5); ("T6", table6); ("T7", table7); ("T8", table8);
+      ("T9", table9);
+      ("A1", ablation_condition_alphabet);
+      ("A2", ablation_profile_vs_full);
+      ("A3", ablation_gaut);
+    ]
+  in
+  let table_times =
+    List.map
+      (fun (name, f) ->
+        let (), dt = wall f in
+        (name, dt))
+      tabs
+  in
+  let bechamel = if tables_only then [] else run_bechamel () in
+  if json then begin
+    header "acceptance metrics (secs/call)";
+    let acceptance = acceptance_metrics () in
+    List.iter
+      (fun (name, secs, reps) ->
+        Printf.printf "%-28s %.3e s/call  (%d calls)\n%!" name secs reps)
+      acceptance;
+    write_json ~path:out ~table_times ~acceptance ~bechamel ~baseline;
+    Printf.printf "\nwrote %s\n%!" out
+  end;
   print_endline "\nbench: done."
