@@ -31,6 +31,13 @@ let wall f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* The three-valued verdict of a witness search, for the tables. *)
+let ws_verdict (o : Definability.Witness_search.outcome) =
+  match o.verdict with
+  | Definability.Witness_search.Definable -> Some true
+  | Definability.Witness_search.Not_definable _ -> Some false
+  | Definability.Witness_search.Exhausted -> None
+
 (* Repeat [f] often enough that the total runtime is measurable and
    report seconds per call; used for the acceptance metrics recorded in
    BENCH_1.json. *)
@@ -97,10 +104,10 @@ let table2 () =
   List.iter
     (fun (n, delta, k) ->
       let g, s = krem_instance ~seed:(n + delta) ~n ~delta in
-      let r, dt = wall (fun () -> Remd.check_k ~max_tuples:200_000 g ~k s) in
+      let r, dt = wall (fun () -> Remd.search_k ~max_tuples:200_000 g ~k s) in
       Printf.printf "%-4d %-6d %-4d %-10d %-10.4f %-10s\n%!" n delta k
-        r.Remd.tuples_explored dt
-        (match r.Remd.definable with
+        r.Definability.Witness_search.tuples_explored dt
+        (match ws_verdict r with
         | Some true -> "yes"
         | Some false -> "no"
         | None -> "unknown")
@@ -127,10 +134,10 @@ let table3 () =
     (fun (n, delta) ->
       let g, s = krem_instance ~seed:(7 * n) ~n ~delta in
       let rem, trem =
-        wall (fun () -> (Remd.check ~max_tuples:200_000 g s).Remd.definable)
+        wall (fun () -> ws_verdict (Remd.search ~max_tuples:200_000 g s))
       in
       let ree, tree =
-        wall (fun () -> (Reed.check ~max_size:2_000 g s).Reed.definable)
+        wall (fun () -> Reed.verdict (Reed.search ~max_size:2_000 g s))
       in
       let show = function
         | Some true -> "yes"
@@ -339,13 +346,13 @@ let ablation_condition_alphabet () =
   List.iter
     (fun (n, k) ->
       let g, s = krem_instance ~seed:(11 * n) ~n ~delta:2 in
-      let r1, t1 = wall (fun () -> Remd.check_k ~max_tuples:200_000 g ~k s) in
+      let r1, t1 = wall (fun () -> Remd.search_k ~max_tuples:200_000 g ~k s) in
       let r2, t2 =
         wall (fun () ->
-            Remd.check_k ~max_tuples:200_000 ~all_condition_sets:true g ~k s)
+            Remd.search_k ~max_tuples:200_000 ~all_condition_sets:true g ~k s)
       in
       Printf.printf "%-4d %-4d %-12.4f %-12.4f %-8b\n%!" n k t1 t2
-        (r1.Remd.definable = r2.Remd.definable))
+        (ws_verdict r1 = ws_verdict r2))
     [ (3, 1); (4, 1); (5, 1); (3, 2); (4, 2) ];
   print_endline "expected shape: identical verdicts; the disjunctive alphabet\n\
                  costs strictly more (more blocks per BFS step)."
@@ -357,12 +364,12 @@ let ablation_profile_vs_full () =
   List.iter
     (fun (n, delta) ->
       let g, s = krem_instance ~seed:(13 * n) ~n ~delta in
-      let r1, t1 = wall (fun () -> Remd.check ~max_tuples:200_000 g s) in
+      let r1, t1 = wall (fun () -> Remd.search ~max_tuples:200_000 g s) in
       let r2, t2 =
-        wall (fun () -> Remd.check_delta_registers ~max_tuples:200_000 g s)
+        wall (fun () -> Remd.search_delta_registers ~max_tuples:200_000 g s)
       in
       Printf.printf "%-4d %-6d %-12.4f %-12.4f %-8b\n%!" n delta t1 t2
-        (r1.Remd.definable = r2.Remd.definable))
+        (ws_verdict r1 = ws_verdict r2))
     [ (3, 2); (4, 2); (5, 2); (3, 3) ];
   print_endline "expected shape: identical verdicts (Lemma 23); the profile\n\
                  search is cheaper (ordered stores vs arbitrary assignments)."
@@ -489,7 +496,29 @@ let acceptance_metrics () =
       (census_graphs ())
   in
   let secs, reps = time_per_call (fun () -> Remd.is_definable_k g ~k:2 s2) in
-  homs @ [ ("krem-k2-fig1-s2", secs, reps) ]
+  (* End-to-end dispatch through the engine (instance validation, budget
+     bookkeeping, certificate synthesis included), one row per decider.
+     A fresh fuel budget per call keeps the measurement honest about the
+     per-dispatch budget overhead. *)
+  let engine_rows =
+    Definability.Deciders.init ();
+    let inst = Engine.Instance.of_binary g s2 in
+    List.map
+      (fun lang ->
+        let secs, reps =
+          time_per_call (fun () ->
+              let budget = Engine.Budget.create ~fuel:200_000 () in
+              match
+                Engine.Registry.decide ~budget
+                  ~params:{ Engine.Registry.k = 2 } ~lang inst
+              with
+              | Ok o -> o
+              | Error msg -> failwith msg)
+        in
+        ("engine-" ^ lang ^ "-fig1-s2", secs, reps))
+      [ "rpq"; "krem"; "rem"; "ree"; "ucrdpq" ]
+  in
+  homs @ [ ("krem-k2-fig1-s2", secs, reps) ] @ engine_rows
 
 (* Minimal scanner for the acceptance section of an earlier --json
    record: the writer puts one entry per line, so a line-based scan

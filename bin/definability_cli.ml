@@ -4,11 +4,20 @@
      info   <instance>                 graph statistics
      eval   <graph> -l LANG -e EXPR    evaluate a query
      check  <instance> -l LANG [...]   decide definability, synthesize
-     fig1                              print the paper's running example *)
+     fig1                              print the paper's running example
+
+   [check] exit codes: 0 definable, 1 not definable, 2 usage/load errors,
+   4 unknown (budget exhausted). *)
 
 module Data_graph = Datagraph.Data_graph
 module Relation = Datagraph.Relation
 module Tuple_relation = Datagraph.Tuple_relation
+module Budget = Engine.Budget
+module Instance = Engine.Instance
+module Outcome = Engine.Outcome
+module Registry = Engine.Registry
+
+let () = Definability.Deciders.init ()
 
 let read_file path =
   let ic = open_in_bin path in
@@ -23,15 +32,88 @@ let load_instance path =
       Printf.eprintf "error: %s: %s\n" path msg;
       exit 2
 
-let binary_of g s =
+let binary_of s =
   if Tuple_relation.arity s <> 2 then begin
     Printf.eprintf "error: relation must be binary for this language\n";
     exit 2
   end
-  else begin
-    ignore g;
-    Tuple_relation.to_binary s
-  end
+  else Tuple_relation.to_binary s
+
+(* Minimal JSON emission — the output grammar is flat enough that a
+   string escaper and a few combinators beat a dependency. *)
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let json_obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> json_string k ^ ":" ^ v) fields)
+  ^ "}"
+
+let json_list xs = "[" ^ String.concat "," xs ^ "]"
+
+let json_of_outcome g ~lang (o : Outcome.t) =
+  let certificate =
+    match Outcome.certificate o with
+    | None -> "null"
+    | Some c ->
+        json_obj
+          [
+            ("lang", json_string (Outcome.certificate_lang c));
+            ("query", json_string (Outcome.certificate_to_string c));
+          ]
+  in
+  let name u = json_string (Data_graph.name g u) in
+  let counterexample =
+    match o.verdict with
+    | Outcome.Not_definable (Outcome.Missing_pairs pairs) ->
+        json_obj
+          [
+            ( "missing_pairs",
+              json_list
+                (List.map (fun (u, v) -> json_list [ name u; name v ]) pairs) );
+          ]
+    | Outcome.Not_definable (Outcome.Violating_hom { hom; tuple }) ->
+        json_obj
+          [
+            ("hom", json_list (Array.to_list (Array.map name hom)));
+            ("tuple", json_list (List.map name tuple));
+          ]
+    | Outcome.Definable _ | Outcome.Unknown _ -> "null"
+  in
+  let reason =
+    match o.verdict with
+    | Outcome.Unknown r -> json_string (Outcome.reason_to_string r)
+    | Outcome.Definable _ | Outcome.Not_definable _ -> "null"
+  in
+  let stats =
+    json_obj
+      (("steps", string_of_int o.stats.steps)
+      :: ("elapsed_s", Printf.sprintf "%.6f" o.stats.elapsed_s)
+      :: List.map (fun (k, v) -> (k, string_of_int v)) o.stats.extras)
+  in
+  json_obj
+    [
+      ("lang", json_string lang);
+      ("verdict", json_string (Outcome.verdict_name o.verdict));
+      ("reason", reason);
+      ("certificate", certificate);
+      ("counterexample", counterexample);
+      ("stats", stats);
+    ]
 
 open Cmdliner
 
@@ -41,13 +123,9 @@ let instance_arg =
     & pos 0 (some file) None
     & info [] ~docv:"INSTANCE" ~doc:"Instance file (node/edge/pair lines).")
 
-let lang_enum =
-  [ ("rpq", `Rpq); ("ree", `Ree); ("rem", `Rem); ("krem", `Krem); ("ucrdpq", `Ucrdpq) ]
-
 let lang_arg =
   Arg.(
-    value
-    & opt (enum lang_enum) `Rem
+    value & opt string "rem"
     & info [ "l"; "lang" ] ~docv:"LANG"
         ~doc:
           "Query language: $(b,rpq) (regular expressions), $(b,ree) \
@@ -65,6 +143,28 @@ let synth_arg =
     value & flag
     & info [ "s"; "synthesize" ]
         ~doc:"Print a defining query when the relation is definable.")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Print the outcome as a JSON object on one line.")
+
+let fuel_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuel" ] ~docv:"N"
+        ~doc:
+          "Abort with an unknown verdict after $(docv) search steps \
+           (explored tuples / closure elements / CSP nodes).")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:"Abort with an unknown verdict after $(docv) seconds.")
 
 let info_cmd =
   let run path =
@@ -90,11 +190,12 @@ let eval_cmd =
     let g, _ = load_instance path in
     let lang =
       match lang with
-      | `Rpq -> `Rpq
-      | `Ree -> `Ree
-      | `Rem | `Krem -> `Rem
-      | `Ucrdpq ->
-          Printf.eprintf "error: eval supports rpq/ree/rem expressions\n";
+      | "rpq" -> `Rpq
+      | "ree" -> `Ree
+      | "rem" | "krem" -> `Rem
+      | other ->
+          Printf.eprintf
+            "error: eval supports rpq/ree/rem expressions, not %s\n" other;
           exit 2
     in
     match Query_lang.Query.parse ~lang expr with
@@ -109,103 +210,86 @@ let eval_cmd =
     (Cmd.info "eval" ~doc:"Evaluate a query expression on a data graph.")
     Term.(const run $ instance_arg $ lang_arg $ expr_arg)
 
-let print_verdict = function
-  | Some true -> Format.printf "definable: yes@."
-  | Some false -> Format.printf "definable: no@."
-  | None ->
-      Format.printf "definable: unknown (search truncated)@.";
-      exit 3
-
 let check_cmd =
-  let run path lang k synth =
+  let run path lang k synth json fuel timeout =
     let g, s = load_instance path in
-    match lang with
-    | `Ucrdpq ->
-        let r = Definability.Ucrdpq_definability.check g s in
-        Format.printf "definable: %s@." (if r.definable then "yes" else "no");
-        (match r.violation with
-        | Some (h, tup) ->
-            Format.printf "violating homomorphism: %a@."
-              (Definability.Hom.pp g) h;
-            Format.printf "tuple leaving the relation: (%s)@."
-              (String.concat ","
-                 (List.map (Data_graph.name g) tup))
-        | None -> ());
-        if synth && r.definable then begin
-          match Definability.Ucrdpq_definability.defining_query g s with
-          | Some q when q <> [] ->
-              Format.printf "query:@.%s@." (Query_lang.Conjunctive.to_string q)
-          | _ -> Format.printf "query: (empty union)@."
-        end
-    | (`Rpq | `Ree | `Rem | `Krem) as lang ->
-        let s = binary_of g s in
-        let missing, verdict, query =
-          match lang with
-          | `Rpq ->
-              let r = Definability.Rpq_definability.check g s in
-              ( r.missing,
-                r.definable,
-                if synth && r.definable = Some true then
-                  Option.map
-                    (fun (v : _ Definability.Synthesis.verified) ->
-                      assert v.correct;
-                      Regexp.Regex.to_string v.query)
-                    (Definability.Synthesis.rpq g s)
-                else None )
-          | `Ree ->
-              let r = Definability.Ree_definability.check g s in
-              Format.printf "closure size: %d, max height: %d@."
-                r.closure_size r.max_height;
-              ( r.missing,
-                r.definable,
-                if synth && r.definable = Some true then
-                  Option.map
-                    (fun (v : _ Definability.Synthesis.verified) ->
-                      assert v.correct;
-                      Ree_lang.Ree.to_string v.query)
-                    (Definability.Synthesis.ree g s)
-                else None )
-          | `Rem ->
-              let r = Definability.Rem_definability.check g s in
-              ( r.missing,
-                r.definable,
-                if synth && r.definable = Some true then
-                  Option.map
-                    (fun (v : _ Definability.Synthesis.verified) ->
-                      assert v.correct;
-                      Rem_lang.Rem.to_string v.query)
-                    (Definability.Synthesis.rem g s)
-                else None )
-          | `Krem ->
-              let r = Definability.Rem_definability.check_k g ~k s in
-              ( r.missing,
-                r.definable,
-                if synth && r.definable = Some true then
-                  Option.map
-                    (fun (v : _ Definability.Synthesis.verified) ->
-                      assert v.correct;
-                      Rem_lang.Rem.to_string v.query)
-                    (Definability.Synthesis.rem_k g ~k s)
-                else None )
-        in
-        print_verdict verdict;
-        if missing <> [] then begin
+    let inst =
+      match Instance.create g s with
+      | Ok inst -> inst
+      | Error msg ->
+          Printf.eprintf "error: %s: %s\n" path msg;
+          exit 2
+    in
+    let budget =
+      match (fuel, timeout) with
+      | None, None -> None
+      | _ -> Some (Budget.create ?fuel ?deadline_s:timeout ())
+    in
+    let outcome =
+      match
+        Registry.decide ?budget ~params:{ Registry.k } ~lang inst
+      with
+      | Ok o -> o
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 2
+    in
+    (match outcome.verdict with
+    | Outcome.Unknown (Outcome.Unsupported msg) when not json ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 2
+    | _ -> ());
+    if json then print_endline (json_of_outcome g ~lang outcome)
+    else begin
+      List.iter
+        (fun (key, v) -> Format.printf "%s: %d@." key v)
+        outcome.stats.extras;
+      match outcome.verdict with
+      | Outcome.Definable cert ->
+          Format.printf "definable: yes@.";
+          if synth then begin
+            match Outcome.check_certificate inst cert with
+            | Ok () ->
+                Format.printf "query: %s@." (Outcome.certificate_to_string cert)
+            | Error msg ->
+                Printf.eprintf "error: synthesized query failed checking: %s\n"
+                  msg;
+                exit 2
+          end
+      | Outcome.Not_definable (Outcome.Missing_pairs pairs) ->
+          Format.printf "definable: no@.";
           Format.printf "pairs with no witness:";
           List.iter
             (fun (u, v) ->
               Format.printf " (%s,%s)" (Data_graph.name g u)
                 (Data_graph.name g v))
-            missing;
+            pairs;
           Format.printf "@."
-        end;
-        Option.iter (fun q -> Format.printf "query: %s@." q) query
+      | Outcome.Not_definable (Outcome.Violating_hom { hom; tuple }) ->
+          Format.printf "definable: no@.";
+          Format.printf "violating homomorphism: %a@."
+            (Definability.Hom.pp g) hom;
+          Format.printf "tuple leaving the relation: (%s)@."
+            (String.concat "," (List.map (Data_graph.name g) tuple))
+      | Outcome.Unknown Outcome.Budget_exhausted ->
+          Format.printf "definable: unknown (budget exhausted after %d tuples)@."
+            outcome.stats.steps
+      | Outcome.Unknown (Outcome.Unsupported _) -> assert false
+    end;
+    match outcome.verdict with
+    | Outcome.Definable _ -> exit 0
+    | Outcome.Not_definable _ -> exit 1
+    | Outcome.Unknown Outcome.Budget_exhausted -> exit 4
+    | Outcome.Unknown (Outcome.Unsupported _) -> exit 2
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Decide whether the instance's relation is definable in a query \
           language.")
-    Term.(const run $ instance_arg $ lang_arg $ k_arg $ synth_arg)
+    Term.(
+      const run $ instance_arg $ lang_arg $ k_arg $ synth_arg $ json_arg
+      $ fuel_arg $ timeout_arg)
 
 let census_cmd =
   let run path max_k sample =
@@ -231,7 +315,7 @@ let census_cmd =
 let fit_cmd =
   let run path =
     let g, s = load_instance path in
-    let s = binary_of g s in
+    let s = binary_of s in
     let outcomes = Definability.Schema_mapping.fit g [ ("target", s) ] in
     List.iter
       (fun o ->

@@ -58,9 +58,9 @@ let () =
   (* The definability problem: given only (g, movieLink), can the
      relation be expressed as an RDPQ=?  (Yes — and we can extract a
      defining query.) *)
-  let report = Definability.Ree_definability.check g movie_link in
+  let report = Definability.Ree_definability.search g movie_link in
   Format.printf "@.movieLink RDPQ=-definable: %b (closure: %d relations)@."
-    (report.definable = Some true)
+    (Definability.Ree_definability.verdict report = Some true)
     report.closure_size;
   (match Definability.Synthesis.ree g movie_link with
   | Some v ->

@@ -1,0 +1,123 @@
+module Budget = Engine.Budget
+module Instance = Engine.Instance
+module Outcome = Engine.Outcome
+module Registry = Engine.Registry
+module WS = Witness_search
+module Regex = Regexp.Regex
+module Rem = Rem_lang.Rem
+module Ree = Ree_lang.Ree
+
+let now () = Unix.gettimeofday ()
+
+let unsupported lang inst =
+  Outcome.make ~steps:0 ~elapsed_s:0.
+    (Outcome.Unknown
+       (Outcome.Unsupported
+          (Printf.sprintf "%s decides binary relations only; instance has arity %d"
+             lang (Instance.arity inst))))
+
+let with_binary lang inst f =
+  match Instance.binary inst with
+  | None -> unsupported lang inst
+  | Some s -> f (Instance.graph inst) s
+
+(* Witness-search outcome → engine outcome.  [decode] synthesizes the
+   certificate from the witnesses of the same search pass — no second
+   search. *)
+let of_witness_outcome ~decode ~elapsed_s (o : WS.outcome) =
+  let verdict =
+    match o.verdict with
+    | WS.Definable -> Outcome.Definable (decode o.witnesses)
+    | WS.Not_definable missing ->
+        Outcome.Not_definable (Outcome.Missing_pairs missing)
+    | WS.Exhausted -> Outcome.Unknown Outcome.Budget_exhausted
+  in
+  Outcome.make ~steps:o.tuples_explored ~elapsed_s verdict
+
+let rpq_decide ?budget ?params:_ inst =
+  with_binary "rpq" inst (fun g s ->
+      let t0 = now () in
+      let o = Rpq_definability.search ?budget g s in
+      of_witness_outcome o ~elapsed_s:(now () -. t0) ~decode:(fun ws ->
+          Outcome.Rpq (Regex.simplify (Rpq_definability.query_of_witnesses ws))))
+
+(* The profile automaton is a pure function of the graph — memoized on
+   the instance so repeated dispatches (bench loops, cert re-checks)
+   build it once. *)
+let pg_key : Profile_graph.t Instance.key = Instance.new_key ()
+
+let rem_decide ?budget ?params:_ inst =
+  with_binary "rem" inst (fun _g s ->
+      let t0 = now () in
+      let pg =
+        Instance.memo inst pg_key (fun i -> Profile_graph.create (Instance.graph i))
+      in
+      let o = WS.search ?budget (Profile_graph.config pg) ~target:s in
+      of_witness_outcome o ~elapsed_s:(now () -. t0) ~decode:(fun ws ->
+          Outcome.Rem
+            (Rem.simplify (Rem_definability.query_of_witnesses pg ws))))
+
+let krem_decide ?budget ?(params = Registry.default_params) inst =
+  with_binary "krem" inst (fun g s ->
+      let t0 = now () in
+      let ag = Assignment_graph.create g ~k:params.Registry.k in
+      let o = WS.search ?budget (Assignment_graph.config ag) ~target:s in
+      of_witness_outcome o ~elapsed_s:(now () -. t0) ~decode:(fun ws ->
+          Outcome.Rem
+            (Rem.simplify (Rem_definability.query_of_witnesses_k ag ws))))
+
+let ree_decide ?budget ?params:_ inst =
+  with_binary "ree" inst (fun g s ->
+      let t0 = now () in
+      let r = Ree_definability.search ?budget g s in
+      let elapsed_s = now () -. t0 in
+      let verdict =
+        if r.Ree_definability.missing = [] then
+          Outcome.Definable
+            (Outcome.Ree
+               (Ree.simplify (Ree_definability.query_of_witnesses r.witnesses)))
+        else if r.truncated then Outcome.Unknown Outcome.Budget_exhausted
+        else Outcome.Not_definable (Outcome.Missing_pairs r.missing)
+      in
+      Outcome.make ~steps:r.closure_size ~elapsed_s
+        ~extras:
+          [ ("closure_size", r.closure_size); ("max_height", r.max_height) ]
+        verdict)
+
+let csp_key : Hom.csp_handle Instance.key = Instance.new_key ()
+
+let ucrdpq_decide ?budget ?params:_ inst =
+  let g = Instance.graph inst in
+  let s = Instance.relation inst in
+  let t0 = now () in
+  let csp = Instance.memo inst csp_key (fun i -> Hom.csp_of (Instance.graph i)) in
+  let o = Hom.search_violating ?budget ~csp g s in
+  let verdict =
+    match o.Hom.result with
+    | `Preserved ->
+        Outcome.Definable
+          (Outcome.Ucrdpq (Ucrdpq_definability.canonical_query g s))
+    | `Violation (h, tup) ->
+        Outcome.Not_definable (Outcome.Violating_hom { hom = h; tuple = tup })
+    | `Budget_exhausted -> Outcome.Unknown Outcome.Budget_exhausted
+  in
+  Outcome.make ~steps:o.nodes_explored ~elapsed_s:(now () -. t0) verdict
+
+let init () =
+  Registry.register
+    { lang = "rpq"; doc = "regular path queries (data-free baseline of [3])";
+      decide = rpq_decide };
+  Registry.register
+    { lang = "krem";
+      doc = "REMs with k registers (Theorem 22; k from params, default 1)";
+      decide = krem_decide };
+  Registry.register
+    { lang = "rem"; doc = "REMs, unbounded registers (Theorem 24)";
+      decide = rem_decide };
+  Registry.register
+    { lang = "ree"; doc = "regular expressions with equality (Theorem 32)";
+      decide = ree_decide };
+  Registry.register
+    { lang = "ucrdpq";
+      doc = "unions of conjunctive RDPQs, any arity (Theorem 35)";
+      decide = ucrdpq_decide }

@@ -1,0 +1,24 @@
+(** The five deciders of the paper behind the uniform
+    {!Engine.Registry.decide} signature:
+
+    - ["rpq"] — witness search over the graph itself
+      ({!Rpq_definability});
+    - ["krem"] — witness search over the k-assignment graph, [k] from
+      {!Engine.Registry.params} ({!Rem_definability.search_k});
+    - ["rem"] — witness search over the profile automaton
+      ({!Rem_definability.search});
+    - ["ree"] — incremental closure exploration
+      ({!Ree_definability.search});
+    - ["ucrdpq"] — violating-homomorphism CSP search
+      ({!Hom.search_violating}), the only decider accepting arities
+      other than 2.
+
+    Each decider threads the {!Engine.Budget} into its kernel, reports
+    exhaustion as [Unknown Budget_exhausted], and synthesizes its
+    certificate from the same search pass that proved definability.
+    Per-instance structures (the profile automaton, the homomorphism
+    CSP) are memoized through {!Engine.Instance.memo}. *)
+
+val init : unit -> unit
+(** Register all five deciders.  Idempotent; applications call this once
+    before dispatching through {!Engine.Registry}. *)

@@ -272,12 +272,21 @@ let root_doms csp =
 let copy_doms doms =
   Array.map (fun d -> { bits = Bitset.copy d.bits; card = d.card }) doms
 
+exception Out_of_budget
+
 (* Generic backtracking search.  [prune doms] may declare a subtree
    hopeless; [leaf h] is called on every complete homomorphism and
-   returns [true] to stop with this solution. *)
-let solve_from csp st ~prune ~leaf =
+   returns [true] to stop with this solution.  Every branch node consumes
+   one step of [budget]; exhaustion aborts the whole search via
+   [Out_of_budget] (caught by the budgeted entry points). *)
+let solve_from ?budget ~nodes csp st ~prune ~leaf =
   let exception Found of int array in
+  let take () =
+    match budget with None -> true | Some b -> Engine.Budget.take b
+  in
   let rec go () =
+    if not (take ()) then raise Out_of_budget;
+    incr nodes;
     if not (prune st.doms) then begin
       let var = ref (-1) and best = ref max_int in
       Array.iteri
@@ -313,14 +322,25 @@ let solve_from csp st ~prune ~leaf =
     None
   with Found h -> Some h
 
-let solve csp ~prune ~leaf =
+let solve ?budget ?(nodes = ref 0) csp ~prune ~leaf =
   match root_doms csp with
   | None -> None
   | Some template ->
-      solve_from csp (fresh_state csp (copy_doms template)) ~prune ~leaf
+      solve_from ?budget ~nodes csp
+        (fresh_state csp (copy_doms template))
+        ~prune ~leaf
 
-let find_violating g s =
-  let csp = build_csp g in
+type csp_handle = csp
+
+let csp_of = build_csp
+
+type violation_outcome = {
+  result : [ `Preserved | `Violation of t * int list | `Budget_exhausted ];
+  nodes_explored : int;
+}
+
+let search_violating ?budget ?csp g s =
+  let csp = match csp with Some c -> c | None -> build_csp g in
   (* Prune when every tuple of S is forced to stay inside S: enumerate
      each tuple's image product as long as it is small; a large product
      conservatively counts as a possible violation. *)
@@ -339,12 +359,24 @@ let find_violating g s =
     if size > cap then true else go [] tup
   in
   let prune doms = not (Tuple_relation.exists (tuple_can_escape doms) s) in
-  let leaf h =
-    Tuple_relation.exists
-      (fun tup -> not (Tuple_relation.mem s (List.map (fun p -> h.(p)) tup)))
-      s
+  let escapes h tup = not (Tuple_relation.mem s (List.map (fun p -> h.(p)) tup)) in
+  let leaf h = Tuple_relation.exists (escapes h) s in
+  let nodes = ref 0 in
+  let result =
+    match solve ?budget ~nodes csp ~prune ~leaf with
+    | exception Out_of_budget -> `Budget_exhausted
+    | None -> `Preserved
+    | Some h ->
+        let tup = Option.get (Tuple_relation.find_opt (escapes h) s) in
+        `Violation (h, tup)
   in
-  solve csp ~prune ~leaf
+  { result; nodes_explored = !nodes }
+
+let find_violating g s =
+  match (search_violating g s).result with
+  | `Violation (h, _) -> Some h
+  | `Preserved -> None
+  | `Budget_exhausted -> assert false (* no budget was given *)
 
 let all ?(limit = 100_000) g =
   let csp = build_csp g in

@@ -23,10 +23,34 @@ val is_hom : Datagraph.Data_graph.t -> t -> bool
 
 val identity : Datagraph.Data_graph.t -> t
 
+type csp_handle
+(** The compiled constraint system of a graph — a pure function of the
+    graph, exposed so callers (e.g. {!Engine.Instance} memo slots) can
+    build it once and reuse it across many relation checks. *)
+
+val csp_of : Datagraph.Data_graph.t -> csp_handle
+
+type violation_outcome = {
+  result : [ `Preserved | `Violation of t * int list | `Budget_exhausted ];
+      (** [`Violation (h, p)]: homomorphism [h] and a tuple [p ∈ S] with
+          [h(p) ∉ S] *)
+  nodes_explored : int;  (** backtracking nodes visited *)
+}
+
+val search_violating :
+  ?budget:Engine.Budget.t ->
+  ?csp:csp_handle ->
+  Datagraph.Data_graph.t ->
+  Datagraph.Tuple_relation.t ->
+  violation_outcome
+(** Budgeted preservation check: each backtracking node consumes one step
+    of [budget]; exhaustion aborts with [`Budget_exhausted]. *)
+
 val find_violating :
   Datagraph.Data_graph.t -> Datagraph.Tuple_relation.t -> t option
 (** A homomorphism [h] with [h(p) ∉ S] for some tuple [p ∈ S], if any —
-    a certificate of non-UCRDPQ-definability. *)
+    a certificate of non-UCRDPQ-definability.  Unbudgeted wrapper around
+    {!search_violating}. *)
 
 val count : ?limit:int -> Datagraph.Data_graph.t -> int
 (** Number of data graph homomorphisms, counting at most [limit]

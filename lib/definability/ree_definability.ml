@@ -2,6 +2,7 @@ module Data_graph = Datagraph.Data_graph
 module Relation = Datagraph.Relation
 module Ree = Ree_lang.Ree
 module Ree_term = Ree_lang.Ree_term
+module Budget = Engine.Budget
 
 let log_src =
   Logs.Src.create "definability.ree" ~doc:"REE closure computation"
@@ -15,10 +16,10 @@ module Rel_tbl = Hashtbl.Make (struct
   let hash = Relation.hash
 end)
 
-type report = {
-  definable : bool option;
+type search = {
   witnesses : ((int * int) * Ree_term.t) list;
   missing : (int * int) list;
+  truncated : bool;
   closure_size : int;
   max_height : int;
 }
@@ -62,8 +63,12 @@ let closure ?(max_size = 200_000) g =
 (* Like [closure], but checks coverage of [s] incrementally and stops as
    soon as every pair has a witness — the common case for definable
    relations, where materializing the whole closure would be wasteful. *)
-let check ?(max_size = 200_000) g s =
+let search ?budget ?(max_size = 200_000) g s =
   let value = Data_graph.value g in
+  let take () = match budget with None -> true | Some b -> Budget.take b in
+  let budget_dead () =
+    match budget with None -> false | Some b -> Budget.exhausted b
+  in
   let tbl : Ree_term.t Rel_tbl.t = Rel_tbl.create 1024 in
   let order = ref [] in
   let queue = Queue.create () in
@@ -83,7 +88,8 @@ let check ?(max_size = 200_000) g s =
   in
   let add rel term =
     if !remaining > 0 && not (Rel_tbl.mem tbl rel) then begin
-      if Rel_tbl.length tbl >= max_size then truncated := true
+      if Rel_tbl.length tbl >= max_size || not (take ()) then
+        truncated := true
       else begin
         Rel_tbl.add tbl rel term;
         max_height := max !max_height (Ree_term.height term);
@@ -97,7 +103,8 @@ let check ?(max_size = 200_000) g s =
   List.iter
     (fun a -> add (Relation.edge_relation g a) (Ree_term.Letter a))
     (Data_graph.alphabet g);
-  while !remaining > 0 && not (Queue.is_empty queue) do
+  while !remaining > 0 && (not (Queue.is_empty queue)) && not (budget_dead ())
+  do
     let r, t = Queue.pop queue in
     add (Relation.restrict_eq ~value r) (Ree_term.EqTest t);
     add (Relation.restrict_neq ~value r) (Ree_term.NeqTest t);
@@ -108,6 +115,7 @@ let check ?(max_size = 200_000) g s =
         add (Relation.compose x r) (Ree_term.Concat (tx, t)))
       snapshot
   done;
+  if budget_dead () then truncated := true;
   let witnesses_list =
     List.sort compare
       (Hashtbl.fold (fun pair t acc -> (pair, t) :: acc) witnesses [])
@@ -118,29 +126,29 @@ let check ?(max_size = 200_000) g s =
       s []
     |> List.rev
   in
-  let definable =
-    if missing = [] then Some true
-    else if !truncated then None
-    else Some false
-  in
   Log.debug (fun m ->
       m "explored %d relations (max height %d)%s" (Rel_tbl.length tbl)
         !max_height
         (if !truncated then " (truncated)" else ""));
   {
-    definable;
     witnesses = witnesses_list;
     missing;
+    truncated = !truncated;
     closure_size = Rel_tbl.length tbl;
     max_height = !max_height;
   }
 
+let verdict r =
+  if r.missing = [] then Some true
+  else if r.truncated then None
+  else Some false
+
 let force_verdict r =
-  match r.definable with
+  match verdict r with
   | Some b -> b
   | None -> failwith "REE closure truncated; raise max_size"
 
-let is_definable ?max_size g s = force_verdict (check ?max_size g s)
+let is_definable ?max_size g s = force_verdict (search ?max_size g s)
 
 (* An REE with empty language: a single data value never differs from
    itself, so L(ε≠) = ∅. *)
@@ -150,9 +158,10 @@ let union_ree = function
   | [] -> empty_ree
   | e :: rest -> List.fold_left (fun acc x -> Ree.Union (acc, x)) e rest
 
+let query_of_witnesses witnesses =
+  let terms = List.sort_uniq compare (List.map snd witnesses) in
+  union_ree (List.map Ree_term.to_ree terms)
+
 let defining_query ?max_size g s =
-  let r = check ?max_size g s in
-  if not (force_verdict r) then None
-  else
-    let terms = List.sort_uniq compare (List.map snd r.witnesses) in
-    Some (union_ree (List.map Ree_term.to_ree terms))
+  let r = search ?max_size g s in
+  if not (force_verdict r) then None else Some (query_of_witnesses r.witnesses)

@@ -16,14 +16,22 @@
     [max_height] statistic lets the test suite check this invariant.
     (The paper trades this exponential-sized closure for a
     nondeterministic polynomial-space guess of one branch; deterministic
-    memoized exploration is the Savitch-style equivalent.) *)
+    memoized exploration is the Savitch-style equivalent.)
 
-type report = {
-  definable : bool option;
-      (** [None] when the closure was truncated before covering [S] *)
+    The uniform result type lives in {!Engine.Outcome}; dispatch through
+    {!Engine.Registry} (language ["ree"], registered by {!Deciders}).
+    This module keeps the raw closure search, the witness → REE decoding,
+    and thin deprecated wrappers. *)
+
+type search = {
   witnesses : ((int * int) * Ree_lang.Ree_term.t) list;
       (** per covered pair, a witness term [t] with [(u,v) ∈ S_t ⊆ S] *)
   missing : (int * int) list;
+      (** pairs of [S] left without a witness; nonempty + [truncated]
+          means undecided, nonempty + not [truncated] means not
+          definable *)
+  truncated : bool;
+      (** the closure exploration hit [max_size] or ran out of budget *)
   closure_size : int;
       (** relations explored before deciding — the full closure only when
           the search could not stop early *)
@@ -38,15 +46,36 @@ val closure :
     and whether the closure was truncated at [max_size] (default
     [200_000]). *)
 
-val check :
-  ?max_size:int -> Datagraph.Data_graph.t -> Datagraph.Relation.t -> report
+val search :
+  ?budget:Engine.Budget.t ->
+  ?max_size:int ->
+  Datagraph.Data_graph.t ->
+  Datagraph.Relation.t ->
+  search
 (** Decide definability, exploring the closure incrementally and stopping
     as soon as every pair of the relation has a witness.  [max_size]
-    (default [200_000]) bounds the explored relation count. *)
+    (default [200_000]) bounds the explored relation count; each newly
+    admitted closure element additionally consumes one step of [budget],
+    and fuel or deadline exhaustion marks the result [truncated]. *)
+
+val verdict : search -> bool option
+(** [Some b] when the search decided, [None] when it was truncated before
+    covering the relation. *)
+
+val empty_ree : Ree_lang.Ree.t
+(** An REE with empty language ([ε≠]) — defines ∅. *)
+
+val union_ree : Ree_lang.Ree.t list -> Ree_lang.Ree.t
+(** n-ary union; {!empty_ree} for the empty list. *)
+
+val query_of_witnesses :
+  ((int * int) * Ree_lang.Ree_term.t) list -> Ree_lang.Ree.t
+(** The union of the (deduplicated) witness terms. *)
 
 val is_definable :
   ?max_size:int -> Datagraph.Data_graph.t -> Datagraph.Relation.t -> bool
-(** @raise Failure if the closure was truncated before deciding. *)
+(** @deprecated Dispatch through {!Engine.Registry} instead.
+    @raise Failure if the closure was truncated before deciding. *)
 
 val defining_query :
   ?max_size:int ->
@@ -54,4 +83,5 @@ val defining_query :
   Datagraph.Relation.t ->
   Ree_lang.Ree.t option
 (** A defining REE (union of witness terms), or [None] if not definable.
+    @deprecated Dispatch through {!Engine.Registry} instead.
     @raise Failure if the closure was truncated before deciding. *)

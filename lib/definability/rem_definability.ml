@@ -4,57 +4,27 @@ module Basic_rem = Rem_lang.Basic_rem
 module Rem = Rem_lang.Rem
 module Condition = Rem_lang.Condition
 
-type report = {
-  definable : bool option;
-  witnesses : ((int * int) * string list) list;
-  missing : (int * int) list;
-  tuples_explored : int;
-}
-
-let report_of_outcome (o : Witness_search.outcome) =
-  match o.verdict with
-  | Witness_search.Definable ->
-      {
-        definable = Some true;
-        witnesses = o.witnesses;
-        missing = [];
-        tuples_explored = o.tuples_explored;
-      }
-  | Witness_search.Not_definable missing ->
-      {
-        definable = Some false;
-        witnesses = o.witnesses;
-        missing;
-        tuples_explored = o.tuples_explored;
-      }
-  | Witness_search.Exhausted ->
-      {
-        definable = None;
-        witnesses = o.witnesses;
-        missing = [];
-        tuples_explored = o.tuples_explored;
-      }
-
-let check_k ?max_tuples ?all_condition_sets g ~k s =
+let search_k ?max_tuples ?budget ?all_condition_sets g ~k s =
   let ag = Assignment_graph.create ?all_condition_sets g ~k in
-  report_of_outcome
-    (Witness_search.search ?max_tuples (Assignment_graph.config ag) ~target:s)
+  Witness_search.search ?max_tuples ?budget (Assignment_graph.config ag)
+    ~target:s
 
-let check ?max_tuples g s =
+let search ?max_tuples ?budget g s =
   let pg = Profile_graph.create g in
-  report_of_outcome
-    (Witness_search.search ?max_tuples (Profile_graph.config pg) ~target:s)
+  Witness_search.search ?max_tuples ?budget (Profile_graph.config pg) ~target:s
 
-let check_delta_registers ?max_tuples g s =
-  check_k ?max_tuples g ~k:(Data_graph.delta g) s
+let search_delta_registers ?max_tuples ?budget g s =
+  search_k ?max_tuples ?budget g ~k:(Data_graph.delta g) s
 
-let force_verdict r =
-  match r.definable with
-  | Some b -> b
-  | None -> failwith "definability search truncated; raise max_tuples"
+let force_verdict (o : Witness_search.outcome) =
+  match o.verdict with
+  | Witness_search.Definable -> true
+  | Witness_search.Not_definable _ -> false
+  | Witness_search.Exhausted ->
+      failwith "definability search truncated; raise max_tuples"
 
-let is_definable_k ?max_tuples g ~k s = force_verdict (check_k ?max_tuples g ~k s)
-let is_definable ?max_tuples g s = force_verdict (check ?max_tuples g s)
+let is_definable_k ?max_tuples g ~k s = force_verdict (search_k ?max_tuples g ~k s)
+let is_definable ?max_tuples g s = force_verdict (search ?max_tuples g s)
 
 (* The REM with empty language, for defining the empty relation (the REM
    grammar has no ∅, but an unsatisfiable test provides one). *)
@@ -64,32 +34,34 @@ let union_rem = function
   | [] -> empty_rem
   | e :: rest -> List.fold_left (fun acc x -> Rem.Union (acc, x)) e rest
 
+let query_of_witnesses_k ag witnesses =
+  let rem_of_witness names =
+    Basic_rem.to_rem
+      (List.map (fun nm -> Assignment_graph.basic_block_of_name ag nm) names)
+  in
+  let distinct = List.sort_uniq compare (List.map snd witnesses) in
+  union_rem (List.map rem_of_witness distinct)
+
+let query_of_witnesses pg witnesses =
+  let rem_of_witness names =
+    Basic_rem.to_rem
+      (Basic_rem.of_data_path (Profile_graph.path_of_witness pg names))
+  in
+  let distinct = List.sort_uniq compare (List.map snd witnesses) in
+  union_rem (List.map rem_of_witness distinct)
+
 let defining_query_k ?max_tuples g ~k s =
   let ag = Assignment_graph.create g ~k in
-  let o = Witness_search.search ?max_tuples (Assignment_graph.config ag) ~target:s in
-  let r = report_of_outcome o in
-  if not (force_verdict r) then None
-  else
-    let rem_of_witness names =
-      Basic_rem.to_rem
-        (List.map (fun nm -> Assignment_graph.basic_block_of_name ag nm) names)
-    in
-    let distinct =
-      List.sort_uniq compare (List.map snd r.witnesses)
-    in
-    Some (union_rem (List.map rem_of_witness distinct))
+  let o =
+    Witness_search.search ?max_tuples (Assignment_graph.config ag) ~target:s
+  in
+  if not (force_verdict o) then None
+  else Some (query_of_witnesses_k ag o.witnesses)
 
 let defining_query ?max_tuples g s =
   let pg = Profile_graph.create g in
-  let o = Witness_search.search ?max_tuples (Profile_graph.config pg) ~target:s in
-  let r = report_of_outcome o in
-  if not (force_verdict r) then None
-  else
-    let rem_of_witness names =
-      Basic_rem.to_rem
-        (Basic_rem.of_data_path (Profile_graph.path_of_witness pg names))
-    in
-    let distinct =
-      List.sort_uniq compare (List.map snd r.witnesses)
-    in
-    Some (union_rem (List.map rem_of_witness distinct))
+  let o =
+    Witness_search.search ?max_tuples (Profile_graph.config pg) ~target:s
+  in
+  if not (force_verdict o) then None
+  else Some (query_of_witnesses pg o.witnesses)

@@ -1,54 +1,77 @@
 (** RDPQ_mem-definability (Section 3): can a relation be defined by a
     regular expression with memory?
 
-    [check_k] decides the bounded-register problem (Theorem 22,
+    [search_k] decides the bounded-register problem (Theorem 22,
     [NSpace(O(n²δ^k))]) by witness search over the k-assignment graph
     (Definition 19): Lemma 18 reduces definability to the existence of a
     basic k-REM witness per pair, and Lemma 20 turns those into
     reachability in [T_G].
 
-    [check] decides the unbounded problem (Theorem 24, ExpSpace): by
+    [search] decides the unbounded problem (Theorem 24, ExpSpace): by
     Lemma 23, [S] is definable iff it is δ-definable, and the proof shows
     [e_\[w\]]-shaped witnesses suffice — so the search runs over the
     smaller profile automaton ({!Profile_graph}) instead of the full
-    δ-assignment graph. *)
+    δ-assignment graph.
 
-type report = {
-  definable : bool option;
-  witnesses : ((int * int) * string list) list;
-  missing : (int * int) list;
-  tuples_explored : int;
-}
+    The uniform result type lives in {!Engine.Outcome}; dispatch through
+    {!Engine.Registry} (languages ["rem"] / ["krem"], registered by
+    {!Deciders}).  This module keeps the raw searches, the witness → REM
+    decoding, and thin deprecated wrappers. *)
 
-val check_k :
+val search_k :
   ?max_tuples:int ->
+  ?budget:Engine.Budget.t ->
   ?all_condition_sets:bool ->
   Datagraph.Data_graph.t ->
   k:int ->
   Datagraph.Relation.t ->
-  report
-(** The k-RDPQ_mem-definability problem.  [all_condition_sets] switches
+  Witness_search.outcome
+(** The k-RDPQ_mem-definability search.  [all_condition_sets] switches
     the ablation block alphabet (see {!Assignment_graph.create}). *)
 
-val check :
-  ?max_tuples:int -> Datagraph.Data_graph.t -> Datagraph.Relation.t -> report
-(** The unbounded RDPQ_mem-definability problem via the profile
+val search :
+  ?max_tuples:int ->
+  ?budget:Engine.Budget.t ->
+  Datagraph.Data_graph.t ->
+  Datagraph.Relation.t ->
+  Witness_search.outcome
+(** The unbounded RDPQ_mem-definability search via the profile
     automaton. *)
 
-val check_delta_registers :
-  ?max_tuples:int -> Datagraph.Data_graph.t -> Datagraph.Relation.t -> report
+val search_delta_registers :
+  ?max_tuples:int ->
+  ?budget:Engine.Budget.t ->
+  Datagraph.Data_graph.t ->
+  Datagraph.Relation.t ->
+  Witness_search.outcome
 (** The unbounded problem decided literally as Lemma 23 states it — as
     δ-RDPQ_mem-definability over the full δ-assignment graph.  Equivalent
-    to {!check} and much slower; kept for the [profile-vs-full] ablation
+    to {!search} and much slower; kept for the [profile-vs-full] ablation
     and cross-checking. *)
+
+val empty_rem : Rem_lang.Rem.t
+(** An REM with empty language (unsatisfiable test) — defines ∅. *)
+
+val union_rem : Rem_lang.Rem.t list -> Rem_lang.Rem.t
+(** n-ary union; {!empty_rem} for the empty list. *)
+
+val query_of_witnesses_k :
+  Assignment_graph.t -> ((int * int) * string list) list -> Rem_lang.Rem.t
+(** Decode k-REM witnesses (Lemma 18) into a defining union. *)
+
+val query_of_witnesses :
+  Profile_graph.t -> ((int * int) * string list) list -> Rem_lang.Rem.t
+(** Decode profile witnesses into a union of [e_\[w\]] (Lemma 15). *)
 
 val is_definable_k :
   ?max_tuples:int -> Datagraph.Data_graph.t -> k:int -> Datagraph.Relation.t -> bool
-(** @raise Failure if the search was truncated before deciding. *)
+(** @deprecated Dispatch through {!Engine.Registry} instead.
+    @raise Failure if the search was truncated before deciding. *)
 
 val is_definable :
   ?max_tuples:int -> Datagraph.Data_graph.t -> Datagraph.Relation.t -> bool
-(** @raise Failure if the search was truncated before deciding. *)
+(** @deprecated Dispatch through {!Engine.Registry} instead.
+    @raise Failure if the search was truncated before deciding. *)
 
 val defining_query_k :
   ?max_tuples:int ->
@@ -58,6 +81,7 @@ val defining_query_k :
   Rem_lang.Rem.t option
 (** A defining k-REM — the union of basic k-REM witnesses (Lemma 18) —
     or [None] if not k-definable.
+    @deprecated Dispatch through {!Engine.Registry} instead.
     @raise Failure if the search was truncated before deciding. *)
 
 val defining_query :
@@ -67,4 +91,5 @@ val defining_query :
   Rem_lang.Rem.t option
 (** A defining REM — the union of [e_\[w\]] witnesses (Lemma 15) — or
     [None] if not definable.
+    @deprecated Dispatch through {!Engine.Registry} instead.
     @raise Failure if the search was truncated before deciding. *)

@@ -1,13 +1,6 @@
 module Data_graph = Datagraph.Data_graph
 module Relation = Datagraph.Relation
 
-type report = {
-  definable : bool option;
-  witnesses : ((int * int) * string list) list;
-  missing : (int * int) list;
-  tuples_explored : int;
-}
-
 let config g =
   let n = Data_graph.size g in
   let labels = List.init (Data_graph.label_count g) Fun.id in
@@ -28,43 +21,23 @@ let config g =
     blocks;
   }
 
-let report_of_outcome (o : Witness_search.outcome) =
+let search ?max_tuples ?budget g s =
+  Witness_search.search ?max_tuples ?budget (config g) ~target:s
+
+let query_of_witnesses witnesses =
+  let words = List.sort_uniq compare (List.map snd witnesses) in
+  Regexp.Regex.union_of (List.map Regexp.Regex.of_word words)
+
+let force_verdict (o : Witness_search.outcome) =
   match o.verdict with
-  | Witness_search.Definable ->
-      {
-        definable = Some true;
-        witnesses = o.witnesses;
-        missing = [];
-        tuples_explored = o.tuples_explored;
-      }
-  | Witness_search.Not_definable missing ->
-      {
-        definable = Some false;
-        witnesses = o.witnesses;
-        missing;
-        tuples_explored = o.tuples_explored;
-      }
+  | Witness_search.Definable -> true
+  | Witness_search.Not_definable _ -> false
   | Witness_search.Exhausted ->
-      {
-        definable = None;
-        witnesses = o.witnesses;
-        missing = [];
-        tuples_explored = o.tuples_explored;
-      }
+      failwith "definability search truncated; raise max_tuples"
 
-let check ?max_tuples g s =
-  report_of_outcome (Witness_search.search ?max_tuples (config g) ~target:s)
-
-let force_verdict r =
-  match r.definable with
-  | Some b -> b
-  | None -> failwith "definability search truncated; raise max_tuples"
-
-let is_definable ?max_tuples g s = force_verdict (check ?max_tuples g s)
+let is_definable ?max_tuples g s = force_verdict (search ?max_tuples g s)
 
 let defining_query ?max_tuples g s =
-  let r = check ?max_tuples g s in
-  if not (force_verdict r) then None
-  else
-    let words = List.sort_uniq compare (List.map snd r.witnesses) in
-    Some (Regexp.Regex.union_of (List.map Regexp.Regex.of_word words))
+  let o = search ?max_tuples g s in
+  if not (force_verdict o) then None
+  else Some (query_of_witnesses o.witnesses)

@@ -7,23 +7,31 @@
     [(u,v) ∈ R(w) ⊆ S], where [R(w)] is the set of pairs connected by a
     path labeled [w]; the disjunction of witness words then defines [S].
     Decided by {!Witness_search} over the graph itself (states = nodes,
-    blocks = letters) — PSpace-complete in general [3]. *)
+    blocks = letters) — PSpace-complete in general [3].
 
-type report = {
-  definable : bool option;
-      (** [None] when the search was truncated (answer unknown) *)
-  witnesses : ((int * int) * string list) list;
-      (** per covered pair, a witness word as a label list *)
-  missing : (int * int) list;  (** pairs with no witness *)
-  tuples_explored : int;
-}
+    The uniform result type lives in {!Engine.Outcome}; dispatch through
+    {!Engine.Registry} (language ["rpq"], registered by {!Deciders}).
+    This module keeps the search configuration and thin deprecated
+    wrappers for direct callers. *)
 
-val check :
-  ?max_tuples:int -> Datagraph.Data_graph.t -> Datagraph.Relation.t -> report
+val config : Datagraph.Data_graph.t -> Witness_search.config
+(** States = nodes, blocks = letters, every node a source. *)
+
+val search :
+  ?max_tuples:int ->
+  ?budget:Engine.Budget.t ->
+  Datagraph.Data_graph.t ->
+  Datagraph.Relation.t ->
+  Witness_search.outcome
+
+val query_of_witnesses :
+  ((int * int) * string list) list -> Regexp.Regex.t
+(** The union of the (deduplicated) witness words. *)
 
 val is_definable :
   ?max_tuples:int -> Datagraph.Data_graph.t -> Datagraph.Relation.t -> bool
-(** @raise Failure if the search was truncated before deciding. *)
+(** @deprecated Dispatch through {!Engine.Registry} instead.
+    @raise Failure if the search was truncated before deciding. *)
 
 val defining_query :
   ?max_tuples:int ->
@@ -32,4 +40,5 @@ val defining_query :
   Regexp.Regex.t option
 (** A defining regular expression (the union of witness words), or [None]
     if not definable.
+    @deprecated Dispatch through {!Engine.Registry} instead.
     @raise Failure if the search was truncated before deciding. *)

@@ -78,14 +78,15 @@ let phi_g g =
   in
   ground_atoms @ edge_atoms @ eq_atoms @ neq_atoms
 
+let canonical_query g s =
+  let body = phi_g g in
+  let queries =
+    Tuple_relation.fold
+      (fun tup acc ->
+        { Conjunctive.head = List.map var tup; atoms = body } :: acc)
+      s []
+  in
+  List.rev queries
+
 let defining_query g s =
-  if not (is_definable g s) then None
-  else
-    let body = phi_g g in
-    let queries =
-      Tuple_relation.fold
-        (fun tup acc ->
-          { Conjunctive.head = List.map var tup; atoms = body } :: acc)
-        s []
-    in
-    Some (List.rev queries)
+  if not (is_definable g s) then None else Some (canonical_query g s)

@@ -28,6 +28,15 @@ val phi_g : Datagraph.Data_graph.t -> Query_lang.Conjunctive.atom list
     (one per node), including a trivial [xi -eps-> xi] atom per node so
     every variable occurs. *)
 
+val canonical_query :
+  Datagraph.Data_graph.t ->
+  Datagraph.Tuple_relation.t ->
+  Query_lang.Conjunctive.t
+(** The Lemma 34 query — one CRDPQ per tuple of [S] over the shared body
+    {!phi_g} — {e without} checking definability first: it defines [S]
+    exactly when [S] is preserved by every homomorphism.  For the empty
+    relation the result is the empty union [[]]. *)
+
 val defining_query :
   Datagraph.Data_graph.t ->
   Datagraph.Tuple_relation.t ->

@@ -59,10 +59,19 @@ end
 
 module Tuple_tbl = Hashtbl.Make (Tuple_key)
 
-let search ?(max_tuples = 2_000_000) cfg ~target =
+let search ?(max_tuples = 2_000_000) ?budget cfg ~target =
   let n = Array.length cfg.sources in
   if Relation.universe target <> n then
     invalid_arg "Witness_search.search: target universe <> number of sources";
+  (* Budget integration: registering a tuple consumes one step of fuel;
+     the pop loop additionally polls the deadline so an expired budget
+     stops the search even when no new tuples are being discovered. *)
+  let take () =
+    match budget with None -> true | Some b -> Engine.Budget.take b
+  in
+  let budget_dead () =
+    match budget with None -> false | Some b -> Engine.Budget.exhausted b
+  in
   let ns = cfg.num_states in
   (* Deterministic successor rows per block, built once: row s is the
      successor set of state s. *)
@@ -115,12 +124,12 @@ let search ?(max_tuples = 2_000_000) cfg ~target =
     id
   in
   let queue = Queue.create () in
-  Queue.add (register t0 None) queue;
   let covered = ref (Relation.empty n) in
   let witness_ids : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
   let target_card = Relation.cardinal target in
   let done_ = ref (target_card = 0) in
   let truncated = ref false in
+  if take () then Queue.add (register t0 None) queue else truncated := true;
   (* Per-block successor application on a whole tuple. *)
   let apply rows t =
     Array.map
@@ -130,7 +139,7 @@ let search ?(max_tuples = 2_000_000) cfg ~target =
         q')
       t
   in
-  while (not !done_) && not (Queue.is_empty queue) do
+  while (not !done_) && (not (Queue.is_empty queue)) && not (budget_dead ()) do
     let id = Queue.pop queue in
     let t = (!tuples.(id)).Tuple_key.rows in
     (* Safety: every reachable state projects into the target. *)
@@ -158,7 +167,7 @@ let search ?(max_tuples = 2_000_000) cfg ~target =
           if Array.exists (fun q -> not (Bitset.is_empty q)) rows' then begin
             let t' = Tuple_key.make rows' in
             if not (Tuple_tbl.mem visited t') then
-              if !count >= max_tuples then truncated := true
+              if !count >= max_tuples || not (take ()) then truncated := true
               else Queue.add (register t' (Some (id, bi))) queue
           end)
         succ_rows
@@ -176,6 +185,7 @@ let search ?(max_tuples = 2_000_000) cfg ~target =
     Hashtbl.fold (fun pair id acc -> ((pair, path_of id)) :: acc) witness_ids []
     |> List.sort compare
   in
+  if budget_dead () then truncated := true;
   let verdict =
     if Relation.cardinal !covered = target_card then Definable
     else if !truncated then Exhausted

@@ -49,8 +49,16 @@ type outcome = {
 }
 
 val search :
-  ?max_tuples:int -> config -> target:Datagraph.Relation.t -> outcome
+  ?max_tuples:int ->
+  ?budget:Engine.Budget.t ->
+  config ->
+  target:Datagraph.Relation.t ->
+  outcome
 (** Decide witness existence for every pair of [target].
     [max_tuples] (default [2_000_000]) bounds the explored tuple count;
     exceeding it yields [Exhausted] unless every pair was already
-    covered.  An empty target is trivially [Definable]. *)
+    covered.  An empty target is trivially [Definable].  [budget]
+    (default unlimited) bounds the search further: registering a tuple
+    costs one step of fuel and the BFS loop polls the deadline, so an
+    exhausted budget yields [Exhausted] with whatever was covered so
+    far. *)

@@ -1,0 +1,70 @@
+type t = {
+  fuel : int;  (** max steps; [max_int] = unbounded *)
+  deadline : float;  (** absolute time; [infinity] = none *)
+  mutable used : int;
+  mutable dead : bool;
+  mutable tick : int;
+}
+
+(* Steps between deadline probes: cheap enough that a 1ms deadline is
+   honoured mid-search, rare enough that [take] stays syscall-free on the
+   hot path. *)
+let poll_interval = 32
+
+(* [tick] starts one step short of the poll interval so the very first
+   [take] probes the deadline — an already-expired deadline (e.g.
+   [deadline_s:0.]) then kills the budget before any work happens. *)
+let unlimited () =
+  {
+    fuel = max_int;
+    deadline = infinity;
+    used = 0;
+    dead = false;
+    tick = poll_interval - 1;
+  }
+
+let create ?fuel ?deadline_s () =
+  let fuel =
+    match fuel with
+    | None -> max_int
+    | Some f when f < 0 -> invalid_arg "Engine.Budget.create: negative fuel"
+    | Some f -> f
+  in
+  let deadline =
+    match deadline_s with
+    | None -> infinity
+    | Some s when s < 0. -> invalid_arg "Engine.Budget.create: negative deadline"
+    | Some s -> Unix.gettimeofday () +. s
+  in
+  { fuel; deadline; used = 0; dead = false; tick = poll_interval - 1 }
+
+let probe_deadline b =
+  if b.deadline < infinity && Unix.gettimeofday () > b.deadline then
+    b.dead <- true
+
+let take b =
+  if b.dead then false
+  else begin
+    if b.deadline < infinity then begin
+      b.tick <- b.tick + 1;
+      if b.tick >= poll_interval then begin
+        b.tick <- 0;
+        probe_deadline b
+      end
+    end;
+    if b.dead || b.used >= b.fuel then begin
+      b.dead <- true;
+      false
+    end
+    else begin
+      b.used <- b.used + 1;
+      true
+    end
+  end
+
+let exhausted b =
+  if not b.dead then probe_deadline b;
+  b.dead || b.used >= b.fuel
+
+let used b = b.used
+let fuel_limit b = if b.fuel = max_int then None else Some b.fuel

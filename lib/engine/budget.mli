@@ -1,0 +1,38 @@
+(** Resource budgets for the decision procedures.
+
+    A budget combines {e step fuel} (a deterministic bound on the number of
+    search steps — explored tuples, closure elements, backtracking nodes)
+    with a {e wall-clock deadline}.  Searches consume the budget via
+    {!take}; once either resource runs out the budget is {e sticky}: every
+    further {!take} fails, so a search unwinds promptly and uniformly
+    reports [Unknown Budget_exhausted] instead of a verdict.
+
+    Fuel exhaustion is fully deterministic (the same instance and fuel
+    always stop at the same step), which the budget tests rely on;
+    deadlines are polled only every few steps to keep [take] off the
+    clock-syscall path. *)
+
+type t
+
+val unlimited : unit -> t
+(** No fuel bound, no deadline. *)
+
+val create : ?fuel:int -> ?deadline_s:float -> unit -> t
+(** [create ?fuel ?deadline_s ()] allows at most [fuel] steps (default
+    unbounded) and expires [deadline_s] seconds from now (default never).
+    A fresh budget must be created per [decide] call — budgets are
+    mutable and not reusable.
+    @raise Invalid_argument on negative [fuel] or [deadline_s]. *)
+
+val take : t -> bool
+(** Consume one step.  [false] once the budget is exhausted (and forever
+    after). *)
+
+val exhausted : t -> bool
+(** Non-consuming check; probes the deadline immediately (not throttled). *)
+
+val used : t -> int
+(** Steps consumed so far (successful {!take}s). *)
+
+val fuel_limit : t -> int option
+(** The fuel bound, if any. *)

@@ -1,0 +1,83 @@
+module Data_graph = Datagraph.Data_graph
+module Relation = Datagraph.Relation
+module Tuple_relation = Datagraph.Tuple_relation
+
+(* Per-instance memoization uses the extensible-exception universal type:
+   each key carries its own injection/projection pair, so the cache can
+   hold heterogeneous values without Obj. *)
+type binding = { key_id : int; value : exn }
+
+type 'a key = { id : int; inj : 'a -> exn; proj : exn -> 'a option }
+
+type t = {
+  graph : Data_graph.t;
+  relation : Tuple_relation.t;
+  binary : Relation.t option;
+  mutable caches : binding list;
+}
+
+let create g s =
+  let n = Data_graph.size g in
+  if Tuple_relation.universe s <> n then
+    Error
+      (Printf.sprintf
+         "relation universe %d does not match the graph's %d nodes"
+         (Tuple_relation.universe s) n)
+  else if Tuple_relation.arity s < 1 then
+    Error "relation arity must be at least 1"
+  else
+    let bad = ref None in
+    Tuple_relation.iter
+      (fun tup ->
+        List.iter
+          (fun v -> if v < 0 || v >= n then bad := Some v)
+          tup)
+      s;
+    match !bad with
+    | Some v ->
+        Error
+          (Printf.sprintf "relation mentions out-of-range node id %d (graph has %d nodes)" v n)
+    | None ->
+        let binary =
+          if Tuple_relation.arity s = 2 then Some (Tuple_relation.to_binary s)
+          else None
+        in
+        Ok { graph = g; relation = s; binary; caches = [] }
+
+let create_exn g s =
+  match create g s with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Engine.Instance.create: " ^ msg)
+
+let of_binary g r = create_exn g (Tuple_relation.of_binary r)
+
+let graph t = t.graph
+let relation t = t.relation
+let arity t = Tuple_relation.arity t.relation
+let binary t = t.binary
+
+let key_counter = ref 0
+
+let new_key (type a) () : a key =
+  incr key_counter;
+  let module M = struct
+    exception E of a
+  end in
+  {
+    id = !key_counter;
+    inj = (fun x -> M.E x);
+    proj = (function M.E x -> Some x | _ -> None);
+  }
+
+let memo t key f =
+  let rec lookup = function
+    | [] -> None
+    | b :: rest ->
+        if b.key_id = key.id then key.proj b.value else lookup rest
+  in
+  match lookup t.caches with
+  | Some v -> v
+  | None ->
+      let v = f t in
+      t.caches <- { key_id = key.id; value = key.inj v } :: t.caches;
+      v

@@ -1,0 +1,48 @@
+(** A validated definability problem: a data graph plus a target relation
+    on its nodes, checked once at construction so every decider can assume
+    a well-formed input — the relation's universe matches the graph, its
+    arity is positive, and every tuple mentions only in-range nodes.
+
+    An instance also {e owns} the per-problem derived structures that the
+    deciders share (PR 1 cached these in scattered module-level slots):
+    the binary view of the relation is packed once, and arbitrary derived
+    values — e.g. the homomorphism CSP — can be memoized on the instance
+    through typed {!key}s instead of global caches. *)
+
+type t
+
+val create :
+  Datagraph.Data_graph.t -> Datagraph.Tuple_relation.t -> (t, string) result
+(** Validate and pack.  Errors on a universe/graph-size mismatch, an arity
+    below 1, or an out-of-range node id in a tuple. *)
+
+val create_exn : Datagraph.Data_graph.t -> Datagraph.Tuple_relation.t -> t
+(** @raise Invalid_argument when {!create} would return [Error]. *)
+
+val of_binary : Datagraph.Data_graph.t -> Datagraph.Relation.t -> t
+(** Pack a binary relation.
+    @raise Invalid_argument when the relation does not fit the graph. *)
+
+val graph : t -> Datagraph.Data_graph.t
+val relation : t -> Datagraph.Tuple_relation.t
+val arity : t -> int
+
+val binary : t -> Datagraph.Relation.t option
+(** The binary view, packed once at construction; [None] when the arity
+    is not 2 (the path-query deciders report such instances as
+    unsupported). *)
+
+(** {2 Per-instance memoization}
+
+    A [key] is a typed slot identifier.  Deciders create their keys once
+    at module level and call {!memo} to compute a derived structure the
+    first time and reuse it on every later dispatch against the same
+    instance. *)
+
+type 'a key
+
+val new_key : unit -> 'a key
+
+val memo : t -> 'a key -> (t -> 'a) -> 'a
+(** [memo inst key f] returns the cached value for [key], computing it
+    with [f inst] on first use. *)

@@ -1,0 +1,129 @@
+module Data_graph = Datagraph.Data_graph
+module Relation = Datagraph.Relation
+module Tuple_relation = Datagraph.Tuple_relation
+module Query = Query_lang.Query
+module Conjunctive = Query_lang.Conjunctive
+
+type certificate =
+  | Rpq of Regexp.Regex.t
+  | Rem of Rem_lang.Rem.t
+  | Ree of Ree_lang.Ree.t
+  | Ucrdpq of Conjunctive.t
+
+type counterexample =
+  | Missing_pairs of (int * int) list
+  | Violating_hom of { hom : int array; tuple : int list }
+
+type reason = Budget_exhausted | Unsupported of string
+
+type verdict =
+  | Definable of certificate
+  | Not_definable of counterexample
+  | Unknown of reason
+
+type stats = {
+  steps : int;
+  elapsed_s : float;
+  extras : (string * int) list;
+}
+
+type t = { verdict : verdict; stats : stats }
+
+let make ?(extras = []) ~steps ~elapsed_s verdict =
+  { verdict; stats = { steps; elapsed_s; extras } }
+
+let definable o =
+  match o.verdict with
+  | Definable _ -> Some true
+  | Not_definable _ -> Some false
+  | Unknown _ -> None
+
+let certificate o =
+  match o.verdict with Definable c -> Some c | _ -> None
+
+let certificate_lang = function
+  | Rpq _ -> "rpq"
+  | Rem _ -> "rem"
+  | Ree _ -> "ree"
+  | Ucrdpq _ -> "ucrdpq"
+
+let certificate_to_string = function
+  | Rpq e -> Regexp.Regex.to_string e
+  | Rem e -> Rem_lang.Rem.to_string e
+  | Ree e -> Ree_lang.Ree.to_string e
+  | Ucrdpq [] -> "(empty union)"
+  | Ucrdpq q -> Conjunctive.to_string q
+
+let reason_to_string = function
+  | Budget_exhausted -> "budget_exhausted"
+  | Unsupported msg -> "unsupported: " ^ msg
+
+let verdict_name = function
+  | Definable _ -> "definable"
+  | Not_definable _ -> "not_definable"
+  | Unknown _ -> "unknown"
+
+let check_certificate inst cert =
+  let g = Instance.graph inst in
+  let s = Instance.relation inst in
+  match cert with
+  | Ucrdpq [] ->
+      if Tuple_relation.is_empty s then Ok ()
+      else Error "certificate is the empty union but the relation is nonempty"
+  | Ucrdpq q -> (
+      match Conjunctive.eval g q with
+      | exception Invalid_argument msg ->
+          Error ("certificate does not evaluate: " ^ msg)
+      | r ->
+          if Tuple_relation.equal r s then Ok ()
+          else Error "certificate evaluates to a different relation")
+  | (Rpq _ | Rem _ | Ree _) as c -> (
+      match Instance.binary inst with
+      | None ->
+          Error
+            (Printf.sprintf
+               "%s certificate for a relation of arity %d (binary required)"
+               (certificate_lang c) (Instance.arity inst))
+      | Some sb ->
+          let expr =
+            match c with
+            | Rpq e -> Query.Rpq e
+            | Rem e -> Query.Rem e
+            | Ree e -> Query.Ree e
+            | Ucrdpq _ -> assert false
+          in
+          let r = Query.eval g expr in
+          if Relation.equal r sb then Ok ()
+          else
+            let extra = Relation.cardinal (Relation.diff r sb) in
+            let missing = Relation.cardinal (Relation.diff sb r) in
+            Error
+              (Printf.sprintf
+                 "certificate evaluates to a different relation (%d extra, %d \
+                  missing pairs)"
+                 extra missing))
+
+let pp g ppf o =
+  (match o.verdict with
+  | Definable c ->
+      Format.fprintf ppf "definable (%s certificate: %s)" (certificate_lang c)
+        (certificate_to_string c)
+  | Not_definable (Missing_pairs ps) ->
+      Format.fprintf ppf "not definable; pairs with no witness:";
+      List.iter
+        (fun (u, v) ->
+          Format.fprintf ppf " (%s,%s)" (Data_graph.name g u)
+            (Data_graph.name g v))
+        ps
+  | Not_definable (Violating_hom { hom; tuple }) ->
+      Format.fprintf ppf "not definable; homomorphism {";
+      Array.iteri
+        (fun p x ->
+          if p > 0 then Format.fprintf ppf ", ";
+          Format.fprintf ppf "%s->%s" (Data_graph.name g p)
+            (Data_graph.name g x))
+        hom;
+      Format.fprintf ppf "} moves (%s) out"
+        (String.concat "," (List.map (Data_graph.name g) tuple))
+  | Unknown r -> Format.fprintf ppf "unknown (%s)" (reason_to_string r));
+  Format.fprintf ppf " [%d steps, %.4fs]" o.stats.steps o.stats.elapsed_s

@@ -1,0 +1,74 @@
+(** The one result type every decider returns.
+
+    A decider either proves definability and hands back a {e certificate}
+    (a synthesized defining query in the decided language), refutes it
+    with a {e counterexample} (uncoverable pairs, or a violating
+    homomorphism with an escaping tuple), or gives up with a {e reason} —
+    in particular [Budget_exhausted] when the {!Budget} ran dry, replacing
+    the old per-module [definable : bool option] conventions.
+
+    Certificates are independently checkable: {!check_certificate}
+    re-evaluates the query on the graph with the evaluation stack
+    (NFA / register-automaton products, conjunctive joins) — a code path
+    disjoint from the witness searches that produced it — and compares
+    the result with the instance's relation. *)
+
+type certificate =
+  | Rpq of Regexp.Regex.t
+  | Rem of Rem_lang.Rem.t  (** both [rem] and [krem] *)
+  | Ree of Ree_lang.Ree.t
+  | Ucrdpq of Query_lang.Conjunctive.t
+      (** the empty union [[]] certifies the empty relation *)
+
+type counterexample =
+  | Missing_pairs of (int * int) list
+      (** pairs of the relation no query of the language can cover *)
+  | Violating_hom of { hom : int array; tuple : int list }
+      (** a data graph homomorphism moving [tuple] out of the relation *)
+
+type reason =
+  | Budget_exhausted
+  | Unsupported of string
+      (** e.g. a path-query decider on a non-binary relation *)
+
+type verdict =
+  | Definable of certificate
+  | Not_definable of counterexample
+  | Unknown of reason
+
+type stats = {
+  steps : int;
+      (** search steps: explored tuples, closure elements, CSP nodes *)
+  elapsed_s : float;
+  extras : (string * int) list;
+      (** decider-specific statistics, e.g. REE [closure_size] /
+          [max_height] *)
+}
+
+type t = { verdict : verdict; stats : stats }
+
+val make : ?extras:(string * int) list -> steps:int -> elapsed_s:float -> verdict -> t
+
+val definable : t -> bool option
+(** [Some true] / [Some false] / [None] for unknown. *)
+
+val certificate : t -> certificate option
+
+val certificate_lang : certificate -> string
+(** ["rpq"], ["rem"], ["ree"] or ["ucrdpq"]. *)
+
+val certificate_to_string : certificate -> string
+(** Concrete syntax of the carried query ([(empty union)] for
+    [Ucrdpq \[\]]). *)
+
+val reason_to_string : reason -> string
+val verdict_name : verdict -> string
+(** ["definable"], ["not_definable"] or ["unknown"]. *)
+
+val check_certificate :
+  Instance.t -> certificate -> (unit, string) result
+(** Re-evaluate the certificate's query on the instance's graph and
+    compare with the relation; [Error] describes the first discrepancy.
+    Path-query certificates are rejected on non-binary instances. *)
+
+val pp : Datagraph.Data_graph.t -> Format.formatter -> t -> unit

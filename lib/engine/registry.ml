@@ -1,0 +1,23 @@
+type params = { k : int }
+
+let default_params = { k = 1 }
+
+type decide = ?budget:Budget.t -> ?params:params -> Instance.t -> Outcome.t
+type decider = { lang : string; doc : string; decide : decide }
+
+let table : (string, decider) Hashtbl.t = Hashtbl.create 8
+
+let register d = Hashtbl.replace table d.lang d
+let find lang = Hashtbl.find_opt table lang
+
+let names () =
+  Hashtbl.fold (fun name _ acc -> name :: acc) table []
+  |> List.sort String.compare
+
+let decide ?budget ?params ~lang inst =
+  match find lang with
+  | Some d -> Ok (d.decide ?budget ?params inst)
+  | None ->
+      Error
+        (Printf.sprintf "unknown language %S; registered: %s" lang
+           (String.concat ", " (names ())))

@@ -1,0 +1,38 @@
+(** The language registry: each query language registers one {!decider}
+    implementing the uniform signature, and the CLI, benchmarks and tests
+    dispatch by name instead of pattern-matching hand-wired code paths.
+
+    Registration is explicit (call {!register} from an [init]-style
+    function the application invokes once) so deciders are never dropped
+    by the linker; {!Definability.Deciders.init} registers the five
+    languages of the paper. *)
+
+type params = { k : int  (** register bound, used by [krem] only *) }
+
+val default_params : params
+(** [{ k = 1 }]. *)
+
+type decide =
+  ?budget:Budget.t -> ?params:params -> Instance.t -> Outcome.t
+(** The one decider signature.  [budget] defaults to unlimited; a decider
+    must return [Unknown Budget_exhausted] (never raise, never hang) when
+    the budget runs out, and [Unknown (Unsupported _)] on instances
+    outside its scope (e.g. non-binary relations for path queries). *)
+
+type decider = { lang : string; doc : string; decide : decide }
+
+val register : decider -> unit
+(** Idempotent: re-registering a language replaces its decider. *)
+
+val find : string -> decider option
+val names : unit -> string list
+(** Registered language names, sorted. *)
+
+val decide :
+  ?budget:Budget.t ->
+  ?params:params ->
+  lang:string ->
+  Instance.t ->
+  (Outcome.t, string) result
+(** Dispatch by name; [Error] names the unknown language and lists the
+    registered ones. *)

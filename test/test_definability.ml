@@ -186,14 +186,14 @@ let test_ree_fig1 () =
 
 let test_ree_closure_height_bound () =
   (* Lemma 28: levels stabilize by n^2; witness heights stay below. *)
-  let r = Reed.check fig1 s3 in
+  let r = Reed.search fig1 s3 in
   let n = DG.size fig1 in
   Alcotest.(check bool) "height <= n^2" true (r.max_height <= n * n);
   Alcotest.(check bool) "closure nonempty" true (r.closure_size > 0)
 
 let test_ree_truncation () =
-  let r = Reed.check ~max_size:2 fig1 s2 in
-  Alcotest.(check bool) "truncated gives unknown" true (r.definable = None)
+  let r = Reed.search ~max_size:2 fig1 s2 in
+  Alcotest.(check bool) "truncated gives unknown" true (Reed.verdict r = None)
 
 let test_ree_synthesis () =
   match Synth.ree fig1 s3 with

@@ -78,8 +78,14 @@ let test_condition_alphabet_ablation () =
      single complete types (see Assignment_graph). *)
   List.iteri
     (fun i (g, s) ->
-      let plain = (Remd.check_k g ~k:1 s).definable in
-      let full = (Remd.check_k ~all_condition_sets:true g ~k:1 s).definable in
+      let verdict (o : Definability.Witness_search.outcome) =
+        match o.verdict with
+        | Definability.Witness_search.Definable -> Some true
+        | Definability.Witness_search.Not_definable _ -> Some false
+        | Definability.Witness_search.Exhausted -> None
+      in
+      let plain = verdict (Remd.search_k g ~k:1 s) in
+      let full = verdict (Remd.search_k ~all_condition_sets:true g ~k:1 s) in
       Alcotest.(check bool) (Printf.sprintf "instance %d" i) true (plain = full))
     instances
 
@@ -147,7 +153,7 @@ let test_witnesses_are_witnesses () =
      its pair: it connects the pair and connects nothing outside S. *)
   List.iteri
     (fun i (g, s) ->
-      let r = Rpq.check g s in
+      let r = Rpq.search g s in
       List.iter
         (fun ((u, v), word) ->
           let e = Regexp.Regex.of_word word in
