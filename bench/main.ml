@@ -40,7 +40,10 @@ let ws_verdict (o : Definability.Witness_search.outcome) =
 
 (* Repeat [f] often enough that the total runtime is measurable and
    report seconds per call; used for the acceptance metrics recorded in
-   BENCH_1.json. *)
+   the BENCH_*.json series.  The reported figure is the best of three
+   measurement rounds: these numbers are compared across PRs, and the
+   minimum is far more stable under scheduler and cache noise than any
+   single round. *)
 let time_per_call f =
   (* Start from a compacted heap so timings do not depend on garbage
      left behind by whatever ran before this metric. *)
@@ -48,12 +51,19 @@ let time_per_call f =
   ignore (f ());
   let _, t1 = wall f in
   let reps = max 1 (min 100_000 (int_of_float (0.25 /. Float.max t1 1e-7))) in
-  let t0 = Unix.gettimeofday () in
-  for _ = 1 to reps do
-    ignore (f ())
+  let round () =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  let best = ref (round ()) in
+  for _ = 2 to 3 do
+    let t = round () in
+    if t < !best then best := t
   done;
-  let dt = Unix.gettimeofday () -. t0 in
-  (dt /. float_of_int reps, reps)
+  (!best, reps)
 
 let header title =
   Printf.printf "\n=== %s ===\n%!" title
@@ -482,7 +492,11 @@ let run_bechamel () =
    instance).  With --baseline FILE, the acceptance numbers of an
    earlier record are embedded and per-metric speedups computed.        *)
 
-let acceptance_metrics () =
+(* One named thunk per acceptance row.  The same thunks serve two
+   passes: the timing pass (telemetry disabled, the numbers tracked
+   across PRs) and one instrumented run per row for the per-phase time
+   and counter breakdown recorded alongside them. *)
+let acceptance_cases () =
   let g = Gen.fig1 () in
   let s2 = Gen.fig1_s2 g in
   let homs =
@@ -491,11 +505,9 @@ let acceptance_metrics () =
         let id =
           "hom-count-" ^ String.map (fun c -> if c = ' ' then '-' else c) name
         in
-        let secs, reps = time_per_call (fun () -> Definability.Hom.count cg) in
-        (id, secs, reps))
+        (id, fun () -> ignore (Definability.Hom.count cg)))
       (census_graphs ())
   in
-  let secs, reps = time_per_call (fun () -> Remd.is_definable_k g ~k:2 s2) in
   (* End-to-end dispatch through the engine (instance validation, budget
      bookkeeping, certificate synthesis included), one row per decider.
      A fresh fuel budget per call keeps the measurement honest about the
@@ -505,20 +517,42 @@ let acceptance_metrics () =
     let inst = Engine.Instance.of_binary g s2 in
     List.map
       (fun lang ->
-        let secs, reps =
-          time_per_call (fun () ->
-              let budget = Engine.Budget.create ~fuel:200_000 () in
-              match
-                Engine.Registry.decide ~budget
-                  ~params:{ Engine.Registry.k = 2 } ~lang inst
-              with
-              | Ok o -> o
-              | Error msg -> failwith msg)
-        in
-        ("engine-" ^ lang ^ "-fig1-s2", secs, reps))
+        ( "engine-" ^ lang ^ "-fig1-s2",
+          fun () ->
+            let budget = Engine.Budget.create ~fuel:200_000 () in
+            match
+              Engine.Registry.decide ~budget
+                ~params:{ Engine.Registry.k = 2 } ~lang inst
+            with
+            | Ok _ -> ()
+            | Error msg -> failwith msg ))
       [ "rpq"; "krem"; "rem"; "ree"; "ucrdpq" ]
   in
-  homs @ [ ("krem-k2-fig1-s2", secs, reps) ] @ engine_rows
+  homs
+  @ [ ("krem-k2-fig1-s2", fun () -> ignore (Remd.is_definable_k g ~k:2 s2)) ]
+  @ engine_rows
+
+let acceptance_metrics cases =
+  List.map
+    (fun (id, f) ->
+      let secs, reps = time_per_call f in
+      (id, secs, reps))
+    cases
+
+(* One instrumented run per row: per-phase call counts and wall time
+   from the aggregator sink, plus the full counter catalogue.  Runs
+   after the timing pass so the timings are taken with telemetry
+   disabled (the acceptance criterion) while the breakdown sees the
+   warm caches the timing pass left behind. *)
+let phase_breakdowns cases =
+  List.map
+    (fun (id, f) ->
+      let agg = Obs.Sink.Agg.create () in
+      Obs.enable [ Obs.Sink.Agg.sink agg ];
+      f ();
+      Obs.disable ();
+      (id, Obs.Sink.Agg.phases agg, Obs.Counter.all ()))
+    cases
 
 (* Minimal scanner for the acceptance section of an earlier --json
    record: the writer puts one entry per line, so a line-based scan
@@ -571,12 +605,14 @@ let read_baseline path =
   in
   go []
 
-let write_json ~path ~table_times ~acceptance ~bechamel ~baseline =
+let write_json ~path ~table_times ~acceptance ~breakdown ~bechamel ~baseline =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"definability-bench-1\",\n";
-  p "  \"command\": \"dune exec bench/main.exe -- tables --json\",\n";
+  p "  \"schema\": \"definability-bench-3\",\n";
+  p
+    "  \"command\": \"dune exec bench/main.exe -- tables --json --out \
+     bench/BENCH_3.json --baseline bench/BENCH_1.json\",\n";
   p "  \"tables_wall_secs\": {\n";
   let rec commas f = function
     | [] -> ()
@@ -591,6 +627,23 @@ let write_json ~path ~table_times ~acceptance ~bechamel ~baseline =
       p "    \"%s\": { \"secs_per_call\": %.9e, \"calls\": %d }" name secs reps)
     acceptance;
   p "  },\n";
+  p "  \"phase_breakdown\": {\n";
+  commas
+    (fun (name, phases, counters) ->
+      p "    \"%s\": {\n" name;
+      p "      \"phases\": {\n";
+      commas
+        (fun (ph, calls, total_s) ->
+          p "        \"%s\": { \"calls\": %d, \"wall_s\": %.9e }" ph calls
+            total_s)
+        phases;
+      p "      },\n";
+      p "      \"counters\": {\n";
+      commas (fun (c, v) -> p "        \"%s\": %d" c v) counters;
+      p "      }\n";
+      p "    }")
+    breakdown;
+  p "  },\n";
   (match baseline with
   | None -> ()
   | Some base ->
@@ -598,15 +651,25 @@ let write_json ~path ~table_times ~acceptance ~bechamel ~baseline =
       commas (fun (name, secs) -> p "    \"%s\": %.9e" name secs) base;
       p "  },\n";
       p "  \"speedup_vs_baseline\": {\n";
+      (* Every acceptance row appears here: rows the baseline file does
+         not know get an explicit null instead of being dropped, so a
+         missing baseline is visible in the record rather than silently
+         shrinking the speedup table. *)
       let speedups =
-        List.filter_map
+        List.map
           (fun (name, secs, _) ->
-            match List.assoc_opt name base with
-            | Some b when secs > 0. -> Some (name, b /. secs)
-            | _ -> None)
+            ( name,
+              match List.assoc_opt name base with
+              | Some b when secs > 0. -> Some (b /. secs)
+              | _ -> None ))
           acceptance
       in
-      commas (fun (name, s) -> p "    \"%s\": %.2f" name s) speedups;
+      commas
+        (fun (name, s) ->
+          match s with
+          | Some s -> p "    \"%s\": %.2f" name s
+          | None -> p "    \"%s\": null" name)
+        speedups;
       p "  },\n");
   p "  \"bechamel_ns_per_run\": {\n";
   commas (fun (name, est) -> p "    \"%s\": %.1f" name est) bechamel;
@@ -626,7 +689,7 @@ let () =
     | _ :: rest -> opt_after key rest
     | [] -> None
   in
-  let out = Option.value ~default:"BENCH_1.json" (opt_after "--out" argv) in
+  let out = Option.value ~default:"BENCH_3.json" (opt_after "--out" argv) in
   let baseline = Option.map read_baseline (opt_after "--baseline" argv) in
   let tabs =
     [
@@ -648,12 +711,15 @@ let () =
   let bechamel = if tables_only then [] else run_bechamel () in
   if json then begin
     header "acceptance metrics (secs/call)";
-    let acceptance = acceptance_metrics () in
+    let cases = acceptance_cases () in
+    let acceptance = acceptance_metrics cases in
     List.iter
       (fun (name, secs, reps) ->
         Printf.printf "%-28s %.3e s/call  (%d calls)\n%!" name secs reps)
       acceptance;
-    write_json ~path:out ~table_times ~acceptance ~bechamel ~baseline;
+    let breakdown = phase_breakdowns cases in
+    write_json ~path:out ~table_times ~acceptance ~breakdown ~bechamel
+      ~baseline;
     Printf.printf "\nwrote %s\n%!" out
   end;
   print_endline "\nbench: done."

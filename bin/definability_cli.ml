@@ -65,7 +65,7 @@ let json_obj fields =
 
 let json_list xs = "[" ^ String.concat "," xs ^ "]"
 
-let json_of_outcome g ~lang (o : Outcome.t) =
+let json_of_outcome g ~lang ~budget ~phases (o : Outcome.t) =
   let certificate =
     match Outcome.certificate o with
     | None -> "null"
@@ -100,10 +100,46 @@ let json_of_outcome g ~lang (o : Outcome.t) =
     | Outcome.Definable _ | Outcome.Not_definable _ -> "null"
   in
   let stats =
+    (* Telemetry renders here: the budget's fuel accounting, per-phase
+       wall time from the in-memory aggregator, and the full counter
+       catalogue (zeros included, so the key set is stable across
+       languages). *)
+    let budget_json =
+      json_obj
+        [
+          ("used", string_of_int (Budget.used budget));
+          ( "fuel",
+            match Budget.fuel_limit budget with
+            | Some f -> string_of_int f
+            | None -> "null" );
+          ("exhausted", if Budget.exhausted budget then "true" else "false");
+        ]
+    in
+    let phases_json =
+      json_obj
+        (List.map
+           (fun (name, calls, total_s) ->
+             ( name,
+               json_obj
+                 [
+                   ("calls", string_of_int calls);
+                   ("wall_s", Printf.sprintf "%.6f" total_s);
+                 ] ))
+           phases)
+    in
+    let counters_json =
+      json_obj
+        (List.map (fun (name, v) -> (name, string_of_int v)) (Obs.Counter.all ()))
+    in
     json_obj
       (("steps", string_of_int o.stats.steps)
       :: ("elapsed_s", Printf.sprintf "%.6f" o.stats.elapsed_s)
-      :: List.map (fun (k, v) -> (k, string_of_int v)) o.stats.extras)
+      :: List.map (fun (k, v) -> (k, string_of_int v)) o.stats.extras
+      @ [
+          ("budget", budget_json);
+          ("phases", phases_json);
+          ("counters", counters_json);
+        ])
   in
   json_obj
     [
@@ -166,6 +202,16 @@ let timeout_arg =
     & info [ "timeout" ] ~docv:"SECONDS"
         ~doc:"Abort with an unknown verdict after $(docv) seconds.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON file of the decision's phases \
+           and counters to $(docv), loadable in chrome://tracing or \
+           Perfetto.")
+
 let info_cmd =
   let run path =
     let g, s = load_instance path in
@@ -211,8 +257,27 @@ let eval_cmd =
     Term.(const run $ instance_arg $ lang_arg $ expr_arg)
 
 let check_cmd =
-  let run path lang k synth json fuel timeout =
+  let run path lang k synth json fuel timeout trace =
     let g, s = load_instance path in
+    (* Telemetry is always on for a check: the aggregator feeds the
+       [stats] block of --json, and --trace additionally collects the
+       raw spans.  One decision's worth of observation is far below the
+       cost of the decision itself. *)
+    let agg = Obs.Sink.Agg.create () in
+    let tracer = Option.map (fun _ -> Obs.Sink.Trace.create ()) trace in
+    Obs.enable
+      (Obs.Sink.Agg.sink agg
+      ::
+      (match tracer with Some t -> [ Obs.Sink.Trace.sink t ] | None -> []));
+    let write_trace () =
+      Obs.disable ();
+      match (trace, tracer) with
+      | Some path, Some t ->
+          let oc = open_out path in
+          Obs.Sink.Trace.write ~counters:(Obs.Counter.all ()) t oc;
+          close_out oc
+      | _ -> ()
+    in
     let inst =
       match Instance.create g s with
       | Ok inst -> inst
@@ -220,14 +285,12 @@ let check_cmd =
           Printf.eprintf "error: %s: %s\n" path msg;
           exit 2
     in
-    let budget =
-      match (fuel, timeout) with
-      | None, None -> None
-      | _ -> Some (Budget.create ?fuel ?deadline_s:timeout ())
-    in
+    (* Always run under a budget (unlimited when no flag is given) so
+       fuel accounting is reportable in the stats block. *)
+    let budget = Budget.create ?fuel ?deadline_s:timeout () in
     let outcome =
       match
-        Registry.decide ?budget ~params:{ Registry.k } ~lang inst
+        Registry.decide ~budget ~params:{ Registry.k } ~lang inst
       with
       | Ok o -> o
       | Error msg ->
@@ -239,7 +302,11 @@ let check_cmd =
         Printf.eprintf "error: %s\n" msg;
         exit 2
     | _ -> ());
-    if json then print_endline (json_of_outcome g ~lang outcome)
+    if json then
+      print_endline
+        (json_of_outcome g ~lang ~budget
+           ~phases:(Obs.Sink.Agg.phases agg)
+           outcome)
     else begin
       List.iter
         (fun (key, v) -> Format.printf "%s: %d@." key v)
@@ -276,6 +343,7 @@ let check_cmd =
             outcome.stats.steps
       | Outcome.Unknown (Outcome.Unsupported _) -> assert false
     end;
+    write_trace ();
     match outcome.verdict with
     | Outcome.Definable _ -> exit 0
     | Outcome.Not_definable _ -> exit 1
@@ -289,7 +357,7 @@ let check_cmd =
           language.")
     Term.(
       const run $ instance_arg $ lang_arg $ k_arg $ synth_arg $ json_arg
-      $ fuel_arg $ timeout_arg)
+      $ fuel_arg $ timeout_arg $ trace_arg)
 
 let census_cmd =
   let run path max_k sample =

@@ -29,6 +29,13 @@ type t = {
 let uid_counter = ref 0
 let uid g = g.uid
 
+(* Cache-build telemetry: how often the bitset kernel recomputes the
+   per-label adjacency matrices and the reachability closure.  Builds
+   happen at most once per graph; a high build count under load means
+   graphs are being reconstructed instead of reused. *)
+let c_adjacency_builds = Obs.Counter.make "datagraph.adjacency_builds"
+let c_reachability_builds = Obs.Counter.make "datagraph.reachability_builds"
+
 let size g = Array.length g.values
 let nodes g = List.init (size g) Fun.id
 let value g v = g.values.(v)
@@ -68,6 +75,7 @@ let adjacency g =
   match g.adj_cache with
   | Some a -> a
   | None ->
+      Obs.Counter.incr c_adjacency_builds;
       let n = size g in
       let a =
         Array.init (Array.length g.labels) (fun _ -> Bitmatrix.create n n)
@@ -87,6 +95,7 @@ let reachability_matrix g =
   match g.reach_cache with
   | Some m -> m
   | None ->
+      Obs.Counter.incr c_reachability_builds;
       let n = size g in
       let m = Bitmatrix.create n n in
       Array.iter

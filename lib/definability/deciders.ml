@@ -50,7 +50,9 @@ let rem_decide ?budget ?params:_ inst =
   with_binary "rem" inst (fun _g s ->
       let t0 = now () in
       let pg =
-        Instance.memo inst pg_key (fun i -> Profile_graph.create (Instance.graph i))
+        Instance.memo inst pg_key (fun i ->
+            Obs.Span.with_ "profile_graph.build" (fun () ->
+                Profile_graph.create (Instance.graph i)))
       in
       let o = WS.search ?budget (Profile_graph.config pg) ~target:s in
       of_witness_outcome o ~elapsed_s:(now () -. t0) ~decode:(fun ws ->
@@ -60,7 +62,10 @@ let rem_decide ?budget ?params:_ inst =
 let krem_decide ?budget ?(params = Registry.default_params) inst =
   with_binary "krem" inst (fun g s ->
       let t0 = now () in
-      let ag = Assignment_graph.create g ~k:params.Registry.k in
+      let ag =
+        Obs.Span.with_ "assignment_graph.build" (fun () ->
+            Assignment_graph.create g ~k:params.Registry.k)
+      in
       let o = WS.search ?budget (Assignment_graph.config ag) ~target:s in
       of_witness_outcome o ~elapsed_s:(now () -. t0) ~decode:(fun ws ->
           Outcome.Rem
@@ -91,7 +96,10 @@ let ucrdpq_decide ?budget ?params:_ inst =
   let s = Instance.relation inst in
   let t0 = now () in
   let csp = Instance.memo inst csp_key (fun i -> Hom.csp_of (Instance.graph i)) in
-  let o = Hom.search_violating ?budget ~csp g s in
+  let o =
+    Obs.Span.with_ "ucrdpq.containment" (fun () ->
+        Hom.search_violating ?budget ~csp g s)
+  in
   let verdict =
     match o.Hom.result with
     | `Preserved ->

@@ -139,17 +139,40 @@ let build_csp_uncached g =
   { n; constraints; incident; root = None }
 
 (* The CSP is a pure function of the (immutable) graph; remember the
-   most recent one so repeated searches on the same graph — the census,
-   the benchmarks, any preservation check over many relations — build
-   it once. *)
-let csp_cache : (int * csp) option ref = ref None
+   most recent ones so repeated searches on the same graphs — the
+   census, the benchmarks, any preservation check over many relations —
+   build each once.  The cache is a small move-to-front list rather than
+   a single slot: deciding two graphs alternately (e.g. comparing a
+   graph against a rewritten variant) must not rebuild the network on
+   every call.  Eviction drops the least recently used entry. *)
+let csp_cache_capacity = 8
+let csp_cache : (int * csp) list ref = ref []
+
+let c_csp_hits = Obs.Counter.make "hom.csp_cache_hits"
+let c_csp_misses = Obs.Counter.make "hom.csp_cache_misses"
+let c_root_hits = Obs.Counter.make "hom.root_domain_hits"
+let c_root_misses = Obs.Counter.make "hom.root_domain_misses"
 
 let build_csp g =
-  match !csp_cache with
-  | Some (uid, csp) when uid = Data_graph.uid g -> csp
-  | _ ->
-      let csp = build_csp_uncached g in
-      csp_cache := Some (Data_graph.uid g, csp);
+  let uid = Data_graph.uid g in
+  let rec extract acc = function
+    | [] -> None
+    | (u, csp) :: rest when u = uid -> Some (csp, List.rev_append acc rest)
+    | e :: rest -> extract (e :: acc) rest
+  in
+  match extract [] !csp_cache with
+  | Some (csp, rest) ->
+      Obs.Counter.incr c_csp_hits;
+      csp_cache := (uid, csp) :: rest;
+      csp
+  | None ->
+      Obs.Counter.incr c_csp_misses;
+      let csp = Obs.Span.with_ "csp.build" (fun () -> build_csp_uncached g) in
+      let entries = (uid, csp) :: !csp_cache in
+      csp_cache :=
+        (if List.length entries > csp_cache_capacity then
+           List.filteri (fun i _ -> i < csp_cache_capacity) entries
+         else entries);
       csp
 
 exception Wipeout
@@ -254,8 +277,11 @@ let dom_first d =
    constraints from full domains on every call. *)
 let root_doms csp =
   match csp.root with
-  | Some r -> r
+  | Some r ->
+      Obs.Counter.incr c_root_hits;
+      r
   | None ->
+      Obs.Counter.incr c_root_misses;
       let doms =
         Array.init csp.n (fun _ -> { bits = Bitset.full csp.n; card = csp.n })
       in
@@ -340,6 +366,7 @@ type violation_outcome = {
 }
 
 let search_violating ?budget ?csp g s =
+  Obs.Span.with_ "csp.search" @@ fun () ->
   let csp = match csp with Some c -> c | None -> build_csp g in
   (* Prune when every tuple of S is forced to stay inside S: enumerate
      each tuple's image product as long as it is small; a large product

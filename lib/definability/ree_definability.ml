@@ -64,6 +64,7 @@ let closure ?(max_size = 200_000) g =
    soon as every pair has a witness — the common case for definable
    relations, where materializing the whole closure would be wasteful. *)
 let search ?budget ?(max_size = 200_000) g s =
+  Obs.Span.with_ "ree.closure" @@ fun () ->
   let value = Data_graph.value g in
   let take () = match budget with None -> true | Some b -> Budget.take b in
   let budget_dead () =

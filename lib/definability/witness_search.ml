@@ -60,6 +60,7 @@ end
 module Tuple_tbl = Hashtbl.Make (Tuple_key)
 
 let search ?(max_tuples = 2_000_000) ?budget cfg ~target =
+  Obs.Span.with_ "witness.search" @@ fun () ->
   let n = Array.length cfg.sources in
   if Relation.universe target <> n then
     invalid_arg "Witness_search.search: target universe <> number of sources";

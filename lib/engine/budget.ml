@@ -4,12 +4,24 @@ type t = {
   mutable used : int;
   mutable dead : bool;
   mutable tick : int;
+  (* Telemetry tallies, kept as plain fields so the hot path never
+     leaves this module: [take] is called per search step, and even a
+     branch-guarded cross-library call there is measurable on the
+     microsecond-scale deciders.  [flush_telemetry] publishes both
+     tallies to the [Obs] counters once per dispatch. *)
+  mutable takes : int;
+  mutable polls : int;
 }
 
 (* Steps between deadline probes: cheap enough that a 1ms deadline is
    honoured mid-search, rare enough that [take] stays syscall-free on the
    hot path. *)
 let poll_interval = 32
+
+(* Fuel telemetry: how many steps the searches attempt to consume and
+   how often the wall clock is actually read. *)
+let c_takes = Obs.Counter.make "budget.takes"
+let c_polls = Obs.Counter.make "budget.deadline_polls"
 
 (* [tick] starts one step short of the poll interval so the very first
    [take] probes the deadline — an already-expired deadline (e.g.
@@ -21,6 +33,8 @@ let unlimited () =
     used = 0;
     dead = false;
     tick = poll_interval - 1;
+    takes = 0;
+    polls = 0;
   }
 
 let create ?fuel ?deadline_s () =
@@ -36,13 +50,23 @@ let create ?fuel ?deadline_s () =
     | Some s when s < 0. -> invalid_arg "Engine.Budget.create: negative deadline"
     | Some s -> Unix.gettimeofday () +. s
   in
-  { fuel; deadline; used = 0; dead = false; tick = poll_interval - 1 }
+  {
+    fuel;
+    deadline;
+    used = 0;
+    dead = false;
+    tick = poll_interval - 1;
+    takes = 0;
+    polls = 0;
+  }
 
 let probe_deadline b =
+  b.polls <- b.polls + 1;
   if b.deadline < infinity && Unix.gettimeofday () > b.deadline then
     b.dead <- true
 
 let take b =
+  b.takes <- b.takes + 1;
   if b.dead then false
   else begin
     if b.deadline < infinity then begin
@@ -68,3 +92,10 @@ let exhausted b =
 
 let used b = b.used
 let fuel_limit b = if b.fuel = max_int then None else Some b.fuel
+
+(* Budgets are fresh per dispatch (see the interface), so publishing the
+   whole tallies once — from [Registry.decide], after the decider
+   returns — cannot double-count. *)
+let flush_telemetry b =
+  Obs.Counter.add c_takes b.takes;
+  Obs.Counter.add c_polls b.polls

@@ -36,3 +36,12 @@ val used : t -> int
 
 val fuel_limit : t -> int option
 (** The fuel bound, if any. *)
+
+val flush_telemetry : t -> unit
+(** Publish the budget's step and deadline-poll tallies to the
+    [budget.takes] / [budget.deadline_polls] {!Obs.Counter}s (a no-op
+    while telemetry is disabled).  Called by [Registry.decide] after the
+    decider returns; budgets are fresh per dispatch, so the one flush
+    counts each attempt exactly once.  The tallies themselves are plain
+    record fields — [take] stays free of observation calls, keeping the
+    hottest engine entry point at its uninstrumented cost. *)

@@ -17,6 +17,7 @@ type t = {
 }
 
 let create g s =
+  Obs.Span.with_ "instance.validate" @@ fun () ->
   let n = Data_graph.size g in
   if Tuple_relation.universe s <> n then
     Error

@@ -64,6 +64,7 @@ let verdict_name = function
   | Unknown _ -> "unknown"
 
 let check_certificate inst cert =
+  Obs.Span.with_ "certificate.check" @@ fun () ->
   let g = Instance.graph inst in
   let s = Instance.relation inst in
   match cert with

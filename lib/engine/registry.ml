@@ -14,9 +14,18 @@ let names () =
   Hashtbl.fold (fun name _ acc -> name :: acc) table []
   |> List.sort String.compare
 
+(* Telemetry is plumbed in exactly once, here: every registered language
+   gets a root span around its decide call, and the budget's step/poll
+   tallies are published after it returns — so the per-phase breakdowns
+   and counter catalogue need no per-decider boilerplate. *)
 let decide ?budget ?params ~lang inst =
   match find lang with
-  | Some d -> Ok (d.decide ?budget ?params inst)
+  | Some d ->
+      Ok
+        (Obs.Span.with_ ("decide." ^ lang) (fun () ->
+             let o = d.decide ?budget ?params inst in
+             Option.iter Budget.flush_telemetry budget;
+             o))
   | None ->
       Error
         (Printf.sprintf "unknown language %S; registered: %s" lang

@@ -1,0 +1,164 @@
+(* One global on/off flag guards every observation point; see the
+   overhead policy in the interface. *)
+let on = ref false
+
+let now = Unix.gettimeofday
+
+type span = { name : string; start_s : float; stop_s : float; depth : int }
+
+module Counter = struct
+  type t = { name : string; mutable n : int }
+
+  let registry : t list ref = ref []
+
+  let make name =
+    let c = { name; n = 0 } in
+    registry := c :: !registry;
+    c
+
+  let incr c = if !on then c.n <- c.n + 1
+  let add c k = if !on then c.n <- c.n + k
+  let value c = c.n
+  let name c = c.name
+
+  let all () =
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      (List.map (fun c -> (c.name, c.n)) !registry)
+
+  let reset_all () = List.iter (fun c -> c.n <- 0) !registry
+end
+
+module Sink = struct
+  type t = { record : span -> unit }
+
+  let make record = { record }
+  let null = { record = (fun _ -> ()) }
+
+  module Agg = struct
+    type cell = { mutable calls : int; mutable total_s : float }
+    type agg = (string, cell) Hashtbl.t
+
+    let create () : agg = Hashtbl.create 16
+
+    let sink (t : agg) =
+      {
+        record =
+          (fun s ->
+            let cell =
+              match Hashtbl.find_opt t s.name with
+              | Some c -> c
+              | None ->
+                  let c = { calls = 0; total_s = 0. } in
+                  Hashtbl.add t s.name c;
+                  c
+            in
+            cell.calls <- cell.calls + 1;
+            cell.total_s <- cell.total_s +. (s.stop_s -. s.start_s));
+      }
+
+    let phases (t : agg) =
+      Hashtbl.fold (fun name c acc -> (name, c.calls, c.total_s) :: acc) t []
+      |> List.sort compare
+  end
+
+  module Trace = struct
+    type trace = { mutable spans : span list (* reverse record order *) }
+
+    let create () = { spans = [] }
+    let sink t = { record = (fun s -> t.spans <- s :: t.spans) }
+
+    let escape s =
+      let b = Buffer.create (String.length s + 2) in
+      String.iter
+        (fun c ->
+          match c with
+          | '"' -> Buffer.add_string b "\\\""
+          | '\\' -> Buffer.add_string b "\\\\"
+          | '\n' -> Buffer.add_string b "\\n"
+          | c when Char.code c < 0x20 ->
+              Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+          | c -> Buffer.add_char b c)
+        s;
+      Buffer.contents b
+
+    (* Chrome trace-event JSON ("JSON Array Format"): complete events
+       carry ts+dur so begin/end pairing is never needed; counters are
+       emitted once, at the trace's end timestamp. *)
+    let to_string ?(counters = []) t =
+      let spans = List.rev t.spans in
+      let t0 =
+        List.fold_left (fun acc s -> Float.min acc s.start_s) infinity spans
+      in
+      let t1 =
+        List.fold_left (fun acc s -> Float.max acc s.stop_s) 0. spans
+      in
+      let us x = (x -. t0) *. 1e6 in
+      let b = Buffer.create 4096 in
+      let sep = ref "" in
+      Buffer.add_string b "[";
+      List.iter
+        (fun s ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "%s\n\
+                {\"name\":\"%s\",\"cat\":\"engine\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1,\"args\":{\"depth\":%d}}"
+               !sep (escape s.name) (us s.start_s)
+               ((s.stop_s -. s.start_s) *. 1e6)
+               s.depth);
+          sep := ",")
+        spans;
+      let counter_ts = if spans = [] then 0. else us t1 in
+      List.iter
+        (fun (name, v) ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "%s\n\
+                {\"name\":\"%s\",\"cat\":\"counters\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":1,\"args\":{\"value\":%d}}"
+               !sep (escape name) counter_ts v);
+          sep := ",")
+        counters;
+      Buffer.add_string b "\n]\n";
+      Buffer.contents b
+
+    let write ?counters t oc = output_string oc (to_string ?counters t)
+  end
+end
+
+let sinks : Sink.t list ref = ref []
+
+let enabled () = !on
+
+let enable ss =
+  Counter.reset_all ();
+  sinks := ss;
+  on := true
+
+let disable () =
+  on := false;
+  sinks := []
+
+module Span = struct
+  let depth = ref 0
+
+  let with_ name f =
+    if not !on then f ()
+    else begin
+      let d = !depth in
+      depth := d + 1;
+      let start_s = now () in
+      let finish () =
+        let stop_s = now () in
+        depth := d;
+        let s = { name; start_s; stop_s; depth = d } in
+        List.iter (fun (k : Sink.t) -> k.record s) !sinks
+      in
+      match f () with
+      | v ->
+          finish ();
+          v
+      | exception e ->
+          finish ();
+          raise e
+    end
+end

@@ -1,0 +1,107 @@
+(** Zero-dependency telemetry for the decision engine.
+
+    The library has three pieces: {!Span} (timed, nested phases of a
+    decision — CSP construction, witness search, REE closure, …),
+    {!Counter} (monotone event counts — cache hits and misses, budget
+    takes, reachability-matrix builds), and {!Sink} (where span records
+    go: an in-memory per-phase aggregator, a Chrome trace-event
+    collector, or nothing).
+
+    {b Overhead policy.}  Telemetry is globally disabled by default.
+    Every observation point — {!Span.with_}, {!Counter.incr} — is
+    guarded by a single branch on one [bool ref], so the instrumented
+    hot paths ([Hom] cache probes, [Rem] memo lookups, [Budget.take])
+    pay one predictable branch and nothing else when disabled; in
+    particular no clock syscalls, no allocation, and no sink dispatch.
+    Enabling is scoped and explicit: {!enable} installs sinks and zeroes
+    all counters, {!disable} uninstalls them.  The library is not
+    thread-safe (neither is the engine).                                 *)
+
+type span = {
+  name : string;  (** phase name, e.g. ["witness.search"] *)
+  start_s : float;  (** [Unix.gettimeofday] at entry *)
+  stop_s : float;  (** … and at exit (including exceptional exit) *)
+  depth : int;  (** nesting depth at entry; 0 = root span *)
+}
+
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** Create and register a named counter (module-initialization time;
+      the registry is global and append-only). *)
+
+  val incr : t -> unit
+  (** Add one.  No-op (one branch) while telemetry is disabled. *)
+
+  val add : t -> int -> unit
+  (** Add [n].  No-op while disabled. *)
+
+  val value : t -> int
+  val name : t -> string
+
+  val all : unit -> (string * int) list
+  (** Every registered counter with its current value, sorted by name.
+      Counters register themselves at module-initialization time, so
+      the catalogue always lists every instrumented subsystem that is
+      linked in — zeros included. *)
+
+  val reset_all : unit -> unit
+  (** Zero every counter ({!enable} does this automatically). *)
+end
+
+module Sink : sig
+  type t
+  (** A span consumer.  Sinks receive each completed span exactly once,
+      at span exit (innermost first). *)
+
+  val make : (span -> unit) -> t
+  val null : t
+  (** Drops everything — observation with no record. *)
+
+  (** In-memory per-phase aggregation: call counts and total wall time
+      keyed by span name.  This is what renders as the [stats] block of
+      [check --json] and the per-phase bench breakdowns. *)
+  module Agg : sig
+    type agg
+
+    val create : unit -> agg
+    val sink : agg -> t
+
+    val phases : agg -> (string * int * float) list
+    (** [(name, calls, total wall seconds)] per distinct span name,
+        sorted by name. *)
+  end
+
+  (** Chrome [trace_event] collection: keeps every span and serializes
+      the lot as a JSON array of complete ("ph":"X") events, plus one
+      counter ("ph":"C") event per registered counter, loadable in
+      [chrome://tracing] and Perfetto.  Timestamps are microseconds
+      relative to the earliest recorded span. *)
+  module Trace : sig
+    type trace
+
+    val create : unit -> trace
+    val sink : trace -> t
+
+    val to_string : ?counters:(string * int) list -> trace -> string
+    val write : ?counters:(string * int) list -> trace -> out_channel -> unit
+  end
+end
+
+val enabled : unit -> bool
+
+val enable : Sink.t list -> unit
+(** Install the sinks, zero all counters, and turn observation on. *)
+
+val disable : unit -> unit
+(** Turn observation off and drop the sinks.  Counter values survive
+    until the next {!enable} (or {!Counter.reset_all}), so they can be
+    read after the observed region. *)
+
+module Span : sig
+  val with_ : string -> (unit -> 'a) -> 'a
+  (** [with_ name f] runs [f], recording one {!span} around it to every
+      installed sink — also when [f] raises.  While telemetry is
+      disabled this is exactly [f ()] after one branch. *)
+end

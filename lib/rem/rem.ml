@@ -107,6 +107,12 @@ let key_of_assignment sigma =
 let assignment_of_key key =
   Array.of_list (List.map (Option.map Data_value.of_int) key)
 
+(* Memo-table telemetry for both evaluators below.  The lookups are on
+   the hot path of REM evaluation, so the counters cost one branch when
+   telemetry is off (see the [Obs] overhead policy). *)
+let c_memo_hits = Obs.Counter.make "rem.memo_hits"
+let c_memo_misses = Obs.Counter.make "rem.memo_misses"
+
 let check_args ~k e sigma =
   if Array.length sigma <> k then
     invalid_arg "Rem.final_assignments: assignment length <> k";
@@ -127,8 +133,11 @@ let final_assignments_generic ~k e w sigma =
   let rec outcomes ae i j sigma =
     let key = (ae.id, i, j, key_of_assignment sigma) in
     match Hashtbl.find_opt memo key with
-    | Some s -> s
+    | Some s ->
+        Obs.Counter.incr c_memo_hits;
+        s
     | None ->
+        Obs.Counter.incr c_memo_misses;
         if Hashtbl.mem visiting key then Assignments.empty
         else begin
           Hashtbl.add visiting key ();
@@ -236,8 +245,11 @@ let final_assignments_packed ~k ~vals ~code_of ~vbits e w sigma =
   let rec outcomes ae i j p =
     let key = (((ae.id * stride) + i) * stride + j, p) in
     match Hashtbl.find_opt memo key with
-    | Some s -> s
+    | Some s ->
+        Obs.Counter.incr c_memo_hits;
+        s
     | None ->
+        Obs.Counter.incr c_memo_misses;
         if Hashtbl.mem visiting key then IntSet.empty
         else begin
           Hashtbl.add visiting key ();
@@ -290,6 +302,7 @@ let final_assignments_packed ~k ~vals ~code_of ~vbits e w sigma =
          Stdlib.compare (key_of_assignment a) (key_of_assignment b))
 
 let final_assignments ~k e w sigma =
+  Obs.Span.with_ "rem.eval" @@ fun () ->
   check_args ~k e sigma;
   (* Code table for the values of [w] and [sigma]; ⊥ is code 0. *)
   let codes : (int, int) Hashtbl.t = Hashtbl.create 16 in

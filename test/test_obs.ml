@@ -1,0 +1,379 @@
+(* The telemetry layer: span nesting and ordering, counter semantics,
+   the observation-free guarantee (identical decider results with
+   telemetry on and off), the shape of the Chrome trace-event output,
+   and the bounded CSP cache's hit/miss accounting. *)
+
+module Gen = Datagraph.Graph_gen
+module Instance = Engine.Instance
+module Registry = Engine.Registry
+
+let () = Definability.Deciders.init ()
+
+let fig1 = Gen.fig1 ()
+let s2 = Gen.fig1_s2 fig1
+let all_langs = [ "krem"; "ree"; "rem"; "rpq"; "ucrdpq" ]
+
+let decide lang =
+  let inst = Instance.of_binary fig1 s2 in
+  let budget = Engine.Budget.create ~fuel:200_000 () in
+  match Registry.decide ~budget ~params:{ Registry.k = 2 } ~lang inst with
+  | Ok o -> o
+  | Error msg -> Alcotest.fail msg
+
+(* Run [f] with [sinks] installed, restoring the disabled state even if
+   [f] raises — keeps one failing test from leaking observation into the
+   rest of the suite. *)
+let observed sinks f =
+  Obs.enable sinks;
+  Fun.protect ~finally:Obs.disable f
+
+(* ---------- spans ---------- *)
+
+let test_span_passthrough () =
+  Alcotest.(check int) "value through disabled span" 42
+    (Obs.Span.with_ "x" (fun () -> 42));
+  Alcotest.(check int) "value through enabled span" 42
+    (observed [ Obs.Sink.null ] (fun () -> Obs.Span.with_ "x" (fun () -> 42)))
+
+let test_span_nesting () =
+  let seen = ref [] in
+  let sink = Obs.Sink.make (fun s -> seen := s :: !seen) in
+  observed [ sink ] (fun () ->
+      Obs.Span.with_ "outer" (fun () ->
+          Obs.Span.with_ "inner" (fun () -> ());
+          Obs.Span.with_ "inner2" (fun () -> ())));
+  (* Sinks see spans at exit, innermost first. *)
+  let order = List.rev_map (fun (s : Obs.span) -> s.name) !seen in
+  Alcotest.(check (list string))
+    "exit order" [ "inner"; "inner2"; "outer" ] order;
+  let find name = List.find (fun (s : Obs.span) -> s.name = name) !seen in
+  let outer = find "outer" and inner = find "inner" in
+  Alcotest.(check int) "outer depth" 0 outer.depth;
+  Alcotest.(check int) "inner depth" 1 inner.depth;
+  Alcotest.(check bool) "inner within outer" true
+    (inner.start_s >= outer.start_s && inner.stop_s <= outer.stop_s);
+  List.iter
+    (fun (s : Obs.span) ->
+      Alcotest.(check bool) (s.name ^ " non-negative") true
+        (s.stop_s >= s.start_s))
+    !seen
+
+let test_span_exception () =
+  let seen = ref [] in
+  let sink = Obs.Sink.make (fun s -> seen := s :: !seen) in
+  (try
+     observed [ sink ] (fun () ->
+         Obs.Span.with_ "boom" (fun () -> failwith "no"))
+   with Failure _ -> ());
+  Alcotest.(check (list string))
+    "span recorded on raise" [ "boom" ]
+    (List.map (fun (s : Obs.span) -> s.name) !seen);
+  let depth_after =
+    let d = ref (-1) in
+    let probe = Obs.Sink.make (fun s -> d := s.depth) in
+    observed [ probe ] (fun () -> Obs.Span.with_ "probe" (fun () -> ()));
+    !d
+  in
+  Alcotest.(check int) "depth restored after raise" 0 depth_after
+
+let test_agg_phases () =
+  let agg = Obs.Sink.Agg.create () in
+  observed [ Obs.Sink.Agg.sink agg ] (fun () ->
+      Obs.Span.with_ "a" (fun () -> ());
+      Obs.Span.with_ "a" (fun () -> ());
+      Obs.Span.with_ "b" (fun () -> ()));
+  match Obs.Sink.Agg.phases agg with
+  | [ ("a", 2, ta); ("b", 1, tb) ] ->
+      Alcotest.(check bool) "totals non-negative" true (ta >= 0. && tb >= 0.)
+  | other ->
+      Alcotest.failf "unexpected phases: %s"
+        (String.concat ";"
+           (List.map (fun (n, c, _) -> Printf.sprintf "%s/%d" n c) other))
+
+(* ---------- counters ---------- *)
+
+let test_counter_semantics () =
+  let c = Obs.Counter.make "test.counter" in
+  Obs.Counter.incr c;
+  Alcotest.(check int) "disabled incr is a no-op" 0 (Obs.Counter.value c);
+  observed [] (fun () ->
+      Obs.Counter.incr c;
+      Obs.Counter.incr c;
+      Obs.Counter.add c 3);
+  Alcotest.(check int) "monotone while enabled" 5 (Obs.Counter.value c);
+  Alcotest.(check int) "value survives disable" 5 (Obs.Counter.value c);
+  Alcotest.(check bool) "catalogued" true
+    (List.mem_assoc "test.counter" (Obs.Counter.all ()));
+  observed [] (fun () -> ());
+  Alcotest.(check int) "enable resets" 0 (Obs.Counter.value c)
+
+let test_budget_counters_flushed () =
+  observed [] (fun () -> ignore (decide "rpq"));
+  let v name = List.assoc name (Obs.Counter.all ()) in
+  Alcotest.(check bool) "takes published" true (v "budget.takes" > 0);
+  Alcotest.(check bool) "polls published" true (v "budget.deadline_polls" > 0)
+
+(* ---------- observation-freedom ---------- *)
+
+(* Telemetry must not change any decision: run every decider with
+   telemetry off, then again under an aggregator + trace sink, and
+   require byte-identical verdicts (Marshal catches any drift in
+   certificates or counterexamples, not just the constructor). *)
+let test_observation_free () =
+  List.iter
+    (fun lang ->
+      Obs.disable ();
+      let off = decide lang in
+      let agg = Obs.Sink.Agg.create () and tr = Obs.Sink.Trace.create () in
+      let on =
+        observed
+          [ Obs.Sink.Agg.sink agg; Obs.Sink.Trace.sink tr ]
+          (fun () -> decide lang)
+      in
+      Alcotest.(check string)
+        (lang ^ ": verdict unchanged by observation")
+        (Marshal.to_string off.Engine.Outcome.verdict [])
+        (Marshal.to_string on.Engine.Outcome.verdict []);
+      Alcotest.(check int)
+        (lang ^ ": step count unchanged by observation")
+        off.stats.steps on.stats.steps;
+      (* And the observed run actually observed something. *)
+      Alcotest.(check bool)
+        (lang ^ ": root span recorded")
+        true
+        (List.exists
+           (fun (n, _, _) -> n = "decide." ^ lang)
+           (Obs.Sink.Agg.phases agg)))
+    all_langs
+
+(* ---------- trace shape ---------- *)
+
+(* A minimal JSON reader — just enough grammar to check the trace's
+   shape without adding a JSON dependency to the test suite. *)
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if peek () = Some c then incr pos
+    else failwith (Printf.sprintf "expected %c at %d" c !pos)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | Some '"' -> incr pos
+      | Some '\\' ->
+          incr pos;
+          (match peek () with
+          | Some 'u' ->
+              pos := !pos + 5;
+              Buffer.add_char b '?'
+          | Some c ->
+              incr pos;
+              Buffer.add_char b
+                (match c with
+                | 'n' -> '\n'
+                | 't' -> '\t'
+                | 'r' -> '\r'
+                | c -> c)
+          | None -> failwith "eof in escape");
+          go ()
+      | Some c ->
+          incr pos;
+          Buffer.add_char b c;
+          go ()
+      | None -> failwith "eof in string"
+    in
+    go ();
+    Buffer.contents b
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then (
+          incr pos;
+          Obj [])
+        else
+          let rec fields acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                fields ((k, v) :: acc)
+            | Some '}' ->
+                incr pos;
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> failwith "bad object"
+          in
+          fields []
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then (
+          incr pos;
+          Arr [])
+        else
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                items (v :: acc)
+            | Some ']' ->
+                incr pos;
+                Arr (List.rev (v :: acc))
+            | _ -> failwith "bad array"
+          in
+          items []
+    | Some 't' ->
+        pos := !pos + 4;
+        Bool true
+    | Some 'f' ->
+        pos := !pos + 5;
+        Bool false
+    | Some 'n' ->
+        pos := !pos + 4;
+        Null
+    | Some _ ->
+        let start = !pos in
+        while
+          !pos < n
+          &&
+          match s.[!pos] with
+          | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+          | _ -> false
+        do
+          incr pos
+        done;
+        Num (float_of_string (String.sub s start (!pos - start)))
+    | None -> failwith "eof"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then failwith "trailing garbage";
+  v
+
+let test_trace_shape () =
+  let tr = Obs.Sink.Trace.create () in
+  observed [ Obs.Sink.Trace.sink tr ] (fun () -> ignore (decide "ucrdpq"));
+  let counters = Obs.Counter.all () in
+  let txt = Obs.Sink.Trace.to_string ~counters tr in
+  match parse_json txt with
+  | Arr events ->
+      Alcotest.(check bool) "non-empty" true (events <> []);
+      let field k = function
+        | Obj fields -> List.assoc_opt k fields
+        | _ -> None
+      in
+      List.iter
+        (fun ev ->
+          (match field "name" ev with
+          | Some (Str _) -> ()
+          | _ -> Alcotest.fail "event without a name");
+          (match field "ts" ev with
+          | Some (Num ts) ->
+              Alcotest.(check bool) "ts non-negative" true (ts >= 0.)
+          | _ -> Alcotest.fail "event without ts");
+          match field "ph" ev with
+          | Some (Str "X") -> (
+              match field "dur" ev with
+              | Some (Num d) ->
+                  Alcotest.(check bool) "dur non-negative" true (d >= 0.)
+              | _ -> Alcotest.fail "complete event without dur")
+          | Some (Str "C") -> (
+              match field "args" ev with
+              | Some (Obj [ ("value", Num _) ]) -> ()
+              | _ -> Alcotest.fail "counter event without args.value")
+          | _ -> Alcotest.fail "event with unexpected ph")
+        events;
+      (* Every registered counter and the root span show up by name. *)
+      let names =
+        List.filter_map
+          (fun ev ->
+            match field "name" ev with Some (Str s) -> Some s | _ -> None)
+          events
+      in
+      Alcotest.(check bool) "decide span present" true
+        (List.mem "decide.ucrdpq" names);
+      List.iter
+        (fun (cname, _) ->
+          Alcotest.(check bool) (cname ^ " counter present") true
+            (List.mem cname names))
+        counters
+  | _ -> Alcotest.fail "trace is not a JSON array"
+
+(* ---------- bounded CSP cache ---------- *)
+
+(* Alternating searches over two distinct graphs must both stay resident
+   (the old single-slot cache thrashed: every probe but the first was a
+   miss). *)
+let test_csp_cache_alternation () =
+  let g1 = Gen.random ~seed:11 ~n:5 ~delta:2 ~labels:[ "a" ] ~density:0.4 ()
+  and g2 = Gen.random ~seed:12 ~n:5 ~delta:2 ~labels:[ "a" ] ~density:0.4 () in
+  observed [] (fun () ->
+      for _ = 1 to 3 do
+        ignore (Definability.Hom.count g1);
+        ignore (Definability.Hom.count g2)
+      done);
+  let counters = Obs.Counter.all () in
+  let v name = List.assoc name counters in
+  Alcotest.(check int) "one build per distinct graph" 2
+    (v "hom.csp_cache_misses");
+  Alcotest.(check int) "remaining probes hit" 4 (v "hom.csp_cache_hits")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "passthrough" `Quick test_span_passthrough;
+          Alcotest.test_case "nesting and order" `Quick test_span_nesting;
+          Alcotest.test_case "exceptional exit" `Quick test_span_exception;
+          Alcotest.test_case "aggregation" `Quick test_agg_phases;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "semantics" `Quick test_counter_semantics;
+          Alcotest.test_case "budget flush" `Quick test_budget_counters_flushed;
+        ] );
+      ( "observation-freedom",
+        [
+          Alcotest.test_case "all deciders identical" `Quick
+            test_observation_free;
+        ] );
+      ( "trace",
+        [ Alcotest.test_case "chrome trace shape" `Quick test_trace_shape ] );
+      ( "csp-cache",
+        [
+          Alcotest.test_case "alternating graphs" `Quick
+            test_csp_cache_alternation;
+        ] );
+    ]
