@@ -528,9 +528,57 @@ let acceptance_cases () =
             | Error msg -> failwith msg ))
       [ "rpq"; "krem"; "rem"; "ree"; "ucrdpq" ]
   in
+  (* Pool-size scaling rows: the three parallel kernels plus batched
+     dispatch, each timed at pool sizes 1/2/4 on instances heavy enough
+     for the round/subtree fan-out to engage.  Each thunk pins the pool
+     size itself (set_size is idempotent and cheap once the workers
+     exist), so the rows are self-contained and their order in the list
+     does not matter.  On a single-core host the d2/d4 rows measure the
+     coordination overhead rather than a speedup — the record keeps
+     [host_domains] alongside so readers can tell which regime the
+     numbers came from. *)
+  let par_rows =
+    let gw, sw = krem_instance ~seed:8 ~n:6 ~delta:2 in
+    let gr, sr = krem_instance ~seed:15 ~n:5 ~delta:2 in
+    let gh =
+      Gen.random ~seed:23 ~n:7 ~delta:3 ~labels:[ "a"; "b" ] ~density:0.35 ()
+    in
+    let sh =
+      Datagraph.Tuple_relation.of_binary
+        (Gen.random_reachable_relation ~seed:23 gh ~count:3)
+    in
+    let batch_insts =
+      List.map
+        (fun seed ->
+          let bg, bs = krem_instance ~seed ~n:4 ~delta:2 in
+          Engine.Instance.of_binary bg bs)
+        [ 31; 32; 33; 34; 35; 36; 37; 38; 39; 40; 41; 42 ]
+    in
+    List.concat_map
+      (fun size ->
+        let at id f =
+          ( Printf.sprintf "%s-d%d" id size,
+            fun () ->
+              Par.Pool.set_size size;
+              f () )
+        in
+        [
+          at "par-witness-rem-n6" (fun () ->
+              ignore (Remd.search ~max_tuples:200_000 gw sw));
+          at "par-ree-closure-n5" (fun () ->
+              ignore (Reed.search ~max_size:2_000 gr sr));
+          at "par-hom-violating-n7" (fun () ->
+              ignore (Definability.Hom.search_violating gh sh));
+          at "par-batch-rem-12x" (fun () ->
+              List.iter
+                (function Ok _ -> () | Error msg -> failwith msg)
+                (Engine.Registry.decide_batch ~lang:"rem" batch_insts));
+        ])
+      [ 1; 2; 4 ]
+  in
   homs
   @ [ ("krem-k2-fig1-s2", fun () -> ignore (Remd.is_definable_k g ~k:2 s2)) ]
-  @ engine_rows
+  @ engine_rows @ par_rows
 
 let acceptance_metrics cases =
   List.map
@@ -609,10 +657,13 @@ let write_json ~path ~table_times ~acceptance ~breakdown ~bechamel ~baseline =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"definability-bench-3\",\n";
+  p "  \"schema\": \"definability-bench-4\",\n";
   p
     "  \"command\": \"dune exec bench/main.exe -- tables --json --out \
-     bench/BENCH_3.json --baseline bench/BENCH_1.json\",\n";
+     bench/BENCH_4.json --baseline bench/BENCH_3.json\",\n";
+  (* How many hardware threads the host offers: the context needed to
+     read the par-* scaling rows (d2/d4 cannot beat d1 on one core). *)
+  p "  \"host_domains\": %d,\n" (Domain.recommended_domain_count ());
   p "  \"tables_wall_secs\": {\n";
   let rec commas f = function
     | [] -> ()
@@ -689,8 +740,16 @@ let () =
     | _ :: rest -> opt_after key rest
     | [] -> None
   in
-  let out = Option.value ~default:"BENCH_3.json" (opt_after "--out" argv) in
+  let out = Option.value ~default:"BENCH_4.json" (opt_after "--out" argv) in
   let baseline = Option.map read_baseline (opt_after "--baseline" argv) in
+  (match opt_after "--domains" argv with
+  | None -> ()
+  | Some n -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 -> Par.Pool.set_size n
+      | _ ->
+          Printf.eprintf "bench: --domains requires a positive integer\n%!";
+          exit 2));
   let tabs =
     [
       ("T1", table1); ("T2", table2); ("T3", table3); ("T4", table4);

@@ -4,10 +4,15 @@
      info   <instance>                 graph statistics
      eval   <graph> -l LANG -e EXPR    evaluate a query
      check  <instance> -l LANG [...]   decide definability, synthesize
+     batch  <instances...> -l LANG     decide many instances, one JSON
+                                       line each (Registry.decide_batch)
      fig1                              print the paper's running example
 
    [check] exit codes: 0 definable, 1 not definable, 2 usage/load errors,
-   4 unknown (budget exhausted). *)
+   4 unknown (budget exhausted).
+
+   [--domains N] sizes the worker-domain pool (Par.Pool); verdicts,
+   certificates and counterexamples are identical at any pool size. *)
 
 module Data_graph = Datagraph.Data_graph
 module Relation = Datagraph.Relation
@@ -65,7 +70,11 @@ let json_obj fields =
 
 let json_list xs = "[" ^ String.concat "," xs ^ "]"
 
-let json_of_outcome g ~lang ~budget ~phases (o : Outcome.t) =
+(* The verdict block: everything that must be byte-identical at any
+   domain-pool size (the stats block below it may legitimately vary —
+   timings, node counts under parallel cancellation).  [check --json]
+   and [batch] both render it through this one function. *)
+let json_verdict_fields g ~lang (o : Outcome.t) =
   let certificate =
     match Outcome.certificate o with
     | None -> "null"
@@ -99,6 +108,15 @@ let json_of_outcome g ~lang ~budget ~phases (o : Outcome.t) =
     | Outcome.Unknown r -> json_string (Outcome.reason_to_string r)
     | Outcome.Definable _ | Outcome.Not_definable _ -> "null"
   in
+  [
+    ("lang", json_string lang);
+    ("verdict", json_string (Outcome.verdict_name o.verdict));
+    ("reason", reason);
+    ("certificate", certificate);
+    ("counterexample", counterexample);
+  ]
+
+let json_of_outcome g ~lang ~budget ~phases (o : Outcome.t) =
   let stats =
     (* Telemetry renders here: the budget's fuel accounting, per-phase
        wall time from the in-memory aggregator, and the full counter
@@ -141,15 +159,7 @@ let json_of_outcome g ~lang ~budget ~phases (o : Outcome.t) =
           ("counters", counters_json);
         ])
   in
-  json_obj
-    [
-      ("lang", json_string lang);
-      ("verdict", json_string (Outcome.verdict_name o.verdict));
-      ("reason", reason);
-      ("certificate", certificate);
-      ("counterexample", counterexample);
-      ("stats", stats);
-    ]
+  json_obj (json_verdict_fields g ~lang o @ [ ("stats", stats) ])
 
 open Cmdliner
 
@@ -212,6 +222,27 @@ let trace_arg =
            and counters to $(docv), loadable in chrome://tracing or \
            Perfetto.")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Size of the worker-domain pool used by the parallel search \
+           kernels and $(b,batch) (default: the $(b,PAR_DOMAINS) \
+           environment variable, else 1 = fully sequential).  Verdicts, \
+           certificates and counterexamples are identical at any pool \
+           size.")
+
+let set_domains = function
+  | None -> ()
+  | Some n ->
+      if n < 1 then begin
+        Printf.eprintf "error: --domains must be at least 1\n";
+        exit 2
+      end;
+      Par.Pool.set_size n
+
 let info_cmd =
   let run path =
     let g, s = load_instance path in
@@ -257,7 +288,8 @@ let eval_cmd =
     Term.(const run $ instance_arg $ lang_arg $ expr_arg)
 
 let check_cmd =
-  let run path lang k synth json fuel timeout trace =
+  let run path lang k synth json fuel timeout trace domains =
+    set_domains domains;
     let g, s = load_instance path in
     (* Telemetry is always on for a check: the aggregator feeds the
        [stats] block of --json, and --trace additionally collects the
@@ -357,7 +389,66 @@ let check_cmd =
           language.")
     Term.(
       const run $ instance_arg $ lang_arg $ k_arg $ synth_arg $ json_arg
-      $ fuel_arg $ timeout_arg $ trace_arg)
+      $ fuel_arg $ timeout_arg $ trace_arg $ domains_arg)
+
+let batch_cmd =
+  let run paths lang k fuel timeout domains =
+    set_domains domains;
+    let loaded =
+      List.map
+        (fun path ->
+          let g, s = load_instance path in
+          match Instance.create g s with
+          | Ok inst -> (path, g, inst)
+          | Error msg ->
+              Printf.eprintf "error: %s: %s\n" path msg;
+              exit 2)
+        paths
+    in
+    let make_budget () = Budget.create ?fuel ?deadline_s:timeout () in
+    let results =
+      Registry.decide_batch ~make_budget ~params:{ Registry.k } ~lang
+        (List.map (fun (_, _, inst) -> inst) loaded)
+    in
+    (* One JSON line per instance, in input order (decide_batch
+       preserves it regardless of pool size). *)
+    let worst = ref 0 in
+    List.iter2
+      (fun (path, g, _) result ->
+        match result with
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit 2
+        | Ok (o : Outcome.t) ->
+            print_endline
+              (json_obj
+                 (("file", json_string path) :: json_verdict_fields g ~lang o));
+            let code =
+              match o.verdict with
+              | Outcome.Definable _ -> 0
+              | Outcome.Not_definable _ -> 1
+              | Outcome.Unknown Outcome.Budget_exhausted -> 4
+              | Outcome.Unknown (Outcome.Unsupported _) -> 2
+            in
+            worst := max !worst code)
+      loaded results;
+    exit !worst
+  in
+  let instances_arg =
+    Arg.(
+      non_empty
+      & pos_all file []
+      & info [] ~docv:"INSTANCE" ~doc:"Instance files to decide.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Decide many instances in one run, fanned out over the domain \
+          pool; prints one JSON verdict object per line, in input order. \
+          Exit code is the worst per-instance check exit code.")
+    Term.(
+      const run $ instances_arg $ lang_arg $ k_arg $ fuel_arg $ timeout_arg
+      $ domains_arg)
 
 let census_cmd =
   let run path max_k sample =
@@ -423,6 +514,15 @@ let main =
   Cmd.group
     (Cmd.info "defcheck" ~version:"1.0.0"
        ~doc:"Definability of relations on data graphs (PODS 2015).")
-    [ info_cmd; eval_cmd; check_cmd; census_cmd; fit_cmd; dot_cmd; fig1_cmd ]
+    [
+      info_cmd;
+      eval_cmd;
+      check_cmd;
+      batch_cmd;
+      census_cmd;
+      fit_cmd;
+      dot_cmd;
+      fig1_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -20,13 +20,21 @@ type t = {
   domain : Data_value.t array;
   value_idx : int array;
   (* Lazily-built caches.  A graph is immutable after construction (the
-     constructors only retouch [names]), so these never invalidate. *)
+     constructors only retouch [names]), so these never invalidate.
+     They are atomics, published with a compare-and-set: the build is a
+     pure function of the graph, so two domains racing the first access
+     both build identical matrices and the CAS loser adopts the winner's
+     — duplicated work at worst, never a torn or unpublished value
+     (plain mutable fields would give readers no happens-before edge to
+     the builder's writes). *)
   uid : int;
-  mutable adj_cache : Bitmatrix.t array option;
-  mutable reach_cache : Bitmatrix.t option;
+  adj_cache : Bitmatrix.t array option Atomic.t;
+  reach_cache : Bitmatrix.t option Atomic.t;
 }
 
-let uid_counter = ref 0
+(* Atomic so graphs built from worker domains still get distinct uids
+   (the uid keys cross-module caches; a duplicate would alias them). *)
+let uid_counter = Atomic.make 0
 let uid g = g.uid
 
 (* Cache-build telemetry: how often the bitset kernel recomputes the
@@ -72,9 +80,9 @@ let succ_all g u =
 let pred_id g u a = g.pred.(u).(a)
 
 let adjacency g =
-  match g.adj_cache with
+  match Atomic.get g.adj_cache with
   | Some a -> a
-  | None ->
+  | None -> (
       Obs.Counter.incr c_adjacency_builds;
       let n = size g in
       let a =
@@ -86,15 +94,18 @@ let adjacency g =
             (fun lbl succs -> List.iter (fun v -> Bitmatrix.set a.(lbl) u v) succs)
             row)
         g.succ;
-      g.adj_cache <- Some a;
-      a
+      if Atomic.compare_and_set g.adj_cache None (Some a) then a
+      else
+        match Atomic.get g.adj_cache with
+        | Some winner -> winner
+        | None -> a (* unreachable: the cache is only ever set, never cleared *))
 
 let adjacency_matrix g lbl = (adjacency g).(lbl)
 
 let reachability_matrix g =
-  match g.reach_cache with
+  match Atomic.get g.reach_cache with
   | Some m -> m
-  | None ->
+  | None -> (
       Obs.Counter.incr c_reachability_builds;
       let n = size g in
       let m = Bitmatrix.create n n in
@@ -106,8 +117,11 @@ let reachability_matrix g =
         (adjacency g);
       Bitmatrix.set_diagonal m;
       Bitmatrix.closure_inplace m;
-      g.reach_cache <- Some m;
-      m
+      if Atomic.compare_and_set g.reach_cache None (Some m) then m
+      else
+        match Atomic.get g.reach_cache with
+        | Some winner -> winner
+        | None -> m)
 
 let mem_edge g u a v =
   u >= 0 && u < size g && v >= 0 && v < size g
@@ -176,9 +190,9 @@ let build ~values ~edges =
     num_edges = List.length interned;
     domain = dom;
     value_idx;
-    uid = (incr uid_counter; !uid_counter);
-    adj_cache = None;
-    reach_cache = None;
+    uid = 1 + Atomic.fetch_and_add uid_counter 1;
+    adj_cache = Atomic.make None;
+    reach_cache = Atomic.make None;
   }
 
 let make ~nodes ~edges =

@@ -49,10 +49,16 @@ type csp = {
   incident : int list array;
   (* Root domains after the initial arc-consistency pass — a pure
      function of the CSP, computed once and copied into each search.
-     [None] = not yet computed; [Some None] = wiped out (no solutions
-     at all); [Some (Some doms)] = the arc-consistent template. *)
-  mutable root : domain array option option;
+     [Root_unknown] = not yet computed; [Root_wiped] = wiped out (no
+     solutions at all); [Root_doms] = the arc-consistent template.
+     Atomic because a CSP handle is shared across domains (the cache
+     below is keyed by graph uid): racing domains compute identical
+     templates and the CAS loser adopts the winner's, which publishes
+     the template's bitsets with a proper happens-before edge. *)
+  root : root Atomic.t;
 }
+
+and root = Root_unknown | Root_wiped | Root_doms of domain array
 
 type state = {
   doms : domain array;
@@ -136,7 +142,7 @@ let build_csp_uncached g =
       incident.(u) <- ci :: incident.(u);
       if v <> u then incident.(v) <- ci :: incident.(v))
     constraints;
-  { n; constraints; incident; root = None }
+  { n; constraints; incident; root = Atomic.make Root_unknown }
 
 (* The CSP is a pure function of the (immutable) graph; remember the
    most recent ones so repeated searches on the same graphs — the
@@ -144,36 +150,69 @@ let build_csp_uncached g =
    build each once.  The cache is a small move-to-front list rather than
    a single slot: deciding two graphs alternately (e.g. comparing a
    graph against a rewritten variant) must not rebuild the network on
-   every call.  Eviction drops the least recently used entry. *)
+   every call.  Eviction drops the least recently used entry.
+
+   The cache is global mutable state probed from every domain that runs
+   a hom search ([decide_batch] fans ucrdpq instances across the pool),
+   so probes and insertions hold [csp_cache_lock]; the build itself runs
+   outside the lock (it can take milliseconds on bigger graphs) with a
+   re-check before insertion, adopting a racing winner's CSP so all
+   domains share one root-domain template per graph. *)
 let csp_cache_capacity = 8
 let csp_cache : (int * csp) list ref = ref []
+let csp_cache_lock = Mutex.create ()
 
 let c_csp_hits = Obs.Counter.make "hom.csp_cache_hits"
 let c_csp_misses = Obs.Counter.make "hom.csp_cache_misses"
 let c_root_hits = Obs.Counter.make "hom.root_domain_hits"
 let c_root_misses = Obs.Counter.make "hom.root_domain_misses"
 
-let build_csp g =
-  let uid = Data_graph.uid g in
+let csp_cache_probe uid =
   let rec extract acc = function
     | [] -> None
     | (u, csp) :: rest when u = uid -> Some (csp, List.rev_append acc rest)
     | e :: rest -> extract (e :: acc) rest
   in
-  match extract [] !csp_cache with
-  | Some (csp, rest) ->
+  Mutex.lock csp_cache_lock;
+  let r =
+    match extract [] !csp_cache with
+    | Some (csp, rest) ->
+        csp_cache := (uid, csp) :: rest;
+        Some csp
+    | None -> None
+  in
+  Mutex.unlock csp_cache_lock;
+  r
+
+let csp_cache_insert uid csp =
+  Mutex.lock csp_cache_lock;
+  let r =
+    (* Another domain may have built and inserted the same graph's CSP
+       while we were building; keep the incumbent (its root template may
+       already be populated). *)
+    match List.assoc_opt uid !csp_cache with
+    | Some incumbent -> incumbent
+    | None ->
+        let entries = (uid, csp) :: !csp_cache in
+        csp_cache :=
+          (if List.length entries > csp_cache_capacity then
+             List.filteri (fun i _ -> i < csp_cache_capacity) entries
+           else entries);
+        csp
+  in
+  Mutex.unlock csp_cache_lock;
+  r
+
+let build_csp g =
+  let uid = Data_graph.uid g in
+  match csp_cache_probe uid with
+  | Some csp ->
       Obs.Counter.incr c_csp_hits;
-      csp_cache := (uid, csp) :: rest;
       csp
   | None ->
       Obs.Counter.incr c_csp_misses;
       let csp = Obs.Span.with_ "csp.build" (fun () -> build_csp_uncached g) in
-      let entries = (uid, csp) :: !csp_cache in
-      csp_cache :=
-        (if List.length entries > csp_cache_capacity then
-           List.filteri (fun i _ -> i < csp_cache_capacity) entries
-         else entries);
-      csp
+      csp_cache_insert uid csp
 
 exception Wipeout
 
@@ -274,13 +313,18 @@ let dom_first d =
 
 (* Arc-consistent root domains: a pure function of the CSP, so computed
    once and copied into each search instead of re-propagating all
-   constraints from full domains on every call. *)
+   constraints from full domains on every call.  Racing domains both
+   propagate (identical fixpoint) and the CAS loser adopts the winner's
+   template; the template itself is never mutated — searches copy it. *)
 let root_doms csp =
-  match csp.root with
-  | Some r ->
+  match Atomic.get csp.root with
+  | Root_doms doms ->
       Obs.Counter.incr c_root_hits;
-      r
-  | None ->
+      Some doms
+  | Root_wiped ->
+      Obs.Counter.incr c_root_hits;
+      None
+  | Root_unknown -> (
       Obs.Counter.incr c_root_misses;
       let doms =
         Array.init csp.n (fun _ -> { bits = Bitset.full csp.n; card = csp.n })
@@ -289,28 +333,46 @@ let root_doms csp =
       let r =
         try
           propagate csp st (List.init csp.n Fun.id);
-          Some doms
-        with Wipeout -> None
+          Root_doms doms
+        with Wipeout -> Root_wiped
       in
-      csp.root <- Some r;
-      r
+      if Atomic.compare_and_set csp.root Root_unknown r then
+        match r with Root_doms d -> Some d | _ -> None
+      else
+        match Atomic.get csp.root with
+        | Root_doms d -> Some d
+        | Root_wiped -> None
+        | Root_unknown -> assert false (* the root state is never cleared *))
 
 let copy_doms doms =
   Array.map (fun d -> { bits = Bitset.copy d.bits; card = d.card }) doms
 
 exception Out_of_budget
+exception Cancelled
 
 (* Generic backtracking search.  [prune doms] may declare a subtree
    hopeless; [leaf h] is called on every complete homomorphism and
    returns [true] to stop with this solution.  Every branch node consumes
    one step of [budget]; exhaustion aborts the whole search via
-   [Out_of_budget] (caught by the budgeted entry points). *)
-let solve_from ?budget ~nodes csp st ~prune ~leaf =
+   [Out_of_budget] (caught by the budgeted entry points).  [take]
+   overrides the budget consumption (the parallel subtree searches pass
+   a per-domain chunked view of the shared budget) and [cancel] is
+   polled once per branch node — when it fires the search unwinds via
+   [Cancelled], which the parallel driver treats as "result irrelevant"
+   (only subtrees whose answer can no longer win are cancelled). *)
+let solve_from ?budget ?take ?(cancel = fun () -> false) ~nodes csp st ~prune
+    ~leaf =
   let exception Found of int array in
-  let take () =
-    match budget with None -> true | Some b -> Engine.Budget.take b
+  let take =
+    match take with
+    | Some t -> t
+    | None -> (
+        match budget with
+        | None -> fun () -> true
+        | Some b -> fun () -> Engine.Budget.take b)
   in
   let rec go () =
+    if cancel () then raise Cancelled;
     if not (take ()) then raise Out_of_budget;
     incr nodes;
     if not (prune st.doms) then begin
@@ -356,6 +418,99 @@ let solve ?budget ?(nodes = ref 0) csp ~prune ~leaf =
         (fresh_state csp (copy_doms template))
         ~prune ~leaf
 
+(* Parallel variant of [solve]: the root branch variable (chosen exactly
+   as the sequential search would) fans its values out across the domain
+   pool, one independent subtree search per value.  Determinism comes
+   from the merge, not the schedule: subtree results are scanned in
+   value order, so the returned solution is the one the sequential
+   search would have found first.  Early cancellation preserves that —
+   when subtree [i] finds a solution, only subtrees [j > i] (whose
+   answer can no longer win) are cancelled; lower-indexed subtrees run
+   to completion.  Only used with unlimited fuel: subtrees consume a
+   shared deadline budget through per-domain chunked views, and a
+   subtree that exhausts it aborts the whole search exactly as the
+   sequential order would (scan hits its [Exhausted] before any later
+   [Found]). *)
+let solve_par ?budget ~nodes csp ~prune ~leaf =
+  match root_doms csp with
+  | None -> None
+  | Some template ->
+      let take0 =
+        match budget with None -> true | Some b -> Engine.Budget.take b
+      in
+      if not take0 then raise Out_of_budget;
+      incr nodes;
+      if prune template then None
+      else begin
+        let var = ref (-1) and best_card = ref max_int in
+        Array.iteri
+          (fun v d ->
+            if d.card > 1 && d.card < !best_card then begin
+              var := v;
+              best_card := d.card
+            end)
+          template;
+        if !var = -1 then begin
+          let h = Array.map dom_first template in
+          if leaf h then Some h else None
+        end
+        else begin
+          let var = !var in
+          let values = Bitset.to_list template.(var).bits in
+          let best = Atomic.make max_int in
+          let subtree i x () =
+            let sub_nodes = ref 0 in
+            let take =
+              match budget with
+              | None -> None
+              | Some b ->
+                  let l = Engine.Budget.local b in
+                  Some (fun () -> Engine.Budget.take_local l)
+            in
+            let cancel () = Atomic.get best < i in
+            let st = fresh_state csp (copy_doms template) in
+            let r =
+              match
+                List.iter
+                  (fun y -> if y <> x then dom_remove csp st var y)
+                  values;
+                propagate csp st [ var ];
+                solve_from ?take ~cancel ~nodes:sub_nodes csp st ~prune ~leaf
+              with
+              | Some h ->
+                  (* Record the lowest solving index so later subtrees
+                     stop wasting work. *)
+                  let rec lower () =
+                    let cur = Atomic.get best in
+                    if i < cur && not (Atomic.compare_and_set best cur i)
+                    then lower ()
+                  in
+                  lower ();
+                  `Found h
+              | None -> `Not_found
+              | exception Wipeout -> `Not_found
+              | exception Cancelled -> `Not_found
+              | exception Out_of_budget -> `Exhausted
+            in
+            (r, !sub_nodes)
+          in
+          let results =
+            Par.Pool.run (Array.of_list (List.mapi subtree values))
+          in
+          Array.iter (fun (_, k) -> nodes := !nodes + k) results;
+          (* Merge in value order = the sequential exploration order. *)
+          let rec scan i =
+            if i >= Array.length results then None
+            else
+              match fst results.(i) with
+              | `Exhausted -> raise Out_of_budget
+              | `Found h -> Some h
+              | `Not_found -> scan (i + 1)
+          in
+          scan 0
+        end
+      end
+
 type csp_handle = csp
 
 let csp_of = build_csp
@@ -389,8 +544,22 @@ let search_violating ?budget ?csp g s =
   let escapes h tup = not (Tuple_relation.mem s (List.map (fun p -> h.(p)) tup)) in
   let leaf h = Tuple_relation.exists (escapes h) s in
   let nodes = ref 0 in
+  (* The parallel root split requires unlimited fuel: with a finite step
+     bound, which subtree hits exhaustion first would depend on the
+     schedule, so finite-fuel searches keep the sequential order (same
+     exhaustion point at any pool size).  Deadlines are fine — a timeout
+     is inherently wall-clock-dependent either way. *)
+  let par_ok =
+    Par.Pool.size () > 1
+    && match budget with
+       | None -> true
+       | Some b -> not (Engine.Budget.has_fuel_limit b)
+  in
   let result =
-    match solve ?budget ~nodes csp ~prune ~leaf with
+    match
+      if par_ok then solve_par ?budget ~nodes csp ~prune ~leaf
+      else solve ?budget ~nodes csp ~prune ~leaf
+    with
     | exception Out_of_budget -> `Budget_exhausted
     | None -> `Preserved
     | Some h ->

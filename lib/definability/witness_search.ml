@@ -124,13 +124,11 @@ let search ?(max_tuples = 2_000_000) ?budget cfg ~target =
     Tuple_tbl.add visited t id;
     id
   in
-  let queue = Queue.create () in
   let covered = ref (Relation.empty n) in
   let witness_ids : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
   let target_card = Relation.cardinal target in
   let done_ = ref (target_card = 0) in
   let truncated = ref false in
-  if take () then Queue.add (register t0 None) queue else truncated := true;
   (* Per-block successor application on a whole tuple. *)
   let apply rows t =
     Array.map
@@ -140,15 +138,39 @@ let search ?(max_tuples = 2_000_000) ?budget cfg ~target =
         q')
       t
   in
-  while (not !done_) && (not (Queue.is_empty queue)) && not (budget_dead ()) do
-    let id = Queue.pop queue in
+  (* Round-based BFS.  A FIFO queue explores tuples in level order, so
+     the loop can process the frontier one level (round) at a time in
+     two phases.  The expansion phase is pure — the safety test and the
+     per-block successor tuples read only the (already registered)
+     round's tuples — and is what fans out across the domain pool.  The
+     merge phase then replays every effect (coverage, visited
+     registration, fuel [take]s, the stop flags) sequentially in the
+     exact order the one-domain pop loop produced them, so verdicts,
+     witness paths and fuel consumption are byte-identical at every pool
+     size.  When the sequential order would have stopped mid-round
+     (coverage complete, budget dead), the merge stops at the same
+     tuple; the speculative expansions behind it are pure and discarded. *)
+  let compute id =
     let t = (!tuples.(id)).Tuple_key.rows in
-    (* Safety: every reachable state projects into the target. *)
     let safe = ref true in
     for i = 0 to n - 1 do
       if not (Bitset.disjoint t.(i) bad.(i)) then safe := false
     done;
-    if !safe then begin
+    let children =
+      Array.map
+        (fun rows ->
+          let rows' = apply rows t in
+          if Array.exists (fun q -> not (Bitset.is_empty q)) rows' then
+            Some (Tuple_key.make rows')
+          else None)
+        succ_rows
+    in
+    (!safe, children)
+  in
+  let next = ref [] in
+  let process id (safe, children) =
+    if safe then begin
+      let t = (!tuples.(id)).Tuple_key.rows in
       for i = 0 to n - 1 do
         Bitset.iter
           (fun s ->
@@ -163,15 +185,37 @@ let search ?(max_tuples = 2_000_000) ?budget cfg ~target =
     end;
     if not !done_ then
       Array.iteri
-        (fun bi rows ->
-          let rows' = apply rows t in
-          if Array.exists (fun q -> not (Bitset.is_empty q)) rows' then begin
-            let t' = Tuple_key.make rows' in
-            if not (Tuple_tbl.mem visited t') then
-              if !count >= max_tuples || not (take ()) then truncated := true
-              else Queue.add (register t' (Some (id, bi))) queue
-          end)
-        succ_rows
+        (fun bi child ->
+          match child with
+          | None -> ()
+          | Some t' ->
+              if not (Tuple_tbl.mem visited t') then
+                if !count >= max_tuples || not (take ()) then truncated := true
+                else next := register t' (Some (id, bi)) :: !next)
+        children
+  in
+  let frontier =
+    ref (if take () then [ register t0 None ] else (truncated := true; []))
+  in
+  while !frontier <> [] && (not !done_) && not (budget_dead ()) do
+    let items = Array.of_list !frontier in
+    next := [];
+    if Par.Pool.size () > 1 && Array.length items > 1 then begin
+      let results = Par.Pool.map compute items in
+      Array.iteri
+        (fun k r ->
+          if (not !done_) && not (budget_dead ()) then process items.(k) r)
+        results
+    end
+    else
+      (* One domain: expand lazily, item by item, exactly like the
+         original pop loop — no speculative work past a mid-round stop. *)
+      Array.iteri
+        (fun k id ->
+          if k = 0 || ((not !done_) && not (budget_dead ())) then
+            process id (compute id))
+        items;
+    frontier := List.rev !next
   done;
   (* Reconstruct block sequences for covered pairs. *)
   let path_of id =

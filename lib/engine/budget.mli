@@ -10,7 +10,14 @@
     Fuel exhaustion is fully deterministic (the same instance and fuel
     always stop at the same step), which the budget tests rely on;
     deadlines are polled only every few steps to keep [take] off the
-    clock-syscall path. *)
+    clock-syscall path.
+
+    Budgets are {e domain-safe}: the fuel counter and the sticky dead
+    flag live in a single atomic state word, so concurrent {!take}s from
+    several domains never lose steps, never resurrect a dead budget, and
+    grant exactly [fuel] steps in total.  Parallel searches sharing one
+    unbounded-fuel budget should take through a per-domain {!local} view,
+    which claims steps in chunks to keep the shared word uncontended. *)
 
 type t
 
@@ -37,11 +44,34 @@ val used : t -> int
 val fuel_limit : t -> int option
 (** The fuel bound, if any. *)
 
+val has_fuel_limit : t -> bool
+(** Whether the budget bounds steps at all.  The parallel kernels check
+    this to pick a strategy: finite fuel forces the deterministic
+    sequential search order (so exhaustion hits the same step at any
+    pool size), unbounded fuel admits parallel exploration. *)
+
+(** {2 Per-domain views}
+
+    A {!local} view amortizes contention on a budget shared by several
+    domains: for unbounded-fuel budgets it claims {e chunks} of steps
+    from the shared atomic word and hands them out locally, probing the
+    deadline once per chunk (so a deadline is honoured within one chunk
+    per domain).  With finite fuel, {!take_local} falls through to plain
+    {!take} — chunk claiming would over-commit steps and break the
+    deterministic exhaustion point.  A view belongs to one domain; make
+    one per parallel task. *)
+
+type local
+
+val local : t -> local
+val take_local : local -> bool
+
 val flush_telemetry : t -> unit
 (** Publish the budget's step and deadline-poll tallies to the
     [budget.takes] / [budget.deadline_polls] {!Obs.Counter}s (a no-op
     while telemetry is disabled).  Called by [Registry.decide] after the
     decider returns; budgets are fresh per dispatch, so the one flush
-    counts each attempt exactly once.  The tallies themselves are plain
-    record fields — [take] stays free of observation calls, keeping the
+    counts each attempt exactly once.  The takes tally is read straight
+    out of the atomic state word and the poll tally off the (throttled)
+    probe path — [take] stays free of observation calls, keeping the
     hottest engine entry point at its uninstrumented cost. *)

@@ -13,7 +13,13 @@ type t = {
   graph : Data_graph.t;
   relation : Tuple_relation.t;
   binary : Relation.t option;
-  mutable caches : binding list;
+  (* Atomic so one instance can be decided from several domains at once
+     (batched dispatch over a list with duplicates): bindings are
+     published with a CAS prepend, so a racing domain either sees the
+     binding or recomputes the same pure value and prepends its own —
+     [memo] tolerates duplicate bindings for a key (lookup takes the
+     first), it only must never lose or tear one. *)
+  caches : binding list Atomic.t;
 }
 
 let create g s =
@@ -43,7 +49,7 @@ let create g s =
           if Tuple_relation.arity s = 2 then Some (Tuple_relation.to_binary s)
           else None
         in
-        Ok { graph = g; relation = s; binary; caches = [] }
+        Ok { graph = g; relation = s; binary; caches = Atomic.make [] }
 
 let create_exn g s =
   match create g s with
@@ -76,9 +82,14 @@ let memo t key f =
     | b :: rest ->
         if b.key_id = key.id then key.proj b.value else lookup rest
   in
-  match lookup t.caches with
+  match lookup (Atomic.get t.caches) with
   | Some v -> v
   | None ->
       let v = f t in
-      t.caches <- { key_id = key.id; value = key.inj v } :: t.caches;
+      let b = { key_id = key.id; value = key.inj v } in
+      let rec publish () =
+        let cur = Atomic.get t.caches in
+        if not (Atomic.compare_and_set t.caches cur (b :: cur)) then publish ()
+      in
+      publish ();
       v

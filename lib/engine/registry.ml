@@ -18,6 +18,10 @@ let names () =
    gets a root span around its decide call, and the budget's step/poll
    tallies are published after it returns — so the per-phase breakdowns
    and counter catalogue need no per-decider boilerplate. *)
+let unknown_lang lang =
+  Printf.sprintf "unknown language %S; registered: %s" lang
+    (String.concat ", " (names ()))
+
 let decide ?budget ?params ~lang inst =
   match find lang with
   | Some d ->
@@ -26,7 +30,29 @@ let decide ?budget ?params ~lang inst =
              let o = d.decide ?budget ?params inst in
              Option.iter Budget.flush_telemetry budget;
              o))
+  | None -> Error (unknown_lang lang)
+
+(* Batched dispatch: one decider, many instances, fanned out across the
+   domain pool.  Each instance is decided exactly as [decide] would —
+   its own root span, a fresh budget from [make_budget] (budgets are
+   single-use, so a shared one would starve every instance after the
+   first), telemetry flushed per attempt — and the result list lines up
+   with the input list.  Instances are independent, so outcomes are the
+   same at any pool size; a decider that itself uses the pool simply
+   runs its parallel kernels inline when called from a worker (the pool
+   never nests). *)
+let decide_batch ?make_budget ?params ~lang insts =
+  match find lang with
   | None ->
-      Error
-        (Printf.sprintf "unknown language %S; registered: %s" lang
-           (String.concat ", " (names ())))
+      let e = unknown_lang lang in
+      List.map (fun _ -> Error e) insts
+  | Some d ->
+      let one inst =
+        let budget = Option.map (fun mk -> mk ()) make_budget in
+        Ok
+          (Obs.Span.with_ ("decide." ^ lang) (fun () ->
+               let o = d.decide ?budget ?params inst in
+               Option.iter Budget.flush_telemetry budget;
+               o))
+      in
+      Par.Pool.map_list one insts

@@ -36,3 +36,17 @@ val decide :
   (Outcome.t, string) result
 (** Dispatch by name; [Error] names the unknown language and lists the
     registered ones. *)
+
+val decide_batch :
+  ?make_budget:(unit -> Budget.t) ->
+  ?params:params ->
+  lang:string ->
+  Instance.t list ->
+  (Outcome.t, string) result list
+(** Decide every instance, fanned out across the domain pool
+    ([Par.Pool]); the result list is in input order regardless of pool
+    size, and each outcome is identical to what {!decide} returns for
+    that instance.  [make_budget] is called once per instance — budgets
+    are mutable and single-use, so the batch needs a factory, not a
+    shared budget.  An unknown language yields one [Error] per
+    instance. *)

@@ -1,32 +1,42 @@
 (* One global on/off flag guards every observation point; see the
-   overhead policy in the interface. *)
-let on = ref false
+   overhead policy in the interface.  The flag is atomic so domains that
+   race an [enable]/[disable] read a well-defined value; the read is a
+   single load either way. *)
+let on = Atomic.make false
 
 let now = Unix.gettimeofday
 
-type span = { name : string; start_s : float; stop_s : float; depth : int }
+(* [dom] is the recording domain's id: span trees from different domains
+   interleave in wall time, so sinks that render nesting (the Chrome
+   trace) key rows by domain — one thread track per domain keeps every
+   track properly nested and the trace Perfetto-valid. *)
+type span = { name : string; start_s : float; stop_s : float; depth : int; dom : int }
 
 module Counter = struct
-  type t = { name : string; mutable n : int }
+  (* Counts are atomic: subsystems increment from worker domains (cache
+     builds, budget flushes of batched dispatches), and a plain mutable
+     field would lose updates.  Disabled cost is unchanged — one flag
+     load and a branch. *)
+  type t = { name : string; n : int Atomic.t }
 
   let registry : t list ref = ref []
 
   let make name =
-    let c = { name; n = 0 } in
+    let c = { name; n = Atomic.make 0 } in
     registry := c :: !registry;
     c
 
-  let incr c = if !on then c.n <- c.n + 1
-  let add c k = if !on then c.n <- c.n + k
-  let value c = c.n
+  let incr c = if Atomic.get on then ignore (Atomic.fetch_and_add c.n 1)
+  let add c k = if Atomic.get on then ignore (Atomic.fetch_and_add c.n k)
+  let value c = Atomic.get c.n
   let name c = c.name
 
   let all () =
     List.sort
       (fun (a, _) (b, _) -> String.compare a b)
-      (List.map (fun c -> (c.name, c.n)) !registry)
+      (List.map (fun c -> (c.name, Atomic.get c.n)) !registry)
 
-  let reset_all () = List.iter (fun c -> c.n <- 0) !registry
+  let reset_all () = List.iter (fun c -> Atomic.set c.n 0) !registry
 end
 
 module Sink = struct
@@ -84,7 +94,9 @@ module Sink = struct
 
     (* Chrome trace-event JSON ("JSON Array Format"): complete events
        carry ts+dur so begin/end pairing is never needed; counters are
-       emitted once, at the trace's end timestamp. *)
+       emitted once, at the trace's end timestamp.  Each recording
+       domain gets its own tid, so spans recorded concurrently render as
+       parallel tracks instead of impossibly-overlapping slices. *)
     let to_string ?(counters = []) t =
       let spans = List.rev t.spans in
       let t0 =
@@ -102,10 +114,10 @@ module Sink = struct
           Buffer.add_string b
             (Printf.sprintf
                "%s\n\
-                {\"name\":\"%s\",\"cat\":\"engine\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1,\"args\":{\"depth\":%d}}"
+                {\"name\":\"%s\",\"cat\":\"engine\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{\"depth\":%d}}"
                !sep (escape s.name) (us s.start_s)
                ((s.stop_s -. s.start_s) *. 1e6)
-               s.depth);
+               (s.dom + 1) s.depth);
           sep := ",")
         spans;
       let counter_ts = if spans = [] then 0. else us t1 in
@@ -127,31 +139,45 @@ end
 
 let sinks : Sink.t list ref = ref []
 
-let enabled () = !on
+(* Sink implementations are plain mutable structures (hashtable cells,
+   a cons list); one lock around dispatch makes them domain-safe.  Span
+   ends are per-phase, not per-step, so the lock is far off the hot
+   path — and it is only ever touched while telemetry is enabled. *)
+let sink_lock = Mutex.create ()
+
+let enabled () = Atomic.get on
 
 let enable ss =
   Counter.reset_all ();
   sinks := ss;
-  on := true
+  Atomic.set on true
 
 let disable () =
-  on := false;
+  Atomic.set on false;
   sinks := []
 
 module Span = struct
-  let depth = ref 0
+  (* Nesting depth is tracked per domain: concurrent spans from worker
+     domains would otherwise corrupt each other's depth. *)
+  let depth = Domain.DLS.new_key (fun () -> ref 0)
 
   let with_ name f =
-    if not !on then f ()
+    if not (Atomic.get on) then f ()
     else begin
+      let depth = Domain.DLS.get depth in
       let d = !depth in
       depth := d + 1;
       let start_s = now () in
       let finish () =
         let stop_s = now () in
         depth := d;
-        let s = { name; start_s; stop_s; depth = d } in
-        List.iter (fun (k : Sink.t) -> k.record s) !sinks
+        let s =
+          { name; start_s; stop_s; depth = d;
+            dom = (Domain.self () :> int) }
+        in
+        Mutex.lock sink_lock;
+        List.iter (fun (k : Sink.t) -> k.record s) !sinks;
+        Mutex.unlock sink_lock
       in
       match f () with
       | v ->

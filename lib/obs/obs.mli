@@ -9,19 +9,29 @@
 
     {b Overhead policy.}  Telemetry is globally disabled by default.
     Every observation point — {!Span.with_}, {!Counter.incr} — is
-    guarded by a single branch on one [bool ref], so the instrumented
+    guarded by a single branch on one atomic flag, so the instrumented
     hot paths ([Hom] cache probes, [Rem] memo lookups, [Budget.take])
     pay one predictable branch and nothing else when disabled; in
     particular no clock syscalls, no allocation, and no sink dispatch.
     Enabling is scoped and explicit: {!enable} installs sinks and zeroes
-    all counters, {!disable} uninstalls them.  The library is not
-    thread-safe (neither is the engine).                                 *)
+    all counters, {!disable} uninstalls them.
+
+    {b Domain safety.}  Counters are atomic (increments from worker
+    domains never lose updates), span nesting depth is tracked
+    per-domain, each span records the domain that produced it, and sink
+    dispatch is serialized by one lock taken only while telemetry is
+    enabled — so the engine's parallel kernels and [decide_batch] can
+    run instrumented.  The Chrome trace sink emits one thread track per
+    domain, keeping concurrent span trees properly nested and the trace
+    Perfetto-valid.  [enable]/[disable] themselves are management
+    operations: call them from one domain, outside parallel regions.   *)
 
 type span = {
   name : string;  (** phase name, e.g. ["witness.search"] *)
   start_s : float;  (** [Unix.gettimeofday] at entry *)
   stop_s : float;  (** … and at exit (including exceptional exit) *)
   depth : int;  (** nesting depth at entry; 0 = root span *)
+  dom : int;  (** id of the domain that recorded the span *)
 }
 
 module Counter : sig

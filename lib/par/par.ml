@@ -1,0 +1,181 @@
+module Pool = struct
+  (* One batch at a time.  Tasks are claimed by index through [next];
+     [pending] counts tasks not yet finished, so the caller can wait for
+     stragglers after the index runs out.  Workers that wake up late (or
+     spuriously) find [next >= n] and simply go back to waiting. *)
+  type job = { task : int -> unit; n : int; next : int Atomic.t; pending : int Atomic.t }
+
+  let lock = Mutex.create ()
+  let work_cv = Condition.create ()
+  let done_cv = Condition.create ()
+  let current : job option ref = ref None
+
+  (* Bumped (under [lock]) each time a batch is published; workers wait
+     for a bump rather than for [current] itself so a batch that is
+     published and fully drained between two waits is never replayed. *)
+  let generation = ref 0
+  let stop = ref false
+
+  let default_size =
+    match Sys.getenv_opt "PAR_DOMAINS" with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 1 -> n
+        | _ -> 1)
+    | None -> 1
+
+  let target = Atomic.make default_size
+  let size () = Atomic.get target
+  let set_size n = Atomic.set target (max 1 n)
+
+  (* True in worker domains: a task that itself calls [run] must execute
+     it inline rather than publish a second batch. *)
+  let in_worker = Domain.DLS.new_key (fun () -> false)
+
+  (* Only one batch may be in flight; [busy] also serializes callers
+     from different domains (e.g. tests hammering the pool). *)
+  let busy = Atomic.make false
+
+  let handles : unit Domain.t list ref = ref []
+  let spawned = ref 0
+  let at_exit_registered = ref false
+
+  let drain (j : job) =
+    let rec go () =
+      let i = Atomic.fetch_and_add j.next 1 in
+      if i < j.n then begin
+        j.task i;
+        if Atomic.fetch_and_add j.pending (-1) = 1 then begin
+          (* Last task of the batch: wake the caller. *)
+          Mutex.lock lock;
+          Condition.broadcast done_cv;
+          Mutex.unlock lock
+        end;
+        go ()
+      end
+    in
+    go ()
+
+  let worker () =
+    Domain.DLS.set in_worker true;
+    let last = ref (-1) in
+    let running = ref true in
+    while !running do
+      Mutex.lock lock;
+      while !generation = !last && not !stop do
+        Condition.wait work_cv lock
+      done;
+      last := !generation;
+      let job = !current in
+      let stopping = !stop in
+      Mutex.unlock lock;
+      if stopping then running := false
+      else Option.iter drain job
+    done
+
+  let shutdown () =
+    Mutex.lock lock;
+    stop := true;
+    Condition.broadcast work_cv;
+    Mutex.unlock lock;
+    List.iter Domain.join !handles;
+    Mutex.lock lock;
+    handles := [];
+    spawned := 0;
+    stop := false;
+    Mutex.unlock lock
+
+  (* Called with [busy] held, so no batch is racing the spawn. *)
+  let ensure_workers wanted =
+    if !spawned < wanted then begin
+      if not !at_exit_registered then begin
+        at_exit_registered := true;
+        at_exit shutdown
+      end;
+      for _ = !spawned + 1 to wanted do
+        handles := Domain.spawn worker :: !handles
+      done;
+      spawned := wanted
+    end
+
+  let run_seq tasks = Array.map (fun f -> f ()) tasks
+
+  let run (type a) (tasks : (unit -> a) array) : a array =
+    let n = Array.length tasks in
+    if n = 0 then [||]
+    else
+      let p = size () in
+      if
+        p <= 1 || n = 1
+        || Domain.DLS.get in_worker
+        || not (Atomic.compare_and_set busy false true)
+      then run_seq tasks
+      else begin
+        ensure_workers (p - 1);
+        let results : a option array = Array.make n None in
+        let errors : exn option array = Array.make n None in
+        let task i =
+          match tasks.(i) () with
+          | v -> results.(i) <- Some v
+          | exception e -> errors.(i) <- Some e
+        in
+        let job =
+          { task; n; next = Atomic.make 0; pending = Atomic.make n }
+        in
+        Mutex.lock lock;
+        current := Some job;
+        incr generation;
+        Condition.broadcast work_cv;
+        Mutex.unlock lock;
+        (* The caller drains alongside the workers. *)
+        let rec go () =
+          let i = Atomic.fetch_and_add job.next 1 in
+          if i < job.n then begin
+            task i;
+            ignore (Atomic.fetch_and_add job.pending (-1));
+            go ()
+          end
+        in
+        go ();
+        Mutex.lock lock;
+        while Atomic.get job.pending > 0 do
+          Condition.wait done_cv lock
+        done;
+        current := None;
+        Mutex.unlock lock;
+        Atomic.set busy false;
+        Array.iteri
+          (fun _ e -> match e with Some e -> raise e | None -> ())
+          errors;
+        Array.map
+          (function Some v -> v | None -> assert false (* all tasks ran *))
+          results
+      end
+
+  let map ?chunk f arr =
+    let n = Array.length arr in
+    if n = 0 then [||]
+    else
+      let p = size () in
+      if p <= 1 || n = 1 then Array.map f arr
+      else begin
+        let c =
+          match chunk with
+          | Some c -> max 1 c
+          | None -> max 1 (1 + ((n - 1) / (4 * p)))
+        in
+        let nchunks = (n + c - 1) / c in
+        if nchunks <= 1 then Array.map f arr
+        else
+          let parts =
+            run
+              (Array.init nchunks (fun ci () ->
+                   let lo = ci * c in
+                   let hi = min n (lo + c) in
+                   Array.init (hi - lo) (fun k -> f arr.(lo + k))))
+          in
+          Array.concat (Array.to_list parts)
+      end
+
+  let map_list ?chunk f l = Array.to_list (map ?chunk f (Array.of_list l))
+end

@@ -1,0 +1,61 @@
+(** A fixed-size domain pool for the decision procedures.
+
+    The pool is the repo's one multicore primitive: a set of worker
+    domains spawned once (lazily, on first parallel use) and fed batches
+    of independent tasks through a shared atomic work index — workers and
+    the calling domain all drain the same batch, so a batch of [n] tasks
+    costs [n] fetch-and-adds, not [n] context switches.  Everything is
+    stdlib-only ([Domain], [Atomic], [Mutex], [Condition]); there is no
+    external dependency.
+
+    {b Pool size.}  The size counts the calling domain, so size [p] runs
+    at most [p-1] worker domains.  The default comes from the
+    [PAR_DOMAINS] environment variable and falls back to [1]; size [1]
+    never spawns anything and every combinator degenerates to its
+    sequential equivalent on the calling domain — the byte-for-byte
+    sequential code path of the pre-multicore engine.
+
+    {b Determinism.}  All combinators return results in input order, so
+    a parallel map is observationally a sequential map of a pure
+    function.  Callers that need stronger guarantees (ordered effects,
+    deterministic fuel accounting) run the effectful merge sequentially
+    on the results — see [Witness_search] and [Ree_definability].
+
+    {b Nesting.}  One batch runs at a time.  A [run]/[map] issued while
+    another batch is active — including from inside a task — executes
+    sequentially inline on the calling domain, so nested parallelism
+    (e.g. a parallel kernel inside [decide_batch]) degrades gracefully
+    instead of deadlocking. *)
+
+module Pool : sig
+  val size : unit -> int
+  (** Configured pool size (≥ 1).  Initially the value of [PAR_DOMAINS]
+      when set to a positive integer, else [1]. *)
+
+  val set_size : int -> unit
+  (** Set the pool size.  Values below [1] are clamped to [1].  Growing
+      spawns the missing workers on the next parallel call; shrinking
+      simply stops using the extras (idle workers cost nothing — they
+      block on a condition variable). *)
+
+  val run : (unit -> 'a) array -> 'a array
+  (** Run the thunks, possibly in parallel, and return their results in
+      input order.  If any task raised, the exception of the
+      lowest-indexed failing task is re-raised after the whole batch has
+      completed (the pool is never left with stray tasks).  Tasks must
+      not themselves block on the pool. *)
+
+  val map : ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+  (** Parallel [Array.map], chunked: the input is split into contiguous
+      chunks ([chunk] elements each; default [n / (4·size)], at least 1)
+      so per-task overhead amortizes over many small elements.  Results
+      are in input order. *)
+
+  val map_list : ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+  (** [map] over a list (converted through an array; order preserved). *)
+
+  val shutdown : unit -> unit
+  (** Stop and join all worker domains.  Registered [at_exit] when the
+      first worker is spawned, so programs exit cleanly; safe to call
+      multiple times, and the pool respawns on the next parallel call. *)
+end

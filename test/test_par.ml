@@ -1,0 +1,400 @@
+(* The multicore layer: domain-pool semantics, domain-safety of the
+   shared engine state (budgets, caches), and the hard determinism
+   requirement — every decider returns the same verdict, certificate and
+   fuel consumption at any pool size. *)
+
+module DG = Datagraph.Data_graph
+module TR = Datagraph.Tuple_relation
+module Gen = Datagraph.Graph_gen
+module Budget = Engine.Budget
+module Instance = Engine.Instance
+module Outcome = Engine.Outcome
+module Registry = Engine.Registry
+module Pool = Par.Pool
+
+let () = Definability.Deciders.init ()
+
+let fig1 = Gen.fig1 ()
+let s1 = Gen.fig1_s1 fig1
+let s2 = Gen.fig1_s2 fig1
+let s3 = Gen.fig1_s3 fig1
+let all_langs = [ "krem"; "ree"; "rem"; "rpq"; "ucrdpq" ]
+let pool_sizes = [ 1; 2; 4 ]
+
+(* A canonical string for everything the determinism contract covers —
+   verdict, certificate, counterexample, reason, and the step count
+   (fuel consumption must match too).  Wall time and decider extras are
+   the documented carve-out. *)
+let verdict_repr (o : Outcome.t) =
+  let v =
+    match o.verdict with
+    | Outcome.Definable c ->
+        Printf.sprintf "definable[%s:%s]"
+          (Outcome.certificate_lang c)
+          (Outcome.certificate_to_string c)
+    | Outcome.Not_definable (Outcome.Missing_pairs ps) ->
+        Printf.sprintf "not_definable[missing:%s]"
+          (String.concat ";"
+             (List.map (fun (u, v) -> Printf.sprintf "%d,%d" u v) ps))
+    | Outcome.Not_definable (Outcome.Violating_hom { hom; tuple }) ->
+        Printf.sprintf "not_definable[hom:%s|tuple:%s]"
+          (String.concat ","
+             (List.map string_of_int (Array.to_list hom)))
+          (String.concat "," (List.map string_of_int tuple))
+    | Outcome.Unknown r ->
+        Printf.sprintf "unknown[%s]" (Outcome.reason_to_string r)
+  in
+  Printf.sprintf "%s steps=%d" v o.stats.steps
+
+let decide ?budget ?(k = 1) lang g s =
+  let inst = Instance.of_binary g s in
+  match Registry.decide ?budget ~params:{ Registry.k } ~lang inst with
+  | Ok o -> o
+  | Error msg -> Alcotest.fail msg
+
+let with_pool_size n f =
+  let saved = Pool.size () in
+  Pool.set_size n;
+  Fun.protect ~finally:(fun () -> Pool.set_size saved) f
+
+(* ---------- pool semantics ---------- *)
+
+let test_pool_run_order () =
+  with_pool_size 4 @@ fun () ->
+  let thunks = Array.init 100 (fun i () -> i * i) in
+  Alcotest.(check (array int))
+    "results line up with input order"
+    (Array.init 100 (fun i -> i * i))
+    (Pool.run thunks)
+
+let test_pool_map_chunking () =
+  List.iter
+    (fun size ->
+      with_pool_size size @@ fun () ->
+      let input = Array.init 1000 Fun.id in
+      Alcotest.(check (array int))
+        (Printf.sprintf "map at pool size %d" size)
+        (Array.map (fun x -> x + 1) input)
+        (Pool.map (fun x -> x + 1) input);
+      Alcotest.(check (list int))
+        (Printf.sprintf "map_list at pool size %d" size)
+        [ 2; 4; 6 ]
+        (Pool.map_list (fun x -> 2 * x) [ 1; 2; 3 ]))
+    pool_sizes
+
+let test_pool_exception () =
+  with_pool_size 4 @@ fun () ->
+  let boom i = Failure (Printf.sprintf "boom %d" i) in
+  (match
+     Pool.run
+       (Array.init 16 (fun i () -> if i mod 5 = 2 then raise (boom i) else i))
+   with
+  | _ -> Alcotest.fail "expected an exception"
+  | exception Failure msg ->
+      Alcotest.(check string) "lowest-index exception wins" "boom 2" msg);
+  (* The pool survives a failed batch. *)
+  Alcotest.(check (array int))
+    "pool usable after exception" [| 0; 1; 2 |]
+    (Pool.run (Array.init 3 (fun i () -> i)))
+
+let test_pool_nesting () =
+  with_pool_size 4 @@ fun () ->
+  (* A task that itself maps over the pool: the inner batch must run
+     inline (no deadlock, same results). *)
+  let result =
+    Pool.map
+      (fun i ->
+        Array.fold_left ( + ) 0 (Pool.map (fun j -> (i * 10) + j) (Array.init 4 Fun.id)))
+      (Array.init 8 Fun.id)
+  in
+  Alcotest.(check (array int))
+    "nested maps compute correctly"
+    (Array.init 8 (fun i -> (4 * 10 * i) + 6))
+    result
+
+let test_pool_size_env () =
+  Alcotest.(check bool) "size is at least 1" true (Pool.size () >= 1);
+  with_pool_size 3 @@ fun () ->
+  Alcotest.(check int) "set_size takes effect" 3 (Pool.size ())
+
+(* ---------- budget domain-safety ---------- *)
+
+let test_budget_concurrent_takes () =
+  let fuel = 10_000 in
+  let b = Budget.create ~fuel () in
+  let counts =
+    Array.map Domain.join
+      (Array.init 4 (fun _ ->
+           Domain.spawn (fun () ->
+               let n = ref 0 in
+               while Budget.take b do
+                 incr n
+               done;
+               !n)))
+  in
+  Alcotest.(check int)
+    "successful takes across domains = fuel exactly" fuel
+    (Array.fold_left ( + ) 0 counts);
+  Alcotest.(check int) "used is exact after death" fuel (Budget.used b);
+  Alcotest.(check bool) "exhausted and sticky" true (Budget.exhausted b);
+  Alcotest.(check bool) "takes stay refused" false (Budget.take b)
+
+let test_budget_local_views () =
+  (* Unbounded fuel: local views claim chunks from the shared word and
+     every take succeeds. *)
+  let b = Budget.unlimited () in
+  let totals =
+    Array.map Domain.join
+      (Array.init 4 (fun _ ->
+           Domain.spawn (fun () ->
+               let l = Budget.local b in
+               let n = ref 0 in
+               for _ = 1 to 1000 do
+                 if Budget.take_local l then incr n
+               done;
+               !n)))
+  in
+  Alcotest.(check (array int))
+    "all local takes succeed on an unlimited budget"
+    [| 1000; 1000; 1000; 1000 |] totals;
+  (* Finite fuel: the view degrades to plain take — exact accounting. *)
+  let b = Budget.create ~fuel:100 () in
+  let l = Budget.local b in
+  let n = ref 0 in
+  while Budget.take_local l do
+    incr n
+  done;
+  Alcotest.(check int) "finite fuel stays exact through a view" 100 !n;
+  Alcotest.(check int) "used matches" 100 (Budget.used b)
+
+let test_budget_expired_deadline_local () =
+  let b = Budget.create ~deadline_s:0. () in
+  Unix.sleepf 0.002;
+  let l = Budget.local b in
+  Alcotest.(check bool)
+    "expired deadline refuses the first local take" false
+    (Budget.take_local l);
+  Alcotest.(check bool) "budget is dead" true (Budget.exhausted b)
+
+(* ---------- shared-cache hammer ---------- *)
+
+let test_cache_hammer () =
+  (* Four raw domains race the lazy per-graph caches (adjacency,
+     reachability, Hom's CSP + root-domain caches) on the same graphs.
+     Every domain must see the same answers; the caches must not tear. *)
+  let graphs =
+    List.map
+      (fun seed ->
+        let g =
+          Gen.random ~seed ~n:5 ~delta:2 ~labels:[ "a"; "b" ] ~density:0.4 ()
+        in
+        (g, Gen.random_reachable_relation ~seed g ~count:2))
+      [ 11; 12; 13 ]
+  in
+  let work () =
+    List.map
+      (fun (g, s) ->
+        let reach = DG.reachability_matrix g in
+        let reach_bits = ref 0 in
+        for u = 0 to DG.size g - 1 do
+          for v = 0 to DG.size g - 1 do
+            if Util.Bitmatrix.get reach u v then incr reach_bits
+          done
+        done;
+        let adj_bits = ref 0 in
+        List.iteri
+          (fun a _ ->
+            let m = DG.adjacency_matrix g a in
+            for u = 0 to DG.size g - 1 do
+              for v = 0 to DG.size g - 1 do
+                if Util.Bitmatrix.get m u v then incr adj_bits
+              done
+            done)
+          (DG.alphabet g);
+        let viol =
+          Definability.Hom.search_violating g (TR.of_binary s)
+        in
+        ( !reach_bits,
+          !adj_bits,
+          match viol.Definability.Hom.result with
+          | `Preserved -> "preserved"
+          | `Violation (h, _) ->
+              String.concat "," (List.map string_of_int (Array.to_list h))
+          | `Budget_exhausted -> "exhausted" ))
+      graphs
+  in
+  let expected = work () in
+  let results =
+    Array.map Domain.join
+      (Array.init 4 (fun _ -> Domain.spawn work))
+  in
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "domain %d agrees with the sequential answer" i)
+        true (r = expected))
+    results
+
+(* ---------- decider agreement across pool sizes ---------- *)
+
+let random_instances =
+  List.map
+    (fun seed ->
+      let g =
+        Gen.random ~seed ~n:4 ~delta:2 ~labels:[ "a"; "b" ] ~density:0.35 ()
+      in
+      (g, Gen.random_reachable_relation ~seed g ~count:2))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_decider_agreement () =
+  let instances = (fig1, s1) :: (fig1, s2) :: (fig1, s3) :: random_instances in
+  List.iter
+    (fun lang ->
+      List.iteri
+        (fun idx (g, s) ->
+          let reference =
+            with_pool_size 1 @@ fun () -> verdict_repr (decide lang g s)
+          in
+          List.iter
+            (fun size ->
+              let got =
+                with_pool_size size @@ fun () -> verdict_repr (decide lang g s)
+              in
+              Alcotest.(check string)
+                (Printf.sprintf "%s instance %d at pool size %d" lang idx size)
+                reference got)
+            pool_sizes)
+        instances)
+    all_langs
+
+let test_exhaustion_determinism () =
+  (* A fuel bound small enough to trip every decider: exhaustion must
+     hit the same step at every pool size (finite fuel forces the
+     sequential search order). *)
+  List.iter
+    (fun lang ->
+      let reference =
+        with_pool_size 1 @@ fun () ->
+        verdict_repr (decide ~budget:(Budget.create ~fuel:3 ()) lang fig1 s2)
+      in
+      List.iter
+        (fun size ->
+          let got =
+            with_pool_size size @@ fun () ->
+            verdict_repr
+              (decide ~budget:(Budget.create ~fuel:3 ()) lang fig1 s2)
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "%s exhaustion at pool size %d" lang size)
+            reference got)
+        pool_sizes)
+    all_langs
+
+(* ---------- decide_batch ---------- *)
+
+let test_decide_batch_order_and_agreement () =
+  with_pool_size 4 @@ fun () ->
+  let cases = [ (fig1, s1); (fig1, s2); (fig1, s3) ] @ random_instances in
+  let insts = List.map (fun (g, s) -> Instance.of_binary g s) cases in
+  List.iter
+    (fun lang ->
+      let singles =
+        List.map (fun (g, s) -> verdict_repr (decide lang g s)) cases
+      in
+      let batched =
+        Registry.decide_batch ~params:{ Registry.k = 1 } ~lang insts
+        |> List.map (function
+             | Ok o -> verdict_repr o
+             | Error msg -> Alcotest.fail msg)
+      in
+      Alcotest.(check (list string))
+        (Printf.sprintf "batch of %s agrees with decide, in order" lang)
+        singles batched)
+    all_langs
+
+let test_decide_batch_duplicates () =
+  with_pool_size 4 @@ fun () ->
+  (* The same instance value decided many times concurrently: the memo
+     cache inside the instance is raced, results must agree. *)
+  let inst = Instance.of_binary fig1 s2 in
+  let results =
+    Registry.decide_batch ~lang:"rem" (List.init 8 (fun _ -> inst))
+    |> List.map (function
+         | Ok o -> verdict_repr o
+         | Error msg -> Alcotest.fail msg)
+  in
+  match results with
+  | [] -> Alcotest.fail "empty batch result"
+  | r :: rest ->
+      List.iteri
+        (fun i r' ->
+          Alcotest.(check string)
+            (Printf.sprintf "duplicate %d agrees" (i + 1))
+            r r')
+        rest
+
+let test_decide_batch_budgets () =
+  with_pool_size 2 @@ fun () ->
+  let inst = Instance.of_binary fig1 s2 in
+  let results =
+    Registry.decide_batch
+      ~make_budget:(fun () -> Budget.create ~fuel:3 ())
+      ~lang:"rem"
+      (List.init 4 (fun _ -> inst))
+  in
+  List.iter
+    (function
+      | Ok (o : Outcome.t) ->
+          Alcotest.(check string)
+            "each instance gets its own fresh budget" "unknown"
+            (Outcome.verdict_name o.verdict)
+      | Error msg -> Alcotest.fail msg)
+    results
+
+let test_decide_batch_unknown_lang () =
+  let inst = Instance.of_binary fig1 s1 in
+  match Registry.decide_batch ~lang:"datalog" [ inst; inst ] with
+  | [ Error a; Error b ] ->
+      Alcotest.(check string) "same error per instance" a b
+  | _ -> Alcotest.fail "expected one Error per instance"
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "run order" `Quick test_pool_run_order;
+          Alcotest.test_case "map chunking" `Quick test_pool_map_chunking;
+          Alcotest.test_case "exception propagation" `Quick test_pool_exception;
+          Alcotest.test_case "nesting" `Quick test_pool_nesting;
+          Alcotest.test_case "sizing" `Quick test_pool_size_env;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "concurrent takes" `Quick
+            test_budget_concurrent_takes;
+          Alcotest.test_case "local views" `Quick test_budget_local_views;
+          Alcotest.test_case "expired deadline via view" `Quick
+            test_budget_expired_deadline_local;
+        ] );
+      ( "caches",
+        [ Alcotest.test_case "4-domain hammer" `Quick test_cache_hammer ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "all deciders, pool sizes 1/2/4" `Quick
+            test_decider_agreement;
+          Alcotest.test_case "budget exhaustion" `Quick
+            test_exhaustion_determinism;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "order and agreement" `Quick
+            test_decide_batch_order_and_agreement;
+          Alcotest.test_case "duplicate instances" `Quick
+            test_decide_batch_duplicates;
+          Alcotest.test_case "per-instance budgets" `Quick
+            test_decide_batch_budgets;
+          Alcotest.test_case "unknown language" `Quick
+            test_decide_batch_unknown_lang;
+        ] );
+    ]
