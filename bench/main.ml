@@ -576,9 +576,67 @@ let acceptance_cases () =
         ])
       [ 1; 2; 4 ]
   in
+  (* Service rows: the content-addressed cache in isolation (hash cost,
+     cold decide, warm hit — the warm/cold ratio is the acceptance
+     criterion for the verdict cache) and the full socket round-trip
+     against an in-process server.  The server thread and its client
+     connection start lazily on first use and live until process exit;
+     the warm rows fail loudly if the cache ever answers a miss, so a
+     keying regression cannot silently devalue the measurement into a
+     cold one. *)
+  let service_rows =
+    let s2t = Datagraph.Tuple_relation.of_binary s2 in
+    let warm = Service.Cache.create () in
+    let expect = function Ok _ -> () | Error msg -> failwith msg in
+    expect (Service.Cache.decide warm ~lang:"ree" g s2t);
+    expect (Service.Cache.decide warm ~lang:"rem" g s2t);
+    let warm_hit ~lang s () =
+      match Service.Cache.decide warm ~lang g s with
+      | Ok (_, `Hit) -> ()
+      | Ok (_, `Miss) -> failwith "expected a warm cache hit"
+      | Error msg -> failwith msg
+    in
+    let conn =
+      lazy
+        (let path = Filename.temp_file "defsvc-bench" ".sock" in
+         let srv = Service.Server.create (Service.Wire.Unix_sock path) in
+         ignore (Thread.create Service.Server.run srv);
+         Service.Client.connect (Service.Wire.Unix_sock path))
+    in
+    let exchange line () =
+      match Service.Client.request_raw (Lazy.force conn) line with
+      | Ok _ -> ()
+      | Error msg -> failwith msg
+    in
+    let decide_line =
+      Service.Wire.request_to_string
+        (Service.Wire.Decide
+           {
+             lang = "rem";
+             k = None;
+             fuel = None;
+             timeout_s = None;
+             instance = Datagraph.Graph_io.instance_to_string g s2t;
+           })
+    in
+    [
+      ( "service-hash-fig1-s2",
+        fun () ->
+          ignore (Service.Content_hash.instance_key ~lang:"rem" ~k:1 g s2t) );
+      ( "service-decide-cold-ree-s2",
+        fun () ->
+          expect (Service.Cache.decide (Service.Cache.create ()) ~lang:"ree" g s2t)
+      );
+      ("service-decide-warm-ree-s2", warm_hit ~lang:"ree" s2t);
+      ("service-decide-warm-rem-s2", warm_hit ~lang:"rem" s2t);
+      ( "service-socket-ping",
+        exchange (Service.Wire.request_to_string Service.Wire.Ping) );
+      ("service-socket-decide-warm-rem-s2", exchange decide_line);
+    ]
+  in
   homs
   @ [ ("krem-k2-fig1-s2", fun () -> ignore (Remd.is_definable_k g ~k:2 s2)) ]
-  @ engine_rows @ par_rows
+  @ engine_rows @ par_rows @ service_rows
 
 let acceptance_metrics cases =
   List.map
@@ -657,10 +715,10 @@ let write_json ~path ~table_times ~acceptance ~breakdown ~bechamel ~baseline =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"definability-bench-4\",\n";
+  p "  \"schema\": \"definability-bench-5\",\n";
   p
     "  \"command\": \"dune exec bench/main.exe -- tables --json --out \
-     bench/BENCH_4.json --baseline bench/BENCH_3.json\",\n";
+     bench/BENCH_5.json --baseline bench/BENCH_4.json\",\n";
   (* How many hardware threads the host offers: the context needed to
      read the par-* scaling rows (d2/d4 cannot beat d1 on one core). *)
   p "  \"host_domains\": %d,\n" (Domain.recommended_domain_count ());
@@ -740,7 +798,7 @@ let () =
     | _ :: rest -> opt_after key rest
     | [] -> None
   in
-  let out = Option.value ~default:"BENCH_4.json" (opt_after "--out" argv) in
+  let out = Option.value ~default:"BENCH_5.json" (opt_after "--out" argv) in
   let baseline = Option.map read_baseline (opt_after "--baseline" argv) in
   (match opt_after "--domains" argv with
   | None -> ()

@@ -44,77 +44,12 @@ let binary_of s =
   end
   else Tuple_relation.to_binary s
 
-(* Minimal JSON emission — the output grammar is flat enough that a
-   string escaper and a few combinators beat a dependency. *)
-let json_string s =
-  let b = Buffer.create (String.length s + 2) in
-  Buffer.add_char b '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.add_char b '"';
-  Buffer.contents b
-
-let json_obj fields =
-  "{" ^ String.concat "," (List.map (fun (k, v) -> json_string k ^ ":" ^ v) fields)
-  ^ "}"
-
-let json_list xs = "[" ^ String.concat "," xs ^ "]"
-
-(* The verdict block: everything that must be byte-identical at any
-   domain-pool size (the stats block below it may legitimately vary —
-   timings, node counts under parallel cancellation).  [check --json]
-   and [batch] both render it through this one function. *)
-let json_verdict_fields g ~lang (o : Outcome.t) =
-  let certificate =
-    match Outcome.certificate o with
-    | None -> "null"
-    | Some c ->
-        json_obj
-          [
-            ("lang", json_string (Outcome.certificate_lang c));
-            ("query", json_string (Outcome.certificate_to_string c));
-          ]
-  in
-  let name u = json_string (Data_graph.name g u) in
-  let counterexample =
-    match o.verdict with
-    | Outcome.Not_definable (Outcome.Missing_pairs pairs) ->
-        json_obj
-          [
-            ( "missing_pairs",
-              json_list
-                (List.map (fun (u, v) -> json_list [ name u; name v ]) pairs) );
-          ]
-    | Outcome.Not_definable (Outcome.Violating_hom { hom; tuple }) ->
-        json_obj
-          [
-            ("hom", json_list (Array.to_list (Array.map name hom)));
-            ("tuple", json_list (List.map name tuple));
-          ]
-    | Outcome.Definable _ | Outcome.Unknown _ -> "null"
-  in
-  let reason =
-    match o.verdict with
-    | Outcome.Unknown r -> json_string (Outcome.reason_to_string r)
-    | Outcome.Definable _ | Outcome.Not_definable _ -> "null"
-  in
-  [
-    ("lang", json_string lang);
-    ("verdict", json_string (Outcome.verdict_name o.verdict));
-    ("reason", reason);
-    ("certificate", certificate);
-    ("counterexample", counterexample);
-  ]
+(* JSON emission and the verdict block live in [Service.Wire] now,
+   shared with the server so a service [decide] response, a cache hit,
+   [check --json] and [batch] all render byte-identical verdicts. *)
+let json_string = Service.Wire.json_string
+let json_obj = Service.Wire.json_obj
+let json_verdict_fields = Service.Wire.verdict_fields
 
 let json_of_outcome g ~lang ~budget ~phases (o : Outcome.t) =
   let stats =
@@ -296,19 +231,32 @@ let check_cmd =
        raw spans.  One decision's worth of observation is far below the
        cost of the decision itself. *)
     let agg = Obs.Sink.Agg.create () in
-    let tracer = Option.map (fun _ -> Obs.Sink.Trace.create ()) trace in
+    (* The trace streams to the file as spans complete, and closing the
+       JSON array is registered with [at_exit] — which also runs on
+       [exit 2] paths and uncaught exceptions — so an aborted check
+       still leaves a Perfetto-loadable trace, never a truncated one. *)
+    let tracer =
+      Option.map
+        (fun path ->
+          let oc = open_out path in
+          let stream = Obs.Sink.Trace.stream oc in
+          at_exit (fun () ->
+              Obs.Sink.Trace.close_stream ~counters:(Obs.Counter.all ()) stream;
+              close_out_noerr oc);
+          stream)
+        trace
+    in
     Obs.enable
       (Obs.Sink.Agg.sink agg
       ::
-      (match tracer with Some t -> [ Obs.Sink.Trace.sink t ] | None -> []));
+      (match tracer with
+      | Some t -> [ Obs.Sink.Trace.stream_sink t ]
+      | None -> []));
     let write_trace () =
       Obs.disable ();
-      match (trace, tracer) with
-      | Some path, Some t ->
-          let oc = open_out path in
-          Obs.Sink.Trace.write ~counters:(Obs.Counter.all ()) t oc;
-          close_out oc
-      | _ -> ()
+      match tracer with
+      | Some t -> Obs.Sink.Trace.close_stream ~counters:(Obs.Counter.all ()) t
+      | None -> ()
     in
     let inst =
       match Instance.create g s with
@@ -394,50 +342,72 @@ let check_cmd =
 let batch_cmd =
   let run paths lang k fuel timeout domains =
     set_domains domains;
+    (* A missing or unparsable instance file yields one JSON error line
+       (and exit-code contribution 2) instead of aborting the batch: the
+       other instances still get their verdicts, in input order. *)
     let loaded =
       List.map
         (fun path ->
-          let g, s = load_instance path in
-          match Instance.create g s with
-          | Ok inst -> (path, g, inst)
-          | Error msg ->
-              Printf.eprintf "error: %s: %s\n" path msg;
-              exit 2)
+          match (try Ok (read_file path) with Sys_error msg -> Error msg) with
+          | Error msg -> (path, Error msg)
+          | Ok text -> (
+              match Datagraph.Graph_io.instance_of_string text with
+              | Error msg -> (path, Error msg)
+              | Ok (g, s) -> (
+                  match Instance.create g s with
+                  | Ok inst -> (path, Ok (g, inst))
+                  | Error msg -> (path, Error msg))))
         paths
     in
     let make_budget () = Budget.create ?fuel ?deadline_s:timeout () in
     let results =
       Registry.decide_batch ~make_budget ~params:{ Registry.k } ~lang
-        (List.map (fun (_, _, inst) -> inst) loaded)
+        (List.filter_map
+           (fun (_, r) -> Result.to_option (Result.map snd r))
+           loaded)
     in
     (* One JSON line per instance, in input order (decide_batch
-       preserves it regardless of pool size). *)
+       preserves it regardless of pool size); decided results re-align
+       with the loadable subset of the inputs. *)
     let worst = ref 0 in
-    List.iter2
-      (fun (path, g, _) result ->
-        match result with
-        | Error msg ->
-            Printf.eprintf "error: %s\n" msg;
-            exit 2
-        | Ok (o : Outcome.t) ->
-            print_endline
-              (json_obj
-                 (("file", json_string path) :: json_verdict_fields g ~lang o));
-            let code =
-              match o.verdict with
-              | Outcome.Definable _ -> 0
-              | Outcome.Not_definable _ -> 1
-              | Outcome.Unknown Outcome.Budget_exhausted -> 4
-              | Outcome.Unknown (Outcome.Unsupported _) -> 2
-            in
-            worst := max !worst code)
-      loaded results;
+    let error_line path msg =
+      print_endline
+        (json_obj [ ("file", json_string path); ("error", json_string msg) ]);
+      worst := max !worst 2
+    in
+    let rec emit loaded results =
+      match (loaded, results) with
+      | [], [] -> ()
+      | (path, Error msg) :: loaded, results ->
+          error_line path msg;
+          emit loaded results
+      | (path, Ok (g, _)) :: loaded, result :: results ->
+          (match result with
+          | Error msg -> error_line path msg
+          | Ok (o : Outcome.t) ->
+              print_endline
+                (json_obj
+                   (("file", json_string path) :: json_verdict_fields g ~lang o));
+              let code =
+                match o.verdict with
+                | Outcome.Definable _ -> 0
+                | Outcome.Not_definable _ -> 1
+                | Outcome.Unknown Outcome.Budget_exhausted -> 4
+                | Outcome.Unknown (Outcome.Unsupported _) -> 2
+              in
+              worst := max !worst code);
+          emit loaded results
+      | (_, Ok _) :: _, [] | [], _ :: _ -> assert false
+    in
+    emit loaded results;
     exit !worst
   in
   let instances_arg =
+    (* [string], not [file]: existence is checked at load time so a
+       missing file becomes a per-line error object, not a usage error. *)
     Arg.(
       non_empty
-      & pos_all file []
+      & pos_all string []
       & info [] ~docv:"INSTANCE" ~doc:"Instance files to decide.")
   in
   Cmd.v
@@ -510,6 +480,237 @@ let fig1_cmd =
           file.")
     Term.(const run $ const ())
 
+(* ------------------------------------------------------------------ *)
+(* Definability as a service: [serve] runs the long-lived server with
+   the cross-request cache; [client] speaks the Wire protocol to it. *)
+
+let parse_address s =
+  let prefix p =
+    String.length s > String.length p && String.sub s 0 (String.length p) = p
+  in
+  let after p = String.sub s (String.length p) (String.length s - String.length p) in
+  if prefix "unix:" then Ok (Service.Wire.Unix_sock (after "unix:"))
+  else if prefix "tcp:" then
+    let rest = after "tcp:" in
+    match String.rindex_opt rest ':' with
+    | None -> Error "tcp address must be tcp:HOST:PORT"
+    | Some i -> (
+        let host = String.sub rest 0 i in
+        let port = String.sub rest (i + 1) (String.length rest - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p > 0 && p < 65536 -> Ok (Service.Wire.Tcp (host, p))
+        | _ -> Error "tcp port must be in 1..65535")
+  else Ok (Service.Wire.Unix_sock s)
+
+let address_of s =
+  match parse_address s with
+  | Ok a -> a
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+
+let address_arg =
+  Arg.(
+    value
+    & opt string "unix:/tmp/defcheck.sock"
+    & info [ "a"; "address" ] ~docv:"ADDR"
+        ~doc:
+          "Server address: $(b,unix:PATH), $(b,tcp:HOST:PORT), or a bare \
+           path (taken as a Unix-domain socket).")
+
+let serve_cmd =
+  let run addr domains fuel timeout max_inflight queue_depth cache_size =
+    set_domains domains;
+    let addr = address_of addr in
+    if max_inflight < 1 || queue_depth < 0 || cache_size < 1 then begin
+      Printf.eprintf
+        "error: need --max-inflight >= 1, --queue-depth >= 0, --cache-size \
+         >= 1\n";
+      exit 2
+    end;
+    let config =
+      {
+        Service.Server.max_inflight;
+        queue_depth;
+        default_fuel = fuel;
+        default_deadline_s = timeout;
+        cache =
+          {
+            Service.Server.default_config.cache with
+            Service.Cache.verdict_capacity = cache_size;
+          };
+      }
+    in
+    (* Enable telemetry for the server's lifetime so the service.*
+       counters (requests, cache hits/misses, …) accumulate; spans go to
+       an in-memory aggregator nothing reads unless a debugger does. *)
+    Obs.enable [ Obs.Sink.Agg.sink (Obs.Sink.Agg.create ()) ];
+    match Service.Server.create ~config addr with
+    | exception Unix.Unix_error (e, _, arg) ->
+        Printf.eprintf "error: cannot listen on %s: %s (%s)\n"
+          (Service.Wire.address_to_string addr)
+          (Unix.error_message e) arg;
+        exit 2
+    | server ->
+        Printf.eprintf "defcheck: serving on %s (inflight <= %d, queue <= %d)\n%!"
+          (Service.Wire.address_to_string addr)
+          max_inflight queue_depth;
+        Service.Server.run server
+  in
+  let max_inflight_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"Concurrent work requests (decide/batch) executing at once.")
+  in
+  let queue_depth_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Work requests allowed to wait for a slot; beyond this the \
+             server answers $(b,overloaded) immediately.")
+  in
+  let cache_size_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "cache-size" ] ~docv:"N"
+          ~doc:"Verdict-cache capacity (LRU entries).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the definability server: newline-delimited JSON requests \
+          over a Unix or TCP socket, verdicts answered from a \
+          content-addressed cache when the same instance was decided \
+          before.  $(b,--fuel)/$(b,--timeout) set default budgets for \
+          requests that carry none.")
+    Term.(
+      const run $ address_arg $ domains_arg $ fuel_arg $ timeout_arg
+      $ max_inflight_arg $ queue_depth_arg $ cache_size_arg)
+
+let client_cmd =
+  let run addr op paths lang k fuel timeout ms =
+    let addr = address_of addr in
+    let conn =
+      match Service.Client.connect addr with
+      | conn -> conn
+      | exception Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "error: cannot connect to %s: %s\n"
+            (Service.Wire.address_to_string addr)
+            (Unix.error_message e);
+          exit 2
+    in
+    Fun.protect
+      ~finally:(fun () -> Service.Client.close conn)
+      (fun () ->
+        let worst = ref 0 in
+        let exchange req =
+          match
+            Service.Client.request_raw conn (Service.Wire.request_to_string req)
+          with
+          | Error msg ->
+              Printf.eprintf "error: %s\n" msg;
+              exit 2
+          | Ok line -> (
+              (* The response line is printed verbatim — scripts parse it
+                 with jq; the exit code summarizes the status field. *)
+              print_endline line;
+              let status =
+                Result.to_option (Service.Json.parse line)
+                |> fun j ->
+                Option.bind j (Service.Json.member "status")
+                |> fun s -> Option.bind s Service.Json.to_str
+              in
+              match status with
+              | Some "ok" -> ()
+              | Some "overloaded" -> worst := max !worst 3
+              | Some _ | None -> worst := max !worst 2)
+        in
+        let need_files what =
+          if paths = [] then begin
+            Printf.eprintf "error: %s needs at least one instance file\n" what;
+            exit 2
+          end
+        in
+        let read path =
+          match read_file path with
+          | text -> Ok text
+          | exception Sys_error msg -> Error msg
+        in
+        (match op with
+        | "ping" -> exchange Service.Wire.Ping
+        | "stats" -> exchange Service.Wire.Stats
+        | "shutdown" -> exchange Service.Wire.Shutdown
+        | "sleep" -> exchange (Service.Wire.Sleep { ms })
+        | "decide" ->
+            need_files "decide";
+            List.iter
+              (fun path ->
+                match read path with
+                | Error msg ->
+                    Printf.eprintf "error: %s\n" msg;
+                    worst := max !worst 2
+                | Ok instance ->
+                    exchange
+                      (Service.Wire.Decide
+                         { lang; k = Some k; fuel; timeout_s = timeout; instance }))
+              paths
+        | "batch" -> (
+            need_files "batch";
+            let instances =
+              List.fold_right
+                (fun path acc ->
+                  Result.bind acc (fun acc ->
+                      Result.map (fun text -> text :: acc) (read path)))
+                paths (Ok [])
+            in
+            match instances with
+            | Error msg ->
+                Printf.eprintf "error: %s\n" msg;
+                exit 2
+            | Ok instances ->
+                exchange
+                  (Service.Wire.Batch
+                     { lang; k = Some k; fuel; timeout_s = timeout; instances }))
+        | other ->
+            Printf.eprintf
+              "error: unknown op %S (ping|stats|shutdown|sleep|decide|batch)\n"
+              other;
+            exit 2);
+        exit !worst)
+  in
+  let op_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OP"
+          ~doc:
+            "One of $(b,ping), $(b,stats), $(b,shutdown), $(b,sleep), \
+             $(b,decide), $(b,batch).")
+  in
+  let files_arg =
+    Arg.(
+      value & pos_right 0 string []
+      & info [] ~docv:"INSTANCE"
+          ~doc:"Instance files (for $(b,decide) and $(b,batch)).")
+  in
+  let ms_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "ms" ] ~docv:"MS"
+          ~doc:"Duration for the $(b,sleep) diagnostic op.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send one operation to a running definability server and print \
+          each response line verbatim.  Exit code: 0 ok, 2 error, 3 \
+          overloaded.")
+    Term.(
+      const run $ address_arg $ op_arg $ files_arg $ lang_arg $ k_arg
+      $ fuel_arg $ timeout_arg $ ms_arg)
+
 let main =
   Cmd.group
     (Cmd.info "defcheck" ~version:"1.0.0"
@@ -523,6 +724,8 @@ let main =
       fit_cmd;
       dot_cmd;
       fig1_cmd;
+      serve_cmd;
+      client_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -97,6 +97,19 @@ module Sink = struct
        emitted once, at the trace's end timestamp.  Each recording
        domain gets its own tid, so spans recorded concurrently render as
        parallel tracks instead of impossibly-overlapping slices. *)
+    let span_event ~t0 s =
+      Printf.sprintf
+        "{\"name\":\"%s\",\"cat\":\"engine\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{\"depth\":%d}}"
+        (escape s.name)
+        ((s.start_s -. t0) *. 1e6)
+        ((s.stop_s -. s.start_s) *. 1e6)
+        (s.dom + 1) s.depth
+
+    let counter_event ~ts name v =
+      Printf.sprintf
+        "{\"name\":\"%s\",\"cat\":\"counters\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":1,\"args\":{\"value\":%d}}"
+        (escape name) ts v
+
     let to_string ?(counters = []) t =
       let spans = List.rev t.spans in
       let t0 =
@@ -105,35 +118,85 @@ module Sink = struct
       let t1 =
         List.fold_left (fun acc s -> Float.max acc s.stop_s) 0. spans
       in
-      let us x = (x -. t0) *. 1e6 in
       let b = Buffer.create 4096 in
       let sep = ref "" in
       Buffer.add_string b "[";
       List.iter
         (fun s ->
-          Buffer.add_string b
-            (Printf.sprintf
-               "%s\n\
-                {\"name\":\"%s\",\"cat\":\"engine\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{\"depth\":%d}}"
-               !sep (escape s.name) (us s.start_s)
-               ((s.stop_s -. s.start_s) *. 1e6)
-               (s.dom + 1) s.depth);
+          Buffer.add_string b !sep;
+          Buffer.add_char b '\n';
+          Buffer.add_string b (span_event ~t0 s);
           sep := ",")
         spans;
-      let counter_ts = if spans = [] then 0. else us t1 in
+      let counter_ts = if spans = [] then 0. else (t1 -. t0) *. 1e6 in
       List.iter
         (fun (name, v) ->
-          Buffer.add_string b
-            (Printf.sprintf
-               "%s\n\
-                {\"name\":\"%s\",\"cat\":\"counters\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":1,\"args\":{\"value\":%d}}"
-               !sep (escape name) counter_ts v);
+          Buffer.add_string b !sep;
+          Buffer.add_char b '\n';
+          Buffer.add_string b (counter_event ~ts:counter_ts name v);
           sep := ",")
         counters;
       Buffer.add_string b "\n]\n";
       Buffer.contents b
 
     let write ?counters t oc = output_string oc (to_string ?counters t)
+
+    (* Streaming variant: events go to the channel as they complete, one
+       flush per event, so a trace is loadable even when the traced
+       computation raises or the process dies — Perfetto tolerates a
+       missing closing bracket, and [close_stream] (typically registered
+       with [at_exit]) writes it on every exit path anyway.  The time
+       origin is fixed at stream creation since the earliest span is not
+       known up front. *)
+    type stream = {
+      soc : out_channel;
+      st0 : float;
+      mutable first : bool;
+      mutable closed : bool;
+      slock : Mutex.t;
+    }
+
+    let stream oc =
+      output_string oc "[";
+      flush oc;
+      {
+        soc = oc;
+        st0 = now ();
+        first = true;
+        closed = false;
+        slock = Mutex.create ();
+      }
+
+    let stream_locked t f =
+      Mutex.lock t.slock;
+      Fun.protect ~finally:(fun () -> Mutex.unlock t.slock) f
+
+    let stream_emit t event =
+      output_string t.soc (if t.first then "\n" else ",\n");
+      t.first <- false;
+      output_string t.soc event
+
+    let stream_sink t =
+      {
+        record =
+          (fun s ->
+            stream_locked t (fun () ->
+                if not t.closed then begin
+                  stream_emit t (span_event ~t0:t.st0 s);
+                  flush t.soc
+                end));
+      }
+
+    let close_stream ?(counters = []) t =
+      stream_locked t (fun () ->
+          if not t.closed then begin
+            t.closed <- true;
+            let ts = (now () -. t.st0) *. 1e6 in
+            List.iter (fun (name, v) -> stream_emit t (counter_event ~ts name v))
+              counters;
+            output_string t.soc "\n]\n";
+            flush t.soc
+          end)
   end
 end
 

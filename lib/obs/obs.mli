@@ -96,6 +96,33 @@ module Sink : sig
 
     val to_string : ?counters:(string * int) list -> trace -> string
     val write : ?counters:(string * int) list -> trace -> out_channel -> unit
+
+    (** {2 Streaming}
+
+        The in-memory collector above loses everything when the traced
+        computation raises before [write] runs.  A [stream] writes each
+        span to the channel the moment it completes (one flush per
+        event), so the file always holds every finished span; and
+        {!close_stream} — idempotent, safe from [at_exit] — terminates
+        the JSON array on both normal and exceptional exits, keeping the
+        file loadable in Perfetto either way. *)
+
+    type stream
+
+    val stream : out_channel -> stream
+    (** Write the array opener and fix the trace's time origin (spans
+        are stamped relative to this call).  The channel stays owned by
+        the caller; {!close_stream} flushes but does not close it. *)
+
+    val stream_sink : stream -> t
+    (** Records each span as one flushed trace event.  Safe from any
+        domain; events after {!close_stream} are dropped. *)
+
+    val close_stream : ?counters:(string * int) list -> stream -> unit
+    (** Emit one counter event per entry, close the JSON array and
+        flush.  Idempotent — later calls (and later recorded spans) are
+        no-ops, so registering it with [at_exit] {e and} calling it on
+        the success path is fine. *)
   end
 end
 

@@ -1,0 +1,143 @@
+module Data_graph = Datagraph.Data_graph
+module Tuple_relation = Datagraph.Tuple_relation
+module Outcome = Engine.Outcome
+module Instance = Engine.Instance
+module Budget = Engine.Budget
+module Registry = Engine.Registry
+
+type config = {
+  verdict_capacity : int;
+  graph_capacity : int;
+  revalidate : bool;
+}
+
+let default_config =
+  { verdict_capacity = 1024; graph_capacity = 256; revalidate = true }
+
+(* The instance is stored alongside the outcome so a hit can revalidate
+   the certificate without re-validating and re-packing the problem; it
+   pins the interned graph (and its derived artifacts) for as long as
+   the verdict lives, even past graph-store eviction. *)
+type entry = { outcome : Outcome.t; inst : Instance.t }
+
+type t = {
+  config : config;
+  verdicts : entry Lru.t;
+  graphs : Data_graph.t Lru.t;
+  (* Service-level statistics are plain atomics, always on: the [stats]
+     protocol op must answer whether or not telemetry is enabled.  The
+     Obs counters below mirror the same events for traces/benches. *)
+  verdict_hits : int Atomic.t;
+  verdict_misses : int Atomic.t;
+  revalidation_failures : int Atomic.t;
+  graph_hits : int Atomic.t;
+  graph_misses : int Atomic.t;
+}
+
+let c_hit = Obs.Counter.make "service.cache.verdict_hits"
+let c_miss = Obs.Counter.make "service.cache.verdict_misses"
+let c_reval_fail = Obs.Counter.make "service.cache.revalidation_failures"
+let c_graph_hit = Obs.Counter.make "service.cache.graph_hits"
+let c_graph_miss = Obs.Counter.make "service.cache.graph_misses"
+
+let create ?(config = default_config) () =
+  {
+    config;
+    verdicts = Lru.create ~capacity:config.verdict_capacity;
+    graphs = Lru.create ~capacity:config.graph_capacity;
+    verdict_hits = Atomic.make 0;
+    verdict_misses = Atomic.make 0;
+    revalidation_failures = Atomic.make 0;
+    graph_hits = Atomic.make 0;
+    graph_misses = Atomic.make 0;
+  }
+
+let bump a c =
+  ignore (Atomic.fetch_and_add a 1);
+  Obs.Counter.incr c
+
+(* Two canonically-equal graphs have identical index structure (node
+   count, sorted edge list, value partition in index order), so a
+   relation expressed over one is valid verbatim over the other — the
+   intern substitution below never remaps node ids. *)
+let intern_graph_keyed t gkey g =
+  match Lru.find t.graphs gkey with
+  | Some g0 ->
+      bump t.graph_hits c_graph_hit;
+      g0
+  | None ->
+      bump t.graph_misses c_graph_miss;
+      Lru.put t.graphs gkey g;
+      g
+
+let intern_graph t g = intern_graph_keyed t (Content_hash.graph_key g) g
+
+let cacheable (o : Outcome.t) =
+  match o.verdict with
+  | Outcome.Definable _ | Outcome.Not_definable _ -> true
+  | Outcome.Unknown _ -> false
+
+let decide t ?fuel ?deadline_s ?(k = 1) ~lang g s =
+  let gkey, ikey =
+    Obs.Span.with_ "service.cache.hash" @@ fun () ->
+    Content_hash.keys ~lang ~k g s
+  in
+  let serve_miss () =
+    bump t.verdict_misses c_miss;
+    let g = intern_graph_keyed t gkey g in
+    match Instance.create g s with
+    | Error _ as e -> e
+    | Ok inst -> (
+        let budget = Budget.create ?fuel ?deadline_s () in
+        match Registry.decide ~budget ~params:{ Registry.k } ~lang inst with
+        | Error _ as e -> e
+        | Ok outcome ->
+            if cacheable outcome then Lru.put t.verdicts ikey { outcome; inst };
+            Ok (outcome, `Miss))
+  in
+  match Lru.find t.verdicts ikey with
+  | None -> serve_miss ()
+  | Some { outcome; inst } -> (
+      let revalidated =
+        if not t.config.revalidate then Ok ()
+        else
+          match Outcome.certificate outcome with
+          | None -> Ok ()
+          | Some cert ->
+              Obs.Span.with_ "service.cache.revalidate" @@ fun () ->
+              Outcome.check_certificate inst cert
+      in
+      match revalidated with
+      | Ok () ->
+          bump t.verdict_hits c_hit;
+          Ok (outcome, `Hit)
+      | Error _ ->
+          (* A poisoned or stale entry: drop it and recompute instead of
+             serving a certificate that no longer checks. *)
+          bump t.revalidation_failures c_reval_fail;
+          Lru.remove t.verdicts ikey;
+          serve_miss ())
+
+let insert t ?(k = 1) ~lang g s outcome =
+  let g = intern_graph t g in
+  match Instance.create g s with
+  | Error _ as e -> e
+  | Ok inst ->
+      Lru.put t.verdicts
+        (Content_hash.instance_key ~lang ~k g s)
+        { outcome; inst };
+      Ok ()
+
+let stats t =
+  List.sort compare
+    [
+      ("verdict_hits", Atomic.get t.verdict_hits);
+      ("verdict_misses", Atomic.get t.verdict_misses);
+      ("revalidation_failures", Atomic.get t.revalidation_failures);
+      ("graph_hits", Atomic.get t.graph_hits);
+      ("graph_misses", Atomic.get t.graph_misses);
+      ("verdict_size", Lru.length t.verdicts);
+      ("graph_size", Lru.length t.graphs);
+      ("verdict_evictions", Lru.evictions t.verdicts);
+      ("graph_evictions", Lru.evictions t.graphs);
+    ]

@@ -1,0 +1,89 @@
+(** The cross-request result cache: the heart of the service.
+
+    Two LRU stores, both keyed by {!Content_hash} digests:
+
+    - a {b graph intern table} (graph key → packed [Data_graph.t]): the
+      first request that mentions a graph donates its packed form, and
+      every later request with the same canonical graph is decided
+      against that {e interned} graph.  The per-graph derived artifacts
+      — adjacency and reachability matrices (cached inside
+      [Data_graph]), Hom CSPs and root domains (keyed by graph [uid])
+      — are therefore built once and shared across requests, not once
+      per connection.
+    - a {b verdict store} (instance key → decided outcome + the instance
+      it was decided on).  A hit skips the decision procedure entirely;
+      if the cached verdict carries a certificate it is {e revalidated}
+      first ([Outcome.check_certificate] re-evaluates the query against
+      the instance — a code path disjoint from the search that produced
+      it), and an entry that fails revalidation is dropped and recomputed
+      rather than served.
+
+    Only [Definable] and [Not_definable] outcomes are stored: they are
+    budget-independent facts about the instance.  [Unknown] outcomes
+    (budget exhaustion, unsupported arity) depend on the request's
+    budget and are never cached, so a later request with more fuel is
+    not short-changed by an earlier timeout.
+
+    Node {e names} are not part of the cache key (see {!Content_hash}),
+    and outcomes carry node indices, not names — render a cached outcome
+    with the requesting graph and the response shows the requester's
+    names even on a hit.
+
+    Concurrency: safe to call from any number of threads.  The LRU
+    stores take their own locks; the decision itself runs outside any
+    lock.  Two racing requests for the same uncached instance may both
+    compute it (last store wins) — the cache trades duplicate work on
+    that rare race for never blocking a request behind another's
+    decide. *)
+
+type config = {
+  verdict_capacity : int;  (** max cached outcomes (default 1024) *)
+  graph_capacity : int;  (** max interned graphs (default 256) *)
+  revalidate : bool;
+      (** re-check certificates on every hit (default [true]) *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val decide :
+  t ->
+  ?fuel:int ->
+  ?deadline_s:float ->
+  ?k:int ->
+  lang:string ->
+  Datagraph.Data_graph.t ->
+  Datagraph.Tuple_relation.t ->
+  (Engine.Outcome.t * [ `Hit | `Miss ], string) result
+(** Decide through the cache.  A fresh {!Engine.Budget} with the given
+    fuel/deadline is created only on a miss — hits never consult the
+    budget.  [Error] on an invalid instance or an unknown language.
+    [k] is the [krem] register bound (default 1). *)
+
+val intern_graph : t -> Datagraph.Data_graph.t -> Datagraph.Data_graph.t
+(** The interned twin of the graph (inserting it if new): the canonical
+    carrier of the per-graph artifacts.  Exposed for tests and for the
+    server's batch path. *)
+
+val insert :
+  t ->
+  ?k:int ->
+  lang:string ->
+  Datagraph.Data_graph.t ->
+  Datagraph.Tuple_relation.t ->
+  Engine.Outcome.t ->
+  (unit, string) result
+(** Seed the verdict store directly (tests and warm-up tooling); the
+    outcome is stored unconditionally, so revalidation on the next hit
+    is what stands between a bogus seed and the caller. *)
+
+val stats : t -> (string * int) list
+(** Monotone counters and current sizes, sorted by name:
+    [verdict_hits], [verdict_misses], [revalidation_failures],
+    [graph_hits], [graph_misses], [verdict_size], [graph_size],
+    [verdict_evictions], [graph_evictions].  Counted internally (always
+    on, independent of [Obs]); the same events are mirrored to
+    [Obs.Counter]s for traces and bench breakdowns. *)

@@ -1,0 +1,73 @@
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable closed : bool;
+}
+
+let sockaddr_of = function
+  | Wire.Unix_sock path -> Unix.ADDR_UNIX path
+  | Wire.Tcp (host, port) ->
+      let inet =
+        match Unix.inet_addr_of_string host with
+        | addr -> addr
+        | exception Failure _ -> (
+            match Unix.gethostbyname host with
+            | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+                failwith ("cannot resolve host " ^ host)
+            | h -> h.Unix.h_addr_list.(0))
+      in
+      Unix.ADDR_INET (inet, port)
+
+let connect addr =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let domain =
+    match addr with
+    | Wire.Unix_sock _ -> Unix.PF_UNIX
+    | Wire.Tcp _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (sockaddr_of addr)
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  {
+    fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    closed = false;
+  }
+
+let request_raw t line =
+  if t.closed then Error "connection closed"
+  else
+    match
+      output_string t.oc line;
+      output_char t.oc '\n';
+      flush t.oc;
+      input_line t.ic
+    with
+    | line -> Ok line
+    | exception End_of_file -> Error "connection closed by server"
+    | exception Sys_error msg -> Error ("transport: " ^ msg)
+    | exception Unix.Unix_error (e, _, _) ->
+        Error ("transport: " ^ Unix.error_message e)
+
+let request t req =
+  match request_raw t (Wire.request_to_string req) with
+  | Error _ as e -> e
+  | Ok line -> (
+      match Json.parse line with
+      | Ok j -> Ok j
+      | Error msg -> Error ("unparsable response: " ^ msg))
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (* [close_out] closes the shared fd; the reader just goes stale. *)
+    try close_out t.oc with _ -> ()
+  end
+
+let with_connection addr f =
+  let t = connect addr in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,0 +1,31 @@
+(** A blocking client for the service protocol: connect, send one
+    request line, read one response line, repeat.  Used by the CLI's
+    [client] subcommand, the end-to-end tests and the bench's socket
+    rows.
+
+    The connection is synchronous and pipelining-free on purpose — the
+    server answers in order, so one in-flight request per connection
+    keeps the client trivial; concurrency comes from opening more
+    connections. *)
+
+type t
+
+val connect : Wire.address -> t
+(** @raise Unix.Unix_error when the server is not reachable. *)
+
+val request : t -> Wire.request -> (Json.t, string) result
+(** Send the request, block for the response line, parse it.  [Error]
+    covers transport failures (connection closed mid-exchange) and
+    unparsable response lines — protocol-level failures arrive as [Ok]
+    objects with ["status"] ["error"] or ["overloaded"]. *)
+
+val request_raw : t -> string -> (string, string) result
+(** Send one pre-rendered request line (no newline), return the raw
+    response line.  The bench uses this to keep parsing out of timed
+    sections. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val with_connection : Wire.address -> (t -> 'a) -> 'a
+(** [connect], run, [close] (also on exceptions). *)

@@ -1,0 +1,61 @@
+(** Content-addressed keys for graphs and definability instances.
+
+    The service's caches are keyed by a {e canonical} serialization of
+    the problem content, so two requests that pose the same problem hit
+    the same cache line no matter how the instance file spelled it:
+
+    - {b node names are ignored} — nodes are serialized by their dense
+      index.  Names are presentation only; the cached outcome carries
+      node indices and is re-rendered with the requester's names.
+    - {b data values are canonicalized} up to bijective renaming: each
+      node records the first-occurrence rank of its value, not the value
+      itself.  The query languages only observe (in)equality of values
+      (Fact 10: REM/REE languages are closed under automorphisms of the
+      data domain), so instances that differ by a value automorphism
+      have the same verdict — and the same key.
+    - {b edges are sorted} by (label, source, target), so the order of
+      [edge] lines in the input does not matter.
+    - edge {e labels} and the relation's tuples are serialized verbatim:
+      both are observable (labels appear in certificates, tuples are the
+      problem statement).
+
+    Keys are MD5 digests (stdlib [Digest]) of the canonical bytes,
+    rendered as 32-char lowercase hex.  MD5's known collision attacks
+    are irrelevant here — the cache is a performance layer whose hits
+    are re-validated against the certificate, not a security boundary —
+    and 128 bits make accidental collisions out of reach. *)
+
+val graph_bytes : Datagraph.Data_graph.t -> string
+(** The canonical serialization of the graph alone (exposed for tests
+    and debugging; the digest is what the caches use). *)
+
+val graph_key : Datagraph.Data_graph.t -> string
+(** 32-char hex digest of {!graph_bytes}. *)
+
+val instance_bytes :
+  lang:string ->
+  k:int ->
+  Datagraph.Data_graph.t ->
+  Datagraph.Tuple_relation.t ->
+  string
+(** Canonical serialization of the whole problem: graph bytes, the
+    relation's arity and sorted tuples, the language name, and the
+    register bound [k] (only [krem] reads it, but keying on it
+    unconditionally is cheap and can never serve a wrong verdict). *)
+
+val instance_key :
+  lang:string ->
+  k:int ->
+  Datagraph.Data_graph.t ->
+  Datagraph.Tuple_relation.t ->
+  string
+(** 32-char hex digest of {!instance_bytes}. *)
+
+val keys :
+  lang:string ->
+  k:int ->
+  Datagraph.Data_graph.t ->
+  Datagraph.Tuple_relation.t ->
+  string * string
+(** [(graph_key, instance_key)], serializing the graph only once — the
+    cache's lookup path. *)

@@ -1,0 +1,71 @@
+type 'a entry = { mutable stamp : int; value : 'a }
+
+type 'a t = {
+  capacity : int;
+  table : (string, 'a entry) Hashtbl.t;
+  mutable tick : int;
+  mutable evicted : int;
+  m : Mutex.t;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Service.Lru.create: capacity must be >= 1";
+  {
+    capacity;
+    table = Hashtbl.create (min capacity 64);
+    tick = 0;
+    evicted = 0;
+    m = Mutex.create ();
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let capacity t = t.capacity
+let length t = locked t (fun () -> Hashtbl.length t.table)
+let evictions t = locked t (fun () -> t.evicted)
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.stamp <- t.tick
+
+let find t k =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table k with
+      | None -> None
+      | Some e ->
+          touch t e;
+          Some e.value)
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, stamp) when stamp <= e.stamp -> acc
+        | _ -> Some (k, e.stamp))
+      t.table None
+  in
+  match victim with
+  | Some (k, _) ->
+      Hashtbl.remove t.table k;
+      t.evicted <- t.evicted + 1
+  | None -> ()
+
+let put t k v =
+  locked t (fun () ->
+      (* Replace rather than mutate: [value] is immutable so a reader
+         that grabbed the old entry keeps a consistent snapshot. *)
+      if Hashtbl.mem t.table k then Hashtbl.remove t.table k
+      else if Hashtbl.length t.table >= t.capacity then evict_lru t;
+      let e = { stamp = 0; value = v } in
+      touch t e;
+      Hashtbl.add t.table k e)
+
+let remove t k = locked t (fun () -> Hashtbl.remove t.table k)
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.table;
+      t.tick <- 0)

@@ -1,0 +1,34 @@
+(** A bounded, mutex-guarded LRU store with string keys.
+
+    Backs the service's verdict and graph caches.  Recency is tracked
+    with a monotone stamp per entry; eviction scans for the minimum
+    stamp, which is O(capacity) but only runs on insertion past the
+    bound — invisible next to the decision procedures the cache fronts,
+    and far simpler than an intrusive list.  All operations take the
+    store's own mutex, so one store can be shared by every connection
+    handler thread. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** [find t k] returns the cached value and marks it most recently
+    used. *)
+
+val put : 'a t -> string -> 'a -> unit
+(** Insert or refresh; evicts the least recently used entry when the
+    store is full. *)
+
+val remove : 'a t -> string -> unit
+(** Drop an entry (no-op when absent) — used when a cached verdict fails
+    revalidation. *)
+
+val evictions : 'a t -> int
+(** How many entries capacity pressure has pushed out so far. *)
+
+val clear : 'a t -> unit

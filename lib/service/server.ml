@@ -1,0 +1,440 @@
+module Graph_io = Datagraph.Graph_io
+
+module Admission = struct
+  (* A counting semaphore with a bounded wait queue and a draining
+     state, multiplexed on one condition variable: waiters wake on
+     [release] (a slot may have opened) and on [drain] (give up and
+     report [`Draining]); the drainer waits for both counts to reach
+     zero.  Broadcast everywhere — the wakeup sets are small (bounded by
+     [queue_depth] + drainers) and correctness beats precision here. *)
+  type gate = {
+    max_inflight : int;
+    queue_depth : int;
+    m : Mutex.t;
+    c : Condition.t;
+    mutable running_ : int;
+    mutable waiting_ : int;
+    mutable draining : bool;
+  }
+
+  let make ~max_inflight ~queue_depth =
+    if max_inflight < 1 then
+      invalid_arg "Service.Server.Admission.make: max_inflight must be >= 1";
+    if queue_depth < 0 then
+      invalid_arg "Service.Server.Admission.make: queue_depth must be >= 0";
+    {
+      max_inflight;
+      queue_depth;
+      m = Mutex.create ();
+      c = Condition.create ();
+      running_ = 0;
+      waiting_ = 0;
+      draining = false;
+    }
+
+  let locked g f =
+    Mutex.lock g.m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock g.m) f
+
+  let admit g =
+    locked g (fun () ->
+        if g.draining then `Draining
+        else if g.running_ < g.max_inflight then begin
+          g.running_ <- g.running_ + 1;
+          `Admitted
+        end
+        else if g.waiting_ >= g.queue_depth then `Overloaded
+        else begin
+          g.waiting_ <- g.waiting_ + 1;
+          let rec wait () =
+            Condition.wait g.c g.m;
+            if g.draining then begin
+              g.waiting_ <- g.waiting_ - 1;
+              Condition.broadcast g.c;
+              `Draining
+            end
+            else if g.running_ < g.max_inflight then begin
+              g.waiting_ <- g.waiting_ - 1;
+              g.running_ <- g.running_ + 1;
+              `Admitted
+            end
+            else wait ()
+          in
+          wait ()
+        end)
+
+  let release g =
+    locked g (fun () ->
+        g.running_ <- g.running_ - 1;
+        Condition.broadcast g.c)
+
+  let drain g =
+    locked g (fun () ->
+        g.draining <- true;
+        Condition.broadcast g.c;
+        while g.running_ > 0 || g.waiting_ > 0 do
+          Condition.wait g.c g.m
+        done)
+
+  let running g = locked g (fun () -> g.running_)
+  let waiting g = locked g (fun () -> g.waiting_)
+end
+
+type config = {
+  max_inflight : int;
+  queue_depth : int;
+  default_fuel : int option;
+  default_deadline_s : float option;
+  cache : Cache.config;
+}
+
+let default_config =
+  {
+    max_inflight = 4;
+    queue_depth = 16;
+    default_fuel = None;
+    default_deadline_s = None;
+    cache = Cache.default_config;
+  }
+
+type t = {
+  config : config;
+  cache_ : Cache.t;
+  addr : Wire.address;
+  listen_fd : Unix.file_descr;
+  gate : Admission.gate;
+  started_s : float;
+  n_requests : int Atomic.t;
+  n_decides : int Atomic.t;
+  n_batches : int Atomic.t;
+  n_pings : int Atomic.t;
+  n_stats : int Atomic.t;
+  n_sleeps : int Atomic.t;
+  n_overloaded : int Atomic.t;
+  n_errors : int Atomic.t;
+  stop : bool Atomic.t;
+}
+
+let c_requests = Obs.Counter.make "service.requests"
+let c_overloaded = Obs.Counter.make "service.overloaded"
+
+let bump a c =
+  ignore (Atomic.fetch_and_add a 1);
+  Obs.Counter.incr c
+
+let incr a = ignore (Atomic.fetch_and_add a 1)
+
+let sockaddr_of = function
+  | Wire.Unix_sock path -> Unix.ADDR_UNIX path
+  | Wire.Tcp (host, port) ->
+      let inet =
+        match Unix.inet_addr_of_string host with
+        | addr -> addr
+        | exception Failure _ -> (
+            match Unix.gethostbyname host with
+            | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+                failwith ("cannot resolve host " ^ host)
+            | h -> h.Unix.h_addr_list.(0))
+      in
+      Unix.ADDR_INET (inet, port)
+
+let create ?(config = default_config) addr =
+  (* A client that disconnects mid-response must not kill the server
+     with SIGPIPE; writes to its socket fail with EPIPE instead, which
+     the handler treats as end-of-connection. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listen_fd =
+    match addr with
+    | Wire.Unix_sock path ->
+        if Sys.file_exists path then (try Unix.unlink path with _ -> ());
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        fd
+    | Wire.Tcp _ ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (sockaddr_of addr);
+        fd
+  in
+  Unix.listen listen_fd 64;
+  {
+    config;
+    cache_ = Cache.create ~config:config.cache ();
+    addr;
+    listen_fd;
+    gate =
+      Admission.make ~max_inflight:config.max_inflight
+        ~queue_depth:config.queue_depth;
+    started_s = Unix.gettimeofday ();
+    n_requests = Atomic.make 0;
+    n_decides = Atomic.make 0;
+    n_batches = Atomic.make 0;
+    n_pings = Atomic.make 0;
+    n_stats = Atomic.make 0;
+    n_sleeps = Atomic.make 0;
+    n_overloaded = Atomic.make 0;
+    n_errors = Atomic.make 0;
+    stop = Atomic.make false;
+  }
+
+let cache t = t.cache_
+let config t = t.config
+let address t = t.addr
+
+let stats t =
+  let snap =
+    [
+      ("uptime_s", int_of_float (Unix.gettimeofday () -. t.started_s));
+      ("requests", Atomic.get t.n_requests);
+      ("decides", Atomic.get t.n_decides);
+      ("batches", Atomic.get t.n_batches);
+      ("pings", Atomic.get t.n_pings);
+      ("stats_ops", Atomic.get t.n_stats);
+      ("sleeps", Atomic.get t.n_sleeps);
+      ("overloaded", Atomic.get t.n_overloaded);
+      ("errors", Atomic.get t.n_errors);
+      ("inflight", Admission.running t.gate);
+      ("queued", Admission.waiting t.gate);
+    ]
+    @ List.map (fun (k, v) -> ("cache_" ^ k, v)) (Cache.stats t.cache_)
+  in
+  List.sort compare snap
+
+(* ------------------------------------------------------------------ *)
+(* Responses.  Field values are pre-rendered JSON (Wire combinators). *)
+
+let respond oc fields =
+  output_string oc (Wire.json_obj fields);
+  output_char oc '\n';
+  flush oc
+
+let ok op rest = ("op", Wire.json_string op) :: ("status", Wire.json_string "ok") :: rest
+
+let error_fields op msg =
+  [
+    ("op", Wire.json_string op);
+    ("status", Wire.json_string "error");
+    ("error", Wire.json_string msg);
+  ]
+
+let overloaded_fields t op why =
+  bump t.n_overloaded c_overloaded;
+  [
+    ("op", Wire.json_string op);
+    ("status", Wire.json_string "overloaded");
+    ( "detail",
+      Wire.json_string
+        (match why with `Overloaded -> "queue_full" | `Draining -> "draining")
+    );
+  ]
+
+(* Request fuel/deadline override the server defaults. *)
+let effective_budget t ~fuel ~timeout_s =
+  ( (match fuel with Some _ -> fuel | None -> t.config.default_fuel),
+    match timeout_s with Some _ -> timeout_s | None -> t.config.default_deadline_s
+  )
+
+let admit_timed t =
+  let t0 = Unix.gettimeofday () in
+  let r = Obs.Span.with_ "service.queue_wait" (fun () -> Admission.admit t.gate) in
+  (r, Unix.gettimeofday () -. t0)
+
+let service_fields ~queue_wait_s ~wall_s =
+  ( "service",
+    Wire.json_obj
+      [
+        ("queue_wait_s", Printf.sprintf "%.6f" queue_wait_s);
+        ("wall_s", Printf.sprintf "%.6f" wall_s);
+      ] )
+
+(* One instance through the cache; shared by [decide] and [batch].
+   Returns pre-rendered response fields for the per-instance object. *)
+let decide_one t ~lang ~k ~fuel ~timeout_s text =
+  match Graph_io.instance_of_string text with
+  | Error msg -> Error ("instance: " ^ msg)
+  | Ok (g, s) -> (
+      let fuel, deadline_s = effective_budget t ~fuel ~timeout_s in
+      match Cache.decide t.cache_ ?fuel ?deadline_s ?k ~lang g s with
+      | Error msg -> Error msg
+      | Ok (outcome, origin) ->
+          Ok
+            [
+              ( "cache",
+                Wire.json_string
+                  (match origin with `Hit -> "hit" | `Miss -> "miss") );
+              ("result", Wire.verdict_to_string g ~lang outcome);
+            ])
+
+let handle_decide t oc ~lang ~k ~fuel ~timeout_s text =
+  incr t.n_decides;
+  let t0 = Unix.gettimeofday () in
+  match admit_timed t with
+  | (`Overloaded | `Draining) as why, _ ->
+      respond oc (overloaded_fields t "decide" why)
+  | `Admitted, queue_wait_s ->
+      Fun.protect
+        ~finally:(fun () -> Admission.release t.gate)
+        (fun () ->
+          match decide_one t ~lang ~k ~fuel ~timeout_s text with
+          | Error msg ->
+              incr t.n_errors;
+              respond oc (error_fields "decide" msg)
+          | Ok fields ->
+              let wall_s = Unix.gettimeofday () -. t0 in
+              respond oc
+                (ok "decide" (fields @ [ service_fields ~queue_wait_s ~wall_s ])))
+
+let handle_batch t oc ~lang ~k ~fuel ~timeout_s texts =
+  incr t.n_batches;
+  let t0 = Unix.gettimeofday () in
+  match admit_timed t with
+  | (`Overloaded | `Draining) as why, _ ->
+      respond oc (overloaded_fields t "batch" why)
+  | `Admitted, queue_wait_s ->
+      Fun.protect
+        ~finally:(fun () -> Admission.release t.gate)
+        (fun () ->
+          (* Sequential on purpose: per-instance cache hits and the
+             pool-parallel kernels inside each decide do the heavy
+             lifting; a failed instance yields a per-item error object
+             instead of failing the batch. *)
+          let items =
+            List.map
+              (fun text ->
+                match decide_one t ~lang ~k ~fuel ~timeout_s text with
+                | Ok fields -> Wire.json_obj fields
+                | Error msg ->
+                    incr t.n_errors;
+                    Wire.json_obj [ ("error", Wire.json_string msg) ])
+              texts
+          in
+          let wall_s = Unix.gettimeofday () -. t0 in
+          respond oc
+            (ok "batch"
+               [
+                 ("results", Wire.json_list items);
+                 service_fields ~queue_wait_s ~wall_s;
+               ]))
+
+let handle_sleep t oc ~ms =
+  incr t.n_sleeps;
+  match admit_timed t with
+  | (`Overloaded | `Draining) as why, _ ->
+      respond oc (overloaded_fields t "sleep" why)
+  | `Admitted, queue_wait_s ->
+      Fun.protect
+        ~finally:(fun () -> Admission.release t.gate)
+        (fun () ->
+          Thread.delay (float_of_int ms /. 1000.);
+          respond oc
+            (ok "sleep"
+               [
+                 ("slept_ms", string_of_int ms);
+                 service_fields ~queue_wait_s ~wall_s:(float_of_int ms /. 1000.);
+               ]))
+
+(* Wake the acceptor with a throwaway self-connection: closing a
+   listening socket does not reliably interrupt an [accept] blocked in
+   another thread, so the stop flag is set first and the acceptor
+   observes it on the next (self-induced) wakeup. *)
+let initiate_stop t =
+  if not (Atomic.exchange t.stop true) then
+    try
+      let fd =
+        Unix.socket
+          (match t.addr with
+          | Wire.Unix_sock _ -> Unix.PF_UNIX
+          | Wire.Tcp _ -> Unix.PF_INET)
+          Unix.SOCK_STREAM 0
+      in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with _ -> ())
+        (fun () ->
+          let addr =
+            match t.addr with
+            | Wire.Tcp (_, port) ->
+                (* Connect to loopback even when bound to a wildcard. *)
+                Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+            | a -> sockaddr_of a
+          in
+          Unix.connect fd addr)
+    with _ -> ()
+
+let shutdown t =
+  Admission.drain t.gate;
+  initiate_stop t
+
+let handle_request t oc line =
+  bump t.n_requests c_requests;
+  match Wire.request_of_string line with
+  | Error msg ->
+      incr t.n_errors;
+      respond oc (error_fields "unknown" msg)
+  | Ok Wire.Ping ->
+      incr t.n_pings;
+      respond oc (ok "ping" [])
+  | Ok Wire.Stats ->
+      incr t.n_stats;
+      respond oc
+        (ok "stats"
+           [
+             ( "stats",
+               Wire.json_obj
+                 (List.map (fun (k, v) -> (k, string_of_int v)) (stats t)) );
+           ])
+  | Ok Wire.Shutdown ->
+      (* Drain first — every admitted and queued work op completes and is
+         answered — then answer the requester, then stop the acceptor. *)
+      Admission.drain t.gate;
+      respond oc (ok "shutdown" [ ("drained", "true") ]);
+      initiate_stop t
+  | Ok (Wire.Sleep { ms }) -> handle_sleep t oc ~ms
+  | Ok (Wire.Decide { lang; k; fuel; timeout_s; instance }) ->
+      handle_decide t oc ~lang ~k ~fuel ~timeout_s instance
+  | Ok (Wire.Batch { lang; k; fuel; timeout_s; instances }) ->
+      handle_batch t oc ~lang ~k ~fuel ~timeout_s instances
+
+let handle_conn t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _) -> ()
+    | line when String.trim line = "" -> loop ()
+    | line ->
+        (match
+           Obs.Span.with_ "service.request" (fun () -> handle_request t oc line)
+         with
+        | () -> ()
+        | exception (Sys_error _ | Unix.Unix_error _) ->
+            (* Client went away mid-response; drop the connection. *)
+            raise Exit
+        | exception e ->
+            incr t.n_errors;
+            respond oc
+              (error_fields "unknown" ("internal: " ^ Printexc.to_string e)));
+        loop ()
+  in
+  (try loop () with Exit | Sys_error _ | Unix.Unix_error _ -> ());
+  (* [close_out] flushes and closes the shared fd; everything after is
+     best-effort. *)
+  try close_out oc with _ -> ()
+
+let run t =
+  let rec loop () =
+    if not (Atomic.get t.stop) then
+      match Unix.accept t.listen_fd with
+      | fd, _ ->
+          if Atomic.get t.stop then (try Unix.close fd with _ -> ())
+          else ignore (Thread.create (handle_conn t) fd);
+          loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> loop ()
+      | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+          if Atomic.get t.stop then () else loop ()
+  in
+  loop ();
+  (try Unix.close t.listen_fd with _ -> ());
+  match t.addr with
+  | Wire.Unix_sock path -> ( try Unix.unlink path with _ -> ())
+  | Wire.Tcp _ -> ()

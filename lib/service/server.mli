@@ -1,0 +1,87 @@
+(** The definability server: a long-running process serving the
+    {!Wire} protocol over a Unix-domain or TCP socket, backed by the
+    cross-request {!Cache}.
+
+    {b Threading model.}  One acceptor (the thread that calls {!run})
+    plus one handler thread per connection.  Cheap control ops ([ping],
+    [stats], [shutdown]) are answered directly by the handler thread and
+    never queue behind work, so the server answers [ping] while a
+    long-budget [decide] is in flight.  Work ops ([decide], [batch],
+    [sleep]) pass {e admission control} first; admitted work runs on the
+    handler thread — the decision procedures themselves fan out over the
+    shared [Par.Pool] domains exactly as in the CLI.
+
+    {b Admission control.}  At most [max_inflight] work ops execute at
+    once; up to [queue_depth] more wait (FIFO-ish, condition-variable
+    order) for a slot.  Work beyond that bound is refused immediately
+    with an [overloaded] response instead of queuing unboundedly or
+    hanging — the client can back off and retry.  {!Admission} exposes
+    the gate on its own for deterministic unit tests.
+
+    {b Shutdown.}  A [shutdown] request (or {!shutdown}) stops admitting
+    new work, {e drains} — waits for every running and queued work op to
+    finish — answers the requester, and only then stops the accept loop.
+    In-flight requests are never dropped.
+
+    {b Budgets.}  Every decide gets a fresh [Engine.Budget] from the
+    request's [fuel]/[timeout_s], falling back to [default_fuel] /
+    [default_deadline_s]; a deadline bounds how long a request can hold
+    a worker slot, which is the knob that keeps the drain finite. *)
+
+(** The admission gate, alone: a counting semaphore with a bounded wait
+    queue and a draining state. *)
+module Admission : sig
+  type gate
+
+  val make : max_inflight:int -> queue_depth:int -> gate
+  (** @raise Invalid_argument if [max_inflight < 1] or
+      [queue_depth < 0]. *)
+
+  val admit : gate -> [ `Admitted | `Overloaded | `Draining ]
+  (** Take a slot.  Blocks while a slot may still open (queue not full);
+      returns [`Overloaded] without blocking when [queue_depth] waiters
+      are already ahead, and [`Draining] once {!drain} has begun. *)
+
+  val release : gate -> unit
+  (** Give the slot back (must follow a successful {!admit}). *)
+
+  val drain : gate -> unit
+  (** Refuse new admissions and block until every admitted and queued op
+      has released.  Idempotent; concurrent drains all wait. *)
+
+  val running : gate -> int
+  val waiting : gate -> int
+end
+
+type config = {
+  max_inflight : int;  (** concurrent work ops (default 4) *)
+  queue_depth : int;  (** waiting work ops beyond that (default 16) *)
+  default_fuel : int option;  (** budget fuel when the request has none *)
+  default_deadline_s : float option;
+      (** budget deadline when the request has none *)
+  cache : Cache.config;
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> Wire.address -> t
+(** Bind and listen (a stale Unix-socket file is unlinked first).
+    @raise Unix.Unix_error when binding fails. *)
+
+val cache : t -> Cache.t
+val config : t -> config
+val address : t -> Wire.address
+
+val run : t -> unit
+(** Serve until shutdown; returns after the drain completes.  Call from
+    the thread that owns the server (tests run it in a [Thread]). *)
+
+val shutdown : t -> unit
+(** Programmatic shutdown: same drain path as the [shutdown] op.  Safe
+    from any thread; returns once drained and the acceptor is stopping. *)
+
+val stats : t -> (string * int) list
+(** Server-level counters (requests by op, overload refusals, uptime
+    seconds) plus {!Cache.stats}, sorted by name. *)

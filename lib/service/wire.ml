@@ -1,0 +1,181 @@
+module Data_graph = Datagraph.Data_graph
+module Outcome = Engine.Outcome
+
+(* Minimal JSON emission — the output grammar is flat enough that a
+   string escaper and a few combinators beat a dependency.  (Moved from
+   the CLI, which now emits through this module; the byte format is
+   load-bearing, see the interface.) *)
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  Json.escape_into b s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let json_obj fields =
+  "{"
+  ^ String.concat "," (List.map (fun (k, v) -> json_string k ^ ":" ^ v) fields)
+  ^ "}"
+
+let json_list xs = "[" ^ String.concat "," xs ^ "]"
+
+(* The verdict block: everything that must be byte-identical at any
+   domain-pool size and across cache hits (stats blocks may legitimately
+   vary — timings, node counts under parallel cancellation).  [check
+   --json], [batch] and the service [decide] op all render through this
+   one function. *)
+let verdict_fields g ~lang (o : Outcome.t) =
+  let certificate =
+    match Outcome.certificate o with
+    | None -> "null"
+    | Some c ->
+        json_obj
+          [
+            ("lang", json_string (Outcome.certificate_lang c));
+            ("query", json_string (Outcome.certificate_to_string c));
+          ]
+  in
+  let name u = json_string (Data_graph.name g u) in
+  let counterexample =
+    match o.verdict with
+    | Outcome.Not_definable (Outcome.Missing_pairs pairs) ->
+        json_obj
+          [
+            ( "missing_pairs",
+              json_list
+                (List.map (fun (u, v) -> json_list [ name u; name v ]) pairs) );
+          ]
+    | Outcome.Not_definable (Outcome.Violating_hom { hom; tuple }) ->
+        json_obj
+          [
+            ("hom", json_list (Array.to_list (Array.map name hom)));
+            ("tuple", json_list (List.map name tuple));
+          ]
+    | Outcome.Definable _ | Outcome.Unknown _ -> "null"
+  in
+  let reason =
+    match o.verdict with
+    | Outcome.Unknown r -> json_string (Outcome.reason_to_string r)
+    | Outcome.Definable _ | Outcome.Not_definable _ -> "null"
+  in
+  [
+    ("lang", json_string lang);
+    ("verdict", json_string (Outcome.verdict_name o.verdict));
+    ("reason", reason);
+    ("certificate", certificate);
+    ("counterexample", counterexample);
+  ]
+
+let verdict_to_string g ~lang o = json_obj (verdict_fields g ~lang o)
+
+(* ------------------------------------------------------------------ *)
+
+type address = Unix_sock of string | Tcp of string * int
+
+let address_to_string = function
+  | Unix_sock path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+(* ------------------------------------------------------------------ *)
+
+type request =
+  | Ping
+  | Stats
+  | Shutdown
+  | Sleep of { ms : int }
+  | Decide of {
+      lang : string;
+      k : int option;
+      fuel : int option;
+      timeout_s : float option;
+      instance : string;
+    }
+  | Batch of {
+      lang : string;
+      k : int option;
+      fuel : int option;
+      timeout_s : float option;
+      instances : string list;
+    }
+
+let opt f = function None -> [] | Some v -> [ f v ]
+
+let budget_fields ~k ~fuel ~timeout_s =
+  opt (fun k -> ("k", string_of_int k)) k
+  @ opt (fun f -> ("fuel", string_of_int f)) fuel
+  @ opt (fun s -> ("timeout_s", Printf.sprintf "%.6f" s)) timeout_s
+
+let request_to_string = function
+  | Ping -> json_obj [ ("op", json_string "ping") ]
+  | Stats -> json_obj [ ("op", json_string "stats") ]
+  | Shutdown -> json_obj [ ("op", json_string "shutdown") ]
+  | Sleep { ms } ->
+      json_obj [ ("op", json_string "sleep"); ("ms", string_of_int ms) ]
+  | Decide { lang; k; fuel; timeout_s; instance } ->
+      json_obj
+        (( ("op", json_string "decide")
+         :: ("lang", json_string lang)
+         :: budget_fields ~k ~fuel ~timeout_s )
+        @ [ ("instance", json_string instance) ])
+  | Batch { lang; k; fuel; timeout_s; instances } ->
+      json_obj
+        (( ("op", json_string "batch")
+         :: ("lang", json_string lang)
+         :: budget_fields ~k ~fuel ~timeout_s )
+        @ [ ("instances", json_list (List.map json_string instances)) ])
+
+let ( let* ) r f = Result.bind r f
+
+let required what conv j field =
+  match Option.bind (Json.member field j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or ill-typed %S (%s)" field what)
+
+let optional what conv j field =
+  match Json.member field j with
+  | None | Some Json.Null -> Ok None
+  | Some v -> (
+      match conv v with
+      | Some v -> Ok (Some v)
+      | None -> Error (Printf.sprintf "ill-typed %S (%s)" field what))
+
+let budget_of j =
+  let* k = optional "integer" Json.to_int j "k" in
+  let* fuel = optional "integer" Json.to_int j "fuel" in
+  let* timeout_s = optional "number" Json.to_float j "timeout_s" in
+  Ok (k, fuel, timeout_s)
+
+let request_of_json j =
+  let* op = required "string" Json.to_str j "op" in
+  match op with
+  | "ping" -> Ok Ping
+  | "stats" -> Ok Stats
+  | "shutdown" -> Ok Shutdown
+  | "sleep" ->
+      let* ms = required "integer" Json.to_int j "ms" in
+      if ms < 0 then Error "\"ms\" must be non-negative"
+      else Ok (Sleep { ms })
+  | "decide" ->
+      let* lang = required "string" Json.to_str j "lang" in
+      let* k, fuel, timeout_s = budget_of j in
+      let* instance = required "string" Json.to_str j "instance" in
+      Ok (Decide { lang; k; fuel; timeout_s; instance })
+  | "batch" ->
+      let* lang = required "string" Json.to_str j "lang" in
+      let* k, fuel, timeout_s = budget_of j in
+      let* items = required "array" Json.to_list j "instances" in
+      let* instances =
+        List.fold_right
+          (fun item acc ->
+            let* acc = acc in
+            match Json.to_str item with
+            | Some s -> Ok (s :: acc)
+            | None -> Error "\"instances\" must be an array of strings")
+          items (Ok [])
+      in
+      Ok (Batch { lang; k; fuel; timeout_s; instances })
+  | other -> Error (Printf.sprintf "unknown op %S" other)
+
+let request_of_string line =
+  let* j = Json.parse line in
+  request_of_json j

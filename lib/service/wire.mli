@@ -1,0 +1,95 @@
+(** The service wire format, shared by the server, the client and the
+    CLI.
+
+    {b Emission} is string-based (a tiny escaper and two combinators),
+    moved here verbatim from the CLI so the verdict block a [decide]
+    response carries is byte-identical to what [defcheck check --json]
+    and [defcheck batch] print for the same outcome — and byte-identical
+    between a cold decide and a warm cache hit, which the service bench
+    and CI assert.
+
+    {b The protocol} is newline-delimited JSON over a stream socket: one
+    request object per line in, one response object per line out, in
+    order.  Operations:
+
+    {v
+    {"op":"ping"}
+    {"op":"stats"}
+    {"op":"shutdown"}
+    {"op":"sleep","ms":250}
+    {"op":"decide","lang":"rem","instance":"node v1 0\n...","k":2,
+     "fuel":100000,"timeout_s":1.5}
+    {"op":"batch","lang":"rem","instances":["...","..."],...}
+    v}
+
+    [instance] carries the instance file text ({!Datagraph.Graph_io}
+    format).  [k], [fuel] and [timeout_s] are optional; absent fuel and
+    timeout fall back to the server's defaults.  [sleep] occupies a
+    worker slot for [ms] milliseconds and answers [ok] — a diagnostic
+    op for load-testing admission control and drain behaviour without
+    depending on any instance being slow.
+
+    Responses always carry ["op"] (echoed) and ["status"]: ["ok"],
+    ["error"] (with ["error"] text), or ["overloaded"] (admission
+    refused; ["detail"] is ["queue_full"] or ["draining"]).  A [decide]
+    response carries ["cache"] (["hit"]/["miss"]) and ["result"] — the
+    CLI verdict block.  A [batch] response carries ["results"], one
+    such object (or a per-instance error object) per instance. *)
+
+(** {2 JSON emission} *)
+
+val json_string : string -> string
+val json_obj : (string * string) list -> string
+val json_list : string list -> string
+
+val verdict_fields :
+  Datagraph.Data_graph.t ->
+  lang:string ->
+  Engine.Outcome.t ->
+  (string * string) list
+(** The five-field verdict block ([lang], [verdict], [reason],
+    [certificate], [counterexample]) with every value already rendered
+    as JSON — everything that must be byte-identical across pool sizes
+    and across cache hits.  Node names are taken from the given graph,
+    so a cached outcome renders with the requester's names. *)
+
+val verdict_to_string :
+  Datagraph.Data_graph.t -> lang:string -> Engine.Outcome.t -> string
+(** [json_obj (verdict_fields ...)]. *)
+
+(** {2 Addresses} *)
+
+type address =
+  | Unix_sock of string  (** path of a Unix-domain socket *)
+  | Tcp of string * int  (** host, port *)
+
+val address_to_string : address -> string
+(** ["unix:PATH"] or ["tcp:HOST:PORT"], for logs and banners. *)
+
+(** {2 Requests} *)
+
+type request =
+  | Ping
+  | Stats
+  | Shutdown
+  | Sleep of { ms : int }
+  | Decide of {
+      lang : string;
+      k : int option;
+      fuel : int option;
+      timeout_s : float option;
+      instance : string;
+    }
+  | Batch of {
+      lang : string;
+      k : int option;
+      fuel : int option;
+      timeout_s : float option;
+      instances : string list;
+    }
+
+val request_to_string : request -> string
+(** One-line JSON encoding (no trailing newline). *)
+
+val request_of_json : Json.t -> (request, string) result
+val request_of_string : string -> (request, string) result

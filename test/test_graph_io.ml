@@ -1,0 +1,122 @@
+(* Graph_io: the textual instance format round-trips ([parse ∘ print]
+   is the identity) on random graphs, and malformed documents are
+   rejected with an [Error], never an exception. *)
+
+module DG = Datagraph.Data_graph
+module TR = Datagraph.Tuple_relation
+module Gen = Datagraph.Graph_gen
+module Io = Datagraph.Graph_io
+
+let graph_repr g =
+  let nodes =
+    List.map
+      (fun u ->
+        Printf.sprintf "%s=%d" (DG.name g u)
+          (Datagraph.Data_value.to_int (DG.value g u)))
+      (DG.nodes g)
+  in
+  let edges =
+    List.sort compare
+      (List.map
+         (fun (u, a, v) -> Printf.sprintf "%s-%s->%s" (DG.name g u) a (DG.name g v))
+         (DG.edges g))
+  in
+  String.concat ";" nodes ^ "|" ^ String.concat ";" edges
+
+let relation_repr s =
+  String.concat ";"
+    (List.map
+       (fun tup -> String.concat "," (List.map string_of_int tup))
+       (TR.to_list s))
+
+let random_instance seed =
+  let g =
+    Gen.random ~seed ~n:(3 + (seed mod 7)) ~delta:(1 + (seed mod 4))
+      ~labels:[ "a"; "b" ] ~density:0.3 ()
+  in
+  let s = TR.of_binary (Gen.random_reachable_relation ~seed g ~count:4) in
+  (g, s)
+
+let roundtrip_prop =
+  QCheck.Test.make ~name:"parse ∘ print = id (random instances)" ~count:100
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g, s = random_instance seed in
+      let text = Io.instance_to_string g s in
+      match Io.instance_of_string text with
+      | Error msg -> QCheck.Test.fail_reportf "reparse failed: %s" msg
+      | Ok (g', s') ->
+          (* Same nodes (names, values, order), edges and tuples — and a
+             reprint of the reparse is byte-identical, so printing is a
+             canonical form. *)
+          graph_repr g = graph_repr g'
+          && relation_repr s = relation_repr s'
+          && Io.instance_to_string g' s' = text)
+
+let test_fig1_roundtrip () =
+  let g = Gen.fig1 () in
+  let s = TR.of_binary (Gen.fig1_s2 g) in
+  let text = Io.instance_to_string g s in
+  match Io.instance_of_string text with
+  | Error msg -> Alcotest.failf "reparse failed: %s" msg
+  | Ok (g', s') ->
+      Alcotest.(check string) "graph" (graph_repr g) (graph_repr g');
+      Alcotest.(check string) "relation" (relation_repr s) (relation_repr s');
+      Alcotest.(check string) "reprint" text (Io.instance_to_string g' s')
+
+let test_comments_and_blanks () =
+  let text =
+    "# header comment\n\nnode v1 0   # inline comment\nnode v2 1\n\n\
+     edge v1 a v2\npair v1 v2\n"
+  in
+  match Io.instance_of_string text with
+  | Error msg -> Alcotest.failf "should parse: %s" msg
+  | Ok (g, s) ->
+      Alcotest.(check int) "nodes" 2 (DG.size g);
+      Alcotest.(check int) "edges" 1 (DG.edge_count g);
+      Alcotest.(check int) "tuples" 1 (TR.cardinal s)
+
+let rejected name text =
+  ( name,
+    `Quick,
+    fun () ->
+      match Io.instance_of_string text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed input: %s" name )
+
+let malformed_cases =
+  [
+    rejected "node missing value" "node v1\n";
+    rejected "node non-integer value" "node v1 zero\n";
+    rejected "duplicate node name" "node v1 0\nnode v1 1\n";
+    rejected "edge missing target" "node v1 0\nedge v1 a\n";
+    rejected "edge dangling endpoint" "node v1 0\nedge v1 a v9\n";
+    rejected "duplicate edge" "node v1 0\nedge v1 a v1\nedge v1 a v1\n";
+    rejected "pair arity" "node v1 0\npair v1\n";
+    rejected "pair unknown node" "node v1 0\npair v1 v9\n";
+    rejected "mixed tuple arities" "node v1 0\npair v1 v1\ntuple v1 v1 v1\n";
+    rejected "unknown keyword" "node v1 0\nfrobnicate v1\n";
+  ]
+
+let test_graph_of_string_rejects_pairs () =
+  match Io.graph_of_string "node v1 0\npair v1 v1\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "graph_of_string accepted a pair line"
+
+let () =
+  Alcotest.run "graph_io"
+    [
+      ( "roundtrip",
+        [
+          QCheck_alcotest.to_alcotest roundtrip_prop;
+          ("fig1 with S2", `Quick, test_fig1_roundtrip);
+          ("comments and blank lines", `Quick, test_comments_and_blanks);
+        ] );
+      ( "malformed",
+        malformed_cases
+        @ [
+            ( "graph_of_string rejects pairs",
+              `Quick,
+              test_graph_of_string_rejects_pairs );
+          ] );
+    ]

@@ -330,6 +330,47 @@ let test_trace_shape () =
         counters
   | _ -> Alcotest.fail "trace is not a JSON array"
 
+(* The streaming sink must leave a complete, loadable JSON array even
+   when the traced computation raises — the in-memory collector's
+   failure mode this replaces for the CLI's --trace. *)
+let test_trace_stream_survives_exception () =
+  let path = Filename.temp_file "obs_stream" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out path in
+  let stream = Obs.Sink.Trace.stream oc in
+  (try
+     observed
+       [ Obs.Sink.Trace.stream_sink stream ]
+       (fun () ->
+         Obs.Span.with_ "outer" (fun () ->
+             Obs.Span.with_ "inner" (fun () -> ());
+             failwith "boom"))
+   with Failure _ -> ());
+  Obs.Sink.Trace.close_stream ~counters:[ ("some.counter", 7) ] stream;
+  (* Idempotent: a second close (e.g. at_exit after an explicit close)
+     must not corrupt the file. *)
+  Obs.Sink.Trace.close_stream stream;
+  close_out oc;
+  let txt = In_channel.with_open_text path In_channel.input_all in
+  match parse_json txt with
+  | Arr events ->
+      let names =
+        List.filter_map
+          (fun ev ->
+            match ev with
+            | Obj fields -> (
+                match List.assoc_opt "name" fields with
+                | Some (Str s) -> Some s
+                | _ -> None)
+            | _ -> None)
+          events
+      in
+      List.iter
+        (fun n ->
+          Alcotest.(check bool) (n ^ " present") true (List.mem n names))
+        [ "inner"; "outer"; "some.counter" ]
+  | _ -> Alcotest.fail "streamed trace is not a JSON array"
+
 (* ---------- bounded CSP cache ---------- *)
 
 (* Alternating searches over two distinct graphs must both stay resident
@@ -370,7 +411,11 @@ let () =
             test_observation_free;
         ] );
       ( "trace",
-        [ Alcotest.test_case "chrome trace shape" `Quick test_trace_shape ] );
+        [
+          Alcotest.test_case "chrome trace shape" `Quick test_trace_shape;
+          Alcotest.test_case "stream survives exceptions" `Quick
+            test_trace_stream_survives_exception;
+        ] );
       ( "csp-cache",
         [
           Alcotest.test_case "alternating graphs" `Quick

@@ -1,0 +1,569 @@
+(* The service layer: JSON parsing, the LRU store, content-addressed
+   instance keys (invariant under node renaming and value automorphisms,
+   collision-free over random instances), the cross-request verdict
+   cache (hit/miss, revalidation, Unknown never cached), the admission
+   gate, and the server end-to-end over a Unix socket. *)
+
+module DG = Datagraph.Data_graph
+module TR = Datagraph.Tuple_relation
+module Gen = Datagraph.Graph_gen
+module Io = Datagraph.Graph_io
+module Auto = Datagraph.Automorphism
+module Outcome = Engine.Outcome
+module Json = Service.Json
+module Lru = Service.Lru
+module Content_hash = Service.Content_hash
+module Cache = Service.Cache
+module Wire = Service.Wire
+module Server = Service.Server
+module Client = Service.Client
+
+let () = Definability.Deciders.init ()
+
+let fig1 = Gen.fig1 ()
+let s2 = TR.of_binary (Gen.fig1_s2 fig1)
+let s3 = TR.of_binary (Gen.fig1_s3 fig1)
+
+let verdict_repr (o : Outcome.t) =
+  match o.verdict with
+  | Outcome.Definable c ->
+      Printf.sprintf "definable[%s]" (Outcome.certificate_to_string c)
+  | Outcome.Not_definable _ -> "not_definable"
+  | Outcome.Unknown r -> Printf.sprintf "unknown[%s]" (Outcome.reason_to_string r)
+
+(* ---------- Json ---------- *)
+
+let test_json_parse () =
+  match Json.parse "  {\"a\":[1,2,3],\"b\":\"x\\ny\",\"c\":true,\"d\":null,\"e\":-1.5e2} " with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok j ->
+      let ints =
+        Option.bind (Json.member "a" j) Json.to_list
+        |> Option.map (List.filter_map Json.to_int)
+      in
+      Alcotest.(check (option (list int))) "a" (Some [ 1; 2; 3 ]) ints;
+      Alcotest.(check (option string)) "b" (Some "x\ny")
+        (Option.bind (Json.member "b" j) Json.to_str);
+      Alcotest.(check (option bool)) "c" (Some true)
+        (Option.bind (Json.member "c" j) Json.to_bool);
+      Alcotest.(check bool) "d" true (Json.member "d" j = Some Json.Null);
+      Alcotest.(check (option (float 1e-9))) "e" (Some (-150.))
+        (Option.bind (Json.member "e" j) Json.to_float)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.String "a\"b\\c\n\t\x01");
+        ("l", Json.List [ Json.Number 0.; Json.Bool false; Json.Null ]);
+        ("o", Json.Obj [ ("k", Json.Number 42.) ]);
+      ]
+  in
+  Alcotest.(check bool) "parse ∘ to_string = id" true
+    (Json.parse (Json.to_string v) = Ok v)
+
+let test_json_unicode () =
+  Alcotest.(check bool) "BMP escape" true
+    (Json.parse "\"\\u00e9\"" = Ok (Json.String "\xc3\xa9"));
+  Alcotest.(check bool) "surrogate pair" true
+    (Json.parse "\"\\ud83d\\ude00\"" = Ok (Json.String "\xf0\x9f\x98\x80"))
+
+let test_json_errors () =
+  List.iter
+    (fun doc ->
+      match Json.parse doc with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed JSON: %s" doc)
+    [ ""; "{"; "[1 2]"; "\"abc"; "nul"; "{}x"; "{\"a\"}"; "[1,]" ]
+
+let test_json_to_int () =
+  Alcotest.(check (option int)) "integral" (Some 2) (Json.to_int (Json.Number 2.));
+  Alcotest.(check (option int)) "fractional" None (Json.to_int (Json.Number 2.5))
+
+(* ---------- Lru ---------- *)
+
+let test_lru () =
+  let t = Lru.create ~capacity:2 in
+  Lru.put t "a" 1;
+  Lru.put t "b" 2;
+  Alcotest.(check (option int)) "find refreshes" (Some 1) (Lru.find t "a");
+  Lru.put t "c" 3;
+  (* [b] was least recently used (a was refreshed by the find). *)
+  Alcotest.(check (option int)) "b evicted" None (Lru.find t "b");
+  Alcotest.(check (option int)) "a kept" (Some 1) (Lru.find t "a");
+  Alcotest.(check (option int)) "c kept" (Some 3) (Lru.find t "c");
+  Alcotest.(check int) "evictions" 1 (Lru.evictions t);
+  Lru.remove t "a";
+  Alcotest.(check (option int)) "removed" None (Lru.find t "a");
+  Alcotest.(check int) "length" 1 (Lru.length t);
+  Lru.clear t;
+  Alcotest.(check int) "cleared" 0 (Lru.length t)
+
+(* ---------- Content_hash ---------- *)
+
+let rename_nodes g =
+  DG.make
+    ~nodes:
+      (List.map (fun u -> ("renamed" ^ string_of_int u, DG.value g u)) (DG.nodes g))
+    ~edges:
+      (List.map
+         (fun (u, a, v) ->
+           ("renamed" ^ string_of_int u, a, "renamed" ^ string_of_int v))
+         (DG.edges g))
+
+let key = Content_hash.instance_key ~lang:"rem" ~k:1
+
+let test_hash_name_invariance () =
+  Alcotest.(check string) "node names are not observable" (key fig1 s2)
+    (key (rename_nodes fig1) s2)
+
+let test_hash_automorphism_invariance () =
+  let base = key fig1 s2 in
+  List.iter
+    (fun pi ->
+      Alcotest.(check string) "value automorphism preserves the key" base
+        (key (Auto.apply_graph pi fig1) s2))
+    (Auto.permutations (DG.domain fig1))
+
+let test_hash_edge_order_invariance () =
+  let reordered =
+    DG.make
+      ~nodes:(List.map (fun u -> (DG.name fig1 u, DG.value fig1 u)) (DG.nodes fig1))
+      ~edges:
+        (List.rev
+           (List.map
+              (fun (u, a, v) -> (DG.name fig1 u, a, DG.name fig1 v))
+              (DG.edges fig1)))
+  in
+  Alcotest.(check string) "edge order is not observable" (key fig1 s2)
+    (key reordered s2)
+
+let test_hash_sensitivity () =
+  let k1 = key fig1 s2 in
+  Alcotest.(check bool) "relation matters" true (k1 <> key fig1 s3);
+  Alcotest.(check bool) "lang matters" true
+    (k1 <> Content_hash.instance_key ~lang:"ree" ~k:1 fig1 s2);
+  Alcotest.(check bool) "k matters" true
+    (k1 <> Content_hash.instance_key ~lang:"rem" ~k:2 fig1 s2);
+  (* Collapsing the value partition (all nodes one value) must change
+     the key: the partition is the observable content of the values. *)
+  Alcotest.(check bool) "value partition matters" true
+    (k1 <> key (DG.constant_values fig1) s2)
+
+let test_hash_no_collisions () =
+  (* 10k randomized instances; equal keys must mean equal canonical
+     bytes (i.e. genuinely the same problem, which duplicate seeds can
+     legitimately produce). *)
+  let tbl = Hashtbl.create 4096 in
+  let samples = ref 0 in
+  for seed = 0 to 4_999 do
+    let g = Gen.random ~seed ~n:6 ~delta:3 ~labels:[ "a"; "b" ] ~density:0.25 () in
+    List.iter
+      (fun count ->
+        let s = TR.of_binary (Gen.random_reachable_relation ~seed g ~count) in
+        let bytes = Content_hash.instance_bytes ~lang:"rem" ~k:1 g s in
+        let k = key g s in
+        incr samples;
+        match Hashtbl.find_opt tbl k with
+        | Some bytes' when bytes' <> bytes ->
+            Alcotest.failf "key collision at seed %d" seed
+        | Some _ -> ()
+        | None -> Hashtbl.add tbl k bytes)
+      [ 1; 3 ]
+  done;
+  Alcotest.(check int) "sample count" 10_000 !samples
+
+(* ---------- Cache ---------- *)
+
+let cache_decide ?fuel ?k cache ~lang g s =
+  match Cache.decide cache ?fuel ?k ~lang g s with
+  | Ok r -> r
+  | Error msg -> Alcotest.fail msg
+
+let test_cache_miss_then_hit () =
+  let cache = Cache.create () in
+  let o1, origin1 = cache_decide cache ~lang:"rem" fig1 s2 in
+  let o2, origin2 = cache_decide cache ~lang:"rem" fig1 s2 in
+  Alcotest.(check bool) "first is a miss" true (origin1 = `Miss);
+  Alcotest.(check bool) "second is a hit" true (origin2 = `Hit);
+  Alcotest.(check string) "same verdict" (verdict_repr o1) (verdict_repr o2);
+  Alcotest.(check string) "byte-identical verdict block"
+    (Wire.verdict_to_string fig1 ~lang:"rem" o1)
+    (Wire.verdict_to_string fig1 ~lang:"rem" o2);
+  let stats = Cache.stats cache in
+  Alcotest.(check (option int)) "one hit" (Some 1)
+    (List.assoc_opt "verdict_hits" stats);
+  Alcotest.(check (option int)) "one miss" (Some 1)
+    (List.assoc_opt "verdict_misses" stats)
+
+let test_cache_hit_across_renaming () =
+  let cache = Cache.create () in
+  let _ = cache_decide cache ~lang:"rem" fig1 s2 in
+  (* The same problem under renamed nodes and permuted data values hits
+     the same cache line. *)
+  let renamed = rename_nodes fig1 in
+  let _, origin = cache_decide cache ~lang:"rem" renamed s2 in
+  Alcotest.(check bool) "renamed hit" true (origin = `Hit);
+  let pi = List.hd (List.rev (Auto.permutations (DG.domain fig1))) in
+  let _, origin = cache_decide cache ~lang:"rem" (Auto.apply_graph pi fig1) s2 in
+  Alcotest.(check bool) "automorphic hit" true (origin = `Hit)
+
+let test_cache_unknown_not_cached () =
+  let cache = Cache.create () in
+  let o1, origin1 = cache_decide cache ~fuel:1 ~lang:"rem" fig1 s2 in
+  Alcotest.(check bool) "exhausted" true
+    (match o1.verdict with Outcome.Unknown _ -> true | _ -> false);
+  Alcotest.(check bool) "miss" true (origin1 = `Miss);
+  let _, origin2 = cache_decide cache ~fuel:1 ~lang:"rem" fig1 s2 in
+  Alcotest.(check bool) "still a miss: Unknown is never cached" true
+    (origin2 = `Miss);
+  (* With a real budget the instance now gets decided and cached. *)
+  let o3, _ = cache_decide cache ~lang:"rem" fig1 s2 in
+  let _, origin4 = cache_decide cache ~lang:"rem" fig1 s2 in
+  Alcotest.(check bool) "definable" true
+    (match o3.verdict with Outcome.Definable _ -> true | _ -> false);
+  Alcotest.(check bool) "then a hit" true (origin4 = `Hit)
+
+let test_cache_revalidation_drops_bogus_entries () =
+  let cache = Cache.create () in
+  let o_s2, _ = cache_decide cache ~lang:"rem" fig1 s2 in
+  (* Seed the S3 cache line with S2's outcome: its certificate defines
+     S2, so revalidation against S3 must fail and force a recompute. *)
+  (match Cache.insert cache ~lang:"rem" fig1 s3 o_s2 with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  let o, origin = cache_decide cache ~lang:"rem" fig1 s3 in
+  Alcotest.(check bool) "bogus entry not served" true (origin = `Miss);
+  Alcotest.(check bool) "recomputed verdict differs from the seed" true
+    (verdict_repr o <> verdict_repr o_s2);
+  Alcotest.(check (option int)) "failure counted" (Some 1)
+    (List.assoc_opt "revalidation_failures" (Cache.stats cache))
+
+let test_cache_revalidation_off_serves_seed () =
+  let config = { Cache.default_config with Cache.revalidate = false } in
+  let cache = Cache.create ~config () in
+  let o_s2, _ = cache_decide cache ~lang:"rem" fig1 s2 in
+  (match Cache.insert cache ~lang:"rem" fig1 s3 o_s2 with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  let o, origin = cache_decide cache ~lang:"rem" fig1 s3 in
+  Alcotest.(check bool) "served without revalidation" true (origin = `Hit);
+  Alcotest.(check string) "the seeded outcome" (verdict_repr o_s2)
+    (verdict_repr o)
+
+let test_cache_eviction () =
+  let config = { Cache.default_config with Cache.verdict_capacity = 1 } in
+  let cache = Cache.create ~config () in
+  let _ = cache_decide cache ~lang:"rem" fig1 s2 in
+  let _ = cache_decide cache ~lang:"rem" fig1 s3 in
+  let _, origin = cache_decide cache ~lang:"rem" fig1 s2 in
+  Alcotest.(check bool) "evicted entry misses again" true (origin = `Miss);
+  Alcotest.(check bool) "evictions counted" true
+    (match List.assoc_opt "verdict_evictions" (Cache.stats cache) with
+    | Some n -> n >= 1
+    | None -> false)
+
+(* ---------- Admission ---------- *)
+
+let wait_until ?(timeout_s = 5.) f =
+  let t0 = Unix.gettimeofday () in
+  let rec loop () =
+    if f () then true
+    else if Unix.gettimeofday () -. t0 > timeout_s then false
+    else begin
+      Thread.yield ();
+      Thread.delay 0.005;
+      loop ()
+    end
+  in
+  loop ()
+
+let test_admission_overload () =
+  let g = Server.Admission.make ~max_inflight:1 ~queue_depth:0 in
+  Alcotest.(check bool) "first admitted" true (Server.Admission.admit g = `Admitted);
+  Alcotest.(check bool) "no queue: overloaded" true
+    (Server.Admission.admit g = `Overloaded);
+  Server.Admission.release g;
+  Alcotest.(check bool) "slot free again" true (Server.Admission.admit g = `Admitted);
+  Server.Admission.release g
+
+let test_admission_queueing () =
+  let g = Server.Admission.make ~max_inflight:1 ~queue_depth:1 in
+  Alcotest.(check bool) "admitted" true (Server.Admission.admit g = `Admitted);
+  let second = ref `Overloaded in
+  let th = Thread.create (fun () -> second := Server.Admission.admit g) () in
+  Alcotest.(check bool) "second waits" true
+    (wait_until (fun () -> Server.Admission.waiting g = 1));
+  Alcotest.(check bool) "third refused" true
+    (Server.Admission.admit g = `Overloaded);
+  Server.Admission.release g;
+  Thread.join th;
+  Alcotest.(check bool) "waiter admitted after release" true (!second = `Admitted);
+  Server.Admission.release g
+
+let test_admission_drain () =
+  let g = Server.Admission.make ~max_inflight:1 ~queue_depth:4 in
+  Alcotest.(check bool) "admitted" true (Server.Admission.admit g = `Admitted);
+  let drained = ref false in
+  let th =
+    Thread.create
+      (fun () ->
+        Server.Admission.drain g;
+        drained := true)
+      ()
+  in
+  Thread.delay 0.05;
+  Alcotest.(check bool) "drain waits for the running op" true (not !drained);
+  Alcotest.(check bool) "no admissions while draining" true
+    (Server.Admission.admit g = `Draining);
+  Server.Admission.release g;
+  Thread.join th;
+  Alcotest.(check bool) "drained" true !drained;
+  (* Idempotent, and still refusing. *)
+  Server.Admission.drain g;
+  Alcotest.(check bool) "still draining" true (Server.Admission.admit g = `Draining)
+
+(* ---------- end-to-end over a Unix socket ---------- *)
+
+let with_server ?(config = Server.default_config) f =
+  let path = Filename.temp_file "defsvc" ".sock" in
+  let addr = Wire.Unix_sock path in
+  let srv = Server.create ~config addr in
+  let th = Thread.create Server.run srv in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown srv;
+      Thread.join th)
+    (fun () -> f addr srv)
+
+let member_str field j = Option.bind (Json.member field j) Json.to_str
+
+let request_ok conn req =
+  match Client.request conn req with
+  | Error msg -> Alcotest.failf "request failed: %s" msg
+  | Ok j -> j
+
+let s2_text = Io.instance_to_string fig1 s2
+let s3_text = Io.instance_to_string fig1 s3
+
+let decide_req ?(lang = "rem") instance =
+  Wire.Decide { lang; k = None; fuel = None; timeout_s = None; instance }
+
+let test_e2e_ping_decide_cache () =
+  with_server (fun addr _srv ->
+      Client.with_connection addr (fun conn ->
+          let pong = request_ok conn Wire.Ping in
+          Alcotest.(check (option string)) "pong" (Some "ok")
+            (member_str "status" pong);
+          let cold = request_ok conn (decide_req s2_text) in
+          let warm = request_ok conn (decide_req s2_text) in
+          Alcotest.(check (option string)) "cold misses" (Some "miss")
+            (member_str "cache" cold);
+          Alcotest.(check (option string)) "warm hits" (Some "hit")
+            (member_str "cache" warm);
+          let result j =
+            match Json.member "result" j with
+            | Some r -> Json.to_string r
+            | None -> Alcotest.fail "no result field"
+          in
+          Alcotest.(check string) "identical verdict blocks" (result cold)
+            (result warm);
+          Alcotest.(check (option string)) "a definable verdict"
+            (Some "definable")
+            (Option.bind (Json.member "result" warm) (member_str "verdict"));
+          let stats = request_ok conn Wire.Stats in
+          Alcotest.(check (option int)) "stats sees the hit" (Some 1)
+            (Option.bind (Json.member "stats" stats) (fun s ->
+                 Option.bind (Json.member "cache_verdict_hits" s) Json.to_int))))
+
+let test_e2e_batch_and_errors () =
+  with_server (fun addr _srv ->
+      Client.with_connection addr (fun conn ->
+          let resp =
+            request_ok conn
+              (Wire.Batch
+                 {
+                   lang = "rem";
+                   k = None;
+                   fuel = None;
+                   timeout_s = None;
+                   instances = [ s2_text; "node v1\n"; s3_text ];
+                 })
+          in
+          Alcotest.(check (option string)) "ok" (Some "ok")
+            (member_str "status" resp);
+          match Option.bind (Json.member "results" resp) Json.to_list with
+          | Some [ r1; r2; r3 ] ->
+              Alcotest.(check (option string)) "first decided" (Some "definable")
+                (Option.bind (Json.member "result" r1) (member_str "verdict"));
+              Alcotest.(check bool) "second is a per-item error" true
+                (Json.member "error" r2 <> None);
+              Alcotest.(check bool) "third still decided" true
+                (Json.member "result" r3 <> None)
+          | _ -> Alcotest.fail "expected three results");
+      (* A syntactically broken request line answers an error response,
+         and the connection survives for the next request. *)
+      Client.with_connection addr (fun conn ->
+          (match Client.request_raw conn "{\"op\":}" with
+          | Ok line ->
+              Alcotest.(check bool) "error status" true
+                (match Json.parse line with
+                | Ok j -> member_str "status" j = Some "error"
+                | Error _ -> false)
+          | Error msg -> Alcotest.failf "transport failed: %s" msg);
+          let pong = request_ok conn Wire.Ping in
+          Alcotest.(check (option string)) "connection survives" (Some "ok")
+            (member_str "status" pong)))
+
+let test_e2e_ping_while_busy () =
+  with_server (fun addr _srv ->
+      let sleeper_status = ref None in
+      let sleeper =
+        Thread.create
+          (fun () ->
+            Client.with_connection addr (fun conn ->
+                let j = request_ok conn (Wire.Sleep { ms = 600 }) in
+                sleeper_status := member_str "status" j))
+          ()
+      in
+      Thread.delay 0.1;
+      let t0 = Unix.gettimeofday () in
+      Client.with_connection addr (fun conn ->
+          let pong = request_ok conn Wire.Ping in
+          Alcotest.(check (option string)) "pong while busy" (Some "ok")
+            (member_str "status" pong));
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Alcotest.(check bool) "ping did not queue behind the sleeper" true
+        (elapsed < 0.4);
+      Thread.join sleeper;
+      Alcotest.(check (option string)) "sleeper completed" (Some "ok")
+        !sleeper_status)
+
+let test_e2e_overload () =
+  let config = { Server.default_config with Server.max_inflight = 1; queue_depth = 0 } in
+  with_server ~config (fun addr _srv ->
+      let sleeper =
+        Thread.create
+          (fun () ->
+            Client.with_connection addr (fun conn ->
+                ignore (request_ok conn (Wire.Sleep { ms = 600 }))))
+          ()
+      in
+      Thread.delay 0.15;
+      Client.with_connection addr (fun conn ->
+          let j = request_ok conn (Wire.Sleep { ms = 10 }) in
+          Alcotest.(check (option string)) "refused" (Some "overloaded")
+            (member_str "status" j);
+          Alcotest.(check (option string)) "with a reason" (Some "queue_full")
+            (member_str "detail" j));
+      Thread.join sleeper)
+
+let test_e2e_shutdown_drains () =
+  let path = Filename.temp_file "defsvc" ".sock" in
+  let addr = Wire.Unix_sock path in
+  let config = { Server.default_config with Server.max_inflight = 1; queue_depth = 0 } in
+  let srv = Server.create ~config addr in
+  let server_thread = Thread.create Server.run srv in
+  let sleeper_status = ref None in
+  let sleeper =
+    Thread.create
+      (fun () ->
+        Client.with_connection addr (fun conn ->
+            let j = request_ok conn (Wire.Sleep { ms = 400 }) in
+            sleeper_status := member_str "status" j))
+      ()
+  in
+  Thread.delay 0.1;
+  let t0 = Unix.gettimeofday () in
+  Client.with_connection addr (fun conn ->
+      let j = request_ok conn Wire.Shutdown in
+      Alcotest.(check (option string)) "shutdown ok" (Some "ok")
+        (member_str "status" j));
+  Alcotest.(check bool) "shutdown waited for the drain" true
+    (Unix.gettimeofday () -. t0 > 0.2);
+  Thread.join sleeper;
+  Alcotest.(check (option string)) "in-flight op was answered, not dropped"
+    (Some "ok") !sleeper_status;
+  Thread.join server_thread;
+  Alcotest.(check bool) "socket file removed" true (not (Sys.file_exists path));
+  match Client.connect addr with
+  | exception Unix.Unix_error _ -> ()
+  | conn ->
+      Client.close conn;
+      Alcotest.fail "server still accepting after shutdown"
+
+let test_wire_roundtrip () =
+  List.iter
+    (fun req ->
+      Alcotest.(check bool) "request round-trips" true
+        (Wire.request_of_string (Wire.request_to_string req) = Ok req))
+    [
+      Wire.Ping;
+      Wire.Stats;
+      Wire.Shutdown;
+      Wire.Sleep { ms = 250 };
+      Wire.Decide
+        {
+          lang = "krem";
+          k = Some 2;
+          fuel = Some 100_000;
+          timeout_s = None;
+          instance = s2_text;
+        };
+      Wire.Batch
+        {
+          lang = "rem";
+          k = None;
+          fuel = None;
+          timeout_s = Some 1.5;
+          instances = [ s2_text; s3_text ];
+        };
+    ]
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "json",
+        [
+          ("parse", `Quick, test_json_parse);
+          ("roundtrip", `Quick, test_json_roundtrip);
+          ("unicode", `Quick, test_json_unicode);
+          ("errors", `Quick, test_json_errors);
+          ("to_int", `Quick, test_json_to_int);
+        ] );
+      ("lru", [ ("semantics", `Quick, test_lru) ]);
+      ( "content_hash",
+        [
+          ("node-name invariance", `Quick, test_hash_name_invariance);
+          ("value-automorphism invariance", `Quick, test_hash_automorphism_invariance);
+          ("edge-order invariance", `Quick, test_hash_edge_order_invariance);
+          ("sensitivity", `Quick, test_hash_sensitivity);
+          ("no collisions in 10k samples", `Slow, test_hash_no_collisions);
+        ] );
+      ( "cache",
+        [
+          ("miss then hit", `Quick, test_cache_miss_then_hit);
+          ("hit across renaming", `Quick, test_cache_hit_across_renaming);
+          ("Unknown never cached", `Quick, test_cache_unknown_not_cached);
+          ("revalidation drops bogus entries", `Quick,
+           test_cache_revalidation_drops_bogus_entries);
+          ("revalidation off serves the seed", `Quick,
+           test_cache_revalidation_off_serves_seed);
+          ("eviction", `Quick, test_cache_eviction);
+        ] );
+      ( "admission",
+        [
+          ("overload", `Quick, test_admission_overload);
+          ("queueing", `Quick, test_admission_queueing);
+          ("drain", `Quick, test_admission_drain);
+        ] );
+      ( "server",
+        [
+          ("ping, decide, cache hit", `Quick, test_e2e_ping_decide_cache);
+          ("batch and malformed requests", `Quick, test_e2e_batch_and_errors);
+          ("ping while busy", `Quick, test_e2e_ping_while_busy);
+          ("overload refusal", `Quick, test_e2e_overload);
+          ("shutdown drains", `Quick, test_e2e_shutdown_drains);
+          ("wire roundtrip", `Quick, test_wire_roundtrip);
+        ] );
+    ]
