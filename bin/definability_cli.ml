@@ -6,6 +6,8 @@
      check  <instance> -l LANG [...]   decide definability, synthesize
      batch  <instances...> -l LANG     decide many instances, one JSON
                                        line each (Registry.decide_batch)
+     watch  <instance> --edits FILE    replay a JSON edit stream through
+                                       the certificate-repair fast path
      fig1                              print the paper's running example
 
    [check] exit codes: 0 definable, 1 not definable, 2 usage/load errors,
@@ -481,6 +483,119 @@ let fig1_cmd =
     Term.(const run $ const ())
 
 (* ------------------------------------------------------------------ *)
+(* Incremental mode: [watch] replays a JSON edit stream against an
+   instance, deciding each step through the certificate-repair fast
+   path (Engine.Delta) and reporting per-step repair hits/misses. *)
+
+let read_lines = function
+  | "-" ->
+      let rec go acc =
+        match input_line stdin with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go []
+  | path ->
+      String.split_on_char '\n' (read_file path)
+
+let watch_cmd =
+  let run path edits_path lang k fuel timeout domains =
+    set_domains domains;
+    let g, s = load_instance path in
+    let inst =
+      match Instance.create g s with
+      | Ok inst -> inst
+      | Error msg ->
+          Printf.eprintf "error: %s: %s\n" path msg;
+          exit 2
+    in
+    (* Budgets are single-use; each step (and the cold start) gets a
+       fresh one from the same flags. *)
+    let budget () = Budget.create ?fuel ?deadline_s:timeout () in
+    let prev =
+      match
+        Registry.decide ~budget:(budget ()) ~params:{ Registry.k } ~lang inst
+      with
+      | Ok o -> o
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 2
+    in
+    let emit step ?edit ?repair (inst : Instance.t) (o : Outcome.t) =
+      print_endline
+        (json_obj
+           ([ ("step", string_of_int step) ]
+           @ (match edit with None -> [] | Some e -> [ ("edit", e) ])
+           @ (match repair with
+             | None -> []
+             | Some r -> [ ("repair", json_string r) ])
+           @ [
+               ( "result",
+                 Service.Wire.verdict_to_string (Instance.graph inst) ~lang o );
+             ]))
+    in
+    emit 0 inst prev;
+    let hits = ref 0 and misses = ref 0 in
+    let rec go step prev inst = function
+      | [] -> ()
+      | line :: rest when String.trim line = "" -> go step prev inst rest
+      | line :: rest -> (
+          let fail msg =
+            Printf.eprintf "error: edit %d: %s\n" step msg;
+            exit 2
+          in
+          match Service.Wire.edit_of_string line with
+          | Error msg -> fail msg
+          | Ok edit -> (
+              match Service.Wire.resolve_edit (Instance.graph inst) edit with
+              | Error msg -> fail msg
+              | Ok gedit -> (
+                  match
+                    Engine.Delta.decide_delta ~budget:(budget ())
+                      ~params:{ Registry.k } ~lang ~prev inst gedit
+                  with
+                  | Error msg -> fail msg
+                  | Ok { Engine.Delta.inst = inst'; outcome; repaired } ->
+                      incr (if repaired then hits else misses);
+                      emit step
+                        ~edit:(Service.Wire.edit_to_json_string edit)
+                        ~repair:(if repaired then "hit" else "miss")
+                        inst' outcome;
+                      go (step + 1) outcome inst' rest)))
+    in
+    go 1 prev inst (read_lines edits_path);
+    print_endline
+      (json_obj
+         [
+           ("edits", string_of_int (!hits + !misses));
+           ("repair_hits", string_of_int !hits);
+           ("repair_misses", string_of_int !misses);
+         ])
+  in
+  let edits_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "edits" ] ~docv:"FILE"
+          ~doc:
+            "Edit stream: one JSON edit object per line (as in the wire \
+             protocol's $(b,delta) op), e.g. \
+             {\"edit\":\"add_edge\",\"u\":\"v0\",\"label\":\"a\",\"v\":\"v3\"}. \
+             Use $(b,-) for stdin.")
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Replay a JSON edit stream against an instance: decide the \
+          initial instance cold, then decide each edited instance through \
+          the certificate-repair fast path, printing one JSON line per \
+          step ($(b,repair) = hit/miss) and a trailing summary with the \
+          repair hit counts.")
+    Term.(
+      const run $ instance_arg $ edits_arg $ lang_arg $ k_arg $ fuel_arg
+      $ timeout_arg $ domains_arg)
+
+(* ------------------------------------------------------------------ *)
 (* Definability as a service: [serve] runs the long-lived server with
    the cross-request cache; [client] speaks the Wire protocol to it. *)
 
@@ -590,7 +705,7 @@ let serve_cmd =
       $ max_inflight_arg $ queue_depth_arg $ cache_size_arg)
 
 let client_cmd =
-  let run addr op paths lang k fuel timeout ms =
+  let run addr op paths lang k fuel timeout ms digest edit =
     let addr = address_of addr in
     let conn =
       match Service.Client.connect addr with
@@ -673,9 +788,24 @@ let client_cmd =
                 exchange
                   (Service.Wire.Batch
                      { lang; k = Some k; fuel; timeout_s = timeout; instances }))
+        | "delta" -> (
+            match (digest, edit) with
+            | Some digest, Some edit_text -> (
+                match Service.Wire.edit_of_string edit_text with
+                | Error msg ->
+                    Printf.eprintf "error: --edit: %s\n" msg;
+                    exit 2
+                | Ok edit ->
+                    exchange
+                      (Service.Wire.Delta
+                         { lang; k = Some k; fuel; timeout_s = timeout; digest; edit }))
+            | _ ->
+                Printf.eprintf "error: delta needs --digest and --edit\n";
+                exit 2)
         | other ->
             Printf.eprintf
-              "error: unknown op %S (ping|stats|shutdown|sleep|decide|batch)\n"
+              "error: unknown op %S \
+               (ping|stats|shutdown|sleep|decide|batch|delta)\n"
               other;
             exit 2);
         exit !worst)
@@ -687,7 +817,7 @@ let client_cmd =
       & info [] ~docv:"OP"
           ~doc:
             "One of $(b,ping), $(b,stats), $(b,shutdown), $(b,sleep), \
-             $(b,decide), $(b,batch).")
+             $(b,decide), $(b,batch), $(b,delta).")
   in
   let files_arg =
     Arg.(
@@ -701,6 +831,24 @@ let client_cmd =
       & info [ "ms" ] ~docv:"MS"
           ~doc:"Duration for the $(b,sleep) diagnostic op.")
   in
+  let digest_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "digest" ] ~docv:"HEX"
+          ~doc:
+            "For $(b,delta): the instance digest a previous $(b,decide) or \
+             $(b,delta) response carried.")
+  in
+  let edit_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "edit" ] ~docv:"JSON"
+          ~doc:
+            "For $(b,delta): one JSON edit object, e.g. \
+             {\"edit\":\"add_edge\",\"u\":\"v0\",\"label\":\"a\",\"v\":\"v3\"}.")
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:
@@ -709,7 +857,7 @@ let client_cmd =
           overloaded.")
     Term.(
       const run $ address_arg $ op_arg $ files_arg $ lang_arg $ k_arg
-      $ fuel_arg $ timeout_arg $ ms_arg)
+      $ fuel_arg $ timeout_arg $ ms_arg $ digest_arg $ edit_arg)
 
 let main =
   Cmd.group
@@ -720,6 +868,7 @@ let main =
       eval_cmd;
       check_cmd;
       batch_cmd;
+      watch_cmd;
       census_cmd;
       fit_cmd;
       dot_cmd;

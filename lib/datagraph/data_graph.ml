@@ -40,9 +40,13 @@ let uid g = g.uid
 (* Cache-build telemetry: how often the bitset kernel recomputes the
    per-label adjacency matrices and the reachability closure.  Builds
    happen at most once per graph; a high build count under load means
-   graphs are being reconstructed instead of reused. *)
+   graphs are being reconstructed instead of reused.  The patch counters
+   track the incremental edit path: an edited graph that inherits its
+   parent's matrices records a patch, not a build. *)
 let c_adjacency_builds = Obs.Counter.make "datagraph.adjacency_builds"
 let c_reachability_builds = Obs.Counter.make "datagraph.reachability_builds"
+let c_adjacency_patches = Obs.Counter.make "datagraph.adjacency_patches"
+let c_reachability_patches = Obs.Counter.make "datagraph.reachability_patches"
 
 let size g = Array.length g.values
 let nodes g = List.init (size g) Fun.id
@@ -79,21 +83,38 @@ let succ_all g u =
 
 let pred_id g u a = g.pred.(u).(a)
 
+(* Scratch builders, shared by the lazy cache paths, the edit patch
+   paths (removal recompute) and the [audit_edits] assertion. *)
+let compute_adjacency ~n ~num_labels succ =
+  let a = Array.init num_labels (fun _ -> Bitmatrix.create n n) in
+  Array.iteri
+    (fun u row ->
+      Array.iteri
+        (fun lbl succs -> List.iter (fun v -> Bitmatrix.set a.(lbl) u v) succs)
+        row)
+    succ;
+  a
+
+let compute_reachability ~n adj =
+  let m = Bitmatrix.create n n in
+  Array.iter
+    (fun am ->
+      for u = 0 to n - 1 do
+        Bitset.union_inplace (Bitmatrix.row m u) (Bitmatrix.row am u)
+      done)
+    adj;
+  Bitmatrix.set_diagonal m;
+  Bitmatrix.closure_inplace m;
+  m
+
 let adjacency g =
   match Atomic.get g.adj_cache with
   | Some a -> a
   | None -> (
       Obs.Counter.incr c_adjacency_builds;
-      let n = size g in
       let a =
-        Array.init (Array.length g.labels) (fun _ -> Bitmatrix.create n n)
+        compute_adjacency ~n:(size g) ~num_labels:(Array.length g.labels) g.succ
       in
-      Array.iteri
-        (fun u row ->
-          Array.iteri
-            (fun lbl succs -> List.iter (fun v -> Bitmatrix.set a.(lbl) u v) succs)
-            row)
-        g.succ;
       if Atomic.compare_and_set g.adj_cache None (Some a) then a
       else
         match Atomic.get g.adj_cache with
@@ -107,16 +128,7 @@ let reachability_matrix g =
   | Some m -> m
   | None -> (
       Obs.Counter.incr c_reachability_builds;
-      let n = size g in
-      let m = Bitmatrix.create n n in
-      Array.iter
-        (fun am ->
-          for u = 0 to n - 1 do
-            Bitset.union_inplace (Bitmatrix.row m u) (Bitmatrix.row am u)
-          done)
-        (adjacency g);
-      Bitmatrix.set_diagonal m;
-      Bitmatrix.closure_inplace m;
+      let m = compute_reachability ~n:(size g) (adjacency g) in
       if Atomic.compare_and_set g.reach_cache None (Some m) then m
       else
         match Atomic.get g.reach_cache with
@@ -129,6 +141,23 @@ let mem_edge g u a v =
   match label_id_opt g a with
   | None -> false
   | Some lbl -> Bitmatrix.get (adjacency g).(lbl) u v
+
+(* Sorted distinct values plus the per-node index into that array; shared
+   by [build] and [add_node] (node addition can enlarge the domain). *)
+let compute_domain values =
+  let dom =
+    Array.of_list
+      (Data_value.Set.elements
+         (Array.fold_left
+            (fun s d -> Data_value.Set.add d s)
+            Data_value.Set.empty values))
+  in
+  let dom_index = Hashtbl.create 8 in
+  Array.iteri (fun i d -> Hashtbl.add dom_index (Data_value.to_int d) i) dom;
+  let value_idx =
+    Array.map (fun d -> Hashtbl.find dom_index (Data_value.to_int d)) values
+  in
+  (dom, value_idx)
 
 let build ~values ~edges =
   let n = Array.length values in
@@ -170,13 +199,7 @@ let build ~values ~edges =
     interned;
   Array.iter (fun row -> Array.iteri (fun a l -> row.(a) <- List.sort compare l) row) succ;
   Array.iter (fun row -> Array.iteri (fun a l -> row.(a) <- List.sort compare l) row) pred;
-  let dom =
-    Array.of_list
-      (Data_value.Set.elements (Array.fold_left (fun s d -> Data_value.Set.add d s) Data_value.Set.empty values))
-  in
-  let dom_index = Hashtbl.create 8 in
-  Array.iteri (fun i d -> Hashtbl.add dom_index (Data_value.to_int d) i) dom;
-  let value_idx = Array.map (fun d -> Hashtbl.find dom_index (Data_value.to_int d)) values in
+  let dom, value_idx = compute_domain values in
   {
     values = Array.copy values;
     names;
@@ -217,6 +240,231 @@ let make ~nodes ~edges =
   Hashtbl.reset g.name_index;
   Array.iteri (fun i s -> Hashtbl.add g.name_index s i) g.names;
   g
+
+(* ------------------------------------------------------------------ *)
+(* Incremental edits.                                                  *)
+(*                                                                     *)
+(* Graphs stay immutable: each edit returns a new record with a fresh  *)
+(* uid, sharing every unchanged array with its parent.  The point of   *)
+(* the edit constructors (vs. rebuilding via [build]) is cache         *)
+(* inheritance — a parent's packed adjacency/reachability matrices are *)
+(* patched in O(n) instead of recomputed in O(n^3), which is what      *)
+(* makes the engine's certificate-repair fast path cheap.              *)
+(* ------------------------------------------------------------------ *)
+
+(* When set (the test suite turns it on), every edit cross-checks its
+   patched matrices against a scratch rebuild and fails loudly on any
+   divergence — the cache-invalidation audit for the incremental path. *)
+let audit_edits = ref false
+
+let audit_caches g =
+  (match Atomic.get g.adj_cache with
+  | None -> ()
+  | Some a ->
+      let fresh =
+        compute_adjacency ~n:(size g) ~num_labels:(Array.length g.labels) g.succ
+      in
+      if
+        Array.length a <> Array.length fresh
+        || not (Array.for_all2 Bitmatrix.equal a fresh)
+      then failwith "Data_graph edit audit: patched adjacency <> scratch rebuild");
+  (match Atomic.get g.reach_cache with
+  | None -> ()
+  | Some m ->
+      let fresh = compute_reachability ~n:(size g) (adjacency g) in
+      if not (Bitmatrix.equal m fresh) then
+        failwith "Data_graph edit audit: patched reachability <> scratch rebuild");
+  g
+
+let audit g = if !audit_edits then audit_caches g else g
+
+let fresh_uid () = 1 + Atomic.fetch_and_add uid_counter 1
+
+let add_edge g u a v =
+  let n = size g in
+  if u < 0 || u >= n || v < 0 || v >= n then
+    invalid_arg "Data_graph.add_edge: endpoint out of range";
+  let existing = label_id_opt g a in
+  (match existing with
+  | Some lbl when List.mem v g.succ.(u).(lbl) ->
+      invalid_arg "Data_graph.add_edge: duplicate edge"
+  | _ -> ());
+  let nl_old = Array.length g.labels in
+  let labels, label_index, lbl =
+    match existing with
+    | Some lbl -> (g.labels, g.label_index, lbl)
+    | None ->
+        let labels = Array.append g.labels [| a |] in
+        let index = Hashtbl.copy g.label_index in
+        Hashtbl.add index a nl_old;
+        (labels, index, nl_old)
+  in
+  let fresh_label = existing = None in
+  let nl = Array.length labels in
+  (* A fresh label widens every per-node row by one slot, so all inner
+     arrays are reallocated; otherwise only the touched rows are copied
+     (the rest stay shared with the parent). *)
+  let grow row = Array.init nl (fun i -> if i < nl_old then row.(i) else []) in
+  let succ =
+    if fresh_label then Array.map grow g.succ
+    else (
+      let s = Array.copy g.succ in
+      s.(u) <- Array.copy s.(u);
+      s)
+  in
+  let pred =
+    if fresh_label then Array.map grow g.pred
+    else (
+      let p = Array.copy g.pred in
+      p.(v) <- Array.copy p.(v);
+      p)
+  in
+  succ.(u).(lbl) <- List.sort compare (v :: succ.(u).(lbl));
+  pred.(v).(lbl) <- List.sort compare (u :: pred.(v).(lbl));
+  let adj_cache =
+    match Atomic.get g.adj_cache with
+    | None -> Atomic.make None
+    | Some old ->
+        Obs.Counter.incr c_adjacency_patches;
+        (* Copy only the edited label's matrix; the others are shared. *)
+        let a' =
+          Array.init nl (fun i ->
+              if i = lbl then
+                if i < nl_old then Bitmatrix.copy old.(i)
+                else Bitmatrix.create n n
+              else old.(i))
+        in
+        Bitmatrix.set a'.(lbl) u v;
+        Atomic.make (Some a')
+  in
+  let reach_cache =
+    match Atomic.get g.reach_cache with
+    | None -> Atomic.make None
+    | Some m ->
+        if Bitmatrix.get m u v then
+          (* u already reached v, so the closure is unchanged and the
+             matrix can be shared outright. *)
+          Atomic.make (Some m)
+        else (
+          Obs.Counter.incr c_reachability_patches;
+          (* Single-edge incremental closure: any path through the new
+             edge splits as old-path to u, the edge, old-path from v, so
+             R'(x,y) = R(x,y) or (R(x,u) and R(v,y)).  Both reads are
+             from the untouched parent matrix, so no snapshot is
+             needed while the copy's rows are updated. *)
+          let m' = Bitmatrix.copy m in
+          for x = 0 to n - 1 do
+            if Bitmatrix.get m x u then
+              Bitset.union_inplace (Bitmatrix.row m' x) (Bitmatrix.row m v)
+          done;
+          Atomic.make (Some m'))
+  in
+  audit
+    {
+      g with
+      labels;
+      label_index;
+      succ;
+      pred;
+      edge_list = g.edge_list @ [ (u, lbl, v) ];
+      edges_resolved = g.edges_resolved @ [ (u, a, v) ];
+      num_edges = g.num_edges + 1;
+      uid = fresh_uid ();
+      adj_cache;
+      reach_cache;
+    }
+
+let remove_edge g u a v =
+  let n = size g in
+  let lbl =
+    match label_id_opt g a with
+    | Some lbl
+      when u >= 0 && u < n && v >= 0 && v < n && List.mem v g.succ.(u).(lbl) ->
+        lbl
+    | _ -> invalid_arg "Data_graph.remove_edge: no such edge"
+  in
+  let succ = Array.copy g.succ in
+  succ.(u) <- Array.copy succ.(u);
+  succ.(u).(lbl) <- List.filter (fun x -> x <> v) succ.(u).(lbl);
+  let pred = Array.copy g.pred in
+  pred.(v) <- Array.copy pred.(v);
+  pred.(v).(lbl) <- List.filter (fun x -> x <> u) pred.(v).(lbl);
+  let adj_cache =
+    match Atomic.get g.adj_cache with
+    | None -> Atomic.make None
+    | Some old ->
+        Obs.Counter.incr c_adjacency_patches;
+        let a' = Array.mapi (fun i m -> if i = lbl then Bitmatrix.copy m else m) old in
+        Bitmatrix.unset a'.(lbl) u v;
+        Atomic.make (Some a')
+  in
+  let reach_cache =
+    (* A deletion can sever reachability for arbitrarily many pairs, and
+       the closure gives no cheap way to tell which ones survive via
+       other paths — recompute it from the patched adjacency.  That is
+       the same work as a scratch build of the closure, but the O(1)
+       adjacency patch above is preserved. *)
+    match (Atomic.get g.reach_cache, Atomic.get adj_cache) with
+    | None, _ -> Atomic.make None
+    | Some _, Some adj ->
+        Obs.Counter.incr c_reachability_builds;
+        Atomic.make (Some (compute_reachability ~n adj))
+    | Some _, None -> Atomic.make None (* unreachable: reach implies adj *)
+  in
+  let rec drop_id = function
+    | [] -> []
+    | (u', l', v') :: rest when u' = u && l' = lbl && v' = v -> rest
+    | e :: rest -> e :: drop_id rest
+  in
+  let rec drop_resolved = function
+    | [] -> []
+    | (u', a', v') :: rest when u' = u && String.equal a' a && v' = v -> rest
+    | e :: rest -> e :: drop_resolved rest
+  in
+  audit
+    {
+      g with
+      succ;
+      pred;
+      edge_list = drop_id g.edge_list;
+      edges_resolved = drop_resolved g.edges_resolved;
+      num_edges = g.num_edges - 1;
+      uid = fresh_uid ();
+      adj_cache;
+      reach_cache;
+    }
+
+let add_node g nm value =
+  if Hashtbl.mem g.name_index nm then
+    invalid_arg ("Data_graph.add_node: duplicate node name " ^ nm);
+  let n = size g in
+  let nl = Array.length g.labels in
+  let values = Array.append g.values [| value |] in
+  let names = Array.append g.names [| nm |] in
+  let name_index = Hashtbl.copy g.name_index in
+  Hashtbl.add name_index nm n;
+  (* Outer arrays are copied by append; inner rows stay shared (the new
+     node has no edges, so no row is mutated). *)
+  let succ = Array.append g.succ [| Array.make nl [] |] in
+  let pred = Array.append g.pred [| Array.make nl [] |] in
+  let domain, value_idx = compute_domain values in
+  (* The matrices are n-by-n; growing a row's width cannot share words
+     with the parent, so caches restart empty and rebuild lazily — for
+     an isolated new node that rebuild is exactly the scratch build. *)
+  audit
+    {
+      g with
+      values;
+      names;
+      name_index;
+      succ;
+      pred;
+      domain;
+      value_idx;
+      uid = fresh_uid ();
+      adj_cache = Atomic.make None;
+      reach_cache = Atomic.make None;
+    }
 
 type path = { start : node; steps : (label * node) list }
 

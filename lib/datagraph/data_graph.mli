@@ -136,6 +136,41 @@ val reachable : t -> node -> bool array
 (** Nodes reachable from a node by a (possibly empty) path, any labels.
     A row of {!reachability_matrix}, decoded. *)
 
+(** {1 Incremental edits}
+
+    Each edit returns a {e new} graph (fresh {!uid}) sharing all
+    unchanged structure with its parent.  The parent's packed matrices
+    are inherited and patched instead of rebuilt: an edge insertion
+    copies one per-label matrix and updates the reachability closure
+    with one row sweep ([R'(x,y) = R(x,y) or (R(x,u) and R(v,y))]); a
+    deletion patches the adjacency and recomputes the closure from it;
+    a node addition resizes the matrices, so its caches restart empty
+    and rebuild lazily.  Derived caches keyed by {!uid} (Hom CSPs, REM
+    memos) miss on the new graph by construction — no invalidation
+    hooks needed. *)
+
+val add_edge : t -> node -> label -> node -> t
+(** [add_edge g u a v] adds the edge [u -a-> v]; a label not yet in the
+    alphabet is interned at the end.
+    @raise Invalid_argument on out-of-range endpoints or if the edge is
+    already present. *)
+
+val remove_edge : t -> node -> label -> node -> t
+(** [remove_edge g u a v] removes the edge [u -a-> v].  The label stays
+    interned even if no edge uses it anymore (label ids never shift).
+    @raise Invalid_argument if the edge is not present. *)
+
+val add_node : t -> string -> Data_value.t -> t
+(** [add_node g name d] appends an isolated node with the given name and
+    data value; its index is [size g].
+    @raise Invalid_argument on a duplicate node name. *)
+
+val audit_edits : bool ref
+(** When true, every edit cross-checks its patched matrices against a
+    scratch rebuild and raises [Failure] on any divergence.  Off by
+    default (it costs a full rebuild per edit); the test suite enables
+    it. *)
+
 (** {1 Packed adjacency and reachability}
 
     A graph is immutable once constructed, so both caches below are

@@ -1,0 +1,245 @@
+module Data_graph = Datagraph.Data_graph
+module Tuple_relation = Datagraph.Tuple_relation
+module Bitmatrix = Util.Bitmatrix
+
+type graph_edit =
+  | Add_edge of int * string * int
+  | Remove_edge of int * string * int
+  | Add_node of string * Datagraph.Data_value.t
+  | Set_relation of int list list
+
+let edit_to_string = function
+  | Add_edge (u, a, v) -> Printf.sprintf "add-edge %d -%s-> %d" u a v
+  | Remove_edge (u, a, v) -> Printf.sprintf "remove-edge %d -%s-> %d" u a v
+  | Add_node (nm, d) ->
+      Printf.sprintf "add-node %s=%s" nm
+        (Format.asprintf "%a" Datagraph.Data_value.pp d)
+  | Set_relation tuples ->
+      Printf.sprintf "set-relation (%d tuples)" (List.length tuples)
+
+(* Repair telemetry: the hit rate of the fast path is the headline
+   number of the incremental engine, so it is a first-class counter
+   pair rather than something reconstructed from logs. *)
+let c_repair_hit = Obs.Counter.make "delta.repair_hit"
+let c_repair_miss = Obs.Counter.make "delta.repair_miss"
+
+let apply_edit inst edit =
+  Obs.Span.with_ "delta.apply" @@ fun () ->
+  let g = Instance.graph inst in
+  let rel = Instance.relation inst in
+  try
+    match edit with
+    | Add_edge (u, a, v) ->
+        Instance.create (Data_graph.add_edge g u a v) rel
+    | Remove_edge (u, a, v) ->
+        Instance.create (Data_graph.remove_edge g u a v) rel
+    | Add_node (nm, d) ->
+        let g' = Data_graph.add_node g nm d in
+        (* The universe grew; repack the (unchanged) tuples over it. *)
+        let rel' =
+          Tuple_relation.of_list
+            ~universe:(Data_graph.size g')
+            ~arity:(Tuple_relation.arity rel)
+            (Tuple_relation.to_list rel)
+        in
+        Instance.create g' rel'
+    | Set_relation tuples ->
+        (* The graph is shared untouched (same uid), so every derived
+           structure keyed on it — CSPs, REM memos, packed matrices —
+           stays warm across a retupling. *)
+        let arity =
+          match tuples with [] -> Instance.arity inst | t :: _ -> List.length t
+        in
+        let rel' =
+          Tuple_relation.of_list ~universe:(Data_graph.size g) ~arity tuples
+        in
+        Instance.create g rel'
+  with Invalid_argument msg -> Error msg
+
+(* Replica of [Definability.Hom.is_hom] (that library sits above the
+   engine, so calling it here would be a dependency cycle).  The
+   condition is Definition 33: h preserves labeled edges, and for every
+   pair (p, q) with q reachable from p, h preserves whether the two
+   nodes carry the same data value.  [test_delta] cross-checks this
+   replica against the original on random homs. *)
+let is_hom g h =
+  let n = Data_graph.size g in
+  Array.length h = n
+  && Array.for_all (fun x -> x >= 0 && x < n) h
+  && List.for_all
+       (fun (p, a, q) -> Data_graph.mem_edge g h.(p) a h.(q))
+       (Data_graph.edges g)
+  &&
+  let reach = Data_graph.reachability_matrix g in
+  let ok = ref true in
+  for p = 0 to n - 1 do
+    for q = 0 to n - 1 do
+      if Bitmatrix.get reach p q then
+        if Data_graph.same_value g p q <> Data_graph.same_value g h.(p) h.(q)
+        then ok := false
+    done
+  done;
+  !ok
+
+(* Does the stored certificate even speak the language we are deciding?
+   A cached [krem] outcome carries a [Rem] certificate, etc. *)
+let cert_matches_lang ~lang cert =
+  match (lang, Outcome.certificate_lang cert) with
+  | "krem", "rem" -> true
+  | l, cl -> String.equal l cl
+
+(* A repair is only worth attempting while the check stays orders
+   cheaper than the search it replaces.  Path-language certificates
+   re-evaluate as automaton products — polynomial and small.  A UCRDPQ
+   union certificate is joined by backtracking over each member's
+   variables — O(n^v) per member — so a large synthesized union can
+   cost {e more} to re-check than deciding from scratch (and the check
+   is unbudgeted).  Estimate that cost up front and send the edit to
+   the budgeted fallback when it exceeds [max_check_cost]. *)
+let max_check_cost = 1e7
+
+let cert_check_affordable inst = function
+  | Outcome.Rpq _ | Outcome.Rem _ | Outcome.Ree _ -> true
+  | Outcome.Ucrdpq union ->
+      let n =
+        float_of_int (max 1 (Data_graph.size (Instance.graph inst)))
+      in
+      List.fold_left
+        (fun acc q ->
+          acc
+          +. (n ** float_of_int (List.length (Query_lang.Conjunctive.variables q))))
+        0. union
+      <= max_check_cost
+
+(* Attempt to repair the previous verdict on the edited instance.
+
+   - [Definable c]: certificates are independently re-checkable, and
+     [check_certificate] is orders cheaper than a search — re-check [c]
+     on the edited instance and keep it when it still defines the
+     relation.
+   - [Not_definable (Violating_hom ...)]: sound to keep only for
+     UCRDPQ, where Lemma 34 makes "preserved by every homomorphism"
+     exactly the definability criterion — so any surviving violating
+     hom refutes.  New nodes (isolated, added after the hom was found)
+     extend the hom by the identity.  For the path-query languages a
+     violating hom is only a necessary-condition witness, so it cannot
+     be trusted alone; no repair.
+   - [Not_definable (Missing_pairs ...)]: a pair can gain a defining
+     witness under an edit (witness sets are not monotone in either
+     direction — edits add paths and remove them), so the
+     counterexample cannot be re-validated cheaply; no repair.
+   - [Unknown _]: nothing to repair. *)
+let try_repair ~lang ~params:_ prev inst =
+  match prev.Outcome.verdict with
+  | Outcome.Definable cert
+    when cert_matches_lang ~lang cert && cert_check_affordable inst cert -> (
+      match Outcome.check_certificate inst cert with
+      | Ok () -> Some (Outcome.Definable cert)
+      | Error _ -> None)
+  | Outcome.Definable _ -> None
+  | Outcome.Not_definable (Outcome.Violating_hom { hom; tuple })
+    when String.equal lang "ucrdpq" ->
+      let g = Instance.graph inst in
+      let rel = Instance.relation inst in
+      let n = Data_graph.size g in
+      let m = Array.length hom in
+      if m > n then None
+      else
+        let h = Array.init n (fun i -> if i < m then hom.(i) else i) in
+        if
+          is_hom g h
+          && Tuple_relation.mem rel tuple
+          && not (Tuple_relation.mem rel (List.map (fun p -> h.(p)) tuple))
+        then Some (Outcome.Not_definable (Outcome.Violating_hom { hom = h; tuple }))
+        else None
+  | Outcome.Not_definable _ -> None
+  | Outcome.Unknown _ -> None
+
+type delta_result = {
+  inst : Instance.t;  (** the edited instance *)
+  outcome : Outcome.t;
+  repaired : bool;  (** true = fast path; false = full decide fallback *)
+}
+
+let decide_delta ?budget ?params ~lang ~prev inst edit =
+  match apply_edit inst edit with
+  | Error _ as e -> e
+  | Ok inst' -> (
+      let t0 = Unix.gettimeofday () in
+      let repaired =
+        Obs.Span.with_ "delta.repair" @@ fun ()
+        -> try_repair ~lang ~params prev inst'
+      in
+      match repaired with
+      | Some verdict ->
+          Obs.Counter.incr c_repair_hit;
+          let elapsed_s = Unix.gettimeofday () -. t0 in
+          let outcome =
+            Outcome.make ~extras:[ ("repaired", 1) ] ~steps:0 ~elapsed_s verdict
+          in
+          Ok { inst = inst'; outcome; repaired = true }
+      | None -> (
+          Obs.Counter.incr c_repair_miss;
+          match Registry.decide ?budget ?params ~lang inst' with
+          | Error _ as e -> e
+          | Ok outcome -> Ok { inst = inst'; outcome; repaired = false }))
+
+(* ------------------------------------------------------------------ *)
+(* Random edit streams — shared by the bench workloads and the fuzz    *)
+(* tests, so both exercise the same distribution.                      *)
+(* ------------------------------------------------------------------ *)
+
+let random_edits ?(add_nodes = false) ~rand ~steps inst =
+  let edits = ref [] in
+  let cur = ref inst in
+  let node_stamp = ref 0 in
+  for _ = 1 to steps do
+    let g = Instance.graph !cur in
+    let n = Data_graph.size g in
+    let labels = Data_graph.alphabet g in
+    let labels = if labels = [] then [ "a" ] else labels in
+    let pick_label () = List.nth labels (rand (List.length labels)) in
+    let try_add () =
+      (* Rejection-sample a non-edge; give up after a few throws on
+         dense graphs and fall through to a removal. *)
+      let rec go k =
+        if k = 0 then None
+        else
+          let u = rand n and v = rand n and a = pick_label () in
+          if Data_graph.mem_edge g u a v then go (k - 1)
+          else Some (Add_edge (u, a, v))
+      in
+      go 8
+    in
+    let try_remove () =
+      match Data_graph.edges g with
+      | [] -> None
+      | es ->
+          let u, a, v = List.nth es (rand (List.length es)) in
+          Some (Remove_edge (u, a, v))
+    in
+    let add_node () =
+      incr node_stamp;
+      let d =
+        match Data_graph.domain g with
+        | [] -> Datagraph.Data_value.of_int 0
+        | dom -> List.nth dom (rand (List.length dom))
+      in
+      Some (Add_node (Printf.sprintf "w%d" !node_stamp, d))
+    in
+    let edit =
+      match rand (if add_nodes then 5 else 4) with
+      | 0 | 1 -> ( match try_add () with Some e -> Some e | None -> try_remove ())
+      | 2 | 3 -> ( match try_remove () with Some e -> Some e | None -> try_add ())
+      | _ -> add_node ()
+    in
+    match edit with
+    | None -> ()
+    | Some e -> (
+        match apply_edit !cur e with
+        | Ok next ->
+            cur := next;
+            edits := e :: !edits
+        | Error _ -> ())
+  done;
+  List.rev !edits

@@ -1,0 +1,94 @@
+(** Incremental definability: decide an {e edited} instance by repairing
+    the previous outcome instead of searching from scratch.
+
+    The asymmetry this exploits: a certificate is independently
+    re-checkable with the evaluation stack ({!Outcome.check_certificate}),
+    and a check costs orders of magnitude less than the search that
+    produced the certificate.  For an edit stream over an evolving graph,
+    most edits leave the previous verdict intact — so the fast path is
+    "apply the edit structurally (patching the packed matrices, see
+    {!Datagraph.Data_graph.add_edge}), re-check the stored witness, and
+    only fall back to a budgeted full decide when the witness no longer
+    holds".
+
+    Repair soundness is per verdict shape:
+    - [Definable c] is kept iff [c] speaks the decided language and
+      still checks on the edited instance (re-evaluation against the
+      relation is exact, not heuristic).
+    - [Not_definable (Violating_hom _)] is kept only for [ucrdpq],
+      where a violating homomorphism is the {e exact} refutation
+      criterion (Lemma 34); for the path-query languages it is only a
+      necessary condition and is never trusted across an edit.
+    - [Not_definable (Missing_pairs _)] and [Unknown _] always fall
+      back: witness sets are not monotone under edits.
+
+    The repair check itself is unbudgeted, so it must stay orders
+    cheaper than a search.  That holds structurally for the
+    path-language certificates (automaton-product evaluation); a UCRDPQ
+    union certificate joins by backtracking over each member's
+    variables — O(n^v) — so repair of a large union is declined up
+    front (estimated check cost over [1e7]) and the edit goes straight
+    to the budgeted fallback decide.
+
+    Hit/miss telemetry is exported as the [delta.repair_hit] /
+    [delta.repair_miss] counters and a [delta.repair] span. *)
+
+type graph_edit =
+  | Add_edge of int * string * int  (** [Add_edge (u, label, v)] *)
+  | Remove_edge of int * string * int
+  | Add_node of string * Datagraph.Data_value.t  (** name and data value *)
+  | Set_relation of int list list
+      (** retuple the target relation (the graph — and thus every
+          graph-keyed cache — is shared untouched) *)
+
+val edit_to_string : graph_edit -> string
+(** One-line rendering for logs and error messages. *)
+
+val apply_edit : Instance.t -> graph_edit -> (Instance.t, string) result
+(** Apply the edit structurally: graph edits go through the
+    cache-patching constructors of {!Datagraph.Data_graph}; a relation
+    edit repacks the tuples over the shared graph.  [Error] on invalid
+    edits (duplicate edge, missing edge, out-of-range node, bad tuple).
+    Recorded under a [delta.apply] span. *)
+
+type delta_result = {
+  inst : Instance.t;  (** the edited instance *)
+  outcome : Outcome.t;
+  repaired : bool;  (** true = fast path; false = full decide fallback *)
+}
+
+val decide_delta :
+  ?budget:Budget.t ->
+  ?params:Registry.params ->
+  lang:string ->
+  prev:Outcome.t ->
+  Instance.t ->
+  graph_edit ->
+  (delta_result, string) result
+(** [decide_delta ~lang ~prev inst edit] applies [edit] to [inst] and
+    decides the edited instance, attempting certificate repair of
+    [prev] first.  A repaired outcome carries
+    [extras = [("repaired", 1)]] and zero steps; a fallback outcome is
+    exactly what {!Registry.decide} returns (the [budget] applies only
+    to the fallback — repair itself is unbudgeted because it is a
+    single certificate check).  [Error] on an invalid edit or an
+    unknown language. *)
+
+val is_hom : Datagraph.Data_graph.t -> int array -> bool
+(** Replica of [Definability.Hom.is_hom] — that library sits {e above}
+    the engine, so the repair path cannot call it without a dependency
+    cycle.  Exposed so the differential tests can cross-check the
+    replica against the original on random candidate mappings. *)
+
+val random_edits :
+  ?add_nodes:bool ->
+  rand:(int -> int) ->
+  steps:int ->
+  Instance.t ->
+  graph_edit list
+(** A random edit trace of (at most) [steps] valid edits starting from
+    the instance: edge insertions (rejection-sampled non-edges over the
+    graph's alphabet), edge removals, and — when [add_nodes] is true —
+    isolated node additions.  [rand n] must return a uniform draw from
+    [0 .. n-1].  Shared by the bench edit-stream workloads and the
+    differential fuzz tests. *)

@@ -29,13 +29,17 @@ type t = {
      Obs counters below mirror the same events for traces/benches. *)
   verdict_hits : int Atomic.t;
   verdict_misses : int Atomic.t;
+  revalidation_ok : int Atomic.t;
   revalidation_failures : int Atomic.t;
   graph_hits : int Atomic.t;
   graph_misses : int Atomic.t;
+  repair_hits : int Atomic.t;
+  repair_misses : int Atomic.t;
 }
 
 let c_hit = Obs.Counter.make "service.cache.verdict_hits"
 let c_miss = Obs.Counter.make "service.cache.verdict_misses"
+let c_reval_ok = Obs.Counter.make "service.cache.revalidation_ok"
 let c_reval_fail = Obs.Counter.make "service.cache.revalidation_failures"
 let c_graph_hit = Obs.Counter.make "service.cache.graph_hits"
 let c_graph_miss = Obs.Counter.make "service.cache.graph_misses"
@@ -47,9 +51,12 @@ let create ?(config = default_config) () =
     graphs = Lru.create ~capacity:config.graph_capacity;
     verdict_hits = Atomic.make 0;
     verdict_misses = Atomic.make 0;
+    revalidation_ok = Atomic.make 0;
     revalidation_failures = Atomic.make 0;
     graph_hits = Atomic.make 0;
     graph_misses = Atomic.make 0;
+    repair_hits = Atomic.make 0;
+    repair_misses = Atomic.make 0;
   }
 
 let bump a c =
@@ -77,7 +84,7 @@ let cacheable (o : Outcome.t) =
   | Outcome.Definable _ | Outcome.Not_definable _ -> true
   | Outcome.Unknown _ -> false
 
-let decide t ?fuel ?deadline_s ?(k = 1) ~lang g s =
+let decide_keyed t ?fuel ?deadline_s ?(k = 1) ~lang g s =
   let gkey, ikey =
     Obs.Span.with_ "service.cache.hash" @@ fun () ->
     Content_hash.keys ~lang ~k g s
@@ -93,30 +100,79 @@ let decide t ?fuel ?deadline_s ?(k = 1) ~lang g s =
         | Error _ as e -> e
         | Ok outcome ->
             if cacheable outcome then Lru.put t.verdicts ikey { outcome; inst };
-            Ok (outcome, `Miss))
+            Ok (outcome, `Miss, ikey))
   in
   match Lru.find t.verdicts ikey with
   | None -> serve_miss ()
   | Some { outcome; inst } -> (
       let revalidated =
-        if not t.config.revalidate then Ok ()
+        if not t.config.revalidate then Ok `Unchecked
         else
           match Outcome.certificate outcome with
-          | None -> Ok ()
-          | Some cert ->
+          | None -> Ok `Unchecked
+          | Some cert -> (
               Obs.Span.with_ "service.cache.revalidate" @@ fun () ->
-              Outcome.check_certificate inst cert
+              match Outcome.check_certificate inst cert with
+              | Ok () -> Ok `Checked
+              | Error _ as e -> e)
       in
       match revalidated with
-      | Ok () ->
+      | Ok checked ->
+          if checked = `Checked then bump t.revalidation_ok c_reval_ok;
           bump t.verdict_hits c_hit;
-          Ok (outcome, `Hit)
+          Ok (outcome, `Hit, ikey)
       | Error _ ->
           (* A poisoned or stale entry: drop it and recompute instead of
              serving a certificate that no longer checks. *)
           bump t.revalidation_failures c_reval_fail;
           Lru.remove t.verdicts ikey;
           serve_miss ())
+
+let decide t ?fuel ?deadline_s ?k ~lang g s =
+  match decide_keyed t ?fuel ?deadline_s ?k ~lang g s with
+  | Error _ as e -> e
+  | Ok (outcome, origin, _key) -> Ok (outcome, origin)
+
+let find_instance t key =
+  Option.map (fun e -> e.inst) (Lru.find t.verdicts key)
+
+type delta_outcome = {
+  outcome : Outcome.t;
+  inst : Instance.t;
+  key : string;
+  repaired : bool;
+}
+
+(* Obs mirrors of the repair outcome live in [Engine.Delta]
+   (delta.repair_hit / delta.repair_miss); the atomics here are the
+   always-on copies the [stats] op reads. *)
+let apply_edit t ?fuel ?deadline_s ?(k = 1) ~lang ~key edit =
+  match Lru.find t.verdicts key with
+  | None ->
+      Error
+        (Printf.sprintf
+           "unknown instance digest %s (cold-decide it first; it may also have \
+            been evicted)"
+           key)
+  | Some { outcome = prev; inst } -> (
+      let budget = Budget.create ?fuel ?deadline_s () in
+      match
+        Engine.Delta.decide_delta ~budget ~params:{ Registry.k } ~lang ~prev
+          inst edit
+      with
+      | Error _ as e -> e
+      | Ok { Engine.Delta.inst = inst'; outcome; repaired } ->
+          ignore
+            (Atomic.fetch_and_add
+               (if repaired then t.repair_hits else t.repair_misses)
+               1);
+          (* The chained key costs O(edit), not O(graph): the edited
+             instance is addressable by the follow-up delta request
+             without re-canonicalizing the graph. *)
+          let key' = Content_hash.chain_key ~parent:key edit in
+          if cacheable outcome then
+            Lru.put t.verdicts key' { outcome; inst = inst' };
+          Ok { outcome; inst = inst'; key = key'; repaired })
 
 let insert t ?(k = 1) ~lang g s outcome =
   let g = intern_graph t g in
@@ -133,9 +189,12 @@ let stats t =
     [
       ("verdict_hits", Atomic.get t.verdict_hits);
       ("verdict_misses", Atomic.get t.verdict_misses);
+      ("revalidation_ok", Atomic.get t.revalidation_ok);
       ("revalidation_failures", Atomic.get t.revalidation_failures);
       ("graph_hits", Atomic.get t.graph_hits);
       ("graph_misses", Atomic.get t.graph_misses);
+      ("delta_repair_hits", Atomic.get t.repair_hits);
+      ("delta_repair_misses", Atomic.get t.repair_misses);
       ("verdict_size", Lru.length t.verdicts);
       ("graph_size", Lru.length t.graphs);
       ("verdict_evictions", Lru.evictions t.verdicts);

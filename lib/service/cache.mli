@@ -63,6 +63,49 @@ val decide :
     budget.  [Error] on an invalid instance or an unknown language.
     [k] is the [krem] register bound (default 1). *)
 
+val decide_keyed :
+  t ->
+  ?fuel:int ->
+  ?deadline_s:float ->
+  ?k:int ->
+  lang:string ->
+  Datagraph.Data_graph.t ->
+  Datagraph.Tuple_relation.t ->
+  (Engine.Outcome.t * [ `Hit | `Miss ] * string, string) result
+(** Like {!decide}, also returning the instance digest under which the
+    verdict is stored — the handle a client quotes back in a [delta]
+    request to edit this instance incrementally. *)
+
+val find_instance : t -> string -> Engine.Instance.t option
+(** The instance stored under a digest, if still cached — the server
+    resolves edit node names against its graph before {!apply_edit}. *)
+
+type delta_outcome = {
+  outcome : Engine.Outcome.t;
+  inst : Engine.Instance.t;  (** the edited instance (for rendering) *)
+  key : string;  (** chained digest addressing the edited instance *)
+  repaired : bool;  (** fast path vs. full-decide fallback *)
+}
+
+val apply_edit :
+  t ->
+  ?fuel:int ->
+  ?deadline_s:float ->
+  ?k:int ->
+  lang:string ->
+  key:string ->
+  Engine.Delta.graph_edit ->
+  (delta_outcome, string) result
+(** Incremental step: look up the instance stored under [key], apply the
+    edit through {!Engine.Delta.decide_delta} (certificate repair first,
+    budgeted full decide on repair miss), and store the result under the
+    {e chained} key [Content_hash.chain_key ~parent:key edit] — O(edit)
+    hashing, no graph re-serialization.  [Error] when [key] is not in
+    the verdict store (never decided, or evicted): the caller must
+    cold-decide first.  [lang] and [k] must match the original decide —
+    a mismatch is safe (the fallback recomputes in the given language)
+    but wastes the fast path. *)
+
 val intern_graph : t -> Datagraph.Data_graph.t -> Datagraph.Data_graph.t
 (** The interned twin of the graph (inserting it if new): the canonical
     carrier of the per-graph artifacts.  Exposed for tests and for the
@@ -82,8 +125,9 @@ val insert :
 
 val stats : t -> (string * int) list
 (** Monotone counters and current sizes, sorted by name:
-    [verdict_hits], [verdict_misses], [revalidation_failures],
-    [graph_hits], [graph_misses], [verdict_size], [graph_size],
-    [verdict_evictions], [graph_evictions].  Counted internally (always
-    on, independent of [Obs]); the same events are mirrored to
-    [Obs.Counter]s for traces and bench breakdowns. *)
+    [verdict_hits], [verdict_misses], [revalidation_ok],
+    [revalidation_failures], [graph_hits], [graph_misses],
+    [delta_repair_hits], [delta_repair_misses], [verdict_size],
+    [graph_size], [verdict_evictions], [graph_evictions].  Counted
+    internally (always on, independent of [Obs]); the same events are
+    mirrored to [Obs.Counter]s for traces and bench breakdowns. *)

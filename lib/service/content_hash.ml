@@ -68,6 +68,32 @@ let instance_bytes ~lang ~k g s =
 
 let instance_key ~lang ~k g s = digest (instance_bytes ~lang ~k g s)
 
+let edit_bytes (e : Engine.Delta.graph_edit) =
+  let label a = Printf.sprintf "%d:%s" (String.length a) a in
+  match e with
+  | Engine.Delta.Add_edge (u, a, v) -> Printf.sprintf "+e %d %s %d\n" u (label a) v
+  | Engine.Delta.Remove_edge (u, a, v) ->
+      Printf.sprintf "-e %d %s %d\n" u (label a) v
+  | Engine.Delta.Add_node (nm, d) ->
+      (* The raw value (not a first-occurrence rank): a chained key has no
+         view of the whole graph to canonicalize against.  Chained keys
+         trade canonicalization for O(edit-size) hashing; see the
+         interface. *)
+      Printf.sprintf "+n %s %d\n" (label nm) (Datagraph.Data_value.to_int d)
+  | Engine.Delta.Set_relation tuples ->
+      let b = Buffer.create 64 in
+      Buffer.add_string b "=r\n";
+      List.iter
+        (fun tup ->
+          Buffer.add_char b 't';
+          List.iter (fun v -> Printf.bprintf b " %d" v) tup;
+          Buffer.add_char b '\n')
+        (List.sort compare tuples);
+      Buffer.contents b
+
+let chain_key ~parent e =
+  digest (Printf.sprintf "defsvc-delta/1\nparent %s\n%s" parent (edit_bytes e))
+
 let keys ~lang ~k g s =
   let gbytes = graph_bytes g in
   ( graph_key_of_bytes gbytes,

@@ -59,3 +59,23 @@ val keys :
   string * string
 (** [(graph_key, instance_key)], serializing the graph only once — the
     cache's lookup path. *)
+
+(** {2 Digest chaining}
+
+    An edit stream addresses its instances by {e chained} keys:
+    [chain_key ~parent edit] hashes the parent's key plus the canonical
+    edit bytes — O(edit size), never O(graph size) — so a warm server
+    follows a stream without re-serializing the graph at every step.
+    Chained keys are {e not} content keys: the same edited content
+    reached via different edit paths (or via a cold [decide]) gets a
+    different key, costing a potential duplicate compute but never a
+    wrong answer (entries still carry their instance, and hits still
+    revalidate).  Chained keys also skip the data-value
+    canonicalization of {!graph_bytes} — same tradeoff. *)
+
+val edit_bytes : Engine.Delta.graph_edit -> string
+(** Canonical serialization of one edit ([Set_relation] tuples are
+    sorted; labels and names length-prefixed). *)
+
+val chain_key : parent:string -> Engine.Delta.graph_edit -> string
+(** 32-char hex digest of the parent key plus {!edit_bytes}. *)

@@ -107,6 +107,7 @@ type t = {
   n_requests : int Atomic.t;
   n_decides : int Atomic.t;
   n_batches : int Atomic.t;
+  n_deltas : int Atomic.t;
   n_pings : int Atomic.t;
   n_stats : int Atomic.t;
   n_sleeps : int Atomic.t;
@@ -169,6 +170,7 @@ let create ?(config = default_config) addr =
     n_requests = Atomic.make 0;
     n_decides = Atomic.make 0;
     n_batches = Atomic.make 0;
+    n_deltas = Atomic.make 0;
     n_pings = Atomic.make 0;
     n_stats = Atomic.make 0;
     n_sleeps = Atomic.make 0;
@@ -188,6 +190,7 @@ let stats t =
       ("requests", Atomic.get t.n_requests);
       ("decides", Atomic.get t.n_decides);
       ("batches", Atomic.get t.n_batches);
+      ("deltas", Atomic.get t.n_deltas);
       ("pings", Atomic.get t.n_pings);
       ("stats_ops", Atomic.get t.n_stats);
       ("sleeps", Atomic.get t.n_sleeps);
@@ -254,14 +257,15 @@ let decide_one t ~lang ~k ~fuel ~timeout_s text =
   | Error msg -> Error ("instance: " ^ msg)
   | Ok (g, s) -> (
       let fuel, deadline_s = effective_budget t ~fuel ~timeout_s in
-      match Cache.decide t.cache_ ?fuel ?deadline_s ?k ~lang g s with
+      match Cache.decide_keyed t.cache_ ?fuel ?deadline_s ?k ~lang g s with
       | Error msg -> Error msg
-      | Ok (outcome, origin) ->
+      | Ok (outcome, origin, key) ->
           Ok
             [
               ( "cache",
                 Wire.json_string
                   (match origin with `Hit -> "hit" | `Miss -> "miss") );
+              ("digest", Wire.json_string key);
               ("result", Wire.verdict_to_string g ~lang outcome);
             ])
 
@@ -315,6 +319,51 @@ let handle_batch t oc ~lang ~k ~fuel ~timeout_s texts =
                  ("results", Wire.json_list items);
                  service_fields ~queue_wait_s ~wall_s;
                ]))
+
+let handle_delta t oc ~lang ~k ~fuel ~timeout_s ~digest edit =
+  incr t.n_deltas;
+  let t0 = Unix.gettimeofday () in
+  match admit_timed t with
+  | (`Overloaded | `Draining) as why, _ ->
+      respond oc (overloaded_fields t "delta" why)
+  | `Admitted, queue_wait_s ->
+      Fun.protect
+        ~finally:(fun () -> Admission.release t.gate)
+        (fun () ->
+          let result =
+            match Cache.find_instance t.cache_ digest with
+            | None ->
+                Error
+                  (Printf.sprintf
+                     "unknown instance digest %s (cold-decide it first; it may \
+                      also have been evicted)"
+                     digest)
+            | Some inst -> (
+                match
+                  Wire.resolve_edit (Engine.Instance.graph inst) edit
+                with
+                | Error _ as e -> e
+                | Ok edit ->
+                    let fuel, deadline_s = effective_budget t ~fuel ~timeout_s in
+                    Cache.apply_edit t.cache_ ?fuel ?deadline_s ?k ~lang
+                      ~key:digest edit)
+          in
+          match result with
+          | Error msg ->
+              incr t.n_errors;
+              respond oc (error_fields "delta" msg)
+          | Ok { Cache.outcome; inst; key; repaired } ->
+              let wall_s = Unix.gettimeofday () -. t0 in
+              respond oc
+                (ok "delta"
+                   [
+                     ("repair", Wire.json_string (if repaired then "hit" else "miss"));
+                     ("digest", Wire.json_string key);
+                     ( "result",
+                       Wire.verdict_to_string (Engine.Instance.graph inst) ~lang
+                         outcome );
+                     service_fields ~queue_wait_s ~wall_s;
+                   ]))
 
 let handle_sleep t oc ~ms =
   incr t.n_sleeps;
@@ -393,6 +442,8 @@ let handle_request t oc line =
       handle_decide t oc ~lang ~k ~fuel ~timeout_s instance
   | Ok (Wire.Batch { lang; k; fuel; timeout_s; instances }) ->
       handle_batch t oc ~lang ~k ~fuel ~timeout_s instances
+  | Ok (Wire.Delta { lang; k; fuel; timeout_s; digest; edit }) ->
+      handle_delta t oc ~lang ~k ~fuel ~timeout_s ~digest edit
 
 let handle_conn t fd =
   let ic = Unix.in_channel_of_descr fd in

@@ -7,7 +7,7 @@
     [stats], [shutdown]) are answered directly by the handler thread and
     never queue behind work, so the server answers [ping] while a
     long-budget [decide] is in flight.  Work ops ([decide], [batch],
-    [sleep]) pass {e admission control} first; admitted work runs on the
+    [delta], [sleep]) pass {e admission control} first; admitted work runs on the
     handler thread — the decision procedures themselves fan out over the
     shared [Par.Pool] domains exactly as in the CLI.
 

@@ -78,6 +78,84 @@ let address_to_string = function
 
 (* ------------------------------------------------------------------ *)
 
+(* Edits name nodes the way instance files do — by node name — and are
+   resolved against a concrete graph only at the point of use (the
+   server resolves against the cached instance, [watch] against the
+   evolving local one). *)
+type edit =
+  | Add_edge of string * string * string
+  | Remove_edge of string * string * string
+  | Add_node of string * int
+  | Set_relation of string list list
+
+let edit_to_json_fields = function
+  | Add_edge (u, a, v) ->
+      [
+        ("edit", json_string "add_edge");
+        ("u", json_string u);
+        ("label", json_string a);
+        ("v", json_string v);
+      ]
+  | Remove_edge (u, a, v) ->
+      [
+        ("edit", json_string "remove_edge");
+        ("u", json_string u);
+        ("label", json_string a);
+        ("v", json_string v);
+      ]
+  | Add_node (name, value) ->
+      [
+        ("edit", json_string "add_node");
+        ("name", json_string name);
+        ("value", string_of_int value);
+      ]
+  | Set_relation tuples ->
+      [
+        ("edit", json_string "set_relation");
+        ( "tuples",
+          json_list
+            (List.map (fun tup -> json_list (List.map json_string tup)) tuples)
+        );
+      ]
+
+let edit_to_json_string e = json_obj (edit_to_json_fields e)
+
+let resolve_edit g e =
+  let node what s =
+    match Datagraph.Data_graph.node_of_name g s with
+    | v -> Ok v
+    | exception Not_found -> Error (Printf.sprintf "%s: unknown node %S" what s)
+  in
+  match e with
+  | Add_edge (u, a, v) ->
+      Result.bind (node "add_edge" u) (fun u ->
+          Result.map (fun v -> Engine.Delta.Add_edge (u, a, v)) (node "add_edge" v))
+  | Remove_edge (u, a, v) ->
+      Result.bind (node "remove_edge" u) (fun u ->
+          Result.map
+            (fun v -> Engine.Delta.Remove_edge (u, a, v))
+            (node "remove_edge" v))
+  | Add_node (name, value) ->
+      Ok (Engine.Delta.Add_node (name, Datagraph.Data_value.of_int value))
+  | Set_relation tuples ->
+      let rec tuples_to_ids acc = function
+        | [] -> Ok (List.rev acc)
+        | tup :: rest -> (
+            let rec tup_to_ids acc = function
+              | [] -> Ok (List.rev acc)
+              | s :: ss -> (
+                  match node "set_relation" s with
+                  | Ok v -> tup_to_ids (v :: acc) ss
+                  | Error _ as e -> e)
+            in
+            match tup_to_ids [] tup with
+            | Ok ids -> tuples_to_ids (ids :: acc) rest
+            | Error _ as e -> e)
+      in
+      Result.map
+        (fun tups -> Engine.Delta.Set_relation tups)
+        (tuples_to_ids [] tuples)
+
 type request =
   | Ping
   | Stats
@@ -96,6 +174,14 @@ type request =
       fuel : int option;
       timeout_s : float option;
       instances : string list;
+    }
+  | Delta of {
+      lang : string;
+      k : int option;
+      fuel : int option;
+      timeout_s : float option;
+      digest : string;
+      edit : edit;
     }
 
 let opt f = function None -> [] | Some v -> [ f v ]
@@ -123,6 +209,12 @@ let request_to_string = function
          :: ("lang", json_string lang)
          :: budget_fields ~k ~fuel ~timeout_s )
         @ [ ("instances", json_list (List.map json_string instances)) ])
+  | Delta { lang; k; fuel; timeout_s; digest; edit } ->
+      json_obj
+        (( ("op", json_string "delta")
+         :: ("lang", json_string lang)
+         :: budget_fields ~k ~fuel ~timeout_s )
+        @ [ ("digest", json_string digest); ("edit", edit_to_json_string edit) ])
 
 let ( let* ) r f = Result.bind r f
 
@@ -144,6 +236,39 @@ let budget_of j =
   let* fuel = optional "integer" Json.to_int j "fuel" in
   let* timeout_s = optional "number" Json.to_float j "timeout_s" in
   Ok (k, fuel, timeout_s)
+
+let edit_of_json j =
+  let* kind = required "string" Json.to_str j "edit" in
+  match kind with
+  | "add_edge" | "remove_edge" ->
+      let* u = required "string" Json.to_str j "u" in
+      let* a = required "string" Json.to_str j "label" in
+      let* v = required "string" Json.to_str j "v" in
+      Ok (if kind = "add_edge" then Add_edge (u, a, v) else Remove_edge (u, a, v))
+  | "add_node" ->
+      let* name = required "string" Json.to_str j "name" in
+      let* value = required "integer" Json.to_int j "value" in
+      Ok (Add_node (name, value))
+  | "set_relation" ->
+      let* items = required "array" Json.to_list j "tuples" in
+      let* tuples =
+        List.fold_right
+          (fun item acc ->
+            let* acc = acc in
+            match
+              Option.map (List.map Json.to_str) (Json.to_list item)
+            with
+            | Some names when List.for_all Option.is_some names ->
+                Ok (List.map Option.get names :: acc)
+            | _ -> Error "\"tuples\" must be an array of arrays of node names")
+          items (Ok [])
+      in
+      Ok (Set_relation tuples)
+  | other -> Error (Printf.sprintf "unknown edit kind %S" other)
+
+let edit_of_string line =
+  let* j = Json.parse line in
+  edit_of_json j
 
 let request_of_json j =
   let* op = required "string" Json.to_str j "op" in
@@ -174,6 +299,17 @@ let request_of_json j =
           items (Ok [])
       in
       Ok (Batch { lang; k; fuel; timeout_s; instances })
+  | "delta" ->
+      let* lang = required "string" Json.to_str j "lang" in
+      let* k, fuel, timeout_s = budget_of j in
+      let* digest = required "string" Json.to_str j "digest" in
+      let* ej =
+        match Json.member "edit" j with
+        | Some (Json.Obj _ as ej) -> Ok ej
+        | Some _ | None -> Error "missing or ill-typed \"edit\" (object)"
+      in
+      let* edit = edit_of_json ej in
+      Ok (Delta { lang; k; fuel; timeout_s; digest; edit })
   | other -> Error (Printf.sprintf "unknown op %S" other)
 
 let request_of_string line =

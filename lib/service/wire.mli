@@ -20,6 +20,8 @@
     {"op":"decide","lang":"rem","instance":"node v1 0\n...","k":2,
      "fuel":100000,"timeout_s":1.5}
     {"op":"batch","lang":"rem","instances":["...","..."],...}
+    {"op":"delta","lang":"rem","digest":"<hex>",
+     "edit":{"edit":"add_edge","u":"v0","label":"a","v":"v3"},...}
     v}
 
     [instance] carries the instance file text ({!Datagraph.Graph_io}
@@ -29,12 +31,23 @@
     op for load-testing admission control and drain behaviour without
     depending on any instance being slow.
 
+    [delta] is the incremental step: [digest] quotes the instance
+    digest a previous [decide] (or [delta]) response carried, and
+    [edit] is one {!edit} object.  Edits name nodes by node name, like
+    instance files; [add_node] carries the integer data value.
+    [set_relation] replaces the target relation's tuple set.
+
     Responses always carry ["op"] (echoed) and ["status"]: ["ok"],
     ["error"] (with ["error"] text), or ["overloaded"] (admission
     refused; ["detail"] is ["queue_full"] or ["draining"]).  A [decide]
-    response carries ["cache"] (["hit"]/["miss"]) and ["result"] — the
-    CLI verdict block.  A [batch] response carries ["results"], one
-    such object (or a per-instance error object) per instance. *)
+    response carries ["cache"] (["hit"]/["miss"]), ["digest"] (the
+    instance digest, quotable in a [delta] request) and ["result"] —
+    the CLI verdict block.  A [batch] response carries ["results"], one
+    such object (or a per-instance error object) per instance.  A
+    [delta] response carries ["repair"] (["hit"] when certificate
+    repair served the verdict, ["miss"] when the server fell back to a
+    full decide), ["digest"] (the chained digest of the {e edited}
+    instance, for the next step of the stream) and ["result"]. *)
 
 (** {2 JSON emission} *)
 
@@ -66,6 +79,31 @@ type address =
 val address_to_string : address -> string
 (** ["unix:PATH"] or ["tcp:HOST:PORT"], for logs and banners. *)
 
+(** {2 Edits}
+
+    The wire form of {!Engine.Delta.graph_edit}: nodes by {e name}
+    (resolved against a concrete graph only at the point of use), data
+    values as integers. *)
+
+type edit =
+  | Add_edge of string * string * string  (** source, label, target *)
+  | Remove_edge of string * string * string
+  | Add_node of string * int  (** name, data value *)
+  | Set_relation of string list list  (** tuples of node names *)
+
+val edit_to_json_string : edit -> string
+(** One JSON object, e.g.
+    [{"edit":"add_edge","u":"v0","label":"a","v":"v3"}]. *)
+
+val edit_of_json : Json.t -> (edit, string) result
+
+val edit_of_string : string -> (edit, string) result
+(** Parse one edit object — the line format of a [watch] edit stream. *)
+
+val resolve_edit :
+  Datagraph.Data_graph.t -> edit -> (Engine.Delta.graph_edit, string) result
+(** Resolve node names against a graph.  [Error] on an unknown name. *)
+
 (** {2 Requests} *)
 
 type request =
@@ -86,6 +124,14 @@ type request =
       fuel : int option;
       timeout_s : float option;
       instances : string list;
+    }
+  | Delta of {
+      lang : string;
+      k : int option;
+      fuel : int option;
+      timeout_s : float option;
+      digest : string;  (** instance digest from a previous response *)
+      edit : edit;
     }
 
 val request_to_string : request -> string

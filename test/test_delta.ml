@@ -1,0 +1,345 @@
+(* The incremental engine: structural edits on packed graphs, the
+   certificate-repair fast path, and — the load-bearing part — a
+   differential fuzz that replays random edit traces and checks
+   [decide_delta] against a cold decide of the edited instance at
+   every single step.  [Data_graph.audit_edits] is switched on for the
+   whole file, so every patched adjacency/reachability matrix is also
+   compared byte-for-byte against a scratch rebuild. *)
+
+module Rel = Datagraph.Relation
+module DG = Datagraph.Data_graph
+module TR = Datagraph.Tuple_relation
+module Gen = Datagraph.Graph_gen
+module Budget = Engine.Budget
+module Instance = Engine.Instance
+module Outcome = Engine.Outcome
+module Registry = Engine.Registry
+module Delta = Engine.Delta
+module Hom = Definability.Hom
+module Cnf = Reductions.Cnf
+module Sat = Reductions.Sat_reduction
+module T = Reductions.Tiling
+
+let () = Definability.Deciders.init ()
+let () = DG.audit_edits := true
+
+let fig1 = Gen.fig1 ()
+let s2 = Gen.fig1_s2 fig1
+let v = DG.node_of_name fig1
+
+let decide ?budget ?(k = 1) ~lang inst =
+  match Registry.decide ?budget ~params:{ Registry.k } ~lang inst with
+  | Ok o -> o
+  | Error msg -> Alcotest.fail msg
+
+let delta ?budget ?(k = 1) ~lang ~prev inst edit =
+  match Delta.decide_delta ?budget ~params:{ Registry.k } ~lang ~prev inst edit with
+  | Ok r -> r
+  | Error msg -> Alcotest.fail msg
+
+(* ---------- apply_edit ---------- *)
+
+let test_apply_edit_validity () =
+  let inst = Instance.of_binary fig1 s2 in
+  let expect_error what edit =
+    match Delta.apply_edit inst edit with
+    | Ok _ -> Alcotest.fail (what ^ " accepted")
+    | Error _ -> ()
+  in
+  expect_error "duplicate edge" (Delta.Add_edge (v "v1", "a", v "v2"));
+  expect_error "out-of-range node" (Delta.Add_edge (0, "a", DG.size fig1));
+  expect_error "missing edge" (Delta.Remove_edge (v "v1", "b", v "v2"));
+  expect_error "duplicate node name" (Delta.Add_node ("v1", Datagraph.Data_value.of_int 0));
+  expect_error "ragged tuple" (Delta.Set_relation [ [ 0; 1 ]; [ 0 ] ])
+
+let test_apply_edit_roundtrip () =
+  (* add then remove an edge: back to the same edge set (matrices are
+     audited against scratch rebuilds on every step). *)
+  let inst = Instance.of_binary fig1 s2 in
+  let added =
+    match Delta.apply_edit inst (Delta.Add_edge (v "v1", "b", v "v3")) with
+    | Ok i -> i
+    | Error msg -> Alcotest.fail msg
+  in
+  Alcotest.(check bool) "edge present" true
+    (DG.mem_edge (Instance.graph added) (v "v1") "b" (v "v3"));
+  let removed =
+    match Delta.apply_edit added (Delta.Remove_edge (v "v1", "b", v "v3")) with
+    | Ok i -> i
+    | Error msg -> Alcotest.fail msg
+  in
+  Alcotest.(check bool) "edge gone" false
+    (DG.mem_edge (Instance.graph removed) (v "v1") "b" (v "v3"));
+  Alcotest.(check int) "edge count restored" (DG.edge_count fig1)
+    (DG.edge_count (Instance.graph removed))
+
+let test_apply_edit_add_node () =
+  let inst = Instance.of_binary fig1 s2 in
+  match Delta.apply_edit inst (Delta.Add_node ("w1", Datagraph.Data_value.of_int 7)) with
+  | Error msg -> Alcotest.fail msg
+  | Ok grown ->
+      let g' = Instance.graph grown in
+      Alcotest.(check int) "one more node" (DG.size fig1 + 1) (DG.size g');
+      Alcotest.(check int) "tuples unchanged"
+        (TR.cardinal (Instance.relation inst))
+        (TR.cardinal (Instance.relation grown))
+
+(* ---------- repair semantics ---------- *)
+
+let test_repair_hit_keeps_certificate () =
+  (* A "b"-edge cannot invalidate a certificate over the alphabet {a}. *)
+  let inst = Instance.of_binary fig1 s2 in
+  let prev = decide ~lang:"rem" inst in
+  let r = delta ~lang:"rem" ~prev inst (Delta.Add_edge (v "v1", "b", v "v3")) in
+  Alcotest.(check bool) "repaired" true r.Delta.repaired;
+  Alcotest.(check (option string)) "same certificate"
+    (Option.map Outcome.certificate_to_string (Outcome.certificate prev))
+    (Option.map Outcome.certificate_to_string (Outcome.certificate r.Delta.outcome))
+
+let test_repair_miss_falls_back () =
+  (* Adding an "a"-edge into the S2 pattern breaks the old certificate;
+     the fallback must still agree with a cold decide. *)
+  let inst = Instance.of_binary fig1 s2 in
+  let prev = decide ~lang:"rem" inst in
+  let edit = Delta.Add_edge (v "v4", "a", v "z1") in
+  let r = delta ~lang:"rem" ~prev inst edit in
+  Alcotest.(check bool) "not repaired" false r.Delta.repaired;
+  let cold = decide ~lang:"rem" r.Delta.inst in
+  Alcotest.(check (option bool)) "fallback agrees with cold decide"
+    (Outcome.definable cold)
+    (Outcome.definable r.Delta.outcome)
+
+let test_repair_wrong_lang_cert_not_trusted () =
+  (* A rem certificate must not be replayed when deciding rpq. *)
+  let inst = Instance.of_binary fig1 s2 in
+  let prev = decide ~lang:"rem" inst in
+  let r = delta ~lang:"rpq" ~prev inst (Delta.Add_edge (v "v1", "b", v "v3")) in
+  Alcotest.(check bool) "miss on language mismatch" false r.Delta.repaired
+
+let test_repair_violating_hom_retuple () =
+  (* Satisfiable formula -> not UCRDPQ-definable with a violating-hom
+     refutation; a retuple that keeps the witness tuple in and its image
+     out must repair, and the kept hom must satisfy the original
+     (library-level) is_hom on the edited instance. *)
+  let f = Cnf.make ~num_vars:1 [ (1, 1, 1) ] in
+  let red = Sat.build f in
+  let inst = Instance.create_exn red.Sat.graph red.Sat.target in
+  let prev = decide ~lang:"ucrdpq" inst in
+  match prev.Outcome.verdict with
+  | Outcome.Not_definable (Outcome.Violating_hom { hom; tuple }) ->
+      let base = TR.to_list red.Sat.target in
+      let image = List.map (fun p -> hom.(p)) tuple in
+      let arity = TR.arity red.Sat.target in
+      let extra =
+        let n = DG.size red.Sat.graph in
+        let rec find i =
+          if i >= n then Alcotest.fail "no free tuple"
+          else
+            let cand = List.init arity (fun _ -> i) in
+            if List.mem cand base || cand = image then find (i + 1) else cand
+        in
+        find 0
+      in
+      let r =
+        delta ~lang:"ucrdpq" ~prev inst (Delta.Set_relation (base @ [ extra ]))
+      in
+      Alcotest.(check bool) "repaired" true r.Delta.repaired;
+      (match r.Delta.outcome.Outcome.verdict with
+      | Outcome.Not_definable (Outcome.Violating_hom { hom = h; tuple = t }) ->
+          Alcotest.(check bool) "kept hom is a hom (library check)" true
+            (Hom.is_hom (Instance.graph r.Delta.inst) h);
+          Alcotest.(check bool) "witness tuple still escapes" true
+            (TR.mem (Instance.relation r.Delta.inst) t
+            && not
+                 (TR.mem (Instance.relation r.Delta.inst)
+                    (List.map (fun p -> h.(p)) t)))
+      | _ -> Alcotest.fail "expected a violating-hom refutation");
+      (* the toggle that drops the witness tuple's membership must not
+         be repaired from this refutation... but removing [extra] keeps
+         the witness, so a full cold decide must agree either way. *)
+      let back =
+        delta ~lang:"ucrdpq" ~prev:r.Delta.outcome r.Delta.inst
+          (Delta.Set_relation base)
+      in
+      Alcotest.(check (option bool)) "agrees with cold decide"
+        (Outcome.definable (decide ~lang:"ucrdpq" back.Delta.inst))
+        (Outcome.definable back.Delta.outcome)
+  | _ -> Alcotest.fail "expected a violating-hom refutation"
+
+let test_is_hom_replica_agrees () =
+  (* The engine-local replica of Hom.is_hom against the original, on
+     identity maps, real homomorphisms and random candidate arrays. *)
+  let st = Random.State.make [| 42 |] in
+  let graphs =
+    fig1
+    :: List.map
+         (fun seed ->
+           Gen.random ~seed ~n:5 ~delta:2 ~labels:[ "a"; "b" ] ~density:0.4 ())
+         [ 1; 2; 3; 4; 5 ]
+  in
+  let checked = ref 0 in
+  List.iter
+    (fun g ->
+      let n = DG.size g in
+      let candidates =
+        Hom.identity g
+        :: List.init 40 (fun _ -> Array.init n (fun _ -> Random.State.int st n))
+        @ Hom.all ~limit:20 g
+      in
+      List.iter
+        (fun h ->
+          incr checked;
+          Alcotest.(check bool)
+            (Printf.sprintf "replica agrees (graph %d, candidate %d)" n !checked)
+            (Hom.is_hom g h) (Delta.is_hom g h))
+        candidates)
+    graphs;
+  Alcotest.(check bool) "enough candidates" true (!checked > 200)
+
+(* ---------- differential fuzz ---------- *)
+
+(* Global count across all traces: the acceptance criterion is at least
+   a thousand fuzzed edits with zero disagreements. *)
+let fuzzed_edits = ref 0
+
+(* Replay a random trace, checking [decide_delta] against a cold decide
+   of the edited instance at every step.  [fuel] bounds both sides on
+   instances whose cold decide can explode (the hard reductions); a
+   budget-exhausted side makes the step's comparison vacuous, but the
+   edit still counts as exercised (the matrix audit ran either way). *)
+let fuzz_trace ?fuel ?deadline_s ?(add_nodes = false) ?(k = 1) ~seed ~lang
+    ~steps name inst =
+  let st = Random.State.make [| seed |] in
+  let rand n = Random.State.int st n in
+  let edits = Delta.random_edits ~add_nodes ~rand ~steps inst in
+  let budget () =
+    match (fuel, deadline_s) with
+    | None, None -> None
+    | _ -> Some (Budget.create ?fuel ?deadline_s ())
+  in
+  let prev = ref (decide ?budget:(budget ()) ~k ~lang inst) in
+  let cur = ref inst in
+  List.iteri
+    (fun i edit ->
+      let r = delta ?budget:(budget ()) ~k ~lang ~prev:!prev !cur edit in
+      let cold = decide ?budget:(budget ()) ~k ~lang r.Delta.inst in
+      (match (Outcome.definable r.Delta.outcome, Outcome.definable cold) with
+      | Some a, Some b when a <> b ->
+          Alcotest.fail
+            (Printf.sprintf "%s: step %d (%s): delta says %b, cold decide %b"
+               name i (Delta.edit_to_string edit) a b)
+      | _ -> ());
+      incr fuzzed_edits;
+      prev := r.Delta.outcome;
+      cur := r.Delta.inst)
+    edits
+
+let test_fuzz_random_graphs () =
+  List.iter
+    (fun seed ->
+      let g =
+        Gen.random ~seed ~n:4 ~delta:2 ~labels:[ "a"; "b" ] ~density:0.35 ()
+      in
+      let s = Gen.random_reachable_relation ~seed g ~count:2 in
+      let inst = Instance.of_binary g s in
+      List.iter
+        (fun lang ->
+          fuzz_trace ~fuel:200_000 ~seed:(100 + seed) ~lang ~steps:24
+            (Printf.sprintf "random n4 seed %d %s" seed lang)
+            inst)
+        [ "rpq"; "rem"; "ree"; "ucrdpq" ];
+      fuzz_trace ~fuel:200_000 ~seed:(200 + seed) ~k:2 ~lang:"krem" ~steps:24
+        (Printf.sprintf "random n4 seed %d krem" seed)
+        inst)
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_fuzz_node_growth () =
+  List.iter
+    (fun seed ->
+      let g =
+        Gen.random ~seed ~n:4 ~delta:3 ~labels:[ "a" ] ~density:0.4 ()
+      in
+      let s = Gen.random_reachable_relation ~seed g ~count:2 in
+      let inst = Instance.of_binary g s in
+      List.iter
+        (fun lang ->
+          fuzz_trace ~fuel:200_000 ~add_nodes:true ~seed:(300 + seed) ~lang
+            ~steps:12
+            (Printf.sprintf "growing n4 seed %d %s" seed lang)
+            inst)
+        [ "rem"; "ucrdpq" ])
+    [ 1; 2; 3; 4; 5; 6 ]
+
+let test_fuzz_fig1 () =
+  List.iter
+    (fun (rel_name, s) ->
+      let inst = Instance.of_binary fig1 s in
+      List.iter
+        (fun lang ->
+          fuzz_trace ~seed:(Hashtbl.hash (rel_name, lang)) ~lang ~steps:10
+            (Printf.sprintf "fig1 %s %s" rel_name lang)
+            inst)
+        [ "rem"; "ucrdpq" ])
+    [ ("s2", s2); ("s3", Gen.fig1_s3 fig1) ]
+
+let test_fuzz_hard_instances () =
+  (* Theorem 25 (tiling) and Figure 3 (SAT) reduction graphs: the cold
+     side is budgeted — these are the instances built to be hard. *)
+  let til = T.build { T.num_tiles = 2; horiz = [ (0, 1); (1, 0) ];
+                      vert = [ (0, 0); (1, 1) ]; t_init = 0; t_final = 1; n = 1 }
+  in
+  fuzz_trace ~fuel:20_000 ~deadline_s:0.5 ~seed:77 ~lang:"rem" ~steps:8
+    "tiling n1 rem"
+    (Instance.of_binary til.T.graph til.T.target);
+  List.iter
+    (fun (name, f) ->
+      let red = Sat.build f in
+      fuzz_trace ~fuel:50_000 ~deadline_s:0.5 ~seed:(Hashtbl.hash name)
+        ~lang:"ucrdpq" ~steps:10
+        ("sat " ^ name)
+        (Instance.create_exn red.Sat.graph red.Sat.target))
+    [
+      ("sat-1var", Cnf.make ~num_vars:1 [ (1, 1, 1) ]);
+      ("unsat-1var", Cnf.make ~num_vars:1 [ (1, 1, 1); (-1, -1, -1) ]);
+      ("rand-3var", Cnf.random ~seed:3 ~num_vars:3 ~num_clauses:4 ());
+    ]
+
+let test_fuzz_volume () =
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 1000 fuzzed edits (got %d)" !fuzzed_edits)
+    true (!fuzzed_edits >= 1000)
+
+let () =
+  Alcotest.run "delta"
+    [
+      ( "apply_edit",
+        [
+          Alcotest.test_case "invalid edits rejected" `Quick
+            test_apply_edit_validity;
+          Alcotest.test_case "add/remove round-trip" `Quick
+            test_apply_edit_roundtrip;
+          Alcotest.test_case "add node grows universe" `Quick
+            test_apply_edit_add_node;
+        ] );
+      ( "repair",
+        [
+          Alcotest.test_case "hit keeps certificate" `Quick
+            test_repair_hit_keeps_certificate;
+          Alcotest.test_case "miss falls back" `Quick test_repair_miss_falls_back;
+          Alcotest.test_case "wrong-language cert not trusted" `Quick
+            test_repair_wrong_lang_cert_not_trusted;
+          Alcotest.test_case "violating hom survives retuple" `Quick
+            test_repair_violating_hom_retuple;
+          Alcotest.test_case "is_hom replica agrees" `Quick
+            test_is_hom_replica_agrees;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "random graphs, all languages" `Slow
+            test_fuzz_random_graphs;
+          Alcotest.test_case "node growth" `Slow test_fuzz_node_growth;
+          Alcotest.test_case "figure 1" `Slow test_fuzz_fig1;
+          Alcotest.test_case "hard reductions" `Slow test_fuzz_hard_instances;
+          Alcotest.test_case "volume >= 1000 edits" `Quick test_fuzz_volume;
+        ] );
+    ]
