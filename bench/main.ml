@@ -38,6 +38,20 @@ let ws_verdict (o : Definability.Witness_search.outcome) =
   | Definability.Witness_search.Not_definable _ -> Some false
   | Definability.Witness_search.Exhausted -> None
 
+let ws_def o =
+  match ws_verdict o with
+  | Some b -> b
+  | None -> failwith "search truncated"
+
+let rpq_def g s = ws_def (Rpq.search g s)
+let rem_def g s = ws_def (Remd.search g s)
+let krem_def g ~k s = ws_def (Remd.search_k g ~k s)
+
+let ree_def g s =
+  match Reed.verdict (Reed.search g s) with
+  | Some b -> b
+  | None -> failwith "REE closure truncated"
+
 (* Repeat [f] often enough that the total runtime is measurable and
    report seconds per call; used for the acceptance metrics recorded in
    the BENCH_*.json series.  The reported figure is the best of three
@@ -88,11 +102,11 @@ let table1 () =
     (fun (name, s) ->
       let b f = if f then "yes" else "no" in
       Printf.printf "%-8s %-6s %-6s %-8s %-8s %-6s %-8s\n%!" name
-        (b (Rpq.is_definable g s))
-        (b (Reed.is_definable g s))
-        (b (Remd.is_definable_k g ~k:1 s))
-        (b (Remd.is_definable_k g ~k:2 s))
-        (b (Remd.is_definable g s))
+        (b (rpq_def g s))
+        (b (ree_def g s))
+        (b (krem_def g ~k:1 s))
+        (b (krem_def g ~k:2 s))
+        (b (rem_def g s))
         (b (Ucd.is_definable_binary g s)))
     relations;
   print_endline
@@ -394,7 +408,7 @@ let ablation_gaut () =
         Gen.random ~seed ~n:3 ~delta:2 ~labels:[ "a" ] ~density:0.5 ()
       in
       let s = Gen.random_reachable_relation ~seed g ~count:2 in
-      let d, t1 = wall (fun () -> Remd.is_definable g s) in
+      let d, t1 = wall (fun () -> rem_def g s) in
       let v, t2 = wall (fun () -> Reductions.Gaut.rem_definable_via_rpq g s) in
       let aut = Reductions.Gaut.build g in
       Printf.printf "%-6d %-8d %-12.4f %-12.4f %-8b\n%!" seed
@@ -425,15 +439,15 @@ let bechamel_tests () =
   Test.make_grouped ~name:"definability"
     [
       Test.make ~name:"T1/fig1-rpq-s1" (Staged.stage (fun () ->
-          Rpq.is_definable g (Gen.fig1_s1 g)));
+          rpq_def g (Gen.fig1_s1 g)));
       Test.make ~name:"T2/krem-k1-n4" (Staged.stage (fun () ->
-          Remd.is_definable_k g4 ~k:1 s4));
+          krem_def g4 ~k:1 s4));
       Test.make ~name:"T2/krem-k2-fig1-s2" (Staged.stage (fun () ->
-          Remd.is_definable_k g ~k:2 s2));
+          krem_def g ~k:2 s2));
       Test.make ~name:"T3/rem-profile-fig1-s2" (Staged.stage (fun () ->
-          Remd.is_definable g s2));
+          rem_def g s2));
       Test.make ~name:"T3+T4/ree-fig1-s3" (Staged.stage (fun () ->
-          Reed.is_definable g s3));
+          ree_def g s3));
       Test.make ~name:"T5/ucrdpq-sat-2var" (Staged.stage (fun () ->
           Ucd.is_definable red5.Sat.graph red5.Sat.target));
       Test.make ~name:"T6/tiling-build-n2" (Staged.stage (fun () ->
@@ -661,7 +675,7 @@ let acceptance_cases () =
     ]
   in
   homs
-  @ [ ("krem-k2-fig1-s2", Run (fun () -> ignore (Remd.is_definable_k g ~k:2 s2))) ]
+  @ [ ("krem-k2-fig1-s2", Run (fun () -> ignore (krem_def g ~k:2 s2))) ]
   @ engine_rows @ par_rows @ service_rows
 
 let acceptance_metrics cases =
@@ -866,6 +880,195 @@ let delta_rows () =
       })
     (delta_families ())
 
+(* ------------------------------------------------------------------ *)
+(* Trace replay: a Zipf-skewed stream of decide requests over a pool of
+   Graph_gen instances, replayed through a two-shard router in front of
+   durable stores — the serving path measured end to end, hot keys and
+   all.  The trace is deterministic (fixed pool seeds, fixed PRNG), so
+   hit rate is a property of the configuration, not of the run.
+
+   The full budget is 10^6 requests; TRACE_REQUESTS cuts it in CI,
+   and a cut budget records null latency metrics with a "skipped" note
+   (the PR 6 convention) — structural facts (fsync policy, store sizes
+   around compaction) are kept either way.                              *)
+
+type trace_result = {
+  t_requests : int;
+  t_reduced : bool;
+  t_pool : int;
+  t_zipf_s : float;
+  t_fsync : string;
+  t_hit_rate : float;
+  t_p50_us : float;
+  t_p99_us : float;
+  t_store_bytes_before : int;
+  t_store_bytes_after : int;
+}
+
+let trace_default_requests = 1_000_000
+
+let rm_rf_dir dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let trace_replay () =
+  let requests =
+    match Sys.getenv_opt "TRACE_REQUESTS" with
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some n when n > 0 -> n
+        | _ -> trace_default_requests)
+    | None -> trace_default_requests
+  in
+  let pool_size = 256 and zipf_s = 1.1 in
+  let fsync = Store.Log.Every 64 in
+  (* One pre-rendered request line per pool instance: parsing and
+     rendering stay out of the timed loop. *)
+  let lines =
+    Array.init pool_size (fun seed ->
+        let g =
+          Gen.random ~seed ~n:4 ~delta:2 ~labels:[ "a" ] ~density:0.4 ()
+        in
+        let s =
+          Datagraph.Tuple_relation.of_binary
+            (Gen.random_reachable_relation ~seed g ~count:2)
+        in
+        Service.Wire.request_to_string
+          (Service.Wire.Decide
+             {
+               lang = "rem";
+               k = None;
+               fuel = None;
+               timeout_s = None;
+               instance = Datagraph.Graph_io.instance_to_string g s;
+             }))
+  in
+  (* Zipf CDF over ranks 1..pool_size; rank r gets weight 1/r^s. *)
+  let cdf =
+    let w =
+      Array.init pool_size (fun i ->
+          1.0 /. Float.pow (float_of_int (i + 1)) zipf_s)
+    in
+    let total = Array.fold_left ( +. ) 0.0 w in
+    let acc = ref 0.0 in
+    Array.map
+      (fun x ->
+        acc := !acc +. (x /. total);
+        !acc)
+      w
+  in
+  let sample =
+    (* Deterministic xorshift: the same trace on every host. *)
+    let state = ref 0x13579BDF2468ACE in
+    fun () ->
+      state := !state lxor (!state lsl 13);
+      state := !state lxor (!state lsr 7);
+      state := !state lxor (!state lsl 17);
+      let u =
+        float_of_int ((!state lsr 11) land 0xFFFFFFFFFFF)
+        /. float_of_int (1 lsl 44)
+      in
+      let rec bs lo hi =
+        if lo >= hi then lo
+        else
+          let mid = (lo + hi) / 2 in
+          if cdf.(mid) < u then bs (mid + 1) hi else bs lo mid
+      in
+      bs 0 (pool_size - 1)
+  in
+  (* Two shards over fresh durable stores, one router in front. *)
+  let mk_shard i =
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "defbench-shard%d-%d" i (Unix.getpid ()))
+    in
+    rm_rf_dir dir;
+    let path = Filename.temp_file "defbench-shard" ".sock" in
+    let config =
+      {
+        Service.Server.default_config with
+        Service.Server.store_dir = Some dir;
+        fsync;
+        shard = Some (i, 2);
+      }
+    in
+    let srv = Service.Server.create ~config (Service.Wire.Unix_sock path) in
+    (srv, Thread.create Service.Server.run srv)
+  in
+  let s0, th0 = mk_shard 0 and s1, th1 = mk_shard 1 in
+  let rpath = Filename.temp_file "defbench-route" ".sock" in
+  let router =
+    Service.Router.create
+      ~shards:
+        [
+          ("shard0", Service.Server.address s0);
+          ("shard1", Service.Server.address s1);
+        ]
+      (Service.Wire.Unix_sock rpath)
+  in
+  let rth = Thread.create Service.Router.run router in
+  let conn =
+    Service.Client.connect ~retries:50 ~backoff_s:0.02
+      (Service.Wire.Unix_sock rpath)
+  in
+  let lat = Array.make requests 0.0 in
+  for i = 0 to requests - 1 do
+    let line = lines.(sample ()) in
+    let t0 = Unix.gettimeofday () in
+    (match Service.Client.request_raw conn line with
+    | Ok _ -> ()
+    | Error msg -> failwith ("trace replay: " ^ msg));
+    lat.(i) <- Unix.gettimeofday () -. t0
+  done;
+  let shard_stat name =
+    let get srv =
+      Option.value ~default:0
+        (List.assoc_opt name (Service.Server.stats srv))
+    in
+    get s0 + get s1
+  in
+  let hits = shard_stat "cache_verdict_hits"
+  and misses = shard_stat "cache_verdict_misses" in
+  let store_bytes () =
+    shard_stat "cache_store_log_bytes"
+    + shard_stat "cache_store_snapshot_bytes"
+  in
+  let before = store_bytes () in
+  (match
+     Service.Client.request_raw conn
+       (Service.Wire.request_to_string Service.Wire.Compact)
+   with
+  | Ok _ -> ()
+  | Error msg -> failwith ("trace replay compact: " ^ msg));
+  let after = store_bytes () in
+  Service.Client.close conn;
+  Service.Router.shutdown router;
+  Service.Server.shutdown s0;
+  Service.Server.shutdown s1;
+  Thread.join rth;
+  Thread.join th0;
+  Thread.join th1;
+  Array.sort compare lat;
+  let pct p =
+    lat.(min (requests - 1) (int_of_float (p *. float_of_int requests)))
+    *. 1e6
+  in
+  {
+    t_requests = requests;
+    t_reduced = requests < trace_default_requests;
+    t_pool = pool_size;
+    t_zipf_s = zipf_s;
+    t_fsync = Store.Log.fsync_policy_to_string fsync;
+    t_hit_rate = float_of_int hits /. float_of_int (max 1 (hits + misses));
+    t_p50_us = pct 0.50;
+    t_p99_us = pct 0.99;
+    t_store_bytes_before = before;
+    t_store_bytes_after = after;
+  }
+
 (* Minimal scanner for the acceptance section of an earlier --json
    record: the writer puts one entry per line, so a line-based scan
    suffices (no JSON dependency in the package).                        *)
@@ -917,15 +1120,15 @@ let read_baseline path =
   in
   go []
 
-let write_json ~path ~table_times ~acceptance ~delta ~breakdown ~bechamel
-    ~baseline =
+let write_json ~path ~table_times ~acceptance ~delta ~trace ~breakdown
+    ~bechamel ~baseline =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"definability-bench-6\",\n";
+  p "  \"schema\": \"definability-bench-7\",\n";
   p
     "  \"command\": \"dune exec bench/main.exe -- tables --json --out \
-     bench/BENCH_6.json --baseline bench/BENCH_5.json\",\n";
+     bench/BENCH_7.json --baseline bench/BENCH_6.json\",\n";
   (* How many hardware threads the host offers: the context needed to
      read the par-* scaling rows (d2/d4 cannot beat d1 on one core). *)
   p "  \"host_domains\": %d,\n" (Domain.recommended_domain_count ());
@@ -962,6 +1165,30 @@ let write_json ~path ~table_times ~acceptance ~delta ~breakdown ~bechamel
         r.d_repair_per_edit r.d_cold_per_edit
         (r.d_cold_per_edit /. r.d_repair_per_edit))
     delta;
+  p "  },\n";
+  p "  \"trace\": {\n";
+  p "    \"requests\": %d,\n" trace.t_requests;
+  p "    \"pool_instances\": %d,\n" trace.t_pool;
+  p "    \"zipf_s\": %.2f,\n" trace.t_zipf_s;
+  p "    \"shards\": 2,\n";
+  p "    \"fsync\": %S,\n" trace.t_fsync;
+  p "    \"store_bytes_before_compaction\": %d,\n" trace.t_store_bytes_before;
+  p "    \"store_bytes_after_compaction\": %d,\n" trace.t_store_bytes_after;
+  if trace.t_reduced then begin
+    (* A cut budget would report latencies dominated by the cold pool
+       fill and a hit rate that depends on the cut — null them, per the
+       skipped-row convention. *)
+    p "    \"hit_rate\": null,\n";
+    p "    \"p50_us\": null,\n";
+    p "    \"p99_us\": null,\n";
+    p "    \"skipped\": \"reduced trace budget (TRACE_REQUESTS=%d)\"\n"
+      trace.t_requests
+  end
+  else begin
+    p "    \"hit_rate\": %.4f,\n" trace.t_hit_rate;
+    p "    \"p50_us\": %.1f,\n" trace.t_p50_us;
+    p "    \"p99_us\": %.1f\n" trace.t_p99_us
+  end;
   p "  },\n";
   p "  \"phase_breakdown\": {\n";
   commas
@@ -1025,7 +1252,7 @@ let () =
     | _ :: rest -> opt_after key rest
     | [] -> None
   in
-  let out = Option.value ~default:"BENCH_6.json" (opt_after "--out" argv) in
+  let out = Option.value ~default:"BENCH_7.json" (opt_after "--out" argv) in
   let baseline = Option.map read_baseline (opt_after "--baseline" argv) in
   (match opt_after "--domains" argv with
   | None -> ()
@@ -1086,8 +1313,21 @@ let () =
             ])
           delta
     in
-    write_json ~path:out ~table_times ~acceptance ~delta ~breakdown ~bechamel
-      ~baseline;
+    header "trace replay (2-shard router, Zipf stream)";
+    let trace = trace_replay () in
+    Printf.printf
+      "%d requests over %d instances (zipf s=%.2f, fsync %s)\n%!"
+      trace.t_requests trace.t_pool trace.t_zipf_s trace.t_fsync;
+    if trace.t_reduced then
+      Printf.printf
+        "reduced budget (TRACE_REQUESTS): latency metrics recorded as null\n%!"
+    else
+      Printf.printf "hit rate %.4f  p50 %.1fus  p99 %.1fus\n%!"
+        trace.t_hit_rate trace.t_p50_us trace.t_p99_us;
+    Printf.printf "store bytes %d -> %d across compaction\n%!"
+      trace.t_store_bytes_before trace.t_store_bytes_after;
+    write_json ~path:out ~table_times ~acceptance ~delta ~trace ~breakdown
+      ~bechamel ~baseline;
     Printf.printf "\nwrote %s\n%!" out
   end;
   print_endline "\nbench: done."

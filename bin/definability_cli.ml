@@ -633,8 +633,20 @@ let address_arg =
           "Server address: $(b,unix:PATH), $(b,tcp:HOST:PORT), or a bare \
            path (taken as a Unix-domain socket).")
 
+let parse_shard s =
+  match String.index_opt s '/' with
+  | None -> Error "shard must be I/N (e.g. 0/2)"
+  | Some i -> (
+      match
+        ( int_of_string_opt (String.sub s 0 i),
+          int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) )
+      with
+      | Some idx, Some n when n >= 1 && idx >= 0 && idx < n -> Ok (idx, n)
+      | _ -> Error "shard must be I/N with 0 <= I < N")
+
 let serve_cmd =
-  let run addr domains fuel timeout max_inflight queue_depth cache_size =
+  let run addr domains fuel timeout max_inflight queue_depth cache_size store
+      fsync auto_compact shard =
     set_domains domains;
     let addr = address_of addr in
     if max_inflight < 1 || queue_depth < 0 || cache_size < 1 then begin
@@ -643,6 +655,23 @@ let serve_cmd =
          >= 1\n";
       exit 2
     end;
+    let fsync =
+      match Store.Log.fsync_policy_of_string fsync with
+      | Ok p -> p
+      | Error msg ->
+          Printf.eprintf "error: --fsync: %s\n" msg;
+          exit 2
+    in
+    let shard =
+      Option.map
+        (fun s ->
+          match parse_shard s with
+          | Ok sh -> sh
+          | Error msg ->
+              Printf.eprintf "error: --shard: %s\n" msg;
+              exit 2)
+        shard
+    in
     let config =
       {
         Service.Server.max_inflight;
@@ -654,6 +683,11 @@ let serve_cmd =
             Service.Server.default_config.cache with
             Service.Cache.verdict_capacity = cache_size;
           };
+        store_dir = store;
+        fsync;
+        auto_compact_bytes = auto_compact;
+        shard;
+        export_limit = Service.Server.default_config.export_limit;
       }
     in
     (* Enable telemetry for the server's lifetime so the service.*
@@ -667,9 +701,15 @@ let serve_cmd =
           (Unix.error_message e) arg;
         exit 2
     | server ->
-        Printf.eprintf "defcheck: serving on %s (inflight <= %d, queue <= %d)\n%!"
+        Printf.eprintf "defcheck: serving on %s (inflight <= %d, queue <= %d%s%s)\n%!"
           (Service.Wire.address_to_string addr)
-          max_inflight queue_depth;
+          max_inflight queue_depth
+          (match config.store_dir with
+          | Some dir -> Printf.sprintf ", store %s" dir
+          | None -> "")
+          (match config.shard with
+          | Some (i, n) -> Printf.sprintf ", shard %d/%d" i n
+          | None -> "");
         Service.Server.run server
   in
   let max_inflight_arg =
@@ -692,23 +732,74 @@ let serve_cmd =
       & info [ "cache-size" ] ~docv:"N"
           ~doc:"Verdict-cache capacity (LRU entries).")
   in
+  let store_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Durable verdict store directory (created if missing).  The \
+             store is recovered on startup — every record's certificate is \
+             re-checked — and verdicts survive restarts.")
+  in
+  let fsync_arg =
+    Arg.(
+      value & opt string "every:64"
+      & info [ "fsync" ] ~docv:"POLICY"
+          ~doc:
+            "Store durability: $(b,never), $(b,always), or $(b,every:N) \
+             (sync after every N appends).")
+  in
+  let auto_compact_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "auto-compact-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Compact the store automatically when its log outgrows this \
+             many bytes (0 = only on the $(b,compact) op).")
+  in
+  let shard_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "shard" ] ~docv:"I/N"
+          ~doc:
+            "This process's shard identity in a sharded deployment (e.g. \
+             $(b,0/2)); informational, reported in $(b,stats).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the definability server: newline-delimited JSON requests \
           over a Unix or TCP socket, verdicts answered from a \
           content-addressed cache when the same instance was decided \
-          before.  $(b,--fuel)/$(b,--timeout) set default budgets for \
+          before.  $(b,--store) adds a durable tier under the in-memory \
+          cache.  $(b,--fuel)/$(b,--timeout) set default budgets for \
           requests that carry none.")
     Term.(
       const run $ address_arg $ domains_arg $ fuel_arg $ timeout_arg
-      $ max_inflight_arg $ queue_depth_arg $ cache_size_arg)
+      $ max_inflight_arg $ queue_depth_arg $ cache_size_arg $ store_arg
+      $ fsync_arg $ auto_compact_arg $ shard_arg)
+
+let retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "connect-retries" ] ~docv:"N"
+        ~doc:
+          "Retry a refused connect up to $(docv) times with exponential \
+           backoff — covers a server that is milliseconds from binding.")
+
+let backoff_arg =
+  Arg.(
+    value & opt float 0.05
+    & info [ "retry-backoff" ] ~docv:"SECONDS"
+        ~doc:"Initial backoff between connect retries (doubles each try).")
 
 let client_cmd =
-  let run addr op paths lang k fuel timeout ms digest edit =
+  let run addr op paths lang k fuel timeout ms digest edit retries backoff =
     let addr = address_of addr in
     let conn =
-      match Service.Client.connect addr with
+      match Service.Client.connect ~retries ~backoff_s:backoff addr with
       | conn -> conn
       | exception Unix.Unix_error (e, _, _) ->
           Printf.eprintf "error: cannot connect to %s: %s\n"
@@ -757,6 +848,7 @@ let client_cmd =
         | "ping" -> exchange Service.Wire.Ping
         | "stats" -> exchange Service.Wire.Stats
         | "shutdown" -> exchange Service.Wire.Shutdown
+        | "compact" -> exchange Service.Wire.Compact
         | "sleep" -> exchange (Service.Wire.Sleep { ms })
         | "decide" ->
             need_files "decide";
@@ -805,7 +897,7 @@ let client_cmd =
         | other ->
             Printf.eprintf
               "error: unknown op %S \
-               (ping|stats|shutdown|sleep|decide|batch|delta)\n"
+               (ping|stats|shutdown|compact|sleep|decide|batch|delta)\n"
               other;
             exit 2);
         exit !worst)
@@ -816,8 +908,8 @@ let client_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"OP"
           ~doc:
-            "One of $(b,ping), $(b,stats), $(b,shutdown), $(b,sleep), \
-             $(b,decide), $(b,batch), $(b,delta).")
+            "One of $(b,ping), $(b,stats), $(b,shutdown), $(b,compact), \
+             $(b,sleep), $(b,decide), $(b,batch), $(b,delta).")
   in
   let files_arg =
     Arg.(
@@ -857,7 +949,86 @@ let client_cmd =
           overloaded.")
     Term.(
       const run $ address_arg $ op_arg $ files_arg $ lang_arg $ k_arg
-      $ fuel_arg $ timeout_arg $ ms_arg $ digest_arg $ edit_arg)
+      $ fuel_arg $ timeout_arg $ ms_arg $ digest_arg $ edit_arg $ retries_arg
+      $ backoff_arg)
+
+let route_cmd =
+  let run addr shards vnodes warm retries backoff =
+    let addr = address_of addr in
+    if shards = [] then begin
+      Printf.eprintf "error: route needs at least one shard address\n";
+      exit 2
+    end;
+    (* Shard names are positional ([shard0], [shard1], …): what feeds
+       the ring, so the order of the addresses is the placement. *)
+    let shards =
+      List.mapi (fun i a -> (Printf.sprintf "shard%d" i, address_of a)) shards
+    in
+    let config =
+      {
+        Service.Router.default_config with
+        Service.Router.vnodes;
+        connect_retries = retries;
+        retry_backoff_s = backoff;
+      }
+    in
+    Obs.enable [ Obs.Sink.Agg.sink (Obs.Sink.Agg.create ()) ];
+    match Service.Router.create ~config ~shards addr with
+    | exception Unix.Unix_error (e, _, arg) ->
+        Printf.eprintf "error: cannot listen on %s: %s (%s)\n"
+          (Service.Wire.address_to_string addr)
+          (Unix.error_message e) arg;
+        exit 2
+    | router ->
+        Printf.eprintf "defcheck: routing %s over %s\n%!"
+          (Service.Wire.address_to_string addr)
+          (String.concat ", "
+             (List.map
+                (fun (n, a) ->
+                  Printf.sprintf "%s=%s" n (Service.Wire.address_to_string a))
+                shards));
+        if warm > 0 then
+          (match Service.Router.rebalance router ~limit:warm () with
+          | Ok moved ->
+              Printf.eprintf "defcheck: warm transfer moved %d entries\n%!" moved
+          | Error msg ->
+              Printf.eprintf "warning: warm transfer failed: %s\n%!" msg);
+        Service.Router.run router
+  in
+  let shards_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"SHARD_ADDR"
+          ~doc:
+            "Shard server addresses, in ring order (same syntax as \
+             $(b,--address)).")
+  in
+  let vnodes_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "vnodes" ] ~docv:"N"
+          ~doc:"Virtual ring points per shard.")
+  in
+  let warm_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "warm" ] ~docv:"N"
+          ~doc:
+            "On startup, warm-transfer up to $(docv) hot entries per shard \
+             onto the shard the ring says owns them (0 = off) — the join \
+             path for a shard that starts empty.")
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:
+         "Run the shard router: consistent-hashes $(b,decide)/$(b,delta)/\
+          $(b,batch) requests over N running $(b,serve --shard) processes \
+          by instance digest, aggregates $(b,stats), fans out \
+          $(b,compact) and $(b,shutdown).  Responses relay the owning \
+          shard's bytes verbatim.")
+    Term.(
+      const run $ address_arg $ shards_arg $ vnodes_arg $ warm_arg
+      $ retries_arg $ backoff_arg)
 
 let main =
   Cmd.group
@@ -874,6 +1045,7 @@ let main =
       dot_cmd;
       fig1_cmd;
       serve_cmd;
+      route_cmd;
       client_cmd;
     ]
 

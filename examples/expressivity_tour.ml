@@ -16,10 +16,23 @@ module Query = Query_lang.Query
 
 let header title = Format.printf "@.== %s ==@." title
 
+let decided (o : Definability.Witness_search.outcome) =
+  match o.verdict with
+  | Definability.Witness_search.Definable -> true
+  | Definability.Witness_search.Not_definable _ -> false
+  | Definability.Witness_search.Exhausted -> failwith "search truncated"
+
+let krem_def g ~k s = decided (Definability.Rem_definability.search_k g ~k s)
+
+let ree_def g s =
+  match Definability.Ree_definability.(verdict (search g s)) with
+  | Some b -> b
+  | None -> failwith "REE closure truncated"
+
 let check g name s =
-  let rpq = Definability.Rpq_definability.is_definable g s in
-  let ree = Definability.Ree_definability.is_definable g s in
-  let rem = Definability.Rem_definability.is_definable g s in
+  let rpq = decided (Definability.Rpq_definability.search g s) in
+  let ree = ree_def g s in
+  let rem = decided (Definability.Rem_definability.search g s) in
   let uc = Definability.Ucrdpq_definability.is_definable_binary g s in
   Format.printf "%-14s RPQ:%-5b RDPQ=:%-5b RDPQmem:%-5b UCRDPQ:%-5b@." name
     rpq ree rem uc;
@@ -98,8 +111,6 @@ let () =
   header "Register hierarchy (k vs k+1 registers)";
   (* S2 again: 1 register is not enough, 2 are (Example 12's discussion). *)
   Format.printf "S2 with k=0: %b, k=1: %b, k=2: %b@."
-    (Definability.Rem_definability.is_definable_k g ~k:0 s2)
-    (Definability.Rem_definability.is_definable_k g ~k:1 s2)
-    (Definability.Rem_definability.is_definable_k g ~k:2 s2);
+    (krem_def g ~k:0 s2) (krem_def g ~k:1 s2) (krem_def g ~k:2 s2);
 
   Format.printf "@.The hierarchy RPQ ⊊ RDPQ= ⊊ RDPQmem ⊊ UCRDPQ is strict.@."

@@ -77,8 +77,13 @@ let () =
   let c = Data_graph.node_of_name g "carol"
   and e = Data_graph.node_of_name g "erin" in
   let single = Relation.of_list (Data_graph.size g) [ (c, e) ] in
-  let ree_ok = Definability.Ree_definability.is_definable g single in
-  let rem_ok = Definability.Rem_definability.is_definable g single in
+  let ree_ok =
+    Definability.Ree_definability.(verdict (search g single)) = Some true
+  in
+  let rem_ok =
+    (Definability.Rem_definability.search g single)
+      .Definability.Witness_search.verdict = Definability.Witness_search.Definable
+  in
   Format.printf "@.{(carol,erin)} RDPQ=-definable:   %b@." ree_ok;
   Format.printf "{(carol,erin)} RDPQmem-definable: %b@." rem_ok;
   assert ((not ree_ok) && not rem_ok);

@@ -53,16 +53,23 @@ let binary ?(max_k = 2) ?sample ?(seed = 0) g =
       closure;
     Relation.equal !covered s
   in
+  let decided (o : Witness_search.outcome) =
+    match o.verdict with
+    | Witness_search.Definable -> true
+    | Witness_search.Not_definable _ -> false
+    | Witness_search.Exhausted ->
+        failwith "definability search truncated; raise max_tuples"
+  in
   let counts = Array.make (max_k + 1) 0 in
   let rpq = ref 0 and ree = ref 0 and rem = ref 0 and uc = ref 0 in
   List.iter
     (fun s ->
-      if Rpq_definability.is_definable g s then incr rpq;
+      if decided (Rpq_definability.search g s) then incr rpq;
       if ree_definable s then incr ree;
-      if Rem_definability.is_definable g s then incr rem;
+      if decided (Rem_definability.search g s) then incr rem;
       if preserved s then incr uc;
       for k = 0 to max_k do
-        if Rem_definability.is_definable_k g ~k s then
+        if decided (Rem_definability.search_k g ~k s) then
           counts.(k) <- counts.(k) + 1
       done)
     relations;

@@ -169,13 +169,6 @@ let verdict r =
   else if r.truncated then None
   else Some false
 
-let force_verdict r =
-  match verdict r with
-  | Some b -> b
-  | None -> failwith "REE closure truncated; raise max_size"
-
-let is_definable ?max_size g s = force_verdict (search ?max_size g s)
-
 (* An REE with empty language: a single data value never differs from
    itself, so L(ε≠) = ∅. *)
 let empty_ree = Ree.NeqTest Ree.Eps
@@ -187,7 +180,3 @@ let union_ree = function
 let query_of_witnesses witnesses =
   let terms = List.sort_uniq compare (List.map snd witnesses) in
   union_ree (List.map Ree_term.to_ree terms)
-
-let defining_query ?max_size g s =
-  let r = search ?max_size g s in
-  if not (force_verdict r) then None else Some (query_of_witnesses r.witnesses)

@@ -20,8 +20,8 @@
 
     The uniform result type lives in {!Engine.Outcome}; dispatch through
     {!Engine.Registry} (language ["ree"], registered by {!Deciders}).
-    This module keeps the raw closure search, the witness → REE decoding,
-    and thin deprecated wrappers. *)
+    This module keeps the raw closure search and the witness → REE
+    decoding; direct callers read {!verdict} off the {!search} result. *)
 
 type search = {
   witnesses : ((int * int) * Ree_lang.Ree_term.t) list;
@@ -71,17 +71,3 @@ val union_ree : Ree_lang.Ree.t list -> Ree_lang.Ree.t
 val query_of_witnesses :
   ((int * int) * Ree_lang.Ree_term.t) list -> Ree_lang.Ree.t
 (** The union of the (deduplicated) witness terms. *)
-
-val is_definable :
-  ?max_size:int -> Datagraph.Data_graph.t -> Datagraph.Relation.t -> bool
-(** @deprecated Dispatch through {!Engine.Registry} instead.
-    @raise Failure if the closure was truncated before deciding. *)
-
-val defining_query :
-  ?max_size:int ->
-  Datagraph.Data_graph.t ->
-  Datagraph.Relation.t ->
-  Ree_lang.Ree.t option
-(** A defining REE (union of witness terms), or [None] if not definable.
-    @deprecated Dispatch through {!Engine.Registry} instead.
-    @raise Failure if the closure was truncated before deciding. *)

@@ -16,16 +16,6 @@ let search ?max_tuples ?budget g s =
 let search_delta_registers ?max_tuples ?budget g s =
   search_k ?max_tuples ?budget g ~k:(Data_graph.delta g) s
 
-let force_verdict (o : Witness_search.outcome) =
-  match o.verdict with
-  | Witness_search.Definable -> true
-  | Witness_search.Not_definable _ -> false
-  | Witness_search.Exhausted ->
-      failwith "definability search truncated; raise max_tuples"
-
-let is_definable_k ?max_tuples g ~k s = force_verdict (search_k ?max_tuples g ~k s)
-let is_definable ?max_tuples g s = force_verdict (search ?max_tuples g s)
-
 (* The REM with empty language, for defining the empty relation (the REM
    grammar has no ∅, but an unsatisfiable test provides one). *)
 let empty_rem = Rem.Test (Rem.Eps, Condition.ff)
@@ -49,19 +39,3 @@ let query_of_witnesses pg witnesses =
   in
   let distinct = List.sort_uniq compare (List.map snd witnesses) in
   union_rem (List.map rem_of_witness distinct)
-
-let defining_query_k ?max_tuples g ~k s =
-  let ag = Assignment_graph.create g ~k in
-  let o =
-    Witness_search.search ?max_tuples (Assignment_graph.config ag) ~target:s
-  in
-  if not (force_verdict o) then None
-  else Some (query_of_witnesses_k ag o.witnesses)
-
-let defining_query ?max_tuples g s =
-  let pg = Profile_graph.create g in
-  let o =
-    Witness_search.search ?max_tuples (Profile_graph.config pg) ~target:s
-  in
-  if not (force_verdict o) then None
-  else Some (query_of_witnesses pg o.witnesses)

@@ -15,8 +15,10 @@
 
     The uniform result type lives in {!Engine.Outcome}; dispatch through
     {!Engine.Registry} (languages ["rem"] / ["krem"], registered by
-    {!Deciders}).  This module keeps the raw searches, the witness → REM
-    decoding, and thin deprecated wrappers. *)
+    {!Deciders}).  This module keeps the raw searches and the
+    witness → REM decoding; direct callers read the verdict off the
+    {!Witness_search.outcome} and decode over their own
+    {!Profile_graph} / {!Assignment_graph}. *)
 
 val search_k :
   ?max_tuples:int ->
@@ -62,34 +64,3 @@ val query_of_witnesses_k :
 val query_of_witnesses :
   Profile_graph.t -> ((int * int) * string list) list -> Rem_lang.Rem.t
 (** Decode profile witnesses into a union of [e_\[w\]] (Lemma 15). *)
-
-val is_definable_k :
-  ?max_tuples:int -> Datagraph.Data_graph.t -> k:int -> Datagraph.Relation.t -> bool
-(** @deprecated Dispatch through {!Engine.Registry} instead.
-    @raise Failure if the search was truncated before deciding. *)
-
-val is_definable :
-  ?max_tuples:int -> Datagraph.Data_graph.t -> Datagraph.Relation.t -> bool
-(** @deprecated Dispatch through {!Engine.Registry} instead.
-    @raise Failure if the search was truncated before deciding. *)
-
-val defining_query_k :
-  ?max_tuples:int ->
-  Datagraph.Data_graph.t ->
-  k:int ->
-  Datagraph.Relation.t ->
-  Rem_lang.Rem.t option
-(** A defining k-REM — the union of basic k-REM witnesses (Lemma 18) —
-    or [None] if not k-definable.
-    @deprecated Dispatch through {!Engine.Registry} instead.
-    @raise Failure if the search was truncated before deciding. *)
-
-val defining_query :
-  ?max_tuples:int ->
-  Datagraph.Data_graph.t ->
-  Datagraph.Relation.t ->
-  Rem_lang.Rem.t option
-(** A defining REM — the union of [e_\[w\]] witnesses (Lemma 15) — or
-    [None] if not definable.
-    @deprecated Dispatch through {!Engine.Registry} instead.
-    @raise Failure if the search was truncated before deciding. *)

@@ -28,16 +28,3 @@ let query_of_witnesses witnesses =
   let words = List.sort_uniq compare (List.map snd witnesses) in
   Regexp.Regex.union_of (List.map Regexp.Regex.of_word words)
 
-let force_verdict (o : Witness_search.outcome) =
-  match o.verdict with
-  | Witness_search.Definable -> true
-  | Witness_search.Not_definable _ -> false
-  | Witness_search.Exhausted ->
-      failwith "definability search truncated; raise max_tuples"
-
-let is_definable ?max_tuples g s = force_verdict (search ?max_tuples g s)
-
-let defining_query ?max_tuples g s =
-  let o = search ?max_tuples g s in
-  if not (force_verdict o) then None
-  else Some (query_of_witnesses o.witnesses)

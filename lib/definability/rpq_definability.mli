@@ -11,8 +11,8 @@
 
     The uniform result type lives in {!Engine.Outcome}; dispatch through
     {!Engine.Registry} (language ["rpq"], registered by {!Deciders}).
-    This module keeps the search configuration and thin deprecated
-    wrappers for direct callers. *)
+    This module keeps the search configuration and witness decoding;
+    direct callers read the verdict off the {!Witness_search.outcome}. *)
 
 val config : Datagraph.Data_graph.t -> Witness_search.config
 (** States = nodes, blocks = letters, every node a source. *)
@@ -27,18 +27,3 @@ val search :
 val query_of_witnesses :
   ((int * int) * string list) list -> Regexp.Regex.t
 (** The union of the (deduplicated) witness words. *)
-
-val is_definable :
-  ?max_tuples:int -> Datagraph.Data_graph.t -> Datagraph.Relation.t -> bool
-(** @deprecated Dispatch through {!Engine.Registry} instead.
-    @raise Failure if the search was truncated before deciding. *)
-
-val defining_query :
-  ?max_tuples:int ->
-  Datagraph.Data_graph.t ->
-  Datagraph.Relation.t ->
-  Regexp.Regex.t option
-(** A defining regular expression (the union of witness words), or [None]
-    if not definable.
-    @deprecated Dispatch through {!Engine.Registry} instead.
-    @raise Failure if the search was truncated before deciding. *)

@@ -11,34 +11,55 @@ let verify g s expr =
   let evaluated = Query.eval g expr in
   (evaluated, Relation.equal evaluated s)
 
+(* Synthesis wants a yes/no, so a truncated search is an error here —
+   the caller asked for a query, not a maybe. *)
+let decided (o : Witness_search.outcome) =
+  match o.verdict with
+  | Witness_search.Definable -> true
+  | Witness_search.Not_definable _ -> false
+  | Witness_search.Exhausted ->
+      failwith "definability search truncated; raise max_tuples"
+
 let rpq ?max_tuples g s =
-  Option.map
-    (fun q ->
-      let query = Regexp.Regex.simplify q in
-      let evaluated, correct = verify g s (Query.Rpq query) in
-      { query; evaluated; correct })
-    (Rpq_definability.defining_query ?max_tuples g s)
+  let o = Rpq_definability.search ?max_tuples g s in
+  if not (decided o) then None
+  else
+    let query = Regexp.Regex.simplify (Rpq_definability.query_of_witnesses o.witnesses) in
+    let evaluated, correct = verify g s (Query.Rpq query) in
+    Some { query; evaluated; correct }
 
 let rem ?max_tuples g s =
-  Option.map
-    (fun q ->
-      let query = Rem_lang.Rem.simplify q in
-      let evaluated, correct = verify g s (Query.Rem query) in
-      { query; evaluated; correct })
-    (Rem_definability.defining_query ?max_tuples g s)
+  let pg = Profile_graph.create g in
+  let o = Witness_search.search ?max_tuples (Profile_graph.config pg) ~target:s in
+  if not (decided o) then None
+  else
+    let query =
+      Rem_lang.Rem.simplify (Rem_definability.query_of_witnesses pg o.witnesses)
+    in
+    let evaluated, correct = verify g s (Query.Rem query) in
+    Some { query; evaluated; correct }
 
 let rem_k ?max_tuples g ~k s =
-  Option.map
-    (fun q ->
-      let query = Rem_lang.Rem.simplify q in
-      let evaluated, correct = verify g s (Query.Rem query) in
-      { query; evaluated; correct })
-    (Rem_definability.defining_query_k ?max_tuples g ~k s)
+  let ag = Assignment_graph.create g ~k in
+  let o =
+    Witness_search.search ?max_tuples (Assignment_graph.config ag) ~target:s
+  in
+  if not (decided o) then None
+  else
+    let query =
+      Rem_lang.Rem.simplify (Rem_definability.query_of_witnesses_k ag o.witnesses)
+    in
+    let evaluated, correct = verify g s (Query.Rem query) in
+    Some { query; evaluated; correct }
 
 let ree ?max_size g s =
-  Option.map
-    (fun q ->
-      let query = Ree_lang.Ree.simplify q in
+  let r = Ree_definability.search ?max_size g s in
+  match Ree_definability.verdict r with
+  | None -> failwith "REE closure truncated; raise max_size"
+  | Some false -> None
+  | Some true ->
+      let query =
+        Ree_lang.Ree.simplify (Ree_definability.query_of_witnesses r.witnesses)
+      in
       let evaluated, correct = verify g s (Query.Ree query) in
-      { query; evaluated; correct })
-    (Ree_definability.defining_query ?max_size g s)
+      Some { query; evaluated; correct }

@@ -74,5 +74,12 @@ let lift_relation t s =
 
 let rem_definable_via_rpq ?max_tuples g s =
   let t = build g in
-  Definability.Rpq_definability.is_definable ?max_tuples t.graph
-    (lift_relation t s)
+  let o =
+    Definability.Rpq_definability.search ?max_tuples t.graph
+      (lift_relation t s)
+  in
+  match o.Definability.Witness_search.verdict with
+  | Definability.Witness_search.Definable -> true
+  | Definability.Witness_search.Not_definable _ -> false
+  | Definability.Witness_search.Exhausted ->
+      failwith "definability search truncated; raise max_tuples"

@@ -41,5 +41,5 @@ val rem_definable_via_rpq :
   ?max_tuples:int -> Datagraph.Data_graph.t -> Datagraph.Relation.t -> bool
 (** Decide RDPQ_mem-definability of [S] on [G] by RPQ-definability of
     [Ŝ] on [G_aut] — Theorem 24's bound by way of [3].  Equivalent to
-    {!Definability.Rem_definability.is_definable}; exponentially larger
+    {!Definability.Rem_definability.search}; exponentially larger
     input, so only sensible for tiny δ. *)

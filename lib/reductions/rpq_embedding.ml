@@ -1,6 +1,20 @@
 let embed g = Datagraph.Data_graph.constant_values g
 
 let agree ?max_tuples ?max_size g s =
-  let rpq = Definability.Rpq_definability.is_definable ?max_tuples g s in
-  let ree = Definability.Ree_definability.is_definable ?max_size (embed g) s in
+  let rpq =
+    match
+      (Definability.Rpq_definability.search ?max_tuples g s)
+        .Definability.Witness_search.verdict
+    with
+    | Definability.Witness_search.Definable -> true
+    | Definability.Witness_search.Not_definable _ -> false
+    | Definability.Witness_search.Exhausted ->
+        failwith "definability search truncated; raise max_tuples"
+  in
+  let ree =
+    let r = Definability.Ree_definability.search ?max_size (embed g) s in
+    match Definability.Ree_definability.verdict r with
+    | Some b -> b
+    | None -> failwith "REE closure truncated; raise max_size"
+  in
   (rpq, ree)

@@ -14,21 +14,27 @@ type config = {
 let default_config =
   { verdict_capacity = 1024; graph_capacity = 256; revalidate = true }
 
-(* The instance is stored alongside the outcome so a hit can revalidate
-   the certificate without re-validating and re-packing the problem; it
-   pins the interned graph (and its derived artifacts) for as long as
-   the verdict lives, even past graph-store eviction. *)
-type entry = { outcome : Outcome.t; inst : Instance.t }
+(* The memory tier's entry: the instance is stored alongside the outcome
+   so a hit can revalidate the certificate without re-validating and
+   re-packing the problem; it pins the interned graph (and its derived
+   artifacts) for as long as the verdict lives, even past graph-store
+   eviction.  [lang]/[k] ride along so the entry can be re-encoded for
+   the durable tier and for warm transfer without a reverse lookup. *)
+type entry = { outcome : Outcome.t; inst : Instance.t; lang : string; k : int }
 
 type t = {
   config : config;
   verdicts : entry Lru.t;
+  durable : Tier.t option;
   graphs : Data_graph.t Lru.t;
   (* Service-level statistics are plain atomics, always on: the [stats]
      protocol op must answer whether or not telemetry is enabled.  The
      Obs counters below mirror the same events for traces/benches. *)
   verdict_hits : int Atomic.t;
   verdict_misses : int Atomic.t;
+  store_hits : int Atomic.t;
+  store_misses : int Atomic.t;
+  store_drops : int Atomic.t;
   revalidation_ok : int Atomic.t;
   revalidation_failures : int Atomic.t;
   graph_hits : int Atomic.t;
@@ -39,18 +45,24 @@ type t = {
 
 let c_hit = Obs.Counter.make "service.cache.verdict_hits"
 let c_miss = Obs.Counter.make "service.cache.verdict_misses"
+let c_store_hit = Obs.Counter.make "service.cache.store_hits"
+let c_store_miss = Obs.Counter.make "service.cache.store_misses"
 let c_reval_ok = Obs.Counter.make "service.cache.revalidation_ok"
 let c_reval_fail = Obs.Counter.make "service.cache.revalidation_failures"
 let c_graph_hit = Obs.Counter.make "service.cache.graph_hits"
 let c_graph_miss = Obs.Counter.make "service.cache.graph_misses"
 
-let create ?(config = default_config) () =
+let create ?(config = default_config) ?durable () =
   {
     config;
     verdicts = Lru.create ~capacity:config.verdict_capacity;
+    durable;
     graphs = Lru.create ~capacity:config.graph_capacity;
     verdict_hits = Atomic.make 0;
     verdict_misses = Atomic.make 0;
+    store_hits = Atomic.make 0;
+    store_misses = Atomic.make 0;
+    store_drops = Atomic.make 0;
     revalidation_ok = Atomic.make 0;
     revalidation_failures = Atomic.make 0;
     graph_hits = Atomic.make 0;
@@ -58,6 +70,11 @@ let create ?(config = default_config) () =
     repair_hits = Atomic.make 0;
     repair_misses = Atomic.make 0;
   }
+
+let durable t = t.durable
+
+let close t =
+  match t.durable with None -> () | Some d -> Tier.close d
 
 let bump a c =
   ignore (Atomic.fetch_and_add a 1);
@@ -84,6 +101,46 @@ let cacheable (o : Outcome.t) =
   | Outcome.Definable _ | Outcome.Not_definable _ -> true
   | Outcome.Unknown _ -> false
 
+(* Write-through: the memory tier serves the hot set, the durable tier
+   (when configured) makes the verdict survive eviction and restart. *)
+let store t key (e : entry) =
+  Lru.put t.verdicts key e;
+  match t.durable with
+  | None -> ()
+  | Some d ->
+      Obs.Span.with_ "service.cache.store_put" @@ fun () ->
+      Tier.put d key { Tier.lang = e.lang; k = e.k; inst = e.inst; outcome = e.outcome }
+
+(* Promote a durable record into the memory tier.  The decoded entry
+   carries its own rebuilt instance; nothing above needs to know the
+   verdict crossed a disk boundary. *)
+let find_durable t key =
+  match t.durable with
+  | None -> None
+  | Some d -> (
+      match Obs.Span.with_ "service.cache.store_find" (fun () -> Tier.find d key) with
+      | None ->
+          bump t.store_misses c_store_miss;
+          None
+      | Some { Tier.lang; k; inst; outcome } ->
+          bump t.store_hits c_store_hit;
+          let e = { outcome; inst; lang; k } in
+          Lru.put t.verdicts key e;
+          Some e)
+
+let find_entry t key =
+  match Lru.find t.verdicts key with
+  | Some _ as s -> s
+  | None -> find_durable t key
+
+let drop t key =
+  Lru.remove t.verdicts key;
+  match t.durable with
+  | None -> ()
+  | Some d ->
+      ignore (Atomic.fetch_and_add t.store_drops 1);
+      Tier.remove d key
+
 let decide_keyed t ?fuel ?deadline_s ?(k = 1) ~lang g s =
   let gkey, ikey =
     Obs.Span.with_ "service.cache.hash" @@ fun () ->
@@ -99,12 +156,12 @@ let decide_keyed t ?fuel ?deadline_s ?(k = 1) ~lang g s =
         match Registry.decide ~budget ~params:{ Registry.k } ~lang inst with
         | Error _ as e -> e
         | Ok outcome ->
-            if cacheable outcome then Lru.put t.verdicts ikey { outcome; inst };
+            if cacheable outcome then store t ikey { outcome; inst; lang; k };
             Ok (outcome, `Miss, ikey))
   in
-  match Lru.find t.verdicts ikey with
+  match find_entry t ikey with
   | None -> serve_miss ()
-  | Some { outcome; inst } -> (
+  | Some { outcome; inst; _ } -> (
       let revalidated =
         if not t.config.revalidate then Ok `Unchecked
         else
@@ -122,10 +179,11 @@ let decide_keyed t ?fuel ?deadline_s ?(k = 1) ~lang g s =
           bump t.verdict_hits c_hit;
           Ok (outcome, `Hit, ikey)
       | Error _ ->
-          (* A poisoned or stale entry: drop it and recompute instead of
-             serving a certificate that no longer checks. *)
+          (* A poisoned or stale entry: drop it (from both tiers) and
+             recompute instead of serving a certificate that no longer
+             checks. *)
           bump t.revalidation_failures c_reval_fail;
-          Lru.remove t.verdicts ikey;
+          drop t ikey;
           serve_miss ())
 
 let decide t ?fuel ?deadline_s ?k ~lang g s =
@@ -133,8 +191,7 @@ let decide t ?fuel ?deadline_s ?k ~lang g s =
   | Error _ as e -> e
   | Ok (outcome, origin, _key) -> Ok (outcome, origin)
 
-let find_instance t key =
-  Option.map (fun e -> e.inst) (Lru.find t.verdicts key)
+let find_instance t key = Option.map (fun e -> e.inst) (find_entry t key)
 
 type delta_outcome = {
   outcome : Outcome.t;
@@ -147,14 +204,14 @@ type delta_outcome = {
    (delta.repair_hit / delta.repair_miss); the atomics here are the
    always-on copies the [stats] op reads. *)
 let apply_edit t ?fuel ?deadline_s ?(k = 1) ~lang ~key edit =
-  match Lru.find t.verdicts key with
+  match find_entry t key with
   | None ->
       Error
         (Printf.sprintf
            "unknown instance digest %s (cold-decide it first; it may also have \
             been evicted)"
            key)
-  | Some { outcome = prev; inst } -> (
+  | Some { outcome = prev; inst; _ } -> (
       let budget = Budget.create ?fuel ?deadline_s () in
       match
         Engine.Delta.decide_delta ~budget ~params:{ Registry.k } ~lang ~prev
@@ -171,7 +228,7 @@ let apply_edit t ?fuel ?deadline_s ?(k = 1) ~lang ~key edit =
              without re-canonicalizing the graph. *)
           let key' = Content_hash.chain_key ~parent:key edit in
           if cacheable outcome then
-            Lru.put t.verdicts key' { outcome; inst = inst' };
+            store t key' { outcome; inst = inst'; lang; k };
           Ok { outcome; inst = inst'; key = key'; repaired })
 
 let insert t ?(k = 1) ~lang g s outcome =
@@ -179,24 +236,50 @@ let insert t ?(k = 1) ~lang g s outcome =
   match Instance.create g s with
   | Error _ as e -> e
   | Ok inst ->
-      Lru.put t.verdicts
-        (Content_hash.instance_key ~lang ~k g s)
-        { outcome; inst };
+      store t (Content_hash.instance_key ~lang ~k g s) { outcome; inst; lang; k };
+      Ok ()
+
+(* Warm transfer: the most recently used memory-tier entries, encoded in
+   the tier record format (hex on the wire).  [import] is the mirror —
+   decode, certificate-check, and write through both tiers, so a
+   transferred entry is indistinguishable from a locally decided one. *)
+let export_hot t ~limit =
+  List.map
+    (fun (key, (e : entry)) ->
+      ( key,
+        Tier.encode
+          { Tier.lang = e.lang; k = e.k; inst = e.inst; outcome = e.outcome } ))
+    (Lru.hot t.verdicts limit)
+
+let import t ~key raw =
+  match Tier.decode ~check:true raw with
+  | Error _ as e -> e
+  | Ok { Tier.lang; k; inst; outcome } ->
+      store t key { outcome; inst; lang; k };
       Ok ()
 
 let stats t =
+  let tier =
+    match t.durable with
+    | None -> []
+    | Some d -> List.map (fun (k, v) -> ("store_" ^ k, v)) (Tier.stats d)
+  in
   List.sort compare
-    [
-      ("verdict_hits", Atomic.get t.verdict_hits);
-      ("verdict_misses", Atomic.get t.verdict_misses);
-      ("revalidation_ok", Atomic.get t.revalidation_ok);
-      ("revalidation_failures", Atomic.get t.revalidation_failures);
-      ("graph_hits", Atomic.get t.graph_hits);
-      ("graph_misses", Atomic.get t.graph_misses);
-      ("delta_repair_hits", Atomic.get t.repair_hits);
-      ("delta_repair_misses", Atomic.get t.repair_misses);
-      ("verdict_size", Lru.length t.verdicts);
-      ("graph_size", Lru.length t.graphs);
-      ("verdict_evictions", Lru.evictions t.verdicts);
-      ("graph_evictions", Lru.evictions t.graphs);
-    ]
+    ([
+       ("verdict_hits", Atomic.get t.verdict_hits);
+       ("verdict_misses", Atomic.get t.verdict_misses);
+       ("store_hits", Atomic.get t.store_hits);
+       ("store_misses", Atomic.get t.store_misses);
+       ("store_drops", Atomic.get t.store_drops);
+       ("revalidation_ok", Atomic.get t.revalidation_ok);
+       ("revalidation_failures", Atomic.get t.revalidation_failures);
+       ("graph_hits", Atomic.get t.graph_hits);
+       ("graph_misses", Atomic.get t.graph_misses);
+       ("delta_repair_hits", Atomic.get t.repair_hits);
+       ("delta_repair_misses", Atomic.get t.repair_misses);
+       ("verdict_size", Lru.length t.verdicts);
+       ("graph_size", Lru.length t.graphs);
+       ("verdict_evictions", Lru.evictions t.verdicts);
+       ("graph_evictions", Lru.evictions t.graphs);
+     ]
+    @ tier)

@@ -1,4 +1,6 @@
-(** The cross-request result cache: the heart of the service.
+(** The cross-request result cache: the heart of the service — a
+    {b memory tier} (LRU) layered over an optional {b durable tier}
+    ({!Tier}, backed by {!Store.Log}).
 
     Two LRU stores, both keyed by {!Content_hash} digests:
 
@@ -24,6 +26,15 @@
     budget and are never cached, so a later request with more fuel is
     not short-changed by an earlier timeout.
 
+    {b Tiering.}  With a durable tier, every cacheable verdict is
+    written through to the store, and a memory miss probes the store
+    before deciding: a durable hit is promoted into the LRU (rebuilding
+    its instance from the stored text), revalidated exactly like a
+    memory hit, and reported as a [`Hit] — callers cannot tell which
+    tier served it, only the [store_hits] counter can.  An entry that
+    fails revalidation is dropped from {e both} tiers and recomputed.
+    Without a durable tier the cache behaves exactly as before.
+
     Node {e names} are not part of the cache key (see {!Content_hash}),
     and outcomes carry node indices, not names — render a cached outcome
     with the requesting graph and the response shows the requester's
@@ -47,7 +58,15 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> unit -> t
+val create : ?config:config -> ?durable:Tier.t -> unit -> t
+(** [durable] plugs in the persistent tier; the cache takes ownership
+    (see {!close}). *)
+
+val durable : t -> Tier.t option
+
+val close : t -> unit
+(** Sync and close the durable tier, if any.  The memory tier needs no
+    teardown. *)
 
 val decide :
   t ->
@@ -123,11 +142,24 @@ val insert :
     outcome is stored unconditionally, so revalidation on the next hit
     is what stands between a bogus seed and the caller. *)
 
+val export_hot : t -> limit:int -> (string * string) list
+(** The (at most [limit]) most recently used memory-tier entries,
+    most-recent first, each as [(digest, encoded record)] in the
+    {!Tier} codec — the payload of a warm transfer. *)
+
+val import : t -> key:string -> string -> (unit, string) result
+(** Admit one encoded record (from {!export_hot}, possibly via another
+    process): decode, re-check its certificate, and write it through
+    both tiers.  [Error] on a record that does not validate — a corrupt
+    or hostile transfer is refused, never stored. *)
+
 val stats : t -> (string * int) list
 (** Monotone counters and current sizes, sorted by name:
-    [verdict_hits], [verdict_misses], [revalidation_ok],
-    [revalidation_failures], [graph_hits], [graph_misses],
-    [delta_repair_hits], [delta_repair_misses], [verdict_size],
-    [graph_size], [verdict_evictions], [graph_evictions].  Counted
-    internally (always on, independent of [Obs]); the same events are
-    mirrored to [Obs.Counter]s for traces and bench breakdowns. *)
+    [verdict_hits], [verdict_misses], [store_hits], [store_misses],
+    [store_drops], [revalidation_ok], [revalidation_failures],
+    [graph_hits], [graph_misses], [delta_repair_hits],
+    [delta_repair_misses], [verdict_size], [graph_size],
+    [verdict_evictions], [graph_evictions] — plus, with a durable tier,
+    {!Tier.stats} prefixed [store_].  Counted internally (always on,
+    independent of [Obs]); the same events are mirrored to
+    [Obs.Counter]s for traces and bench breakdowns. *)

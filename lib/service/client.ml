@@ -5,21 +5,9 @@ type t = {
   mutable closed : bool;
 }
 
-let sockaddr_of = function
-  | Wire.Unix_sock path -> Unix.ADDR_UNIX path
-  | Wire.Tcp (host, port) ->
-      let inet =
-        match Unix.inet_addr_of_string host with
-        | addr -> addr
-        | exception Failure _ -> (
-            match Unix.gethostbyname host with
-            | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
-                failwith ("cannot resolve host " ^ host)
-            | h -> h.Unix.h_addr_list.(0))
-      in
-      Unix.ADDR_INET (inet, port)
+let sockaddr_of = Wire.sockaddr_of
 
-let connect addr =
+let connect_once addr =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let domain =
     match addr with
@@ -37,6 +25,28 @@ let connect addr =
     oc = Unix.out_channel_of_descr fd;
     closed = false;
   }
+
+(* A refused connect usually means the server is a few ms from binding
+   (shard startup, restart-after-kill), not that it is gone: the listed
+   errors are the transient ones, anything else propagates at once. *)
+let transient = function
+  | Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ENOENT | Unix.ETIMEDOUT
+  | Unix.EAGAIN ->
+      true
+  | _ -> false
+
+let connect ?(retries = 0) ?(backoff_s = 0.05) addr =
+  let rec attempt left delay =
+    match connect_once addr with
+    | t -> t
+    | exception (Unix.Unix_error (e, _, _) as exn) when transient e ->
+        if left <= 0 then raise exn
+        else begin
+          Thread.delay delay;
+          attempt (left - 1) (delay *. 2.)
+        end
+  in
+  attempt retries backoff_s
 
 let request_raw t line =
   if t.closed then Error "connection closed"
@@ -68,6 +78,6 @@ let close t =
     try close_out t.oc with _ -> ()
   end
 
-let with_connection addr f =
-  let t = connect addr in
+let with_connection ?retries ?backoff_s addr f =
+  let t = connect ?retries ?backoff_s addr in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

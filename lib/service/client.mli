@@ -10,8 +10,14 @@
 
 type t
 
-val connect : Wire.address -> t
-(** @raise Unix.Unix_error when the server is not reachable. *)
+val connect : ?retries:int -> ?backoff_s:float -> Wire.address -> t
+(** Connect, retrying a {e transient} refusal (ECONNREFUSED, ENOENT of
+    a not-yet-bound Unix socket, ECONNRESET, ETIMEDOUT) up to [retries]
+    times (default 0: single attempt) with exponential backoff starting
+    at [backoff_s] (default 0.05 s, doubling each attempt) — so a
+    client racing a server that is milliseconds from binding waits
+    instead of dying.  Non-transient errors propagate immediately.
+    @raise Unix.Unix_error when the server stays unreachable. *)
 
 val request : t -> Wire.request -> (Json.t, string) result
 (** Send the request, block for the response line, parse it.  [Error]
@@ -27,5 +33,6 @@ val request_raw : t -> string -> (string, string) result
 val close : t -> unit
 (** Idempotent. *)
 
-val with_connection : Wire.address -> (t -> 'a) -> 'a
+val with_connection :
+  ?retries:int -> ?backoff_s:float -> Wire.address -> (t -> 'a) -> 'a
 (** [connect], run, [close] (also on exceptions). *)

@@ -65,6 +65,15 @@ let put t k v =
 
 let remove t k = locked t (fun () -> Hashtbl.remove t.table k)
 
+let hot t n =
+  locked t (fun () ->
+      let all =
+        Hashtbl.fold (fun k e acc -> (e.stamp, k, e.value) :: acc) t.table []
+      in
+      let sorted = List.sort (fun (a, _, _) (b, _, _) -> compare b a) all in
+      List.filteri (fun i _ -> i < n) sorted
+      |> List.map (fun (_, k, v) -> (k, v)))
+
 let clear t =
   locked t (fun () ->
       Hashtbl.reset t.table;

@@ -28,6 +28,10 @@ val remove : 'a t -> string -> unit
 (** Drop an entry (no-op when absent) — used when a cached verdict fails
     revalidation. *)
 
+val hot : 'a t -> int -> (string * 'a) list
+(** The (at most) [n] most recently used bindings, most-recent first,
+    without touching recency — the warm-transfer export set. *)
+
 val evictions : 'a t -> int
 (** How many entries capacity pressure has pushed out so far. *)
 

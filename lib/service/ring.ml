@@ -1,0 +1,37 @@
+type t = {
+  (* Ring points sorted by point digest; binary search finds the first
+     point at or after a key's digest (wrapping to [0]). *)
+  points : (string * string) array;
+  names : string list;
+}
+
+let create ?(vnodes = 64) names =
+  if names = [] then invalid_arg "Service.Ring.create: no shards";
+  if vnodes < 1 then invalid_arg "Service.Ring.create: vnodes must be >= 1";
+  if List.length (List.sort_uniq compare names) <> List.length names then
+    invalid_arg "Service.Ring.create: duplicate shard names";
+  let points =
+    List.concat_map
+      (fun name ->
+        List.init vnodes (fun i ->
+            (Digest.to_hex (Digest.string (Printf.sprintf "%s#%d" name i)), name)))
+      names
+    |> Array.of_list
+  in
+  Array.sort compare points;
+  { points; names }
+
+let shards t = t.names
+
+let shard t key =
+  let h = Digest.to_hex (Digest.string key) in
+  let n = Array.length t.points in
+  (* Smallest index whose point is >= h; n when every point is < h. *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if fst t.points.(mid) < h then search (mid + 1) hi else search lo mid
+  in
+  let i = search 0 n in
+  snd t.points.(if i = n then 0 else i)

@@ -1,0 +1,28 @@
+(** A consistent-hash ring over shard names.
+
+    Placement for the sharded service: a digest maps to the shard owning
+    the first ring point clockwise of the digest's own point.  Each
+    shard contributes [vnodes] virtual points (MD5 of ["name#i"]), which
+    spreads load evenly and — the reason to prefer a ring over
+    [hash mod n] — moves only ~[1/n] of the key space when a shard joins
+    or leaves, so a topology change invalidates a sliver of each store,
+    not all of them.
+
+    Soundness needs nothing from the ring: placement only decides {e
+    which} store may hold a digest, and every stored record is
+    certificate-checked before it is served.  A router and its shards
+    merely have to agree on the shard list (order-insensitive: points
+    are sorted). *)
+
+type t
+
+val create : ?vnodes:int -> string list -> t
+(** [create names] builds the ring ([vnodes] defaults to 64 per shard).
+    @raise Invalid_argument on an empty or duplicate-bearing list. *)
+
+val shards : t -> string list
+(** The shard names, in the order given to {!create}. *)
+
+val shard : t -> string -> string
+(** [shard t key] — the owning shard of [key] (any string; it is hashed
+    onto the ring, so already-uniform digests need no special case). *)

@@ -1,0 +1,490 @@
+module Graph_io = Datagraph.Graph_io
+
+type config = {
+  vnodes : int;
+  chain_capacity : int;
+  connect_retries : int;
+  retry_backoff_s : float;
+}
+
+let default_config =
+  { vnodes = 64; chain_capacity = 4096; connect_retries = 20; retry_backoff_s = 0.05 }
+
+type t = {
+  config : config;
+  shards : (string * Wire.address) list;
+  ring : Ring.t;
+  chain : string Lru.t;  (* chained digest -> shard name *)
+  addr : Wire.address;
+  listen_fd : Unix.file_descr;
+  started_s : float;
+  n_requests : int Atomic.t;
+  n_forwarded : int Atomic.t;
+  n_forward_errors : int Atomic.t;
+  n_rebalanced : int Atomic.t;
+  stop : bool Atomic.t;
+}
+
+let c_forwarded = Obs.Counter.make "service.router.forwarded"
+
+let create ?(config = default_config) ~shards addr =
+  if shards = [] then invalid_arg "Service.Router.create: no shards";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listen_fd =
+    match addr with
+    | Wire.Unix_sock path ->
+        if Sys.file_exists path then (try Unix.unlink path with _ -> ());
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        fd
+    | Wire.Tcp _ ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Wire.sockaddr_of addr);
+        fd
+  in
+  Unix.listen listen_fd 64;
+  {
+    config;
+    shards;
+    ring = Ring.create ~vnodes:config.vnodes (List.map fst shards);
+    chain = Lru.create ~capacity:config.chain_capacity;
+    addr;
+    listen_fd;
+    started_s = Unix.gettimeofday ();
+    n_requests = Atomic.make 0;
+    n_forwarded = Atomic.make 0;
+    n_forward_errors = Atomic.make 0;
+    n_rebalanced = Atomic.make 0;
+    stop = Atomic.make false;
+  }
+
+let address t = t.addr
+let shard_names t = List.map fst t.shards
+let shard_addr t name = List.assoc name t.shards
+
+let shard_of_digest t digest =
+  match Lru.find t.chain digest with
+  | Some name -> name
+  | None -> Ring.shard t.ring digest
+
+let incr a = ignore (Atomic.fetch_and_add a 1)
+
+(* ------------------------------------------------------------------ *)
+(* Per-incoming-connection shard connections: opened lazily (with
+   retry, so a still-binding shard is waited for), dropped on transport
+   failure so the next request reconnects. *)
+
+type conns = (string, Client.t) Hashtbl.t
+
+let get_conn t (conns : conns) name =
+  match Hashtbl.find_opt conns name with
+  | Some c -> c
+  | None ->
+      let c =
+        Client.connect ~retries:t.config.connect_retries
+          ~backoff_s:t.config.retry_backoff_s (shard_addr t name)
+      in
+      Hashtbl.replace conns name c;
+      c
+
+let drop_conn (conns : conns) name =
+  match Hashtbl.find_opt conns name with
+  | Some c ->
+      Client.close c;
+      Hashtbl.remove conns name
+  | None -> ()
+
+(* Forward one pre-rendered line to a shard, returning the raw response
+   line.  One reconnect-and-retry on a transport error: the shard may
+   have restarted since this connection was opened. *)
+let forward t conns name line =
+  let once () =
+    match Client.request_raw (get_conn t conns name) line with
+    | Ok _ as ok ->
+        incr t.n_forwarded;
+        Obs.Counter.incr c_forwarded;
+        ok
+    | Error msg ->
+        drop_conn conns name;
+        Error msg
+    | exception Unix.Unix_error (e, _, _) ->
+        drop_conn conns name;
+        Error (Unix.error_message e)
+  in
+  match once () with
+  | Ok _ as ok -> ok
+  | Error _ -> (
+      match once () with
+      | Ok _ as ok -> ok
+      | Error msg ->
+          incr t.n_forward_errors;
+          Error (Printf.sprintf "shard %s unreachable: %s" name msg))
+
+let respond oc fields =
+  output_string oc (Wire.json_obj fields);
+  output_char oc '\n';
+  flush oc
+
+let relay oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+let error_fields op msg =
+  [
+    ("op", Wire.json_string op);
+    ("status", Wire.json_string "error");
+    ("error", Wire.json_string msg);
+  ]
+
+let ok op rest =
+  ("op", Wire.json_string op) :: ("status", Wire.json_string "ok") :: rest
+
+(* ------------------------------------------------------------------ *)
+
+let stats t =
+  List.sort compare
+    [
+      ("chain_entries", Lru.length t.chain);
+      ("forward_errors", Atomic.get t.n_forward_errors);
+      ("forwarded", Atomic.get t.n_forwarded);
+      ("rebalanced", Atomic.get t.n_rebalanced);
+      ("requests", Atomic.get t.n_requests);
+      ("shards", List.length t.shards);
+      ("uptime_s", int_of_float (Unix.gettimeofday () -. t.started_s));
+    ]
+
+(* Remember where a delta response's chained digest lives, so the next
+   step of the edit stream goes back to the same shard. *)
+let note_chained t name line =
+  match Json.parse line with
+  | Error _ -> ()
+  | Ok j -> (
+      match
+        (Option.bind (Json.member "status" j) Json.to_str,
+         Option.bind (Json.member "digest" j) Json.to_str)
+      with
+      | Some "ok", Some digest -> Lru.put t.chain digest name
+      | _ -> ())
+
+let handle_decide t conns oc line ~lang ~k ~instance =
+  match Graph_io.instance_of_string instance with
+  | Error msg -> respond oc (error_fields "decide" ("instance: " ^ msg))
+  | Ok (g, s) -> (
+      let digest =
+        Content_hash.instance_key ~lang ~k:(Option.value k ~default:1) g s
+      in
+      match forward t conns (shard_of_digest t digest) line with
+      | Ok reply -> relay oc reply
+      | Error msg -> respond oc (error_fields "decide" msg))
+
+let handle_delta t conns oc line ~digest =
+  let name = shard_of_digest t digest in
+  match forward t conns name line with
+  | Ok reply ->
+      note_chained t name reply;
+      relay oc reply
+  | Error msg -> respond oc (error_fields "delta" msg)
+
+(* Split a batch by placement, forward the sub-batches, reassemble in
+   request order.  Items are re-rendered from parsed JSON (string and
+   null fields only, so the verdict blocks survive verbatim); a
+   sub-batch failure turns into per-item error objects rather than
+   failing the whole batch. *)
+let handle_batch t conns oc ~lang ~k ~fuel ~timeout_s ~instances =
+  let t0 = Unix.gettimeofday () in
+  let placed =
+    List.mapi
+      (fun i text ->
+        let digest =
+          match Graph_io.instance_of_string text with
+          | Ok (g, s) ->
+              Some (Content_hash.instance_key ~lang ~k:(Option.value k ~default:1) g s)
+          | Error _ -> None
+        in
+        (* Unparsable instances still go to a shard (the first), whose
+           decide_one renders the error object for them. *)
+        let name =
+          match digest with
+          | Some d -> shard_of_digest t d
+          | None -> fst (List.hd t.shards)
+        in
+        (i, name, text))
+      instances
+  in
+  let by_shard = Hashtbl.create 8 in
+  List.iter
+    (fun (i, name, text) ->
+      let prev = Option.value (Hashtbl.find_opt by_shard name) ~default:[] in
+      Hashtbl.replace by_shard name ((i, text) :: prev))
+    placed;
+  let results = Array.make (List.length instances) "{}" in
+  Hashtbl.iter
+    (fun name items ->
+      let items = List.rev items in
+      let sub =
+        Wire.request_to_string
+          (Wire.Batch
+             { lang; k; fuel; timeout_s; instances = List.map snd items })
+      in
+      let fill_errors msg =
+        List.iter
+          (fun (i, _) ->
+            results.(i) <-
+              Wire.json_obj [ ("error", Wire.json_string msg) ])
+          items
+      in
+      match forward t conns name sub with
+      | Error msg -> fill_errors msg
+      | Ok reply -> (
+          match
+            Option.bind
+              (Result.to_option (Json.parse reply))
+              (fun j -> Option.bind (Json.member "results" j) Json.to_list)
+          with
+          | Some objs when List.length objs = List.length items ->
+              List.iter2
+                (fun (i, _) obj -> results.(i) <- Json.to_string obj)
+                items objs
+          | Some _ | None ->
+              fill_errors (Printf.sprintf "shard %s: malformed batch reply" name)))
+    by_shard;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  respond oc
+    (ok "batch"
+       [
+         ("results", Wire.json_list (Array.to_list results));
+         ( "service",
+           Wire.json_obj
+             [
+               ("queue_wait_s", Printf.sprintf "%.6f" 0.);
+               ("wall_s", Printf.sprintf "%.6f" wall_s);
+             ] );
+       ])
+
+(* Fan an op out to every shard; [combine] renders the response from
+   the per-shard raw replies. *)
+let fan_out t conns line =
+  List.map (fun (name, _) -> (name, forward t conns name line)) t.shards
+
+let handle_stats t conns oc line =
+  let replies = fan_out t conns line in
+  let totals = Hashtbl.create 32 in
+  let per_shard =
+    List.map
+      (fun (name, reply) ->
+        let fields =
+          match reply with
+          | Error msg -> [ ("error", Wire.json_string msg) ]
+          | Ok raw -> (
+              match
+                Option.bind
+                  (Result.to_option (Json.parse raw))
+                  (Json.member "stats")
+              with
+              | Some (Json.Obj kvs) ->
+                  List.filter_map
+                    (fun (k, v) ->
+                      match Json.to_int v with
+                      | Some n ->
+                          Hashtbl.replace totals k
+                            (n + Option.value (Hashtbl.find_opt totals k) ~default:0);
+                          Some (k, string_of_int n)
+                      | None -> None)
+                    kvs
+              | _ -> [ ("error", Wire.json_string "malformed stats reply") ])
+        in
+        (name, Wire.json_obj fields))
+      replies
+  in
+  let aggregated =
+    Hashtbl.fold (fun k v acc -> (k, string_of_int v) :: acc) totals []
+    |> List.sort compare
+  in
+  respond oc
+    (ok "stats"
+       [
+         ("stats", Wire.json_obj aggregated);
+         ("shards", Wire.json_obj per_shard);
+         ( "router",
+           Wire.json_obj
+             (List.map (fun (k, v) -> (k, string_of_int v)) (stats t)) );
+       ])
+
+let handle_compact t conns oc line =
+  let replies = fan_out t conns line in
+  let per_shard =
+    List.map
+      (fun (name, reply) ->
+        ( name,
+          match reply with
+          | Ok raw -> raw
+          | Error msg -> Wire.json_obj (error_fields "compact" msg) ))
+      replies
+  in
+  respond oc (ok "compact" [ ("shards", Wire.json_obj per_shard) ])
+
+let initiate_stop t =
+  if not (Atomic.exchange t.stop true) then
+    try
+      let fd =
+        Unix.socket
+          (match t.addr with
+          | Wire.Unix_sock _ -> Unix.PF_UNIX
+          | Wire.Tcp _ -> Unix.PF_INET)
+          Unix.SOCK_STREAM 0
+      in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with _ -> ())
+        (fun () ->
+          let addr =
+            match t.addr with
+            | Wire.Tcp (_, port) ->
+                Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+            | a -> Wire.sockaddr_of a
+          in
+          Unix.connect fd addr)
+    with _ -> ()
+
+let shutdown t = initiate_stop t
+
+let handle_shutdown t conns oc line =
+  (* Every shard drains before the router answers: when the response
+     arrives, no in-flight work exists anywhere in the topology. *)
+  let _ = fan_out t conns line in
+  respond oc (ok "shutdown" [ ("drained", "true") ]);
+  initiate_stop t
+
+let handle_request t conns oc line =
+  incr t.n_requests;
+  match Wire.request_of_string line with
+  | Error msg -> respond oc (error_fields "unknown" msg)
+  | Ok Wire.Ping -> respond oc (ok "ping" [ ("role", Wire.json_string "router") ])
+  | Ok Wire.Stats -> handle_stats t conns oc line
+  | Ok Wire.Shutdown -> handle_shutdown t conns oc line
+  | Ok (Wire.Sleep _) -> (
+      match forward t conns (fst (List.hd t.shards)) line with
+      | Ok reply -> relay oc reply
+      | Error msg -> respond oc (error_fields "sleep" msg))
+  | Ok (Wire.Decide { lang; k; instance; _ }) ->
+      handle_decide t conns oc line ~lang ~k ~instance
+  | Ok (Wire.Batch { lang; k; fuel; timeout_s; instances }) ->
+      handle_batch t conns oc ~lang ~k ~fuel ~timeout_s ~instances
+  | Ok (Wire.Delta { digest; _ }) -> handle_delta t conns oc line ~digest
+  | Ok Wire.Compact -> handle_compact t conns oc line
+  | Ok (Wire.Export _ | Wire.Import _) ->
+      respond oc
+        (error_fields "export"
+           "shard-direct op (connect to a shard, not the router)")
+
+let handle_conn t fd =
+  let conns : conns = Hashtbl.create 8 in
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _) -> ()
+    | line when String.trim line = "" -> loop ()
+    | line ->
+        (match
+           Obs.Span.with_ "service.route" (fun () -> handle_request t conns oc line)
+         with
+        | () -> ()
+        | exception (Sys_error _ | Unix.Unix_error _) -> raise Exit
+        | exception e ->
+            respond oc
+              (error_fields "unknown" ("internal: " ^ Printexc.to_string e)));
+        loop ()
+  in
+  (try loop () with Exit | Sys_error _ | Unix.Unix_error _ -> ());
+  Hashtbl.iter (fun _ c -> Client.close c) conns;
+  try close_out oc with _ -> ()
+
+let run t =
+  let rec loop () =
+    if not (Atomic.get t.stop) then
+      match Unix.accept t.listen_fd with
+      | fd, _ ->
+          if Atomic.get t.stop then (try Unix.close fd with _ -> ())
+          else ignore (Thread.create (handle_conn t) fd);
+          loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> loop ()
+      | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+          if Atomic.get t.stop then () else loop ()
+  in
+  loop ();
+  (try Unix.close t.listen_fd with _ -> ());
+  match t.addr with
+  | Wire.Unix_sock path -> ( try Unix.unlink path with _ -> ())
+  | Wire.Tcp _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Warm transfer. *)
+
+let rebalance t ?(limit = 64) () =
+  let conns : conns = Hashtbl.create 8 in
+  Fun.protect
+    ~finally:(fun () -> Hashtbl.iter (fun _ c -> Client.close c) conns)
+    (fun () ->
+      let ( let* ) = Result.bind in
+      (* Collect every shard's hot set. *)
+      let* exported =
+        List.fold_left
+          (fun acc (name, _) ->
+            let* acc = acc in
+            let* raw =
+              forward t conns name
+                (Wire.request_to_string (Wire.Export { limit = Some limit }))
+            in
+            let* j =
+              Result.map_error (fun m -> "export reply: " ^ m) (Json.parse raw)
+            in
+            let entries =
+              match Option.bind (Json.member "entries" j) Json.to_list with
+              | None -> []
+              | Some items ->
+                  List.filter_map
+                    (fun item ->
+                      match
+                        (Option.bind (Json.member "digest" item) Json.to_str,
+                         Option.bind (Json.member "payload" item) Json.to_str)
+                      with
+                      | Some d, Some p -> Some (name, d, p)
+                      | _ -> None)
+                    items
+            in
+            Ok (entries @ acc))
+          (Ok []) t.shards
+      in
+      (* Ship each misplaced entry to its ring owner. *)
+      let by_owner = Hashtbl.create 8 in
+      List.iter
+        (fun (source, digest, payload) ->
+          let owner = shard_of_digest t digest in
+          if owner <> source then begin
+            let prev =
+              Option.value (Hashtbl.find_opt by_owner owner) ~default:[]
+            in
+            Hashtbl.replace by_owner owner ((digest, payload) :: prev)
+          end)
+        exported;
+      Hashtbl.fold
+        (fun owner entries acc ->
+          let* moved = acc in
+          let* raw =
+            forward t conns owner
+              (Wire.request_to_string (Wire.Import { entries }))
+          in
+          let* j =
+            Result.map_error (fun m -> "import reply: " ^ m) (Json.parse raw)
+          in
+          let imported =
+            Option.value
+              (Option.bind (Json.member "imported" j) Json.to_int)
+              ~default:0
+          in
+          ignore (Atomic.fetch_and_add t.n_rebalanced imported);
+          Ok (moved + imported))
+        by_owner (Ok 0))

@@ -1,0 +1,89 @@
+(** The shard router: a thin {!Wire}-protocol front for N shard
+    servers, placing requests by consistent hashing on {!Content_hash}
+    digests.
+
+    The router holds no cache and decides nothing.  It parses each
+    request just enough to find its digest, asks the {!Ring} which
+    shard owns it, forwards the {e original} request line over a
+    per-connection client to that shard, and relays the shard's
+    response line verbatim — so a routed [decide]/[delta] response is
+    byte-identical to one obtained shard-direct, cache provenance
+    included.
+
+    Placement per op:
+    - [decide] — parse the instance, compute its {!Content_hash}
+      instance key (the digest the shard will answer with), route by
+      it.  Every repeat of the same problem lands on the same shard, so
+      shard caches partition the key space instead of duplicating it.
+    - [delta] — route by the quoted digest.  A chained digest (the
+      [Content_hash.chain_key] of an earlier delta) does not hash to
+      its parent's shard, so the router remembers
+      [chained digest → shard] in a bounded LRU as responses stream
+      back; an entry that ages out simply falls back to the ring and a
+      cold decide on the (wrong) shard — correctness never depends on
+      the map.
+    - [batch] — split by per-instance placement, forward sub-batches,
+      reassemble results in request order.
+    - [stats] — fan out, answer with the field-wise {e sum} over shards
+      plus a per-shard breakdown and the router's own counters.
+    - [compact] — fan out to every shard.
+    - [ping] — answered locally.  [sleep] — forwarded to the first
+      shard.  [export]/[import] are shard-direct ops and answer with an
+      error here.
+    - [shutdown] — forwarded to every shard (each drains), then the
+      router answers and stops.
+
+    {b Warm transfer.}  {!rebalance} moves hot entries onto the shard
+    the ring says owns them: it [export]s each shard's hottest entries
+    and [import]s every entry whose owner differs from where it was
+    found — the join path for a shard that starts empty (or restarts
+    with a stale store).  Entries are certificate-checked by the
+    receiving shard, so a bad transfer is refused, not stored.
+
+    Shard connections are opened lazily per incoming connection (with
+    {!Client.connect} retry, so racing a still-binding shard works) and
+    a dead shard surfaces as a per-request [error] response naming the
+    shard; the next request reconnects. *)
+
+type config = {
+  vnodes : int;  (** ring points per shard (default 64) *)
+  chain_capacity : int;  (** chained-digest map size (default 4096) *)
+  connect_retries : int;  (** per shard-connect (default 20) *)
+  retry_backoff_s : float;  (** initial backoff (default 0.05 s) *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?config:config -> shards:(string * Wire.address) list -> Wire.address -> t
+(** Bind the router's own listen address.  [shards] are
+    [(name, address)] pairs; names feed the ring, so keep them stable
+    across restarts.
+    @raise Invalid_argument on an empty or duplicate-bearing shard
+    list; [Unix.Unix_error] when binding fails. *)
+
+val address : t -> Wire.address
+val shard_names : t -> string list
+
+val shard_of_digest : t -> string -> string
+(** Current placement of a digest (chained-digest map first, then the
+    ring) — exposed for tests and the CLI banner. *)
+
+val rebalance : t -> ?limit:int -> unit -> (int, string) result
+(** One warm-transfer sweep: export up to [limit] (default 64) hot
+    entries from every shard, re-import the misplaced ones onto their
+    owners.  Returns how many entries moved.  [Error] when a shard is
+    unreachable. *)
+
+val run : t -> unit
+(** Serve until a [shutdown] request arrives (which is forwarded to
+    every shard first); returns after the acceptor stops. *)
+
+val shutdown : t -> unit
+(** Stop the acceptor without touching the shards. *)
+
+val stats : t -> (string * int) list
+(** The router's own counters: [forwarded], [forward_errors],
+    [requests], [chain_entries], [rebalanced], [shards], [uptime_s]. *)

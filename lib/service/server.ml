@@ -86,6 +86,11 @@ type config = {
   default_fuel : int option;
   default_deadline_s : float option;
   cache : Cache.config;
+  store_dir : string option;
+  fsync : Store.Log.fsync_policy;
+  auto_compact_bytes : int;
+  shard : (int * int) option;
+  export_limit : int;
 }
 
 let default_config =
@@ -95,6 +100,11 @@ let default_config =
     default_fuel = None;
     default_deadline_s = None;
     cache = Cache.default_config;
+    store_dir = None;
+    fsync = Store.Log.Every 64;
+    auto_compact_bytes = 0;
+    shard = None;
+    export_limit = 64;
   }
 
 type t = {
@@ -125,19 +135,7 @@ let bump a c =
 
 let incr a = ignore (Atomic.fetch_and_add a 1)
 
-let sockaddr_of = function
-  | Wire.Unix_sock path -> Unix.ADDR_UNIX path
-  | Wire.Tcp (host, port) ->
-      let inet =
-        match Unix.inet_addr_of_string host with
-        | addr -> addr
-        | exception Failure _ -> (
-            match Unix.gethostbyname host with
-            | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
-                failwith ("cannot resolve host " ^ host)
-            | h -> h.Unix.h_addr_list.(0))
-      in
-      Unix.ADDR_INET (inet, port)
+let sockaddr_of = Wire.sockaddr_of
 
 let create ?(config = default_config) addr =
   (* A client that disconnects mid-response must not kill the server
@@ -158,9 +156,16 @@ let create ?(config = default_config) addr =
         fd
   in
   Unix.listen listen_fd 64;
+  let durable =
+    Option.map
+      (fun dir ->
+        Tier.open_ ~fsync:config.fsync
+          ~auto_compact_bytes:config.auto_compact_bytes dir)
+      config.store_dir
+  in
   {
     config;
-    cache_ = Cache.create ~config:config.cache ();
+    cache_ = Cache.create ~config:config.cache ?durable ();
     addr;
     listen_fd;
     gate =
@@ -199,6 +204,9 @@ let stats t =
       ("inflight", Admission.running t.gate);
       ("queued", Admission.waiting t.gate);
     ]
+    @ (match t.config.shard with
+      | None -> []
+      | Some (i, n) -> [ ("shard_index", i); ("shard_count", n) ])
     @ List.map (fun (k, v) -> ("cache_" ^ k, v)) (Cache.stats t.cache_)
   in
   List.sort compare snap
@@ -382,6 +390,62 @@ let handle_sleep t oc ~ms =
                  service_fields ~queue_wait_s ~wall_s:(float_of_int ms /. 1000.);
                ]))
 
+(* Tiered-storage control ops.  Cheap relative to decides (compaction
+   rewrites the live set, import certificate-checks each entry), so they
+   bypass admission like the other control ops. *)
+let handle_compact t oc =
+  match Cache.durable t.cache_ with
+  | None ->
+      incr t.n_errors;
+      respond oc (error_fields "compact" "no durable store configured")
+  | Some d ->
+      Tier.compact d;
+      respond oc
+        (ok "compact"
+           [
+             ( "store",
+               Wire.json_obj
+                 (List.map
+                    (fun (k, v) -> (k, string_of_int v))
+                    (Tier.stats d)) );
+           ])
+
+let handle_export t oc ~limit =
+  let limit = Option.value limit ~default:t.config.export_limit in
+  let entries = Cache.export_hot t.cache_ ~limit in
+  respond oc
+    (ok "export"
+       [
+         ( "entries",
+           Wire.json_list
+             (List.map
+                (fun (digest, raw) ->
+                  Wire.json_obj
+                    [
+                      ("digest", Wire.json_string digest);
+                      ("payload", Wire.json_string (Tier.to_hex raw));
+                    ])
+                entries) );
+       ])
+
+let handle_import t oc entries =
+  let imported = ref 0 and rejected = ref 0 in
+  List.iter
+    (fun (digest, hex) ->
+      match
+        Result.bind (Tier.of_hex hex) (fun raw ->
+            Cache.import t.cache_ ~key:digest raw)
+      with
+      | Ok () -> Stdlib.incr imported
+      | Error _ -> Stdlib.incr rejected)
+    entries;
+  respond oc
+    (ok "import"
+       [
+         ("imported", string_of_int !imported);
+         ("rejected", string_of_int !rejected);
+       ])
+
 (* Wake the acceptor with a throwaway self-connection: closing a
    listening socket does not reliably interrupt an [accept] blocked in
    another thread, so the stop flag is set first and the acceptor
@@ -444,6 +508,9 @@ let handle_request t oc line =
       handle_batch t oc ~lang ~k ~fuel ~timeout_s instances
   | Ok (Wire.Delta { lang; k; fuel; timeout_s; digest; edit }) ->
       handle_delta t oc ~lang ~k ~fuel ~timeout_s ~digest edit
+  | Ok Wire.Compact -> handle_compact t oc
+  | Ok (Wire.Export { limit }) -> handle_export t oc ~limit
+  | Ok (Wire.Import { entries }) -> handle_import t oc entries
 
 let handle_conn t fd =
   let ic = Unix.in_channel_of_descr fd in
@@ -486,6 +553,9 @@ let run t =
   in
   loop ();
   (try Unix.close t.listen_fd with _ -> ());
+  (* Sync and close the durable tier only after the drain: every
+     admitted decide has written through by now. *)
+  (try Cache.close t.cache_ with _ -> ());
   match t.addr with
   | Wire.Unix_sock path -> ( try Unix.unlink path with _ -> ())
   | Wire.Tcp _ -> ()

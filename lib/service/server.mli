@@ -26,7 +26,14 @@
     {b Budgets.}  Every decide gets a fresh [Engine.Budget] from the
     request's [fuel]/[timeout_s], falling back to [default_fuel] /
     [default_deadline_s]; a deadline bounds how long a request can hold
-    a worker slot, which is the knob that keeps the drain finite. *)
+    a worker slot, which is the knob that keeps the drain finite.
+
+    {b Durable tier.}  With [store_dir] set, the cache writes every
+    cacheable verdict through to a {!Store.Log} in that directory and
+    serves warm hits from it across restarts (certificate-revalidated,
+    byte-identical verdict blocks).  The [compact], [export] and
+    [import] ops expose compaction and warm transfer to routers and
+    operators; like the other control ops they bypass admission. *)
 
 (** The admission gate, alone: a counting semaphore with a bounded wait
     queue and a draining state. *)
@@ -60,6 +67,19 @@ type config = {
   default_deadline_s : float option;
       (** budget deadline when the request has none *)
   cache : Cache.config;
+  store_dir : string option;
+      (** durable-tier directory; [None] (default) = memory only.  The
+          store is recovered on {!create} (certificates re-checked) and
+          closed after {!run}'s drain. *)
+  fsync : Store.Log.fsync_policy;  (** default [Every 64] *)
+  auto_compact_bytes : int;
+      (** compact when the log outgrows this (0 = manual, the default) *)
+  shard : (int * int) option;
+      (** this process's identity [(index, count)] in a sharded
+          deployment — informational (reported in [stats]); placement
+          lives in the router's {!Ring} *)
+  export_limit : int;
+      (** default entry count for an [export] with no limit (64) *)
 }
 
 val default_config : config

@@ -76,6 +76,20 @@ let address_to_string = function
   | Unix_sock path -> "unix:" ^ path
   | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
 
+let sockaddr_of = function
+  | Unix_sock path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) ->
+      let inet =
+        match Unix.inet_addr_of_string host with
+        | addr -> addr
+        | exception Failure _ -> (
+            match Unix.gethostbyname host with
+            | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+                failwith ("cannot resolve host " ^ host)
+            | h -> h.Unix.h_addr_list.(0))
+      in
+      Unix.ADDR_INET (inet, port)
+
 (* ------------------------------------------------------------------ *)
 
 (* Edits name nodes the way instance files do — by node name — and are
@@ -183,6 +197,9 @@ type request =
       digest : string;
       edit : edit;
     }
+  | Compact
+  | Export of { limit : int option }
+  | Import of { entries : (string * string) list }
 
 let opt f = function None -> [] | Some v -> [ f v ]
 
@@ -215,6 +232,26 @@ let request_to_string = function
          :: ("lang", json_string lang)
          :: budget_fields ~k ~fuel ~timeout_s )
         @ [ ("digest", json_string digest); ("edit", edit_to_json_string edit) ])
+  | Compact -> json_obj [ ("op", json_string "compact") ]
+  | Export { limit } ->
+      json_obj
+        (("op", json_string "export")
+        :: opt (fun n -> ("limit", string_of_int n)) limit)
+  | Import { entries } ->
+      json_obj
+        [
+          ("op", json_string "import");
+          ( "entries",
+            json_list
+              (List.map
+                 (fun (digest, payload) ->
+                   json_obj
+                     [
+                       ("digest", json_string digest);
+                       ("payload", json_string payload);
+                     ])
+                 entries) );
+        ]
 
 let ( let* ) r f = Result.bind r f
 
@@ -310,6 +347,24 @@ let request_of_json j =
       in
       let* edit = edit_of_json ej in
       Ok (Delta { lang; k; fuel; timeout_s; digest; edit })
+  | "compact" -> Ok Compact
+  | "export" ->
+      let* limit = optional "integer" Json.to_int j "limit" in
+      (match limit with
+      | Some n when n < 1 -> Error "\"limit\" must be positive"
+      | _ -> Ok (Export { limit }))
+  | "import" ->
+      let* items = required "array" Json.to_list j "entries" in
+      let* entries =
+        List.fold_right
+          (fun item acc ->
+            let* acc = acc in
+            let* digest = required "string" Json.to_str item "digest" in
+            let* payload = required "string" Json.to_str item "payload" in
+            Ok ((digest, payload) :: acc))
+          items (Ok [])
+      in
+      Ok (Import { entries })
   | other -> Error (Printf.sprintf "unknown op %S" other)
 
 let request_of_string line =

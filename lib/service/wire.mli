@@ -22,6 +22,9 @@
     {"op":"batch","lang":"rem","instances":["...","..."],...}
     {"op":"delta","lang":"rem","digest":"<hex>",
      "edit":{"edit":"add_edge","u":"v0","label":"a","v":"v3"},...}
+    {"op":"compact"}
+    {"op":"export","limit":64}
+    {"op":"import","entries":[{"digest":"<hex>","payload":"<hex>"},...]}
     v}
 
     [instance] carries the instance file text ({!Datagraph.Graph_io}
@@ -47,7 +50,15 @@
     [delta] response carries ["repair"] (["hit"] when certificate
     repair served the verdict, ["miss"] when the server fell back to a
     full decide), ["digest"] (the chained digest of the {e edited}
-    instance, for the next step of the stream) and ["result"]. *)
+    instance, for the next step of the stream) and ["result"].
+
+    The tiered-storage ops: [compact] rewrites the durable store's
+    snapshot and answers with the store's stats; [export] returns the
+    server's hottest cache entries as [(digest, hex payload)] pairs in
+    the {!Tier} codec; [import] admits such entries (each is
+    certificate-checked before it is stored — see {!Cache.import}).
+    [export]/[import] are the warm-transfer path a router uses to move
+    entries onto the shard the ring says owns them. *)
 
 (** {2 JSON emission} *)
 
@@ -78,6 +89,10 @@ type address =
 
 val address_to_string : address -> string
 (** ["unix:PATH"] or ["tcp:HOST:PORT"], for logs and banners. *)
+
+val sockaddr_of : address -> Unix.sockaddr
+(** Resolve to a [Unix.sockaddr] (TCP hosts via [gethostbyname]).
+    @raise Failure on an unresolvable host. *)
 
 (** {2 Edits}
 
@@ -133,6 +148,10 @@ type request =
       digest : string;  (** instance digest from a previous response *)
       edit : edit;
     }
+  | Compact
+  | Export of { limit : int option }  (** default: the server decides *)
+  | Import of { entries : (string * string) list }
+      (** [(digest, hex-encoded Tier record)] pairs *)
 
 val request_to_string : request -> string
 (** One-line JSON encoding (no trailing newline). *)

@@ -1,0 +1,14 @@
+(** CRC-32 (IEEE 802.3, polynomial [0xEDB88320]), table-driven.
+
+    Frames every record in {!Log} so recovery can tell a complete record
+    from a torn or bit-rotted one without trusting file length.  The
+    stdlib has no checksum and the store takes no dependencies, so the
+    256-entry table lives here; the value fits OCaml's native [int] on
+    64-bit (always [< 2^32]). *)
+
+val digest_bytes : bytes -> int -> int -> int
+(** [digest_bytes b pos len] — CRC-32 of the slice. *)
+
+val digest_string : string -> int
+
+val digest_sub : string -> int -> int -> int

@@ -1,0 +1,359 @@
+type fsync_policy = Never | Every of int | Always
+
+let fsync_policy_to_string = function
+  | Never -> "never"
+  | Always -> "always"
+  | Every n -> Printf.sprintf "every:%d" n
+
+let fsync_policy_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "never" -> Ok Never
+  | "always" -> Ok Always
+  | other ->
+      let bad () =
+        Error
+          (Printf.sprintf
+             "bad fsync policy %S (expected never, always or every:N)" s)
+      in
+      if String.length other > 6 && String.sub other 0 6 = "every:" then
+        match int_of_string_opt (String.sub other 6 (String.length other - 6)) with
+        | Some n when n >= 1 -> Ok (Every n)
+        | _ -> bad ()
+      else bad ()
+
+(* Where a live value sits: which file, the offset of the value bytes,
+   and their length.  The key itself lives in the index, so [find]
+   never re-reads it. *)
+type location = { in_snapshot : bool; off : int; len : int }
+
+type t = {
+  dir : string;
+  fsync : fsync_policy;
+  auto_compact_bytes : int;
+  check : key:string -> string -> bool;
+  index : (string, location) Hashtbl.t;
+  mutable log_write : Unix.file_descr;
+  mutable log_read : Unix.file_descr;
+  mutable snap_read : Unix.file_descr option;
+  mutable log_bytes : int;
+  mutable snapshot_bytes : int;
+  mutable unsynced : int;
+  mutable closed : bool;
+  mutable appends : int;
+  mutable fsyncs : int;
+  mutable compactions : int;
+  mutable recovered : int;
+  mutable dropped_check : int;
+  mutable truncated_bytes : int;
+  m : Mutex.t;
+}
+
+let snapshot_file dir = Filename.concat dir "snapshot.bin"
+let log_file dir = Filename.concat dir "log.bin"
+let header_len = 8
+let max_body = 1 lsl 30
+
+let u32_at b pos = Int32.to_int (Bytes.get_int32_le b pos) land 0xFFFFFFFF
+
+(* One framed record: header (body length + CRC of the body) then body. *)
+let frame ~kind ~key ~value =
+  let klen = String.length key and vlen = String.length value in
+  let blen = 5 + klen + vlen in
+  if blen > max_body then invalid_arg "Store.Log: record too large";
+  let b = Bytes.create (header_len + blen) in
+  Bytes.set_int32_le b 0 (Int32.of_int blen);
+  Bytes.set b 8 kind;
+  Bytes.set_int32_le b 9 (Int32.of_int klen);
+  Bytes.blit_string key 0 b 13 klen;
+  Bytes.blit_string value 0 b (13 + klen) vlen;
+  Bytes.set_int32_le b 4 (Int32.of_int (Crc32.digest_bytes b header_len blen));
+  b
+
+let write_all fd b =
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then go (off + Unix.write fd b off (n - off))
+  in
+  go 0
+
+let read_exactly fd b off len =
+  let rec go off len =
+    if len = 0 then true
+    else
+      match Unix.read fd b off len with
+      | 0 -> false
+      | n -> go (off + n) (len - n)
+  in
+  go off len
+
+(* Scan the framed records of [fd] from the start, calling [f] for each
+   valid one; stops at the first frame that fails a sanity or CRC check
+   and returns the byte offset of the end of the valid prefix. *)
+let scan fd f =
+  ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+  let header = Bytes.create header_len in
+  let rec go pos =
+    if not (read_exactly fd header 0 header_len) then pos
+    else
+      let blen = u32_at header 0 and crc = u32_at header 4 in
+      if blen < 5 || blen > max_body then pos
+      else
+        let body = Bytes.create blen in
+        if not (read_exactly fd body 0 blen) then pos
+        else if Crc32.digest_bytes body 0 blen <> crc then pos
+        else
+          let kind = Bytes.get body 0 in
+          let klen = u32_at body 1 in
+          if (kind <> 'P' && kind <> 'D') || klen < 0 || klen > blen - 5 then
+            pos
+          else begin
+            let key = Bytes.sub_string body 5 klen in
+            let value = Bytes.sub_string body (5 + klen) (blen - 5 - klen) in
+            f ~kind ~key ~value ~value_off:(pos + header_len + 5 + klen);
+            go (pos + header_len + blen)
+          end
+  in
+  go 0
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let alive t = if t.closed then invalid_arg "Store.Log: store is closed"
+
+let file_size fd = (Unix.fstat fd).Unix.st_size
+
+let do_fsync t fd =
+  Unix.fsync fd;
+  t.fsyncs <- t.fsyncs + 1
+
+let open_ ?(fsync = Every 64) ?(auto_compact_bytes = 0)
+    ?(check = fun ~key:_ _ -> true) dir =
+  (match Unix.mkdir dir 0o755 with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let log_write =
+    Unix.openfile (log_file dir) [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644
+  in
+  let log_read = Unix.openfile (log_file dir) [ Unix.O_RDONLY ] 0o644 in
+  let snap_read =
+    if Sys.file_exists (snapshot_file dir) then
+      Some (Unix.openfile (snapshot_file dir) [ Unix.O_RDONLY ] 0o644)
+    else None
+  in
+  let t =
+    {
+      dir;
+      fsync;
+      auto_compact_bytes;
+      check;
+      index = Hashtbl.create 256;
+      log_write;
+      log_read;
+      snap_read;
+      log_bytes = 0;
+      snapshot_bytes = 0;
+      unsynced = 0;
+      closed = false;
+      appends = 0;
+      fsyncs = 0;
+      compactions = 0;
+      recovered = 0;
+      dropped_check = 0;
+      truncated_bytes = 0;
+    m = Mutex.create ();
+    }
+  in
+  (* Recovery.  Both files replay through the same scanner; a put that
+     fails [check] counts as a delete of its key — the caller recomputes
+     it instead of ever serving it. *)
+  let replay ~in_snapshot ~kind ~key ~value ~value_off =
+    if kind = 'D' then Hashtbl.remove t.index key
+    else if check ~key value then
+      Hashtbl.replace t.index key
+        { in_snapshot; off = value_off; len = String.length value }
+    else begin
+      t.dropped_check <- t.dropped_check + 1;
+      Hashtbl.remove t.index key
+    end
+  in
+  (match snap_read with
+  | None -> ()
+  | Some fd ->
+      (* The snapshot is written whole and renamed into place, so a
+         short prefix here means a damaged file system, not a torn
+         append; tolerate it the same way. *)
+      let valid = scan fd (replay ~in_snapshot:true) in
+      t.truncated_bytes <- t.truncated_bytes + (file_size fd - valid);
+      t.snapshot_bytes <- valid);
+  let valid = scan log_read (replay ~in_snapshot:false) in
+  let actual = file_size log_read in
+  if valid < actual then begin
+    t.truncated_bytes <- t.truncated_bytes + (actual - valid);
+    Unix.ftruncate log_write valid
+  end;
+  ignore (Unix.lseek log_write valid Unix.SEEK_SET);
+  t.log_bytes <- valid;
+  t.recovered <- Hashtbl.length t.index;
+  t
+
+let read_value t loc =
+  let fd =
+    if loc.in_snapshot then
+      match t.snap_read with
+      | Some fd -> fd
+      | None -> invalid_arg "Store.Log: dangling snapshot location"
+    else t.log_read
+  in
+  ignore (Unix.lseek fd loc.off Unix.SEEK_SET);
+  let b = Bytes.create loc.len in
+  if not (read_exactly fd b 0 loc.len) then
+    invalid_arg "Store.Log: short read (truncated file under a live store?)";
+  Bytes.unsafe_to_string b
+
+let find t key =
+  locked t (fun () ->
+      alive t;
+      Option.map (read_value t) (Hashtbl.find_opt t.index key))
+
+let mem t key =
+  locked t (fun () ->
+      alive t;
+      Hashtbl.mem t.index key)
+
+let length t =
+  locked t (fun () ->
+      alive t;
+      Hashtbl.length t.index)
+
+let after_append t =
+  t.appends <- t.appends + 1;
+  match t.fsync with
+  | Always -> do_fsync t t.log_write
+  | Never -> ()
+  | Every n ->
+      t.unsynced <- t.unsynced + 1;
+      if t.unsynced >= n then begin
+        do_fsync t t.log_write;
+        t.unsynced <- 0
+      end
+
+let append t ~kind ~key ~value =
+  let b = frame ~kind ~key ~value in
+  write_all t.log_write b;
+  let value_off = t.log_bytes + header_len + 5 + String.length key in
+  t.log_bytes <- t.log_bytes + Bytes.length b;
+  after_append t;
+  value_off
+
+(* Rewrite the live set to a fresh snapshot (temp file + rename, synced
+   before and after), then empty the log.  Runs with the lock held. *)
+let compact_locked t =
+  let tmp = Filename.concat t.dir "snapshot.tmp" in
+  let live =
+    Hashtbl.fold (fun key loc acc -> (key, read_value t loc) :: acc) t.index []
+  in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let relocated = Hashtbl.create (List.length live) in
+  let pos = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      List.iter
+        (fun (key, value) ->
+          let b = frame ~kind:'P' ~key ~value in
+          write_all fd b;
+          Hashtbl.replace relocated key
+            {
+              in_snapshot = true;
+              off = !pos + header_len + 5 + String.length key;
+              len = String.length value;
+            };
+          pos := !pos + Bytes.length b)
+        live;
+      do_fsync t fd);
+  Unix.rename tmp (snapshot_file t.dir);
+  (* Make the rename itself durable. *)
+  (match Unix.openfile t.dir [ Unix.O_RDONLY ] 0 with
+  | dfd ->
+      (try Unix.fsync dfd with Unix.Unix_error _ -> ());
+      Unix.close dfd
+  | exception Unix.Unix_error _ -> ());
+  (match t.snap_read with Some fd -> Unix.close fd | None -> ());
+  t.snap_read <- Some (Unix.openfile (snapshot_file t.dir) [ Unix.O_RDONLY ] 0o644);
+  Unix.ftruncate t.log_write 0;
+  ignore (Unix.lseek t.log_write 0 Unix.SEEK_SET);
+  t.log_bytes <- 0;
+  t.unsynced <- 0;
+  t.snapshot_bytes <- !pos;
+  Hashtbl.reset t.index;
+  Hashtbl.iter (Hashtbl.replace t.index) relocated;
+  t.compactions <- t.compactions + 1
+
+let maybe_auto_compact t =
+  if t.auto_compact_bytes > 0 && t.log_bytes >= t.auto_compact_bytes then
+    compact_locked t
+
+let put t key value =
+  locked t (fun () ->
+      alive t;
+      let value_off = append t ~kind:'P' ~key ~value in
+      Hashtbl.replace t.index key
+        { in_snapshot = false; off = value_off; len = String.length value };
+      maybe_auto_compact t)
+
+let remove t key =
+  locked t (fun () ->
+      alive t;
+      if Hashtbl.mem t.index key then begin
+        ignore (append t ~kind:'D' ~key ~value:"");
+        Hashtbl.remove t.index key;
+        maybe_auto_compact t
+      end)
+
+let iter t f =
+  locked t (fun () ->
+      alive t;
+      (* Snapshot the bindings first: [f] must not observe the lock. *)
+      Hashtbl.fold (fun key loc acc -> (key, read_value t loc) :: acc) t.index [])
+  |> List.iter (fun (key, value) -> f key value)
+
+let sync t =
+  locked t (fun () ->
+      alive t;
+      do_fsync t t.log_write;
+      t.unsynced <- 0)
+
+let compact t =
+  locked t (fun () ->
+      alive t;
+      compact_locked t)
+
+let close t =
+  locked t (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        (try do_fsync t t.log_write with Unix.Unix_error _ -> ());
+        (try Unix.close t.log_write with Unix.Unix_error _ -> ());
+        (try Unix.close t.log_read with Unix.Unix_error _ -> ());
+        match t.snap_read with
+        | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+        | None -> ()
+      end)
+
+let stats t =
+  locked t (fun () ->
+      List.sort compare
+        [
+          ("appends", t.appends);
+          ("compactions", t.compactions);
+          ("fsyncs", t.fsyncs);
+          ("live_records", Hashtbl.length t.index);
+          ("log_bytes", t.log_bytes);
+          ("recovered_records", t.recovered);
+          ("recovery_dropped_check", t.dropped_check);
+          ("recovery_truncated_bytes", t.truncated_bytes);
+          ("snapshot_bytes", t.snapshot_bytes);
+        ])
+
+let disk_bytes t = locked t (fun () -> t.snapshot_bytes + t.log_bytes)

@@ -16,6 +16,24 @@ module Hom = Definability.Hom
 module Synth = Definability.Synthesis
 
 let dv = DV.of_int
+
+(* Boolean views over the raw searches (the deprecated [is_definable]
+   wrappers these tests used were removed with the tiered-storage PR). *)
+let ws_def (o : WS.outcome) =
+  match o.verdict with
+  | WS.Definable -> true
+  | WS.Not_definable _ -> false
+  | WS.Exhausted -> failwith "search truncated; raise max_tuples"
+
+let rpq_def ?max_tuples g s = ws_def (Rpq.search ?max_tuples g s)
+let rem_def ?max_tuples g s = ws_def (Remd.search ?max_tuples g s)
+let krem_def ?max_tuples g ~k s = ws_def (Remd.search_k ?max_tuples g ~k s)
+
+let ree_def ?max_size g s =
+  match Reed.verdict (Reed.search ?max_size g s) with
+  | Some b -> b
+  | None -> failwith "REE closure truncated; raise max_size"
+
 let fig1 = Gen.fig1 ()
 let s1 = Gen.fig1_s1 fig1
 let s2 = Gen.fig1_s2 fig1
@@ -82,61 +100,62 @@ let test_ws_truncation () =
 (* ---------- RPQ-definability ---------- *)
 
 let test_rpq_fig1 () =
-  Alcotest.(check bool) "S1 yes" true (Rpq.is_definable fig1 s1);
-  Alcotest.(check bool) "S2 no" false (Rpq.is_definable fig1 s2);
-  Alcotest.(check bool) "S3 no" false (Rpq.is_definable fig1 s3)
+  Alcotest.(check bool) "S1 yes" true (rpq_def fig1 s1);
+  Alcotest.(check bool) "S2 no" false (rpq_def fig1 s2);
+  Alcotest.(check bool) "S3 no" false (rpq_def fig1 s3)
 
 let test_rpq_structured () =
   (* On a line a->b->c, {(0,2)} is defined by the word of length 2. *)
   let line = Gen.line ~values:[ dv 0; dv 0; dv 0 ] ~label:"a" in
   let s = Rel.of_list 3 [ (0, 2) ] in
-  Alcotest.(check bool) "line pair" true (Rpq.is_definable line s);
+  Alcotest.(check bool) "line pair" true (rpq_def line s);
   (* On a 2-cycle with equal values, {(0,1)} is not RPQ-definable: every
      word connecting 0 to 1 also connects 1 to 0. *)
   let c2 = Gen.cycle ~values:[ dv 0; dv 0 ] ~label:"a" in
   Alcotest.(check bool) "cycle pair" false
-    (Rpq.is_definable c2 (Rel.of_list 2 [ (0, 1) ]));
+    (rpq_def c2 (Rel.of_list 2 [ (0, 1) ]));
   (* ... but the full cycle relation is definable. *)
   Alcotest.(check bool) "cycle both" true
-    (Rpq.is_definable c2 (Rel.of_list 2 [ (0, 1); (1, 0) ]));
+    (rpq_def c2 (Rel.of_list 2 [ (0, 1); (1, 0) ]));
   (* Unreachable pair: not definable. *)
   let line2 = Gen.line ~values:[ dv 0; dv 0 ] ~label:"a" in
   Alcotest.(check bool) "unreachable" false
-    (Rpq.is_definable line2 (Rel.of_list 2 [ (1, 0) ]))
+    (rpq_def line2 (Rel.of_list 2 [ (1, 0) ]))
 
 let test_rpq_identity_and_empty () =
   let g = Gen.fig1 () in
   Alcotest.(check bool) "empty relation" true
-    (Rpq.is_definable g (Rel.empty (DG.size g)));
+    (rpq_def g (Rel.empty (DG.size g)));
   (* The identity is defined by ε. *)
   Alcotest.(check bool) "identity" true
-    (Rpq.is_definable g (Rel.identity (DG.size g)))
+    (rpq_def g (Rel.identity (DG.size g)))
 
 let test_rpq_synthesis () =
-  let q = Rpq.defining_query fig1 s1 in
-  match q with
-  | None -> Alcotest.fail "S1 should be definable"
-  | Some e ->
+  let o = Rpq.search fig1 s1 in
+  match o.verdict with
+  | WS.Not_definable _ | WS.Exhausted -> Alcotest.fail "S1 should be definable"
+  | WS.Definable ->
+      let e = Rpq.query_of_witnesses o.witnesses in
       let r = Regexp.Nfa.eval_on_graph fig1 (Regexp.Nfa.of_regex e) in
       Alcotest.(check bool) "synthesized defines S1" true (Rel.equal r s1)
 
 (* ---------- k-RDPQ_mem-definability ---------- *)
 
 let test_krem_fig1 () =
-  Alcotest.(check bool) "S2 k=1 no" false (Remd.is_definable_k fig1 ~k:1 s2);
-  Alcotest.(check bool) "S2 k=2 yes" true (Remd.is_definable_k fig1 ~k:2 s2);
-  Alcotest.(check bool) "S3 k=1 no" false (Remd.is_definable_k fig1 ~k:1 s3);
-  Alcotest.(check bool) "S3 k=2 yes" true (Remd.is_definable_k fig1 ~k:2 s3);
+  Alcotest.(check bool) "S2 k=1 no" false (krem_def fig1 ~k:1 s2);
+  Alcotest.(check bool) "S2 k=2 yes" true (krem_def fig1 ~k:2 s2);
+  Alcotest.(check bool) "S3 k=1 no" false (krem_def fig1 ~k:1 s3);
+  Alcotest.(check bool) "S3 k=2 yes" true (krem_def fig1 ~k:2 s3);
   (* k=0 coincides with RPQ-definability. *)
-  Alcotest.(check bool) "S1 k=0 yes" true (Remd.is_definable_k fig1 ~k:0 s1);
-  Alcotest.(check bool) "S2 k=0 no" false (Remd.is_definable_k fig1 ~k:0 s2)
+  Alcotest.(check bool) "S1 k=0 yes" true (krem_def fig1 ~k:0 s1);
+  Alcotest.(check bool) "S2 k=0 no" false (krem_def fig1 ~k:0 s2)
 
 let test_krem_monotone_in_k () =
   (* If definable with k registers then with k+1 too. *)
   List.iter
     (fun s ->
-      let d1 = Remd.is_definable_k fig1 ~k:1 s in
-      let d2 = Remd.is_definable_k fig1 ~k:2 s in
+      let d1 = krem_def fig1 ~k:1 s in
+      let d2 = krem_def fig1 ~k:2 s in
       Alcotest.(check bool) "monotone" true ((not d1) || d2))
     [ s1; s2; s3 ]
 
@@ -151,12 +170,12 @@ let test_krem_synthesis () =
 (* ---------- RDPQ_mem-definability (unbounded) ---------- *)
 
 let test_rem_fig1 () =
-  Alcotest.(check bool) "S1" true (Remd.is_definable fig1 s1);
-  Alcotest.(check bool) "S2" true (Remd.is_definable fig1 s2);
-  Alcotest.(check bool) "S3" true (Remd.is_definable fig1 s3);
+  Alcotest.(check bool) "S1" true (rem_def fig1 s1);
+  Alcotest.(check bool) "S2" true (rem_def fig1 s2);
+  Alcotest.(check bool) "S3" true (rem_def fig1 s3);
   let v = DG.node_of_name fig1 in
   let q4rel = Rel.of_list (DG.size fig1) [ (v "v1", v "v2") ] in
-  Alcotest.(check bool) "Q4 relation" false (Remd.is_definable fig1 q4rel)
+  Alcotest.(check bool) "Q4 relation" false (rem_def fig1 q4rel)
 
 let test_rem_profile_vs_delta () =
   (* Lemma 23: the profile search agrees with the explicit δ-register
@@ -164,8 +183,8 @@ let test_rem_profile_vs_delta () =
   List.iter
     (fun (g, s) ->
       Alcotest.(check bool) "profile = delta registers" true
-        (Remd.is_definable g s
-        = Remd.is_definable_k g ~k:(DG.delta g) s))
+        (rem_def g s
+        = krem_def g ~k:(DG.delta g) s))
     [
       (Gen.line ~values:[ dv 0; dv 1; dv 0 ] ~label:"a", Rel.of_list 3 [ (0, 2) ]);
       (Gen.cycle ~values:[ dv 0; dv 1 ] ~label:"a", Rel.of_list 2 [ (0, 1) ]);
@@ -180,9 +199,9 @@ let test_rem_synthesis () =
 (* ---------- RDPQ_=-definability ---------- *)
 
 let test_ree_fig1 () =
-  Alcotest.(check bool) "S1" true (Reed.is_definable fig1 s1);
-  Alcotest.(check bool) "S2" false (Reed.is_definable fig1 s2);
-  Alcotest.(check bool) "S3" true (Reed.is_definable fig1 s3)
+  Alcotest.(check bool) "S1" true (ree_def fig1 s1);
+  Alcotest.(check bool) "S2" false (ree_def fig1 s2);
+  Alcotest.(check bool) "S3" true (ree_def fig1 s3)
 
 let test_ree_closure_height_bound () =
   (* Lemma 28: levels stabilize by n^2; witness heights stay below. *)
@@ -202,9 +221,9 @@ let test_ree_synthesis () =
 
 let test_ree_empty_and_identity () =
   Alcotest.(check bool) "empty" true
-    (Reed.is_definable fig1 (Rel.empty (DG.size fig1)));
+    (ree_def fig1 (Rel.empty (DG.size fig1)));
   Alcotest.(check bool) "identity" true
-    (Reed.is_definable fig1 (Rel.identity (DG.size fig1)))
+    (ree_def fig1 (Rel.identity (DG.size fig1)))
 
 (* ---------- homomorphisms and UCRDPQ ---------- *)
 
@@ -311,16 +330,16 @@ let test_singleton_graphs () =
   let empty = Rel.empty 1 and id = Rel.identity 1 in
   List.iter
     (fun (name, s, expected) ->
-      Alcotest.(check bool) (name ^ " rpq") expected (Rpq.is_definable g s);
-      Alcotest.(check bool) (name ^ " ree") expected (Reed.is_definable g s);
-      Alcotest.(check bool) (name ^ " rem") expected (Remd.is_definable g s);
+      Alcotest.(check bool) (name ^ " rpq") expected (rpq_def g s);
+      Alcotest.(check bool) (name ^ " ree") expected (ree_def g s);
+      Alcotest.(check bool) (name ^ " rem") expected (rem_def g s);
       Alcotest.(check bool) (name ^ " uc") expected
         (Ucd.is_definable_binary g s))
     [ ("empty", empty, true); ("identity", id, true) ];
   (* One node with a self-loop: {(0,0)} still definable; and now
      arbitrarily long witness words exist. *)
   let g' = DG.build ~values:[| dv 0 |] ~edges:[ (0, "a", 0) ] in
-  Alcotest.(check bool) "loop identity" true (Rpq.is_definable g' id)
+  Alcotest.(check bool) "loop identity" true (rpq_def g' id)
 
 let test_two_isolated_nodes () =
   (* Two equal-valued isolated nodes: the swap is a homomorphism, so
@@ -329,9 +348,9 @@ let test_two_isolated_nodes () =
   let single = Rel.of_list 2 [ (0, 0) ] in
   Alcotest.(check bool) "single diag not definable" false
     (Ucd.is_definable_binary g single);
-  Alcotest.(check bool) "nor by REM" false (Remd.is_definable g single);
+  Alcotest.(check bool) "nor by REM" false (rem_def g single);
   Alcotest.(check bool) "identity definable" true
-    (Remd.is_definable g (Rel.identity 2));
+    (rem_def g (Rel.identity 2));
   (* With distinct values the swap breaks data compatibility... for
      ISOLATED nodes reachability is trivial, so the swap survives and
      {(0,0)} stays undefinable even with distinct values. *)
@@ -548,9 +567,9 @@ let test_hierarchy_on_fig1 () =
   (* RPQ-definable ⊆ REE-definable ⊆ REM-definable ⊆ UCRDPQ-definable. *)
   List.iter
     (fun s ->
-      let rpq = Rpq.is_definable fig1 s in
-      let ree = Reed.is_definable fig1 s in
-      let rem = Remd.is_definable fig1 s in
+      let rpq = rpq_def fig1 s in
+      let ree = ree_def fig1 s in
+      let rem = rem_def fig1 s in
       let uc = Ucd.is_definable_binary fig1 s in
       Alcotest.(check bool) "rpq->ree" true ((not rpq) || ree);
       Alcotest.(check bool) "ree->rem" true ((not ree) || rem);

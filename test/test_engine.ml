@@ -17,6 +17,17 @@ module Ucd = Definability.Ucrdpq_definability
 
 let () = Definability.Deciders.init ()
 
+let ws_def (o : Definability.Witness_search.outcome) =
+  match o.verdict with
+  | Definability.Witness_search.Definable -> true
+  | Definability.Witness_search.Not_definable _ -> false
+  | Definability.Witness_search.Exhausted -> failwith "search truncated"
+
+let ree_def g s =
+  match Reed.verdict (Reed.search g s) with
+  | Some b -> b
+  | None -> failwith "REE closure truncated"
+
 let fig1 = Gen.fig1 ()
 let s1 = Gen.fig1_s1 fig1
 let s2 = Gen.fig1_s2 fig1
@@ -111,10 +122,10 @@ let check_agreement name g s =
       (Printf.sprintf "%s: %s" name lang)
       (Some expected) (Outcome.definable o)
   in
-  expect "rpq" (Rpq.is_definable g s);
-  expect "ree" (Reed.is_definable g s);
-  expect "krem" (Remd.is_definable_k g ~k:2 s);
-  expect "rem" (Remd.is_definable g s);
+  expect "rpq" (ws_def (Rpq.search g s));
+  expect "ree" (ree_def g s);
+  expect "krem" (ws_def (Remd.search_k g ~k:2 s));
+  expect "rem" (ws_def (Remd.search g s));
   expect "ucrdpq" (Ucd.is_definable_binary g s)
 
 let test_agreement_fig1 () =

@@ -18,6 +18,23 @@ module Remd = Definability.Rem_definability
 module Reed = Definability.Ree_definability
 module Ucd = Definability.Ucrdpq_definability
 
+(* Boolean views over the raw searches (the deprecated [is_definable]
+   wrappers were removed with the tiered-storage PR). *)
+let ws_def (o : Definability.Witness_search.outcome) =
+  match o.verdict with
+  | Definability.Witness_search.Definable -> true
+  | Definability.Witness_search.Not_definable _ -> false
+  | Definability.Witness_search.Exhausted -> failwith "search truncated"
+
+let rpq_def g s = ws_def (Rpq.search g s)
+let rem_def g s = ws_def (Remd.search g s)
+let krem_def g ~k s = ws_def (Remd.search_k g ~k s)
+
+let ree_def g s =
+  match Reed.verdict (Reed.search g s) with
+  | Some b -> b
+  | None -> failwith "REE closure truncated"
+
 (* A pool of small random instances; graphs are kept tiny because the
    checkers are (correctly!) exponential. *)
 let instances =
@@ -40,9 +57,9 @@ let test_hierarchy () =
   List.iteri
     (fun i (g, s) ->
       let name what = Printf.sprintf "instance %d: %s" i what in
-      let rpq = Rpq.is_definable g s in
-      let ree = Reed.is_definable g s in
-      let rem = Remd.is_definable g s in
+      let rpq = rpq_def g s in
+      let ree = ree_def g s in
+      let rem = rem_def g s in
       let uc = Ucd.is_definable_binary g s in
       Alcotest.(check bool) (name "rpq->ree") true ((not rpq) || ree);
       Alcotest.(check bool) (name "ree->rem") true ((not ree) || rem);
@@ -52,14 +69,14 @@ let test_hierarchy () =
 let test_k_monotone () =
   List.iteri
     (fun i (g, s) ->
-      let d0 = Remd.is_definable_k g ~k:0 s in
-      let d1 = Remd.is_definable_k g ~k:1 s in
-      let d2 = Remd.is_definable_k g ~k:2 s in
+      let d0 = krem_def g ~k:0 s in
+      let d1 = krem_def g ~k:1 s in
+      let d2 = krem_def g ~k:2 s in
       let name = Printf.sprintf "instance %d" i in
       Alcotest.(check bool) (name ^ " 0->1") true ((not d0) || d1);
       Alcotest.(check bool) (name ^ " 1->2") true ((not d1) || d2);
       (* k = 0 coincides with RPQ-definability. *)
-      Alcotest.(check bool) (name ^ " k0=rpq") d0 (Rpq.is_definable g s))
+      Alcotest.(check bool) (name ^ " k0=rpq") d0 (rpq_def g s))
     instances
 
 let test_profile_vs_full_delta () =
@@ -69,8 +86,8 @@ let test_profile_vs_full_delta () =
       if DG.delta g <= 2 then
         Alcotest.(check bool)
           (Printf.sprintf "instance %d" i)
-          (Remd.is_definable g s)
-          (Remd.is_definable_k g ~k:(DG.delta g) s))
+          (rem_def g s)
+          (krem_def g ~k:(DG.delta g) s))
     instances
 
 let test_condition_alphabet_ablation () =

@@ -14,6 +14,7 @@ module Json = Service.Json
 module Lru = Service.Lru
 module Content_hash = Service.Content_hash
 module Cache = Service.Cache
+module Tier = Service.Tier
 module Wire = Service.Wire
 module Server = Service.Server
 module Client = Service.Client
@@ -518,7 +519,404 @@ let test_wire_roundtrip () =
           timeout_s = Some 1.5;
           instances = [ s2_text; s3_text ];
         };
+      Wire.Compact;
+      Wire.Export { limit = Some 5 };
+      Wire.Export { limit = None };
+      Wire.Import { entries = [ ("d1", "aabb"); ("d2", "00ff") ] };
     ]
+
+(* ---------- durable tier & tiered cache ---------- *)
+
+let fresh_store_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "defsvc-store-%d-%d" (Unix.getpid ()) !counter)
+
+let test_tier_codec () =
+  let inst =
+    match Engine.Instance.create fig1 s2 with
+    | Ok i -> i
+    | Error msg -> Alcotest.fail msg
+  in
+  let o =
+    match Engine.Registry.decide ~lang:"rem" inst with
+    | Ok o -> o
+    | Error msg -> Alcotest.fail msg
+  in
+  let entry = { Tier.lang = "rem"; k = 1; inst; outcome = o } in
+  let raw = Tier.encode entry in
+  (match Tier.decode ~check:true raw with
+  | Error msg -> Alcotest.failf "decode failed: %s" msg
+  | Ok e ->
+      Alcotest.(check string) "lang" "rem" e.Tier.lang;
+      Alcotest.(check string) "same verdict" (verdict_repr o)
+        (verdict_repr e.Tier.outcome));
+  (* Hex round-trip (the export/import wire form). *)
+  Alcotest.(check bool) "hex round-trip" true
+    (Tier.of_hex (Tier.to_hex raw) = Ok raw);
+  (* Corrupt bytes are rejected, not trusted. *)
+  Alcotest.(check bool) "garbage refused" true
+    (Result.is_error (Tier.decode ~check:true "defv1\ngarbage"));
+  Alcotest.(check bool) "wrong magic refused" true
+    (Result.is_error (Tier.decode ~check:true ("XX" ^ raw)))
+
+let test_cache_write_through_and_promotion () =
+  let dir = fresh_store_dir () in
+  let tier = Tier.open_ dir in
+  let cache = Cache.create ~durable:tier () in
+  let o1, origin1 = cache_decide cache ~lang:"rem" fig1 s2 in
+  Alcotest.(check bool) "cold miss" true (origin1 = `Miss);
+  Alcotest.(check int) "written through to the store" 1 (Tier.length tier);
+  (* A fresh memory tier over the same store: the hit is served by
+     promotion from the durable tier. *)
+  let cache2 = Cache.create ~durable:tier () in
+  let o2, origin2 = cache_decide cache2 ~lang:"rem" fig1 s2 in
+  Alcotest.(check bool) "durable hit" true (origin2 = `Hit);
+  Alcotest.(check (option int)) "store hit counted" (Some 1)
+    (List.assoc_opt "store_hits" (Cache.stats cache2));
+  Alcotest.(check string) "byte-identical verdict block"
+    (Wire.verdict_to_string fig1 ~lang:"rem" o1)
+    (Wire.verdict_to_string fig1 ~lang:"rem" o2);
+  (* Promoted: the next lookup is a pure memory hit. *)
+  let _, origin3 = cache_decide cache2 ~lang:"rem" fig1 s2 in
+  Alcotest.(check bool) "promoted to memory" true (origin3 = `Hit);
+  Alcotest.(check (option int)) "no second store probe" (Some 1)
+    (List.assoc_opt "store_hits" (Cache.stats cache2));
+  Cache.close cache2;
+  ignore cache
+
+let test_cache_restart_byte_identical () =
+  (* The acceptance property: close everything, reopen the directory,
+     and the warm (certificate-revalidated) hit renders byte-identical
+     to the cold verdict block. *)
+  let dir = fresh_store_dir () in
+  let cache = Cache.create ~durable:(Tier.open_ dir) () in
+  let o_cold, origin = cache_decide cache ~lang:"rem" fig1 s2 in
+  Alcotest.(check bool) "cold miss" true (origin = `Miss);
+  Cache.close cache;
+  let cache = Cache.create ~durable:(Tier.open_ dir) () in
+  let o_warm, origin = cache_decide cache ~lang:"rem" fig1 s2 in
+  Alcotest.(check bool) "warm hit after restart" true (origin = `Hit);
+  Alcotest.(check string) "byte-identical across restart"
+    (Wire.verdict_to_string fig1 ~lang:"rem" o_cold)
+    (Wire.verdict_to_string fig1 ~lang:"rem" o_warm);
+  Cache.close cache
+
+let test_cache_eviction_backstopped_by_store () =
+  (* With a 1-entry memory tier, an evicted verdict survives in the
+     durable tier and comes back as a hit, not a recompute. *)
+  let dir = fresh_store_dir () in
+  let config = { Cache.default_config with Cache.verdict_capacity = 1 } in
+  let cache = Cache.create ~config ~durable:(Tier.open_ dir) () in
+  let _ = cache_decide cache ~lang:"rem" fig1 s2 in
+  let _ = cache_decide cache ~lang:"rem" fig1 s3 in
+  (* s2 was evicted from memory, but the store still has it. *)
+  let _, origin = cache_decide cache ~lang:"rem" fig1 s2 in
+  Alcotest.(check bool) "evicted entry hits the store" true (origin = `Hit);
+  Alcotest.(check bool) "served from the durable tier" true
+    (match List.assoc_opt "store_hits" (Cache.stats cache) with
+    | Some n -> n >= 1
+    | None -> false);
+  Cache.close cache
+
+(* ---------- consistent-hash ring ---------- *)
+
+let test_ring_deterministic () =
+  let names = [ "shard0"; "shard1"; "shard2" ] in
+  let r1 = Service.Ring.create names in
+  let r2 = Service.Ring.create names in
+  let keys = List.init 200 (fun i -> Printf.sprintf "digest-%d" i) in
+  List.iter
+    (fun k ->
+      Alcotest.(check string) "same placement" (Service.Ring.shard r1 k)
+        (Service.Ring.shard r2 k))
+    keys;
+  (* Every shard owns a nonempty share of 200 random keys. *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " owns keys") true
+        (List.exists (fun k -> Service.Ring.shard r1 k = name) keys))
+    names;
+  (* Adding a shard only moves keys toward the new shard. *)
+  let r3 = Service.Ring.create (names @ [ "shard3" ]) in
+  List.iter
+    (fun k ->
+      let before = Service.Ring.shard r1 k and after = Service.Ring.shard r3 k in
+      Alcotest.(check bool) "moves only to the new shard" true
+        (before = after || after = "shard3"))
+    keys
+
+(* ---------- client retry ---------- *)
+
+let test_client_retry_backoff () =
+  let path = Filename.temp_file "defsvc" ".sock" in
+  Sys.remove path;
+  (* Nothing is listening yet: a plain connect must fail fast... *)
+  (match Client.connect (Wire.Unix_sock path) with
+  | exception Unix.Unix_error _ -> ()
+  | conn ->
+      Client.close conn;
+      Alcotest.fail "connected to nothing");
+  (* ...while a retrying connect outlasts a server that binds late. *)
+  let srv = ref None in
+  let starter =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.3;
+        let s = Server.create (Wire.Unix_sock path) in
+        srv := Some s;
+        Server.run s)
+      ()
+  in
+  let conn = Client.connect ~retries:30 ~backoff_s:0.02 (Wire.Unix_sock path) in
+  let pong = request_ok conn Wire.Ping in
+  Alcotest.(check (option string)) "pong after retrying" (Some "ok")
+    (member_str "status" pong);
+  Client.close conn;
+  (match !srv with Some s -> Server.shutdown s | None -> ());
+  Thread.join starter
+
+(* ---------- sharded serving end-to-end ---------- *)
+
+let with_sharded_cluster ?(store = true) f =
+  let mk_server i =
+    let path = Filename.temp_file "defshard" ".sock" in
+    let store_dir = if store then Some (fresh_store_dir ()) else None in
+    let config =
+      {
+        Server.default_config with
+        Server.store_dir;
+        shard = Some (i, 2);
+        fsync = Store.Log.Always;
+      }
+    in
+    let srv = Server.create ~config (Wire.Unix_sock path) in
+    (srv, Thread.create Server.run srv)
+  in
+  let (s0, t0) = mk_server 0 and (s1, t1) = mk_server 1 in
+  let shards =
+    [ ("shard0", Server.address s0); ("shard1", Server.address s1) ]
+  in
+  let rpath = Filename.temp_file "defroute" ".sock" in
+  let router = Service.Router.create ~shards (Wire.Unix_sock rpath) in
+  let rth = Thread.create Service.Router.run router in
+  Fun.protect
+    ~finally:(fun () ->
+      Service.Router.shutdown router;
+      Server.shutdown s0;
+      Server.shutdown s1;
+      Thread.join rth;
+      Thread.join t0;
+      Thread.join t1)
+    (fun () -> f ~router ~s0 ~s1 (Wire.Unix_sock rpath))
+
+let test_e2e_router_decide () =
+  with_sharded_cluster (fun ~router:_ ~s0:_ ~s1:_ addr ->
+      Client.with_connection addr (fun conn ->
+          let cold = request_ok conn (decide_req s2_text) in
+          let warm = request_ok conn (decide_req s2_text) in
+          Alcotest.(check (option string)) "cold misses" (Some "miss")
+            (member_str "cache" cold);
+          Alcotest.(check (option string))
+            "warm hits (same problem, same shard)" (Some "hit")
+            (member_str "cache" warm);
+          let block j =
+            match Json.member "result" j with
+            | Some r -> Json.to_string r
+            | None -> Alcotest.fail "no result"
+          in
+          Alcotest.(check string) "verdict blocks relay byte-identically"
+            (block cold) (block warm);
+          (* Aggregated stats see exactly one hit and one miss. *)
+          let stats = request_ok conn Wire.Stats in
+          let agg field =
+            Option.bind (Json.member "stats" stats) (fun s ->
+                Option.bind (Json.member field s) Json.to_int)
+          in
+          Alcotest.(check (option int)) "summed hits" (Some 1)
+            (agg "cache_verdict_hits");
+          Alcotest.(check (option int)) "summed misses" (Some 1)
+            (agg "cache_verdict_misses");
+          Alcotest.(check bool) "per-shard breakdown present" true
+            (Json.member "shards" stats <> None)))
+
+let test_e2e_router_batch () =
+  with_sharded_cluster (fun ~router:_ ~s0:_ ~s1:_ addr ->
+      Client.with_connection addr (fun conn ->
+          let resp =
+            request_ok conn
+              (Wire.Batch
+                 {
+                   lang = "rem";
+                   k = None;
+                   fuel = None;
+                   timeout_s = None;
+                   instances = [ s2_text; "node v1\n"; s3_text ];
+                 })
+          in
+          Alcotest.(check (option string)) "ok" (Some "ok")
+            (member_str "status" resp);
+          match Option.bind (Json.member "results" resp) Json.to_list with
+          | Some [ r1; r2; r3 ] ->
+              Alcotest.(check (option string)) "first decided"
+                (Some "definable")
+                (Option.bind (Json.member "result" r1) (member_str "verdict"));
+              Alcotest.(check bool) "second is a per-item error" true
+                (Json.member "error" r2 <> None);
+              Alcotest.(check bool) "third decided" true
+                (Json.member "result" r3 <> None)
+          | _ -> Alcotest.fail "expected three results in request order"))
+
+let test_e2e_router_delta_chain () =
+  with_sharded_cluster (fun ~router:_ ~s0:_ ~s1:_ addr ->
+      Client.with_connection addr (fun conn ->
+          let first = request_ok conn (decide_req s2_text) in
+          let digest =
+            match member_str "digest" first with
+            | Some d -> d
+            | None -> Alcotest.fail "no digest in decide response"
+          in
+          let delta edit digest =
+            request_ok conn
+              (Wire.Delta
+                 {
+                   lang = "rem";
+                   k = None;
+                   fuel = None;
+                   timeout_s = None;
+                   digest;
+                   edit;
+                 })
+          in
+          let r1 = delta (Wire.Add_node ("w9", 7)) digest in
+          Alcotest.(check (option string)) "delta answered" (Some "ok")
+            (member_str "status" r1);
+          (* Chain a second edit onto the response digest: the router
+             must route it to the shard that holds the chained entry. *)
+          let digest2 =
+            match member_str "digest" r1 with
+            | Some d -> d
+            | None -> Alcotest.fail "no digest in delta response"
+          in
+          let r2 = delta (Wire.Add_node ("w10", 8)) digest2 in
+          (* A chained digest resolving at all proves the router sent it
+             to the shard holding the chain (a wrong shard answers
+             "unknown instance digest"). *)
+          Alcotest.(check (option string)) "chained delta answered" (Some "ok")
+            (member_str "status" r2);
+          Alcotest.(check bool) "repair outcome reported" true
+            (member_str "repair" r2 <> None)))
+
+let test_e2e_shard_restart_serves_warm () =
+  (* Kill one shard (ungracefully: no shutdown, no sync beyond
+     fsync=Always), restart it over the same store directory, and the
+     verdict it decided earlier is served warm and byte-identical. *)
+  let path = Filename.temp_file "defshard" ".sock" in
+  let dir = fresh_store_dir () in
+  let config =
+    {
+      Server.default_config with
+      Server.store_dir = Some dir;
+      fsync = Store.Log.Always;
+    }
+  in
+  let srv = Server.create ~config (Wire.Unix_sock path) in
+  let th = Thread.create Server.run srv in
+  let cold =
+    Client.with_connection (Wire.Unix_sock path) (fun conn ->
+        request_ok conn (decide_req s2_text))
+  in
+  Alcotest.(check (option string)) "cold misses" (Some "miss")
+    (member_str "cache" cold);
+  Server.shutdown srv;
+  Thread.join th;
+  (* Restart over the same directory. *)
+  let srv = Server.create ~config (Wire.Unix_sock path) in
+  let th = Thread.create Server.run srv in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown srv;
+      Thread.join th)
+    (fun () ->
+      Client.with_connection (Wire.Unix_sock path) (fun conn ->
+          let warm = request_ok conn (decide_req s2_text) in
+          Alcotest.(check (option string)) "warm hit after restart"
+            (Some "hit")
+            (member_str "cache" warm);
+          let block j =
+            match Json.member "result" j with
+            | Some r -> Json.to_string r
+            | None -> Alcotest.fail "no result"
+          in
+          Alcotest.(check string) "byte-identical verdict block"
+            (block cold) (block warm)))
+
+let test_e2e_export_import_compact () =
+  with_sharded_cluster (fun ~router:_ ~s0 ~s1 _addr ->
+      (* Decide shard-direct on shard0, then hand-carry the hot entry to
+         shard1 and check shard1 serves it warm. *)
+      let cold =
+        Client.with_connection (Server.address s0) (fun conn ->
+            request_ok conn (decide_req s2_text))
+      in
+      Alcotest.(check (option string)) "cold on shard0" (Some "miss")
+        (member_str "cache" cold);
+      let entries =
+        Client.with_connection (Server.address s0) (fun conn ->
+            let resp = request_ok conn (Wire.Export { limit = Some 10 }) in
+            match Option.bind (Json.member "entries" resp) Json.to_list with
+            | Some l ->
+                List.filter_map
+                  (fun e ->
+                    match (member_str "digest" e, member_str "payload" e) with
+                    | Some d, Some p -> Some (d, p)
+                    | _ -> None)
+                  l
+            | None -> Alcotest.fail "export returned no entries")
+      in
+      Alcotest.(check int) "one hot entry exported" 1 (List.length entries);
+      Client.with_connection (Server.address s1) (fun conn ->
+          let resp = request_ok conn (Wire.Import { entries }) in
+          Alcotest.(check (option int)) "imported" (Some 1)
+            (Option.bind (Json.member "imported" resp) Json.to_int);
+          let warm = request_ok conn (decide_req s2_text) in
+          Alcotest.(check (option string)) "imported entry serves warm"
+            (Some "hit")
+            (member_str "cache" warm);
+          (* A compact round-trips and reports store stats. *)
+          let c = request_ok conn Wire.Compact in
+          Alcotest.(check (option string)) "compact ok" (Some "ok")
+            (member_str "status" c));
+      (* A poisoned import is refused, not stored. *)
+      Client.with_connection (Server.address s1) (fun conn ->
+          let resp =
+            request_ok conn
+              (Wire.Import { entries = [ ("deadbeef", "00ff00ff") ] })
+          in
+          Alcotest.(check (option int)) "poison rejected" (Some 1)
+            (Option.bind (Json.member "rejected" resp) Json.to_int)))
+
+let test_e2e_rebalance () =
+  with_sharded_cluster (fun ~router ~s0:_ ~s1:_ addr ->
+      (* Decide through the router (lands on its ring owner), then
+         rebalance: every hot entry must end up on the shard the ring
+         names, so a post-rebalance decide still hits. *)
+      Client.with_connection addr (fun conn ->
+          ignore (request_ok conn (decide_req s2_text));
+          ignore (request_ok conn (decide_req s3_text)));
+      (match Service.Router.rebalance router () with
+      | Ok _moved -> ()
+      | Error msg -> Alcotest.failf "rebalance failed: %s" msg);
+      Client.with_connection addr (fun conn ->
+          let w2 = request_ok conn (decide_req s2_text) in
+          let w3 = request_ok conn (decide_req s3_text) in
+          Alcotest.(check (option string)) "s2 still warm" (Some "hit")
+            (member_str "cache" w2);
+          Alcotest.(check (option string)) "s3 still warm" (Some "hit")
+            (member_str "cache" w3)))
 
 let () =
   Alcotest.run "service"
@@ -565,5 +963,26 @@ let () =
           ("overload refusal", `Quick, test_e2e_overload);
           ("shutdown drains", `Quick, test_e2e_shutdown_drains);
           ("wire roundtrip", `Quick, test_wire_roundtrip);
+        ] );
+      ( "tier",
+        [
+          ("codec and hex", `Quick, test_tier_codec);
+          ("write-through and promotion", `Quick,
+           test_cache_write_through_and_promotion);
+          ("restart serves byte-identical warm hit", `Quick,
+           test_cache_restart_byte_identical);
+          ("eviction backstopped by store", `Quick,
+           test_cache_eviction_backstopped_by_store);
+        ] );
+      ("ring", [ ("deterministic placement", `Quick, test_ring_deterministic) ]);
+      ("client", [ ("connect retry backoff", `Quick, test_client_retry_backoff) ]);
+      ( "router",
+        [
+          ("decide via router", `Quick, test_e2e_router_decide);
+          ("batch split and reassembly", `Quick, test_e2e_router_batch);
+          ("delta chain routing", `Quick, test_e2e_router_delta_chain);
+          ("shard restart serves warm", `Quick, test_e2e_shard_restart_serves_warm);
+          ("export/import/compact", `Quick, test_e2e_export_import_compact);
+          ("rebalance", `Quick, test_e2e_rebalance);
         ] );
     ]

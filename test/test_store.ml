@@ -1,0 +1,250 @@
+(* The durable store: CRC framing, put/remove/overwrite semantics,
+   snapshot + compaction, the fsync policy syntax, recovery across
+   reopen, the check callback, and — the property that matters — that a
+   log truncated or corrupted at an arbitrary byte offset recovers
+   exactly a prefix of the valid records: no crash, no wrong value. *)
+
+module Log = Store.Log
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "defstore-%d-%d" (Unix.getpid ()) !counter)
+    in
+    (* Leftovers from a previous crashed run would corrupt the test. *)
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Sys.rmdir dir
+    end;
+    dir
+
+let with_store ?fsync ?auto_compact_bytes ?check dir f =
+  let t = Log.open_ ?fsync ?auto_compact_bytes ?check dir in
+  Fun.protect ~finally:(fun () -> Log.close t) (fun () -> f t)
+
+let stat t name =
+  match List.assoc_opt name (Log.stats t) with
+  | Some v -> v
+  | None -> Alcotest.failf "stat %s missing" name
+
+let test_crc32 () =
+  (* The standard check value for CRC-32/IEEE. *)
+  Alcotest.(check int) "123456789" 0xCBF43926
+    (Store.Crc32.digest_string "123456789");
+  Alcotest.(check int) "empty" 0 (Store.Crc32.digest_string "");
+  Alcotest.(check int) "sub = whole"
+    (Store.Crc32.digest_string "456")
+    (Store.Crc32.digest_sub "123456789" 3 3)
+
+let test_basic_ops () =
+  let dir = fresh_dir () in
+  with_store dir (fun t ->
+      Alcotest.(check (option string)) "miss" None (Log.find t "a");
+      Log.put t "a" "1";
+      Log.put t "b" "2";
+      Alcotest.(check (option string)) "a" (Some "1") (Log.find t "a");
+      Alcotest.(check (option string)) "b" (Some "2") (Log.find t "b");
+      Log.put t "a" "1'";
+      Alcotest.(check (option string)) "overwrite" (Some "1'") (Log.find t "a");
+      Log.remove t "b";
+      Alcotest.(check (option string)) "removed" None (Log.find t "b");
+      Alcotest.(check bool) "mem" true (Log.mem t "a");
+      Alcotest.(check int) "length" 1 (Log.length t);
+      let seen = ref [] in
+      Log.iter t (fun k v -> seen := (k, v) :: !seen);
+      Alcotest.(check (list (pair string string))) "iter" [ ("a", "1'") ] !seen)
+
+let test_reopen_recovers () =
+  let dir = fresh_dir () in
+  with_store dir (fun t ->
+      Log.put t "x" (String.make 1000 'x');
+      Log.put t "y" "why";
+      Log.remove t "x");
+  with_store dir (fun t ->
+      Alcotest.(check (option string)) "y survives" (Some "why")
+        (Log.find t "y");
+      Alcotest.(check (option string)) "x stays deleted" None (Log.find t "x");
+      Alcotest.(check int) "one live key recovered" 1
+        (stat t "recovered_records");
+      Alcotest.(check int) "nothing truncated" 0
+        (stat t "recovery_truncated_bytes"))
+
+let test_compaction () =
+  let dir = fresh_dir () in
+  with_store dir (fun t ->
+      for i = 0 to 99 do
+        Log.put t "k" (string_of_int i)
+      done;
+      Log.put t "other" "o";
+      Log.remove t "other";
+      let before = Log.disk_bytes t in
+      Log.compact t;
+      let after = Log.disk_bytes t in
+      Alcotest.(check bool) "compaction reclaims dead records" true
+        (after < before);
+      Alcotest.(check int) "log emptied" 0 (stat t "log_bytes");
+      Alcotest.(check (option string)) "live key survives" (Some "99")
+        (Log.find t "k");
+      (* Appends after compaction land in the (new, empty) log. *)
+      Log.put t "post" "p";
+      Alcotest.(check (option string)) "post-compaction put" (Some "p")
+        (Log.find t "post"));
+  with_store dir (fun t ->
+      Alcotest.(check (option string)) "snapshot key after reopen" (Some "99")
+        (Log.find t "k");
+      Alcotest.(check (option string)) "log key after reopen" (Some "p")
+        (Log.find t "post"))
+
+let test_auto_compaction () =
+  let dir = fresh_dir () in
+  with_store ~auto_compact_bytes:512 dir (fun t ->
+      for i = 0 to 99 do
+        Log.put t "k" (Printf.sprintf "%032d" i)
+      done;
+      Alcotest.(check bool) "auto-compaction ran" true
+        (stat t "compactions" > 0);
+      Alcotest.(check (option string)) "value intact" (Some (Printf.sprintf "%032d" 99))
+        (Log.find t "k"))
+
+let test_fsync_policy_syntax () =
+  List.iter
+    (fun (s, p) ->
+      Alcotest.(check bool) s true (Log.fsync_policy_of_string s = Ok p);
+      Alcotest.(check string) "round-trip" s (Log.fsync_policy_to_string p))
+    [ ("never", Log.Never); ("always", Log.Always); ("every:7", Log.Every 7) ];
+  List.iter
+    (fun s ->
+      match Log.fsync_policy_of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" s)
+    [ ""; "every"; "every:"; "every:0"; "every:x"; "sometimes" ]
+
+let test_check_drops_bad_records () =
+  let dir = fresh_dir () in
+  with_store dir (fun t ->
+      Log.put t "good" "valid";
+      Log.put t "bad" "poison");
+  (* Reopen with a check that rejects the poisoned value: the record is
+     dropped as if deleted, the rest load normally. *)
+  with_store ~check:(fun ~key:_ v -> v <> "poison") dir (fun t ->
+      Alcotest.(check (option string)) "good survives" (Some "valid")
+        (Log.find t "good");
+      Alcotest.(check (option string)) "bad dropped" None (Log.find t "bad");
+      Alcotest.(check int) "drop counted" 1 (stat t "recovery_dropped_check"))
+
+(* ---------- recovery under corruption (QCheck) ---------- *)
+
+(* Write [n] records with deterministic contents, then flip one byte (or
+   truncate) at an arbitrary offset of log.bin.  Recovery must yield
+   exactly a prefix of the records (later puts of the same key winning),
+   and never a value that was not written. *)
+
+let record_key i = Printf.sprintf "key-%d" (i mod 7)
+let record_value i = Printf.sprintf "value-%d-%s" i (String.make (i mod 13) 'v')
+
+let write_records dir n =
+  with_store ~fsync:Log.Never dir (fun t ->
+      for i = 0 to n - 1 do
+        Log.put t (record_key i) (record_value i)
+      done)
+
+(* The live map after the first [p] records. *)
+let expected_prefix p =
+  let tbl = Hashtbl.create 7 in
+  for i = 0 to p - 1 do
+    Hashtbl.replace tbl (record_key i) (record_value i)
+  done;
+  tbl
+
+let recovered_is_valid_prefix ~n t =
+  (* Find the longest prefix consistent with what the store serves. *)
+  let serves p =
+    let want = expected_prefix p in
+    Log.length t = Hashtbl.length want
+    && Hashtbl.fold
+         (fun k v ok -> ok && Log.find t k = Some v)
+         want true
+  in
+  let rec scan p = p >= 0 && (serves p || scan (p - 1)) in
+  scan n
+
+let corruption_case =
+  (* (record count, corruption offset seed, flip-vs-truncate) *)
+  QCheck.triple (QCheck.int_range 1 40) QCheck.small_nat QCheck.bool
+
+let test_corrupted_log_recovers_prefix =
+  QCheck.Test.make ~name:"corrupted log recovers a valid prefix" ~count:150
+    corruption_case (fun (n, off_seed, truncate) ->
+      let dir = fresh_dir () in
+      write_records dir n;
+      let log = Filename.concat dir "log.bin" in
+      let size = (Unix.stat log).Unix.st_size in
+      QCheck.assume (size > 0);
+      let off = off_seed mod size in
+      (if truncate then Unix.truncate log off
+       else
+         let fd = Unix.openfile log [ Unix.O_RDWR ] 0 in
+         Fun.protect
+           ~finally:(fun () -> Unix.close fd)
+           (fun () ->
+             ignore (Unix.lseek fd off Unix.SEEK_SET);
+             let b = Bytes.create 1 in
+             ignore (Unix.read fd b 0 1);
+             Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xFF));
+             ignore (Unix.lseek fd off Unix.SEEK_SET);
+             ignore (Unix.write fd b 0 1)));
+      with_store dir (fun t -> recovered_is_valid_prefix ~n t))
+
+let test_double_corruption_reopen =
+  (* After recovery truncates, a second open must be clean: recovery is
+     idempotent and the truncated log reloads without further loss. *)
+  QCheck.Test.make ~name:"recovery is idempotent" ~count:50
+    (QCheck.pair (QCheck.int_range 1 30) QCheck.small_nat)
+    (fun (n, off_seed) ->
+      let dir = fresh_dir () in
+      write_records dir n;
+      let log = Filename.concat dir "log.bin" in
+      let size = (Unix.stat log).Unix.st_size in
+      QCheck.assume (size > 0);
+      Unix.truncate log (off_seed mod size);
+      let first =
+        with_store dir (fun t ->
+            (Log.length t, List.sort compare (Log.stats t) |> List.length))
+      in
+      ignore first;
+      let bindings t =
+        let l = ref [] in
+        Log.iter t (fun k v -> l := (k, v) :: !l);
+        List.sort compare !l
+      in
+      let b1 = with_store dir bindings in
+      let b2 = with_store dir (fun t ->
+          let b = bindings t in
+          (b, stat t "recovery_truncated_bytes"))
+      in
+      b1 = fst b2 && snd b2 = 0)
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "log",
+        [
+          ("crc32 check values", `Quick, test_crc32);
+          ("basic ops", `Quick, test_basic_ops);
+          ("reopen recovers", `Quick, test_reopen_recovers);
+          ("compaction", `Quick, test_compaction);
+          ("auto compaction", `Quick, test_auto_compaction);
+          ("fsync policy syntax", `Quick, test_fsync_policy_syntax);
+          ("check drops bad records", `Quick, test_check_drops_bad_records);
+        ] );
+      ( "recovery",
+        List.map QCheck_alcotest.to_alcotest
+          [ test_corrupted_log_recovers_prefix; test_double_corruption_reopen ]
+      );
+    ]
