@@ -901,6 +901,8 @@ type trace_result = {
   t_hit_rate : float;
   t_p50_us : float;
   t_p99_us : float;
+  t_server_p50_us : float;  (** op.decide histogram via the metrics op *)
+  t_server_p99_us : float;
   t_store_bytes_before : int;
   t_store_bytes_after : int;
 }
@@ -1014,6 +1016,11 @@ let trace_replay () =
     Service.Client.connect ~retries:50 ~backoff_s:0.02
       (Service.Wire.Unix_sock rpath)
   in
+  (* The metrics plane stays on for the whole replay so the op.decide
+     histogram sees every request — the server-side percentiles below
+     measure the serving path as production would run it (plane on,
+     spans to a null sink). *)
+  Obs.enable [ Obs.Sink.null ];
   let lat = Array.make requests 0.0 in
   for i = 0 to requests - 1 do
     let line = lines.(sample ()) in
@@ -1023,6 +1030,29 @@ let trace_replay () =
     | Error msg -> failwith ("trace replay: " ^ msg));
     lat.(i) <- Unix.gettimeofday () -. t0
   done;
+  (* Scrape the router-aggregated histograms over the wire — the same
+     path an operator's Prometheus scrape takes. *)
+  let server_pct =
+    match
+      Service.Client.request_raw conn
+        (Service.Wire.request_to_string Service.Wire.Metrics)
+    with
+    | Error msg -> failwith ("trace replay metrics: " ^ msg)
+    | Ok reply -> (
+        match
+          Result.to_option (Service.Json.parse reply)
+          |> Fun.flip Option.bind (Service.Json.member "data")
+          |> Fun.flip Option.bind (fun d ->
+                 Result.to_option (Service.Metrics.of_json d))
+        with
+        | None -> failwith "trace replay metrics: unparsable snapshot"
+        | Some snap ->
+            fun p ->
+              Option.value ~default:0.
+                (Service.Metrics.percentile_us snap ~histogram:"op.decide" p))
+  in
+  let server_p50 = server_pct 50. and server_p99 = server_pct 99. in
+  Obs.disable ();
   let shard_stat name =
     let get srv =
       Option.value ~default:0
@@ -1065,6 +1095,8 @@ let trace_replay () =
     t_hit_rate = float_of_int hits /. float_of_int (max 1 (hits + misses));
     t_p50_us = pct 0.50;
     t_p99_us = pct 0.99;
+    t_server_p50_us = server_p50;
+    t_server_p99_us = server_p99;
     t_store_bytes_before = before;
     t_store_bytes_after = after;
   }
@@ -1125,10 +1157,10 @@ let write_json ~path ~table_times ~acceptance ~delta ~trace ~breakdown
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"definability-bench-7\",\n";
+  p "  \"schema\": \"definability-bench-8\",\n";
   p
     "  \"command\": \"dune exec bench/main.exe -- tables --json --out \
-     bench/BENCH_7.json --baseline bench/BENCH_6.json\",\n";
+     bench/BENCH_8.json --baseline bench/BENCH_7.json\",\n";
   (* How many hardware threads the host offers: the context needed to
      read the par-* scaling rows (d2/d4 cannot beat d1 on one core). *)
   p "  \"host_domains\": %d,\n" (Domain.recommended_domain_count ());
@@ -1181,13 +1213,17 @@ let write_json ~path ~table_times ~acceptance ~delta ~trace ~breakdown
     p "    \"hit_rate\": null,\n";
     p "    \"p50_us\": null,\n";
     p "    \"p99_us\": null,\n";
+    p "    \"server_p50_us\": null,\n";
+    p "    \"server_p99_us\": null,\n";
     p "    \"skipped\": \"reduced trace budget (TRACE_REQUESTS=%d)\"\n"
       trace.t_requests
   end
   else begin
     p "    \"hit_rate\": %.4f,\n" trace.t_hit_rate;
     p "    \"p50_us\": %.1f,\n" trace.t_p50_us;
-    p "    \"p99_us\": %.1f\n" trace.t_p99_us
+    p "    \"p99_us\": %.1f,\n" trace.t_p99_us;
+    p "    \"server_p50_us\": %.1f,\n" trace.t_server_p50_us;
+    p "    \"server_p99_us\": %.1f\n" trace.t_server_p99_us
   end;
   p "  },\n";
   p "  \"phase_breakdown\": {\n";
@@ -1252,7 +1288,7 @@ let () =
     | _ :: rest -> opt_after key rest
     | [] -> None
   in
-  let out = Option.value ~default:"BENCH_7.json" (opt_after "--out" argv) in
+  let out = Option.value ~default:"BENCH_8.json" (opt_after "--out" argv) in
   let baseline = Option.map read_baseline (opt_after "--baseline" argv) in
   (match opt_after "--domains" argv with
   | None -> ()
@@ -1321,9 +1357,12 @@ let () =
     if trace.t_reduced then
       Printf.printf
         "reduced budget (TRACE_REQUESTS): latency metrics recorded as null\n%!"
-    else
+    else begin
       Printf.printf "hit rate %.4f  p50 %.1fus  p99 %.1fus\n%!"
         trace.t_hit_rate trace.t_p50_us trace.t_p99_us;
+      Printf.printf "server-side op.decide p50 %.1fus  p99 %.1fus\n%!"
+        trace.t_server_p50_us trace.t_server_p99_us
+    end;
     Printf.printf "store bytes %d -> %d across compaction\n%!"
       trace.t_store_bytes_before trace.t_store_bytes_after;
     write_json ~path:out ~table_times ~acceptance ~delta ~trace ~breakdown

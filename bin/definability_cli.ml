@@ -644,9 +644,49 @@ let parse_shard s =
       | Some idx, Some n when n >= 1 && idx >= 0 && idx < n -> Ok (idx, n)
       | _ -> Error "shard must be I/N with 0 <= I < N")
 
+(* The long-running processes (serve, route) share one observability
+   setup: the aggregator sink is always live, [--trace] adds a
+   streaming Chrome trace tagged with the process name, and — when
+   tracing — SIGTERM/SIGINT are rerouted through [exit] so the at_exit
+   close writes the closing bracket: a killed server still leaves a
+   loadable trace. *)
+let enable_service_plane ~process trace =
+  let tracer =
+    Option.map
+      (fun path ->
+        let oc = open_out path in
+        let stream = Obs.Sink.Trace.stream ~process oc in
+        at_exit (fun () ->
+            Obs.Sink.Trace.close_stream ~counters:(Obs.Counter.all ()) stream;
+            close_out_noerr oc);
+        List.iter
+          (fun s ->
+            try Sys.set_signal s (Sys.Signal_handle (fun _ -> exit 0))
+            with Invalid_argument _ | Sys_error _ -> ())
+          [ Sys.sigterm; Sys.sigint ];
+        stream)
+      trace
+  in
+  Obs.enable
+    (Obs.Sink.Agg.sink (Obs.Sink.Agg.create ())
+    ::
+    (match tracer with
+    | Some t -> [ Obs.Sink.Trace.stream_sink t ]
+    | None -> []))
+
+let slow_ms_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "slow-ms" ] ~docv:"MS"
+        ~doc:
+          "Slow-request log: every work request whose wall time is at \
+           least $(docv) milliseconds emits one JSON line on stderr with \
+           its trace id, op, digest and phase breakdown.")
+
 let serve_cmd =
   let run addr domains fuel timeout max_inflight queue_depth cache_size store
-      fsync auto_compact shard =
+      fsync auto_compact shard trace slow_ms =
     set_domains domains;
     let addr = address_of addr in
     if max_inflight < 1 || queue_depth < 0 || cache_size < 1 then begin
@@ -688,12 +728,19 @@ let serve_cmd =
         auto_compact_bytes = auto_compact;
         shard;
         export_limit = Service.Server.default_config.export_limit;
+        slow_ms;
+        slow_log = Service.Server.default_config.slow_log;
       }
     in
     (* Enable telemetry for the server's lifetime so the service.*
-       counters (requests, cache hits/misses, …) accumulate; spans go to
-       an in-memory aggregator nothing reads unless a debugger does. *)
-    Obs.enable [ Obs.Sink.Agg.sink (Obs.Sink.Agg.create ()) ];
+       counters and op histograms accumulate (served back by the
+       [metrics] op); --trace streams every span to a Chrome trace. *)
+    enable_service_plane
+      ~process:
+        (match shard with
+        | Some (i, n) -> Printf.sprintf "defcheck serve %d/%d" i n
+        | None -> "defcheck serve")
+      trace;
     match Service.Server.create ~config addr with
     | exception Unix.Unix_error (e, _, arg) ->
         Printf.eprintf "error: cannot listen on %s: %s (%s)\n"
@@ -779,7 +826,7 @@ let serve_cmd =
     Term.(
       const run $ address_arg $ domains_arg $ fuel_arg $ timeout_arg
       $ max_inflight_arg $ queue_depth_arg $ cache_size_arg $ store_arg
-      $ fsync_arg $ auto_compact_arg $ shard_arg)
+      $ fsync_arg $ auto_compact_arg $ shard_arg $ trace_arg $ slow_ms_arg)
 
 let retries_arg =
   Arg.(
@@ -796,7 +843,8 @@ let backoff_arg =
         ~doc:"Initial backoff between connect retries (doubles each try).")
 
 let client_cmd =
-  let run addr op paths lang k fuel timeout ms digest edit retries backoff =
+  let run addr op paths lang k fuel timeout ms digest edit retries backoff
+      trace_id progress =
     let addr = address_of addr in
     let conn =
       match Service.Client.connect ~retries ~backoff_s:backoff addr with
@@ -811,9 +859,21 @@ let client_cmd =
       ~finally:(fun () -> Service.Client.close conn)
       (fun () ->
         let worst = ref 0 in
+        (* The envelope rides on every request of the session: a trace
+           id joins the server's spans to this invocation, [--progress]
+           asks for interim frames (rendered on stderr so stdout stays
+           one verbatim response line per request, as before). *)
+        let envelope =
+          { Service.Wire.trace_id; parent_span = None; stream = progress }
+        in
         let exchange req =
+          let line = Service.Wire.request_line ~envelope req in
           match
-            Service.Client.request_raw conn (Service.Wire.request_to_string req)
+            if progress then
+              Service.Client.request_stream conn
+                ~on_progress:(fun frame -> Printf.eprintf "%s\n%!" frame)
+                line
+            else Service.Client.request_raw conn line
           with
           | Error msg ->
               Printf.eprintf "error: %s\n" msg;
@@ -847,6 +907,7 @@ let client_cmd =
         (match op with
         | "ping" -> exchange Service.Wire.Ping
         | "stats" -> exchange Service.Wire.Stats
+        | "metrics" -> exchange Service.Wire.Metrics
         | "shutdown" -> exchange Service.Wire.Shutdown
         | "compact" -> exchange Service.Wire.Compact
         | "sleep" -> exchange (Service.Wire.Sleep { ms })
@@ -897,7 +958,7 @@ let client_cmd =
         | other ->
             Printf.eprintf
               "error: unknown op %S \
-               (ping|stats|shutdown|compact|sleep|decide|batch|delta)\n"
+               (ping|stats|metrics|shutdown|compact|sleep|decide|batch|delta)\n"
               other;
             exit 2);
         exit !worst)
@@ -908,8 +969,30 @@ let client_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"OP"
           ~doc:
-            "One of $(b,ping), $(b,stats), $(b,shutdown), $(b,compact), \
-             $(b,sleep), $(b,decide), $(b,batch), $(b,delta).")
+            "One of $(b,ping), $(b,stats), $(b,metrics), $(b,shutdown), \
+             $(b,compact), $(b,sleep), $(b,decide), $(b,batch), \
+             $(b,delta).")
+  in
+  let trace_id_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-id" ] ~docv:"ID"
+          ~doc:
+            "Tag every request of this invocation with a distributed \
+             trace id; the server's (and, through a router, the owning \
+             shard's) spans carry it, so $(b,trace-merge) and Perfetto \
+             queries can follow one request across processes.")
+  in
+  let progress_arg =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:
+            "Ask the server to stream interim progress frames (phase \
+             enter/exit, counter deltas) while it works; frames are \
+             printed to stderr as they arrive, the final response to \
+             stdout exactly as without the flag.")
   in
   let files_arg =
     Arg.(
@@ -950,10 +1033,10 @@ let client_cmd =
     Term.(
       const run $ address_arg $ op_arg $ files_arg $ lang_arg $ k_arg
       $ fuel_arg $ timeout_arg $ ms_arg $ digest_arg $ edit_arg $ retries_arg
-      $ backoff_arg)
+      $ backoff_arg $ trace_id_arg $ progress_arg)
 
 let route_cmd =
-  let run addr shards vnodes warm retries backoff =
+  let run addr shards vnodes warm retries backoff trace =
     let addr = address_of addr in
     if shards = [] then begin
       Printf.eprintf "error: route needs at least one shard address\n";
@@ -972,7 +1055,7 @@ let route_cmd =
         retry_backoff_s = backoff;
       }
     in
-    Obs.enable [ Obs.Sink.Agg.sink (Obs.Sink.Agg.create ()) ];
+    enable_service_plane ~process:"defcheck route" trace;
     match Service.Router.create ~config ~shards addr with
     | exception Unix.Unix_error (e, _, arg) ->
         Printf.eprintf "error: cannot listen on %s: %s (%s)\n"
@@ -1028,7 +1111,162 @@ let route_cmd =
           shard's bytes verbatim.")
     Term.(
       const run $ address_arg $ shards_arg $ vnodes_arg $ warm_arg
-      $ retries_arg $ backoff_arg)
+      $ retries_arg $ backoff_arg $ trace_arg)
+
+(* Stitch per-process Chrome trace files (each traced relative to its
+   own start) onto one shared timeline: every stream opens with a
+   clock_sync metadata event carrying its absolute origin in unix epoch
+   microseconds; shifting each file's timestamps by its origin minus
+   the earliest origin lines all processes up, and giving each file its
+   own pid renders them as separate process tracks in Perfetto.  Spans
+   tagged with a shared trace_id then read as one distributed request
+   crossing process lanes. *)
+let trace_merge_cmd =
+  let run inputs output =
+    let module J = Service.Json in
+    if inputs = [] then begin
+      Printf.eprintf "error: trace-merge needs at least one trace file\n";
+      exit 2
+    end;
+    let die fmt =
+      Printf.ksprintf
+        (fun m ->
+          Printf.eprintf "error: %s\n" m;
+          exit 2)
+        fmt
+    in
+    let events_of path =
+      match read_file path with
+      | exception Sys_error msg -> die "%s" msg
+      | text -> (
+          match J.parse text with
+          | Error msg -> die "%s: %s" path msg
+          | Ok (J.List events) -> events
+          | Ok _ -> die "%s: not a Chrome trace array" path)
+    in
+    let str_field name ev = Option.bind (J.member name ev) J.to_str in
+    let epoch_of path events =
+      match
+        List.find_map
+          (fun ev ->
+            if str_field "name" ev = Some "clock_sync" then
+              Option.bind (J.member "args" ev) (fun a ->
+                  Option.bind (J.member "unix_epoch_us" a) J.to_float)
+            else None)
+          events
+      with
+      | Some e -> e
+      | None ->
+          die "%s: no clock_sync event (is this a --trace streamed file?)" path
+    in
+    let files = List.map (fun p -> (p, events_of p)) inputs in
+    let epochs = List.map (fun (p, evs) -> epoch_of p evs) files in
+    let origin = List.fold_left Float.min infinity epochs in
+    let set k v fields =
+      if List.mem_assoc k fields then
+        List.map
+          (fun (k', v') -> if String.equal k' k then (k, v) else (k', v'))
+          fields
+      else fields @ [ (k, v) ]
+    in
+    (* Per file: drop the clock_sync (consumed here), give every event
+       the file's pid, shift non-metadata timestamps onto the shared
+       origin, and make sure a process_name survives so Perfetto labels
+       the track (synthesized from the filename when absent). *)
+    let merge_file index ((path, events), epoch) =
+      let pid = index + 1 in
+      let shift_us = epoch -. origin in
+      let named = ref false in
+      let events =
+        List.filter_map
+          (fun ev ->
+            match ev with
+            | J.Obj fields -> (
+                let name = str_field "name" ev in
+                if name = Some "clock_sync" then None
+                else begin
+                  if name = Some "process_name" then named := true;
+                  let is_meta = str_field "ph" ev = Some "M" in
+                  let fields = set "pid" (J.Number (float_of_int pid)) fields in
+                  let fields =
+                    match
+                      Option.bind (List.assoc_opt "ts" fields) J.to_float
+                    with
+                    | Some ts when not is_meta ->
+                        set "ts" (J.Number (ts +. shift_us)) fields
+                    | _ -> fields
+                  in
+                  Some (J.Obj fields)
+                end)
+            | _ -> die "%s: non-object trace event" path)
+          events
+      in
+      if !named then events
+      else
+        J.Obj
+          [
+            ("name", J.String "process_name");
+            ("cat", J.String "__metadata");
+            ("ph", J.String "M");
+            ("ts", J.Number 0.);
+            ("pid", J.Number (float_of_int pid));
+            ("tid", J.Number 0.);
+            ("args", J.Obj [ ("name", J.String (Filename.basename path)) ]);
+          ]
+        :: events
+    in
+    let merged =
+      List.concat (List.mapi merge_file (List.combine files epochs))
+    in
+    (* Metadata first, then slices/counters by shifted timestamp, so
+       the merged file reads chronologically. *)
+    let ts_of ev = Option.bind (J.member "ts" ev) J.to_float in
+    let key ev =
+      if str_field "ph" ev = Some "M" then neg_infinity
+      else Option.value (ts_of ev) ~default:0.
+    in
+    let merged =
+      List.stable_sort (fun a b -> Float.compare (key a) (key b)) merged
+    in
+    let oc = match output with None -> stdout | Some p -> open_out p in
+    output_string oc "[";
+    List.iteri
+      (fun i ev ->
+        output_string oc (if i = 0 then "\n" else ",\n");
+        output_string oc (J.to_string ev))
+      merged;
+    output_string oc "\n]\n";
+    if output <> None then close_out oc else flush oc;
+    (match output with
+    | Some p ->
+        Printf.eprintf "defcheck: merged %d trace files (%d events) into %s\n%!"
+          (List.length inputs) (List.length merged) p
+    | None -> ())
+  in
+  let inputs_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"TRACE"
+          ~doc:
+            "Chrome trace-event files as written by $(b,--trace) \
+             (router, shards, checks), one per process.")
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Merged trace destination (default: stdout).")
+  in
+  Cmd.v
+    (Cmd.info "trace-merge"
+       ~doc:
+         "Merge per-process Chrome trace files onto one timeline: each \
+          file's $(b,clock_sync) origin aligns its timestamps, each file \
+          becomes its own pid/track, and spans sharing a $(b,trace_id) \
+          read as one distributed request across processes.  The output \
+          loads in Perfetto or chrome://tracing.")
+    Term.(const run $ inputs_arg $ output_arg)
 
 let main =
   Cmd.group
@@ -1047,6 +1285,7 @@ let main =
       serve_cmd;
       route_cmd;
       client_cmd;
+      trace_merge_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -52,6 +52,13 @@ let c_reval_fail = Obs.Counter.make "service.cache.revalidation_failures"
 let c_graph_hit = Obs.Counter.make "service.cache.graph_hits"
 let c_graph_miss = Obs.Counter.make "service.cache.graph_misses"
 
+(* Tier latency histograms: a hit costs hashing + (maybe) revalidation,
+   a miss costs a full decide — separating them is what lets the
+   metrics plane show the bimodal shape instead of one meaningless
+   average. *)
+let h_hit = Obs.Histogram.make "cache.hit"
+let h_miss = Obs.Histogram.make "cache.miss"
+
 let create ?(config = default_config) ?durable () =
   {
     config;
@@ -141,7 +148,7 @@ let drop t key =
       ignore (Atomic.fetch_and_add t.store_drops 1);
       Tier.remove d key
 
-let decide_keyed t ?fuel ?deadline_s ?(k = 1) ~lang g s =
+let decide_keyed_inner t ?fuel ?deadline_s ?(k = 1) ~lang g s =
   let gkey, ikey =
     Obs.Span.with_ "service.cache.hash" @@ fun () ->
     Content_hash.keys ~lang ~k g s
@@ -185,6 +192,18 @@ let decide_keyed t ?fuel ?deadline_s ?(k = 1) ~lang g s =
           bump t.revalidation_failures c_reval_fail;
           drop t ikey;
           serve_miss ())
+
+let decide_keyed t ?fuel ?deadline_s ?k ~lang g s =
+  if not (Obs.enabled ()) then decide_keyed_inner t ?fuel ?deadline_s ?k ~lang g s
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let r = decide_keyed_inner t ?fuel ?deadline_s ?k ~lang g s in
+    (match r with
+    | Ok (_, `Hit, _) -> Obs.Histogram.record_s h_hit (Unix.gettimeofday () -. t0)
+    | Ok (_, `Miss, _) -> Obs.Histogram.record_s h_miss (Unix.gettimeofday () -. t0)
+    | Error _ -> ());
+    r
+  end
 
 let decide t ?fuel ?deadline_s ?k ~lang g s =
   match decide_keyed t ?fuel ?deadline_s ?k ~lang g s with

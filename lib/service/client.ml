@@ -63,6 +63,38 @@ let request_raw t line =
     | exception Unix.Unix_error (e, _, _) ->
         Error ("transport: " ^ Unix.error_message e)
 
+(* A line is a progress frame iff it parses as an object with a
+   "progress" member — the server guarantees the final response never
+   carries one, so no lookahead is needed. *)
+let is_progress_line line =
+  match Json.parse line with
+  | Ok j -> Json.member "progress" j <> None
+  | Error _ -> false
+
+let request_stream t ~on_progress line =
+  if t.closed then Error "connection closed"
+  else begin
+    let rec read () =
+      let resp = input_line t.ic in
+      if is_progress_line resp then begin
+        on_progress resp;
+        read ()
+      end
+      else resp
+    in
+    match
+      output_string t.oc line;
+      output_char t.oc '\n';
+      flush t.oc;
+      read ()
+    with
+    | resp -> Ok resp
+    | exception End_of_file -> Error "connection closed by server"
+    | exception Sys_error msg -> Error ("transport: " ^ msg)
+    | exception Unix.Unix_error (e, _, _) ->
+        Error ("transport: " ^ Unix.error_message e)
+  end
+
 let request t req =
   match request_raw t (Wire.request_to_string req) with
   | Error _ as e -> e

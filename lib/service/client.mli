@@ -30,6 +30,14 @@ val request_raw : t -> string -> (string, string) result
     response line.  The bench uses this to keep parsing out of timed
     sections. *)
 
+val request_stream :
+  t -> on_progress:(string -> unit) -> string -> (string, string) result
+(** Like {!request_raw} for a request whose envelope sets ["stream"]:
+    every interim line carrying a ["progress"] member is handed to
+    [on_progress] (raw, in arrival order) and the first line without
+    one is returned as the response.  Also correct for servers that
+    ignore streaming — zero progress lines then the response. *)
+
 val close : t -> unit
 (** Idempotent. *)
 

@@ -5,6 +5,8 @@ type 'a t = {
   table : (string, 'a entry) Hashtbl.t;
   mutable tick : int;
   mutable evicted : int;
+  mutable hit : int;
+  mutable miss : int;
   m : Mutex.t;
 }
 
@@ -15,6 +17,8 @@ let create ~capacity =
     table = Hashtbl.create (min capacity 64);
     tick = 0;
     evicted = 0;
+    hit = 0;
+    miss = 0;
     m = Mutex.create ();
   }
 
@@ -25,6 +29,8 @@ let locked t f =
 let capacity t = t.capacity
 let length t = locked t (fun () -> Hashtbl.length t.table)
 let evictions t = locked t (fun () -> t.evicted)
+let hits t = locked t (fun () -> t.hit)
+let misses t = locked t (fun () -> t.miss)
 
 let touch t e =
   t.tick <- t.tick + 1;
@@ -33,9 +39,12 @@ let touch t e =
 let find t k =
   locked t (fun () ->
       match Hashtbl.find_opt t.table k with
-      | None -> None
+      | None ->
+          t.miss <- t.miss + 1;
+          None
       | Some e ->
           touch t e;
+          t.hit <- t.hit + 1;
           Some e.value)
 
 let evict_lru t =

@@ -35,4 +35,12 @@ val hot : 'a t -> int -> (string * 'a) list
 val evictions : 'a t -> int
 (** How many entries capacity pressure has pushed out so far. *)
 
+val hits : 'a t -> int
+(** How many [find] calls returned an entry. *)
+
+val misses : 'a t -> int
+(** How many [find] calls came up empty.  Together with {!hits} this
+    makes routing-table caches (the router's delta-chain LRU) auditable
+    from [stats] instead of invisible. *)
+
 val clear : 'a t -> unit

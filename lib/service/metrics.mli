@@ -1,0 +1,50 @@
+(** The metrics plane's data model.
+
+    A {!snapshot} is a point-in-time copy of every registered
+    {!Obs.Histogram} and {!Obs.Counter}, as plain data.  It is what a
+    [metrics] wire op carries: the shard captures and serializes one,
+    the router parses N of them, merges (histograms pointwise, counters
+    by sum) and renders the cluster-wide aggregate — percentiles of the
+    merged histogram are exact, not averages of per-shard percentiles.
+
+    The render target is Prometheus text exposition (histograms as
+    cumulative [_bucket{le="…"}] series in {e seconds}, counters as
+    [_total], plus caller-supplied gauges and one [defcheck_build_info]
+    line).  Empty buckets are elided; the mandatory [+Inf] bucket,
+    [_sum] and [_count] always appear. *)
+
+val version : string
+(** The build/version string components also reported by [stats]. *)
+
+val build_string : string
+(** e.g. ["defcheck/0.8.0 ocaml/5.2.0"]. *)
+
+type snapshot = {
+  histograms : (string * Obs.Histogram.snapshot) list;  (** sorted by name *)
+  counters : (string * int) list;  (** sorted by name *)
+}
+
+val capture : unit -> snapshot
+(** Snapshot every registered histogram and counter, zeros included. *)
+
+val empty : snapshot
+
+val merge : snapshot -> snapshot -> snapshot
+(** Union by name: histograms merge pointwise, counters add. *)
+
+val to_json : snapshot -> string
+(** One JSON object; histogram counts travel sparse
+    ([[index, count], …]). *)
+
+val of_json : Json.t -> (snapshot, string) result
+val of_string : string -> (snapshot, string) result
+
+val prom_name : string -> string
+(** ["cache.hit"] → ["defcheck_cache_hit"] (metric-name charset). *)
+
+val render : ?gauges:(string * float) list -> snapshot -> string
+(** Prometheus text exposition of the snapshot. *)
+
+val percentile_us : snapshot -> histogram:string -> float -> float option
+(** [percentile_us s ~histogram:"op.decide" 99.] — the merged histogram's
+    p99 in µs; [None] when the histogram is absent or empty. *)

@@ -30,6 +30,9 @@ let c_forwarded = Obs.Counter.make "service.router.forwarded"
 let create ?(config = default_config) ~shards addr =
   if shards = [] then invalid_arg "Service.Router.create: no shards";
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (* Same lane-identity hook as the server: the router is also
+     thread-per-connection on one domain. *)
+  Obs.set_thread_id_fn (fun () -> Thread.id (Thread.self ()));
   let listen_fd =
     match addr with
     | Wire.Unix_sock path ->
@@ -121,6 +124,26 @@ let forward t conns name line =
           incr t.n_forward_errors;
           Error (Printf.sprintf "shard %s unreachable: %s" name msg))
 
+(* Streaming forward: progress frames from the shard relay to the
+   client as they arrive; the first non-frame line is the response.
+   No reconnect-retry — frames may already have reached the client, so
+   a mid-stream transport failure surfaces as an error instead of a
+   silent replay. *)
+let forward_stream t conns name ~on_progress line =
+  match Client.request_stream (get_conn t conns name) ~on_progress line with
+  | Ok _ as ok ->
+      incr t.n_forwarded;
+      Obs.Counter.incr c_forwarded;
+      ok
+  | Error msg ->
+      drop_conn conns name;
+      incr t.n_forward_errors;
+      Error (Printf.sprintf "shard %s: %s" name msg)
+  | exception Unix.Unix_error (e, _, _) ->
+      drop_conn conns name;
+      incr t.n_forward_errors;
+      Error (Printf.sprintf "shard %s: %s" name (Unix.error_message e))
+
 let respond oc fields =
   output_string oc (Wire.json_obj fields);
   output_char oc '\n';
@@ -147,12 +170,16 @@ let stats t =
   List.sort compare
     [
       ("chain_entries", Lru.length t.chain);
+      ("chain_hits", Lru.hits t.chain);
+      ("chain_misses", Lru.misses t.chain);
+      ("chain_evictions", Lru.evictions t.chain);
       ("forward_errors", Atomic.get t.n_forward_errors);
       ("forwarded", Atomic.get t.n_forwarded);
       ("rebalanced", Atomic.get t.n_rebalanced);
       ("requests", Atomic.get t.n_requests);
       ("shards", List.length t.shards);
-      ("uptime_s", int_of_float (Unix.gettimeofday () -. t.started_s));
+      ("uptime_seconds", int_of_float (Unix.gettimeofday () -. t.started_s));
+      ("started_at", int_of_float t.started_s);
     ]
 
 (* Remember where a delta response's chained digest lives, so the next
@@ -168,20 +195,29 @@ let note_chained t name line =
       | Some "ok", Some digest -> Lru.put t.chain digest name
       | _ -> ())
 
-let handle_decide t conns oc line ~lang ~k ~instance =
+(* Work ops forward the raw line verbatim, envelope included — which is
+   exactly how the trace context crosses the router without being
+   re-rendered.  A [stream] request switches to the streaming forward so
+   the shard's progress frames relay through in arrival order. *)
+let forward_work t conns name oc ~(env : Wire.envelope) line =
+  if env.Wire.stream then
+    forward_stream t conns name ~on_progress:(relay oc) line
+  else forward t conns name line
+
+let handle_decide t conns oc line ~env ~lang ~k ~instance =
   match Graph_io.instance_of_string instance with
   | Error msg -> respond oc (error_fields "decide" ("instance: " ^ msg))
   | Ok (g, s) -> (
       let digest =
         Content_hash.instance_key ~lang ~k:(Option.value k ~default:1) g s
       in
-      match forward t conns (shard_of_digest t digest) line with
+      match forward_work t conns (shard_of_digest t digest) oc ~env line with
       | Ok reply -> relay oc reply
       | Error msg -> respond oc (error_fields "decide" msg))
 
-let handle_delta t conns oc line ~digest =
+let handle_delta t conns oc line ~env ~digest =
   let name = shard_of_digest t digest in
-  match forward t conns name line with
+  match forward_work t conns name oc ~env line with
   | Ok reply ->
       note_chained t name reply;
       relay oc reply
@@ -192,7 +228,7 @@ let handle_delta t conns oc line ~digest =
    null fields only, so the verdict blocks survive verbatim); a
    sub-batch failure turns into per-item error objects rather than
    failing the whole batch. *)
-let handle_batch t conns oc ~lang ~k ~fuel ~timeout_s ~instances =
+let handle_batch t conns oc ~env ~lang ~k ~fuel ~timeout_s ~instances =
   let t0 = Unix.gettimeofday () in
   let placed =
     List.mapi
@@ -223,8 +259,12 @@ let handle_batch t conns oc ~lang ~k ~fuel ~timeout_s ~instances =
   Hashtbl.iter
     (fun name items ->
       let items = List.rev items in
+      (* Sub-batches keep the trace context but never stream — the
+         router reassembles results in request order, so interleaved
+         frames from several shards would be misordered noise. *)
       let sub =
-        Wire.request_to_string
+        Wire.request_line
+          ~envelope:{ env with Wire.stream = false }
           (Wire.Batch
              { lang; k; fuel; timeout_s; instances = List.map snd items })
       in
@@ -278,22 +318,34 @@ let handle_stats t conns oc line =
           match reply with
           | Error msg -> [ ("error", Wire.json_string msg) ]
           | Ok raw -> (
-              match
-                Option.bind
-                  (Result.to_option (Json.parse raw))
-                  (Json.member "stats")
-              with
-              | Some (Json.Obj kvs) ->
-                  List.filter_map
-                    (fun (k, v) ->
-                      match Json.to_int v with
-                      | Some n ->
-                          Hashtbl.replace totals k
-                            (n + Option.value (Hashtbl.find_opt totals k) ~default:0);
-                          Some (k, string_of_int n)
-                      | None -> None)
-                    kvs
-              | _ -> [ ("error", Wire.json_string "malformed stats reply") ])
+              match Result.to_option (Json.parse raw) with
+              | None -> [ ("error", Wire.json_string "malformed stats reply") ]
+              | Some j -> (
+                  (* The shard's build string rides along un-summed, so a
+                     mixed-version cluster is visible per shard. *)
+                  let version =
+                    match
+                      Option.bind (Json.member "version" j) Json.to_str
+                    with
+                    | Some v -> [ ("version", Wire.json_string v) ]
+                    | None -> []
+                  in
+                  match Json.member "stats" j with
+                  | Some (Json.Obj kvs) ->
+                      List.filter_map
+                        (fun (k, v) ->
+                          match Json.to_int v with
+                          | Some n ->
+                              Hashtbl.replace totals k
+                                (n
+                                + Option.value (Hashtbl.find_opt totals k)
+                                    ~default:0);
+                              Some (k, string_of_int n)
+                          | None -> None)
+                        kvs
+                      @ version
+                  | _ -> [ ("error", Wire.json_string "malformed stats reply") ]
+                  ))
         in
         (name, Wire.json_obj fields))
       replies
@@ -310,6 +362,56 @@ let handle_stats t conns oc line =
          ( "router",
            Wire.json_obj
              (List.map (fun (k, v) -> (k, string_of_int v)) (stats t)) );
+         ("version", Wire.json_string Metrics.build_string);
+       ])
+
+(* Metrics aggregation: merge the shards' raw snapshots (histograms
+   pointwise, counters by sum) and render the cluster-wide exposition
+   here.  Percentiles of the merged histograms are exact — unlike any
+   combination of per-shard percentile numbers. *)
+let handle_metrics t conns oc line =
+  let replies = fan_out t conns line in
+  let merged, per_shard =
+    List.fold_left
+      (fun (acc, infos) (name, reply) ->
+        let failed msg = (acc, (name, Wire.json_obj [ ("error", Wire.json_string msg) ]) :: infos) in
+        match reply with
+        | Error msg -> failed msg
+        | Ok raw -> (
+            match Result.to_option (Json.parse raw) with
+            | None -> failed "malformed metrics reply"
+            | Some j -> (
+                let version =
+                  match Option.bind (Json.member "version" j) Json.to_str with
+                  | Some v -> [ ("version", Wire.json_string v) ]
+                  | None -> []
+                in
+                match
+                  Option.bind (Json.member "data" j) (fun d ->
+                      Result.to_option (Metrics.of_json d))
+                with
+                | Some snap ->
+                    ( Metrics.merge acc snap,
+                      ( name,
+                        Wire.json_obj
+                          (("status", Wire.json_string "ok") :: version) )
+                      :: infos )
+                | None -> failed "malformed metrics reply")))
+      (Metrics.empty, []) replies
+  in
+  let gauges =
+    [
+      ("uptime_seconds", Unix.gettimeofday () -. t.started_s);
+      ("shards", float_of_int (List.length t.shards));
+    ]
+  in
+  respond oc
+    (ok "metrics"
+       [
+         ("metrics", Wire.json_string (Metrics.render ~gauges merged));
+         ("data", Metrics.to_json merged);
+         ("shards", Wire.json_obj (List.rev per_shard));
+         ("version", Wire.json_string Metrics.build_string);
        ])
 
 let handle_compact t conns oc line =
@@ -356,27 +458,46 @@ let handle_shutdown t conns oc line =
   respond oc (ok "shutdown" [ ("drained", "true") ]);
   initiate_stop t
 
-let handle_request t conns oc line =
-  incr t.n_requests;
-  match Wire.request_of_string line with
-  | Error msg -> respond oc (error_fields "unknown" msg)
-  | Ok Wire.Ping -> respond oc (ok "ping" [ ("role", Wire.json_string "router") ])
-  | Ok Wire.Stats -> handle_stats t conns oc line
-  | Ok Wire.Shutdown -> handle_shutdown t conns oc line
-  | Ok (Wire.Sleep _) -> (
+let dispatch_request t conns oc line ~env req =
+  match req with
+  | Wire.Ping -> respond oc (ok "ping" [ ("role", Wire.json_string "router") ])
+  | Wire.Stats -> handle_stats t conns oc line
+  | Wire.Shutdown -> handle_shutdown t conns oc line
+  | Wire.Sleep _ -> (
       match forward t conns (fst (List.hd t.shards)) line with
       | Ok reply -> relay oc reply
       | Error msg -> respond oc (error_fields "sleep" msg))
-  | Ok (Wire.Decide { lang; k; instance; _ }) ->
-      handle_decide t conns oc line ~lang ~k ~instance
-  | Ok (Wire.Batch { lang; k; fuel; timeout_s; instances }) ->
-      handle_batch t conns oc ~lang ~k ~fuel ~timeout_s ~instances
-  | Ok (Wire.Delta { digest; _ }) -> handle_delta t conns oc line ~digest
-  | Ok Wire.Compact -> handle_compact t conns oc line
-  | Ok (Wire.Export _ | Wire.Import _) ->
+  | Wire.Decide { lang; k; instance; _ } ->
+      handle_decide t conns oc line ~env ~lang ~k ~instance
+  | Wire.Batch { lang; k; fuel; timeout_s; instances } ->
+      handle_batch t conns oc ~env ~lang ~k ~fuel ~timeout_s ~instances
+  | Wire.Delta { digest; _ } -> handle_delta t conns oc line ~env ~digest
+  | Wire.Compact -> handle_compact t conns oc line
+  | Wire.Metrics -> handle_metrics t conns oc line
+  | Wire.Export _ | Wire.Import _ ->
       respond oc
         (error_fields "export"
            "shard-direct op (connect to a shard, not the router)")
+
+let handle_request t conns oc line =
+  incr t.n_requests;
+  match Json.parse line with
+  | Error msg -> respond oc (error_fields "unknown" msg)
+  | Ok j -> (
+      match Wire.request_of_json j with
+      | Error msg -> respond oc (error_fields "unknown" msg)
+      | Ok req ->
+          (* The routing span is tagged with the client's trace id; the
+             forwarded line carries the same id verbatim, so the shard's
+             spans join the same distributed trace. *)
+          let env = Wire.envelope_of_json j in
+          let work () =
+            Obs.Span.with_ "service.route" (fun () ->
+                dispatch_request t conns oc line ~env req)
+          in
+          match env.Wire.trace_id with
+          | None -> work ()
+          | Some _ as id -> Obs.Ctx.with_trace id work)
 
 let handle_conn t fd =
   let conns : conns = Hashtbl.create 8 in
@@ -387,9 +508,7 @@ let handle_conn t fd =
     | exception (End_of_file | Sys_error _) -> ()
     | line when String.trim line = "" -> loop ()
     | line ->
-        (match
-           Obs.Span.with_ "service.route" (fun () -> handle_request t conns oc line)
-         with
+        (match handle_request t conns oc line with
         | () -> ()
         | exception (Sys_error _ | Unix.Unix_error _) -> raise Exit
         | exception e ->

@@ -91,6 +91,8 @@ type config = {
   auto_compact_bytes : int;
   shard : (int * int) option;
   export_limit : int;
+  slow_ms : float option;
+  slow_log : string -> unit;
 }
 
 let default_config =
@@ -105,6 +107,8 @@ let default_config =
     auto_compact_bytes = 0;
     shard = None;
     export_limit = 64;
+    slow_ms = None;
+    slow_log = (fun line -> Printf.eprintf "%s\n%!" line);
   }
 
 type t = {
@@ -123,11 +127,20 @@ type t = {
   n_sleeps : int Atomic.t;
   n_overloaded : int Atomic.t;
   n_errors : int Atomic.t;
+  n_metrics : int Atomic.t;
+  req_ids : int Atomic.t;
   stop : bool Atomic.t;
 }
 
 let c_requests = Obs.Counter.make "service.requests"
 let c_overloaded = Obs.Counter.make "service.overloaded"
+
+(* Per-op request latency (admission wait included): the server-side
+   view of what clients experience, which the offline bench can only
+   approximate from outside the socket. *)
+let h_decide = Obs.Histogram.make "op.decide"
+let h_batch = Obs.Histogram.make "op.batch"
+let h_delta = Obs.Histogram.make "op.delta"
 
 let bump a c =
   ignore (Atomic.fetch_and_add a 1);
@@ -142,6 +155,11 @@ let create ?(config = default_config) addr =
      with SIGPIPE; writes to its socket fail with EPIPE instead, which
      the handler treats as end-of-connection. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (* Spans must tell concurrent handler threads apart — the server is
+     thread-per-connection on one domain, so the domain id alone is not
+     an execution lane.  [Obs] takes the hook rather than a [threads]
+     dependency. *)
+  Obs.set_thread_id_fn (fun () -> Thread.id (Thread.self ()));
   let listen_fd =
     match addr with
     | Wire.Unix_sock path ->
@@ -181,6 +199,8 @@ let create ?(config = default_config) addr =
     n_sleeps = Atomic.make 0;
     n_overloaded = Atomic.make 0;
     n_errors = Atomic.make 0;
+    n_metrics = Atomic.make 0;
+    req_ids = Atomic.make 0;
     stop = Atomic.make false;
   }
 
@@ -191,7 +211,8 @@ let address t = t.addr
 let stats t =
   let snap =
     [
-      ("uptime_s", int_of_float (Unix.gettimeofday () -. t.started_s));
+      ("uptime_seconds", int_of_float (Unix.gettimeofday () -. t.started_s));
+      ("started_at", int_of_float t.started_s);
       ("requests", Atomic.get t.n_requests);
       ("decides", Atomic.get t.n_decides);
       ("batches", Atomic.get t.n_batches);
@@ -201,6 +222,7 @@ let stats t =
       ("sleeps", Atomic.get t.n_sleeps);
       ("overloaded", Atomic.get t.n_overloaded);
       ("errors", Atomic.get t.n_errors);
+      ("metrics_ops", Atomic.get t.n_metrics);
       ("inflight", Admission.running t.gate);
       ("queued", Admission.waiting t.gate);
     ]
@@ -259,7 +281,8 @@ let service_fields ~queue_wait_s ~wall_s =
       ] )
 
 (* One instance through the cache; shared by [decide] and [batch].
-   Returns pre-rendered response fields for the per-instance object. *)
+   Returns pre-rendered response fields for the per-instance object,
+   plus the instance digest for the slow-request log. *)
 let decide_one t ~lang ~k ~fuel ~timeout_s text =
   match Graph_io.instance_of_string text with
   | Error msg -> Error ("instance: " ^ msg)
@@ -269,15 +292,138 @@ let decide_one t ~lang ~k ~fuel ~timeout_s text =
       | Error msg -> Error msg
       | Ok (outcome, origin, key) ->
           Ok
-            [
-              ( "cache",
-                Wire.json_string
-                  (match origin with `Hit -> "hit" | `Miss -> "miss") );
-              ("digest", Wire.json_string key);
-              ("result", Wire.verdict_to_string g ~lang outcome);
-            ])
+            ( [
+                ( "cache",
+                  Wire.json_string
+                    (match origin with `Hit -> "hit" | `Miss -> "miss") );
+                ("digest", Wire.json_string key);
+                ("result", Wire.verdict_to_string g ~lang outcome);
+              ],
+              key ))
 
-let handle_decide t oc ~lang ~k ~fuel ~timeout_s text =
+(* ---------------------------------------------------------------- *)
+(* Request-scoped sinks.  Both filter on the recording lane — this
+   handler thread on this domain — so concurrent requests never leak
+   into each other's stream or phase breakdown.  Both swallow their own
+   failures: sink callbacks run inside span dispatch, and a client that
+   vanished mid-stream must not take the decide down with it. *)
+
+(* Streaming progress: one newline-JSON frame per span enter/exit on
+   this lane, counter deltas attached at exit.  Frames carry a
+   ["progress"] field, which is how the client tells them from the
+   final response line. *)
+let progress_sink oc =
+  let dom = (Domain.self () :> int) in
+  let tid = Obs.thread_id () in
+  let t0 = Unix.gettimeofday () in
+  let dead = ref false in
+  let last = ref (Obs.Counter.all ()) in
+  let emit fields =
+    if not !dead then (
+      try
+        output_string oc (Wire.json_obj fields);
+        output_char oc '\n';
+        flush oc
+      with _ -> dead := true)
+  in
+  let base event (s : Obs.span) =
+    [
+      ("progress", Wire.json_string event);
+      ("phase", Wire.json_string s.Obs.name);
+      ("t_s", Printf.sprintf "%.6f" (s.Obs.start_s -. t0));
+      ("depth", string_of_int s.Obs.depth);
+    ]
+  in
+  Obs.Sink.make_full
+    ~enter:(fun s ->
+      if s.Obs.dom = dom && s.Obs.tid = tid then emit (base "enter" s))
+    (fun s ->
+      if s.Obs.dom = dom && s.Obs.tid = tid then begin
+        let now_c = Obs.Counter.all () in
+        let deltas =
+          List.filter_map
+            (fun (name, v) ->
+              let prev =
+                match List.assoc_opt name !last with Some p -> p | None -> 0
+              in
+              if v > prev then Some (name, string_of_int (v - prev)) else None)
+            now_c
+        in
+        last := now_c;
+        emit
+          (base "exit" s
+          @ [ ("dur_s", Printf.sprintf "%.6f" (s.Obs.stop_s -. s.Obs.start_s)) ]
+          @ if deltas = [] then [] else [ ("counters", Wire.json_obj deltas) ])
+      end)
+
+(* Phase totals for the slow-request log: span name -> summed wall time
+   on this lane. *)
+let phase_collector () =
+  let dom = (Domain.self () :> int) in
+  let tid = Obs.thread_id () in
+  let acc : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  let sink =
+    Obs.Sink.make (fun (s : Obs.span) ->
+        if s.Obs.dom = dom && s.Obs.tid = tid then
+          let prev =
+            Option.value ~default:0. (Hashtbl.find_opt acc s.Obs.name)
+          in
+          Hashtbl.replace acc s.Obs.name (prev +. (s.Obs.stop_s -. s.Obs.start_s)))
+  in
+  ( sink,
+    fun () ->
+      List.sort compare (Hashtbl.fold (fun k v l -> (k, v) :: l) acc []) )
+
+let note_slow t ~op ~digest ~queue_wait_s ~wall_s ~phases =
+  match t.config.slow_ms with
+  | Some ms when wall_s *. 1000. >= ms ->
+      t.config.slow_log
+        (Wire.json_obj
+           [
+             ("slow_request", Wire.json_string op);
+             ("threshold_ms", Printf.sprintf "%g" ms);
+             ( "trace_id",
+               match Obs.Ctx.current () with
+               | Some id -> Wire.json_string id
+               | None -> "null" );
+             ( "digest",
+               match digest with Some d -> Wire.json_string d | None -> "null"
+             );
+             ("wall_s", Printf.sprintf "%.6f" wall_s);
+             ( "phases",
+               Wire.json_obj
+                 (( ("queue_wait_s", Printf.sprintf "%.6f" queue_wait_s)
+                  :: ("work_s", Printf.sprintf "%.6f" (wall_s -. queue_wait_s))
+                  :: List.map
+                       (fun (name, total_s) ->
+                         (name, Printf.sprintf "%.6f" total_s))
+                       (phases ()) )) );
+           ])
+  | _ -> ()
+
+(* The request-scoped sinks a work op needs, given its envelope: the
+   streaming sink when asked for, the phase collector when a slow-log
+   threshold is armed.  [with_request_sinks] installs them, runs the
+   work, and removes them again on every exit path — a sink must never
+   outlive its request. *)
+let with_request_sinks t oc ~(env : Wire.envelope) f =
+  if not (Obs.enabled ()) then f (fun () -> [])
+  else begin
+    let sinks = if env.Wire.stream then [ progress_sink oc ] else [] in
+    let sinks, phases =
+      match t.config.slow_ms with
+      | None -> (sinks, fun () -> [])
+      | Some _ ->
+          let sink, phases = phase_collector () in
+          (sink :: sinks, phases)
+    in
+    List.iter Obs.add_sink sinks;
+    Fun.protect
+      ~finally:(fun () -> List.iter Obs.remove_sink sinks)
+      (fun () -> f phases)
+  end
+
+let handle_decide t oc ~env ~lang ~k ~fuel ~timeout_s text =
   incr t.n_decides;
   let t0 = Unix.gettimeofday () in
   match admit_timed t with
@@ -287,16 +433,21 @@ let handle_decide t oc ~lang ~k ~fuel ~timeout_s text =
       Fun.protect
         ~finally:(fun () -> Admission.release t.gate)
         (fun () ->
-          match decide_one t ~lang ~k ~fuel ~timeout_s text with
-          | Error msg ->
-              incr t.n_errors;
-              respond oc (error_fields "decide" msg)
-          | Ok fields ->
-              let wall_s = Unix.gettimeofday () -. t0 in
-              respond oc
-                (ok "decide" (fields @ [ service_fields ~queue_wait_s ~wall_s ])))
+          with_request_sinks t oc ~env (fun phases ->
+              match decide_one t ~lang ~k ~fuel ~timeout_s text with
+              | Error msg ->
+                  incr t.n_errors;
+                  respond oc (error_fields "decide" msg)
+              | Ok (fields, digest) ->
+                  let wall_s = Unix.gettimeofday () -. t0 in
+                  Obs.Histogram.record_s h_decide wall_s;
+                  note_slow t ~op:"decide" ~digest:(Some digest) ~queue_wait_s
+                    ~wall_s ~phases;
+                  respond oc
+                    (ok "decide"
+                       (fields @ [ service_fields ~queue_wait_s ~wall_s ]))))
 
-let handle_batch t oc ~lang ~k ~fuel ~timeout_s texts =
+let handle_batch t oc ~env ~lang ~k ~fuel ~timeout_s texts =
   incr t.n_batches;
   let t0 = Unix.gettimeofday () in
   match admit_timed t with
@@ -306,29 +457,33 @@ let handle_batch t oc ~lang ~k ~fuel ~timeout_s texts =
       Fun.protect
         ~finally:(fun () -> Admission.release t.gate)
         (fun () ->
-          (* Sequential on purpose: per-instance cache hits and the
-             pool-parallel kernels inside each decide do the heavy
-             lifting; a failed instance yields a per-item error object
-             instead of failing the batch. *)
-          let items =
-            List.map
-              (fun text ->
-                match decide_one t ~lang ~k ~fuel ~timeout_s text with
-                | Ok fields -> Wire.json_obj fields
-                | Error msg ->
-                    incr t.n_errors;
-                    Wire.json_obj [ ("error", Wire.json_string msg) ])
-              texts
-          in
-          let wall_s = Unix.gettimeofday () -. t0 in
-          respond oc
-            (ok "batch"
-               [
-                 ("results", Wire.json_list items);
-                 service_fields ~queue_wait_s ~wall_s;
-               ]))
+          with_request_sinks t oc ~env (fun phases ->
+              (* Sequential on purpose: per-instance cache hits and the
+                 pool-parallel kernels inside each decide do the heavy
+                 lifting; a failed instance yields a per-item error object
+                 instead of failing the batch. *)
+              let items =
+                List.map
+                  (fun text ->
+                    match decide_one t ~lang ~k ~fuel ~timeout_s text with
+                    | Ok (fields, _digest) -> Wire.json_obj fields
+                    | Error msg ->
+                        incr t.n_errors;
+                        Wire.json_obj [ ("error", Wire.json_string msg) ])
+                  texts
+              in
+              let wall_s = Unix.gettimeofday () -. t0 in
+              Obs.Histogram.record_s h_batch wall_s;
+              note_slow t ~op:"batch" ~digest:None ~queue_wait_s ~wall_s
+                ~phases;
+              respond oc
+                (ok "batch"
+                   [
+                     ("results", Wire.json_list items);
+                     service_fields ~queue_wait_s ~wall_s;
+                   ])))
 
-let handle_delta t oc ~lang ~k ~fuel ~timeout_s ~digest edit =
+let handle_delta t oc ~env ~lang ~k ~fuel ~timeout_s ~digest edit =
   incr t.n_deltas;
   let t0 = Unix.gettimeofday () in
   match admit_timed t with
@@ -338,6 +493,7 @@ let handle_delta t oc ~lang ~k ~fuel ~timeout_s ~digest edit =
       Fun.protect
         ~finally:(fun () -> Admission.release t.gate)
         (fun () ->
+          with_request_sinks t oc ~env @@ fun phases ->
           let result =
             match Cache.find_instance t.cache_ digest with
             | None ->
@@ -362,6 +518,9 @@ let handle_delta t oc ~lang ~k ~fuel ~timeout_s ~digest edit =
               respond oc (error_fields "delta" msg)
           | Ok { Cache.outcome; inst; key; repaired } ->
               let wall_s = Unix.gettimeofday () -. t0 in
+              Obs.Histogram.record_s h_delta wall_s;
+              note_slow t ~op:"delta" ~digest:(Some key) ~queue_wait_s ~wall_s
+                ~phases;
               respond oc
                 (ok "delta"
                    [
@@ -477,16 +636,30 @@ let shutdown t =
   Admission.drain t.gate;
   initiate_stop t
 
-let handle_request t oc line =
-  bump t.n_requests c_requests;
-  match Wire.request_of_string line with
-  | Error msg ->
-      incr t.n_errors;
-      respond oc (error_fields "unknown" msg)
-  | Ok Wire.Ping ->
+let handle_metrics t oc =
+  incr t.n_metrics;
+  let snap = Metrics.capture () in
+  let gauges =
+    [
+      ("uptime_seconds", Unix.gettimeofday () -. t.started_s);
+      ("inflight", float_of_int (Admission.running t.gate));
+      ("queued", float_of_int (Admission.waiting t.gate));
+    ]
+  in
+  respond oc
+    (ok "metrics"
+       [
+         ("metrics", Wire.json_string (Metrics.render ~gauges snap));
+         ("data", Metrics.to_json snap);
+         ("version", Wire.json_string Metrics.build_string);
+       ])
+
+let dispatch_request t oc ~env req =
+  match req with
+  | Wire.Ping ->
       incr t.n_pings;
       respond oc (ok "ping" [])
-  | Ok Wire.Stats ->
+  | Wire.Stats ->
       incr t.n_stats;
       respond oc
         (ok "stats"
@@ -494,23 +667,59 @@ let handle_request t oc line =
              ( "stats",
                Wire.json_obj
                  (List.map (fun (k, v) -> (k, string_of_int v)) (stats t)) );
+             ("version", Wire.json_string Metrics.build_string);
            ])
-  | Ok Wire.Shutdown ->
+  | Wire.Shutdown ->
       (* Drain first — every admitted and queued work op completes and is
          answered — then answer the requester, then stop the acceptor. *)
       Admission.drain t.gate;
       respond oc (ok "shutdown" [ ("drained", "true") ]);
       initiate_stop t
-  | Ok (Wire.Sleep { ms }) -> handle_sleep t oc ~ms
-  | Ok (Wire.Decide { lang; k; fuel; timeout_s; instance }) ->
-      handle_decide t oc ~lang ~k ~fuel ~timeout_s instance
-  | Ok (Wire.Batch { lang; k; fuel; timeout_s; instances }) ->
-      handle_batch t oc ~lang ~k ~fuel ~timeout_s instances
-  | Ok (Wire.Delta { lang; k; fuel; timeout_s; digest; edit }) ->
-      handle_delta t oc ~lang ~k ~fuel ~timeout_s ~digest edit
-  | Ok Wire.Compact -> handle_compact t oc
-  | Ok (Wire.Export { limit }) -> handle_export t oc ~limit
-  | Ok (Wire.Import { entries }) -> handle_import t oc entries
+  | Wire.Sleep { ms } -> handle_sleep t oc ~ms
+  | Wire.Decide { lang; k; fuel; timeout_s; instance } ->
+      handle_decide t oc ~env ~lang ~k ~fuel ~timeout_s instance
+  | Wire.Batch { lang; k; fuel; timeout_s; instances } ->
+      handle_batch t oc ~env ~lang ~k ~fuel ~timeout_s instances
+  | Wire.Delta { lang; k; fuel; timeout_s; digest; edit } ->
+      handle_delta t oc ~env ~lang ~k ~fuel ~timeout_s ~digest edit
+  | Wire.Compact -> handle_compact t oc
+  | Wire.Export { limit } -> handle_export t oc ~limit
+  | Wire.Import { entries } -> handle_import t oc entries
+  | Wire.Metrics -> handle_metrics t oc
+
+let handle_request t oc line =
+  bump t.n_requests c_requests;
+  match Json.parse line with
+  | Error msg ->
+      incr t.n_errors;
+      respond oc (error_fields "unknown" msg)
+  | Ok j -> (
+      match Wire.request_of_json j with
+      | Error msg ->
+          incr t.n_errors;
+          respond oc (error_fields "unknown" msg)
+      | Ok req ->
+          let env = Wire.envelope_of_json j in
+          (* The root span is tagged with the request's trace id; when
+             the plane is live but the client sent none, the server
+             mints one so the slow log and trace events still correlate
+             within this process. *)
+          let trace_id =
+            match env.Wire.trace_id with
+            | Some _ as id -> id
+            | None ->
+                if Obs.enabled () || t.config.slow_ms <> None then
+                  Some
+                    (Printf.sprintf "req-%d-%d" (Unix.getpid ())
+                       (Atomic.fetch_and_add t.req_ids 1))
+                else None
+          in
+          let work () =
+            Obs.Span.with_ "service.request" (fun () ->
+                dispatch_request t oc ~env req)
+          in
+          if trace_id = None then work ()
+          else Obs.Ctx.with_trace trace_id work)
 
 let handle_conn t fd =
   let ic = Unix.in_channel_of_descr fd in
@@ -520,9 +729,9 @@ let handle_conn t fd =
     | exception (End_of_file | Sys_error _) -> ()
     | line when String.trim line = "" -> loop ()
     | line ->
-        (match
-           Obs.Span.with_ "service.request" (fun () -> handle_request t oc line)
-         with
+        (* The root "service.request" span lives inside [handle_request],
+           under the request's trace context. *)
+        (match handle_request t oc line with
         | () -> ()
         | exception (Sys_error _ | Unix.Unix_error _) ->
             (* Client went away mid-response; drop the connection. *)

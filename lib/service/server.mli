@@ -33,7 +33,18 @@
     serves warm hits from it across restarts (certificate-revalidated,
     byte-identical verdict blocks).  The [compact], [export] and
     [import] ops expose compaction and warm transfer to routers and
-    operators; like the other control ops they bypass admission. *)
+    operators; like the other control ops they bypass admission.
+
+    {b Observability.}  Each request runs under a root
+    ["service.request"] span tagged with the wire envelope's [trace_id]
+    (minted locally when absent and the plane is live); work-op
+    latencies land in the [op.decide]/[op.batch]/[op.delta] histograms;
+    the [metrics] op exposes every histogram and counter as Prometheus
+    text plus a mergeable raw snapshot ({!Metrics}); a [decide] with
+    [stream] set receives newline-JSON progress frames before the final
+    line; and [slow_ms] arms a one-line-per-slow-request JSON log.
+    None of it changes verdict bytes — the plane fully on or fully off
+    yields byte-identical [result] blocks. *)
 
 (** The admission gate, alone: a counting semaphore with a bounded wait
     queue and a draining state. *)
@@ -80,6 +91,15 @@ type config = {
           lives in the router's {!Ring} *)
   export_limit : int;
       (** default entry count for an [export] with no limit (64) *)
+  slow_ms : float option;
+      (** slow-request log threshold: a work op whose wall time is
+          [>= slow_ms] milliseconds emits one JSON line (trace id, op,
+          digest, phase breakdown) via [slow_log]; [None] (default)
+          disarms the log.  Phase totals need the telemetry plane
+          enabled; without it the line carries only the queue-wait /
+          work split. *)
+  slow_log : string -> unit;
+      (** where slow-request lines go (default: stderr, flushed) *)
 }
 
 val default_config : config
@@ -103,5 +123,6 @@ val shutdown : t -> unit
     from any thread; returns once drained and the acceptor is stopping. *)
 
 val stats : t -> (string * int) list
-(** Server-level counters (requests by op, overload refusals, uptime
-    seconds) plus {!Cache.stats}, sorted by name. *)
+(** Server-level counters (requests by op, overload refusals,
+    [uptime_seconds], [started_at]) plus {!Cache.stats}, sorted by
+    name. *)

@@ -200,6 +200,21 @@ type request =
   | Compact
   | Export of { limit : int option }
   | Import of { entries : (string * string) list }
+  | Metrics
+
+(* The observability envelope rides on any request object, orthogonal
+   to the op: [trace_id]/[parent_span] propagate a distributed-trace
+   context across socket hops, [stream] asks for interim progress
+   frames.  It is parsed separately from the op so the seven
+   [request]-constructing call sites don't change shape — and so the
+   router's verbatim byte relay forwards the context for free. *)
+type envelope = {
+  trace_id : string option;
+  parent_span : string option;
+  stream : bool;
+}
+
+let empty_envelope = { trace_id = None; parent_span = None; stream = false }
 
 let opt f = function None -> [] | Some v -> [ f v ]
 
@@ -208,50 +223,55 @@ let budget_fields ~k ~fuel ~timeout_s =
   @ opt (fun f -> ("fuel", string_of_int f)) fuel
   @ opt (fun s -> ("timeout_s", Printf.sprintf "%.6f" s)) timeout_s
 
-let request_to_string = function
-  | Ping -> json_obj [ ("op", json_string "ping") ]
-  | Stats -> json_obj [ ("op", json_string "stats") ]
-  | Shutdown -> json_obj [ ("op", json_string "shutdown") ]
-  | Sleep { ms } ->
-      json_obj [ ("op", json_string "sleep"); ("ms", string_of_int ms) ]
+let request_fields = function
+  | Ping -> [ ("op", json_string "ping") ]
+  | Stats -> [ ("op", json_string "stats") ]
+  | Shutdown -> [ ("op", json_string "shutdown") ]
+  | Sleep { ms } -> [ ("op", json_string "sleep"); ("ms", string_of_int ms) ]
   | Decide { lang; k; fuel; timeout_s; instance } ->
-      json_obj
-        (( ("op", json_string "decide")
-         :: ("lang", json_string lang)
-         :: budget_fields ~k ~fuel ~timeout_s )
-        @ [ ("instance", json_string instance) ])
+      ( ("op", json_string "decide")
+      :: ("lang", json_string lang)
+      :: budget_fields ~k ~fuel ~timeout_s )
+      @ [ ("instance", json_string instance) ]
   | Batch { lang; k; fuel; timeout_s; instances } ->
-      json_obj
-        (( ("op", json_string "batch")
-         :: ("lang", json_string lang)
-         :: budget_fields ~k ~fuel ~timeout_s )
-        @ [ ("instances", json_list (List.map json_string instances)) ])
+      ( ("op", json_string "batch")
+      :: ("lang", json_string lang)
+      :: budget_fields ~k ~fuel ~timeout_s )
+      @ [ ("instances", json_list (List.map json_string instances)) ]
   | Delta { lang; k; fuel; timeout_s; digest; edit } ->
-      json_obj
-        (( ("op", json_string "delta")
-         :: ("lang", json_string lang)
-         :: budget_fields ~k ~fuel ~timeout_s )
-        @ [ ("digest", json_string digest); ("edit", edit_to_json_string edit) ])
-  | Compact -> json_obj [ ("op", json_string "compact") ]
+      ( ("op", json_string "delta")
+      :: ("lang", json_string lang)
+      :: budget_fields ~k ~fuel ~timeout_s )
+      @ [ ("digest", json_string digest); ("edit", edit_to_json_string edit) ]
+  | Compact -> [ ("op", json_string "compact") ]
   | Export { limit } ->
-      json_obj
-        (("op", json_string "export")
-        :: opt (fun n -> ("limit", string_of_int n)) limit)
+      ("op", json_string "export")
+      :: opt (fun n -> ("limit", string_of_int n)) limit
   | Import { entries } ->
-      json_obj
-        [
-          ("op", json_string "import");
-          ( "entries",
-            json_list
-              (List.map
-                 (fun (digest, payload) ->
-                   json_obj
-                     [
-                       ("digest", json_string digest);
-                       ("payload", json_string payload);
-                     ])
-                 entries) );
-        ]
+      [
+        ("op", json_string "import");
+        ( "entries",
+          json_list
+            (List.map
+               (fun (digest, payload) ->
+                 json_obj
+                   [
+                     ("digest", json_string digest);
+                     ("payload", json_string payload);
+                   ])
+               entries) );
+      ]
+  | Metrics -> [ ("op", json_string "metrics") ]
+
+let envelope_fields env =
+  opt (fun id -> ("trace_id", json_string id)) env.trace_id
+  @ opt (fun sp -> ("parent_span", json_string sp)) env.parent_span
+  @ (if env.stream then [ ("stream", "true") ] else [])
+
+let request_line ?(envelope = empty_envelope) r =
+  json_obj (request_fields r @ envelope_fields envelope)
+
+let request_to_string r = request_line r
 
 let ( let* ) r f = Result.bind r f
 
@@ -365,8 +385,21 @@ let request_of_json j =
           items (Ok [])
       in
       Ok (Import { entries })
+  | "metrics" -> Ok Metrics
   | other -> Error (Printf.sprintf "unknown op %S" other)
 
 let request_of_string line =
   let* j = Json.parse line in
   request_of_json j
+
+(* Envelope extraction is total: a malformed envelope field degrades to
+   its absence rather than failing the request — tracing must never be
+   able to break a decide. *)
+let envelope_of_json j =
+  let str field = Option.bind (Json.member field j) Json.to_str in
+  let stream =
+    match Option.bind (Json.member "stream" j) Json.to_bool with
+    | Some b -> b
+    | None -> false
+  in
+  { trace_id = str "trace_id"; parent_span = str "parent_span"; stream }

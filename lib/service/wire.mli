@@ -152,9 +152,47 @@ type request =
   | Export of { limit : int option }  (** default: the server decides *)
   | Import of { entries : (string * string) list }
       (** [(digest, hex-encoded Tier record)] pairs *)
+  | Metrics
+      (** Prometheus text exposition + a mergeable raw snapshot; the
+          router aggregates this across shards. *)
+
+(** {2 The observability envelope}
+
+    Extra fields any request line may carry, orthogonal to the op:
+
+    {v
+    {"op":"decide",...,"trace_id":"t-42","parent_span":"client","stream":true}
+    v}
+
+    [trace_id]/[parent_span] propagate a distributed-trace context: the
+    server opens its root span under [trace_id], so per-process Chrome
+    traces from a router and its shards share one id and
+    [defcheck trace-merge] can stitch them into a single timeline.
+    [stream] (on [decide]) asks for interim newline-JSON [progress]
+    frames — span enter/exit and counter deltas — before the final
+    response line; each frame is one JSON object with a ["progress"]
+    field, so a client distinguishes frames from the response without
+    lookahead.  The envelope never changes the verdict bytes. *)
+
+type envelope = {
+  trace_id : string option;
+  parent_span : string option;
+  stream : bool;
+}
+
+val empty_envelope : envelope
+
+val envelope_of_json : Json.t -> envelope
+(** Total: malformed or absent envelope fields degrade to their
+    defaults — tracing can never fail a request. *)
 
 val request_to_string : request -> string
 (** One-line JSON encoding (no trailing newline). *)
+
+val request_line : ?envelope:envelope -> request -> string
+(** {!request_to_string} with the envelope's fields appended (absent
+    fields and [stream = false] are omitted, so
+    [request_line r = request_to_string r] for the empty envelope). *)
 
 val request_of_json : Json.t -> (request, string) result
 val request_of_string : string -> (request, string) result

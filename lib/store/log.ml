@@ -1,3 +1,10 @@
+(* Durability latencies feed the service metrics plane: every framed
+   write and every fsync lands in a histogram, so a shard's p99 decide
+   latency can be decomposed into compute vs disk without re-running
+   the bench harness.  Both record only while [Obs] is enabled. *)
+let h_append = Obs.Histogram.make "store.append"
+let h_fsync = Obs.Histogram.make "store.fsync"
+
 type fsync_policy = Never | Every of int | Always
 
 let fsync_policy_to_string = function
@@ -124,7 +131,7 @@ let alive t = if t.closed then invalid_arg "Store.Log: store is closed"
 let file_size fd = (Unix.fstat fd).Unix.st_size
 
 let do_fsync t fd =
-  Unix.fsync fd;
+  Obs.Histogram.time h_fsync (fun () -> Unix.fsync fd);
   t.fsyncs <- t.fsyncs + 1
 
 let open_ ?(fsync = Every 64) ?(auto_compact_bytes = 0)
@@ -239,12 +246,13 @@ let after_append t =
       end
 
 let append t ~kind ~key ~value =
-  let b = frame ~kind ~key ~value in
-  write_all t.log_write b;
-  let value_off = t.log_bytes + header_len + 5 + String.length key in
-  t.log_bytes <- t.log_bytes + Bytes.length b;
-  after_append t;
-  value_off
+  Obs.Histogram.time h_append (fun () ->
+      let b = frame ~kind ~key ~value in
+      write_all t.log_write b;
+      let value_off = t.log_bytes + header_len + 5 + String.length key in
+      t.log_bytes <- t.log_bytes + Bytes.length b;
+      after_append t;
+      value_off)
 
 (* Rewrite the live set to a fresh snapshot (temp file + rename, synced
    before and after), then empty the log.  Runs with the lock held. *)

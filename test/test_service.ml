@@ -918,6 +918,293 @@ let test_e2e_rebalance () =
           Alcotest.(check (option string)) "s3 still warm" (Some "hit")
             (member_str "cache" w3)))
 
+(* ---------- observability plane end-to-end ---------- *)
+
+module Metrics = Service.Metrics
+
+let observed f =
+  Obs.enable [ Obs.Sink.null ];
+  Fun.protect ~finally:Obs.disable f
+
+(* Send a request with a wire envelope (trace id / streaming) and parse
+   the response. *)
+let request_env conn ~envelope req =
+  match Client.request_raw conn (Wire.request_line ~envelope req) with
+  | Error msg -> Alcotest.failf "request failed: %s" msg
+  | Ok line -> (
+      match Json.parse line with
+      | Ok j -> j
+      | Error msg -> Alcotest.failf "unparsable response: %s" msg)
+
+let result_block j =
+  match Json.member "result" j with
+  | Some r -> Json.to_string r
+  | None -> Alcotest.fail "no result field"
+
+let test_e2e_stats_uptime_version () =
+  with_server (fun addr _srv ->
+      Client.with_connection addr (fun conn ->
+          let stats = request_ok conn Wire.Stats in
+          Alcotest.(check (option string)) "build string reported"
+            (Some Metrics.build_string)
+            (member_str "version" stats);
+          let stat name =
+            Option.bind (Json.member "stats" stats) (fun s ->
+                Option.bind (Json.member name s) Json.to_int)
+          in
+          (match stat "uptime_seconds" with
+          | Some u -> Alcotest.(check bool) "uptime sane" true (u >= 0 && u < 3600)
+          | None -> Alcotest.fail "no uptime_seconds in stats");
+          match stat "started_at" with
+          | Some t ->
+              Alcotest.(check bool) "started_at is a recent epoch" true
+                (float_of_int t <= Unix.gettimeofday ()
+                && float_of_int t > Unix.gettimeofday () -. 3600.)
+          | None -> Alcotest.fail "no started_at in stats"))
+
+let test_e2e_metrics_op () =
+  observed (fun () ->
+      with_server (fun addr _srv ->
+          Client.with_connection addr (fun conn ->
+              ignore (request_ok conn (decide_req s2_text));
+              ignore (request_ok conn (decide_req s2_text));
+              let m = request_ok conn Wire.Metrics in
+              Alcotest.(check (option string)) "ok" (Some "ok")
+                (member_str "status" m);
+              Alcotest.(check (option string)) "versioned"
+                (Some Metrics.build_string) (member_str "version" m);
+              (* The raw snapshot parses back and has both decides. *)
+              let snap =
+                match Json.member "data" m with
+                | Some d -> (
+                    match Metrics.of_json d with
+                    | Ok s -> s
+                    | Error msg -> Alcotest.failf "snapshot: %s" msg)
+                | None -> Alcotest.fail "no data member"
+              in
+              let count name =
+                match List.assoc_opt name snap.Metrics.histograms with
+                | Some s -> Obs.Histogram.total s
+                | None -> 0
+              in
+              Alcotest.(check int) "two decides measured" 2 (count "op.decide");
+              Alcotest.(check int) "one cache hit timed" 1 (count "cache.hit");
+              Alcotest.(check int) "one cache miss timed" 1 (count "cache.miss");
+              (* And the exposition carries the same count. *)
+              match member_str "metrics" m with
+              | Some text ->
+                  let has needle =
+                    let ln = String.length needle and lt = String.length text in
+                    let rec go i =
+                      i + ln <= lt && (String.sub text i ln = needle || go (i + 1))
+                    in
+                    go 0
+                  in
+                  Alcotest.(check bool) "decide count exposed" true
+                    (has "defcheck_op_decide_seconds_count 2");
+                  Alcotest.(check bool) "build info exposed" true
+                    (has "defcheck_build_info{")
+              | None -> Alcotest.fail "no metrics text")))
+
+let test_e2e_trace_propagation () =
+  (* Router and shards share this process's telemetry plane, so one
+     probe sink sees the route span and the shard's request span — both
+     must carry the client's trace id, the router because it wraps
+     dispatch in the context, the shard because the forwarded line
+     still carries the envelope. *)
+  let seen = ref [] in
+  let probe =
+    Obs.Sink.make (fun (s : Obs.span) -> seen := (s.name, s.trace) :: !seen)
+  in
+  Obs.enable [ probe ];
+  Fun.protect ~finally:Obs.disable @@ fun () ->
+  with_sharded_cluster ~store:false (fun ~router:_ ~s0:_ ~s1:_ addr ->
+      Client.with_connection addr (fun conn ->
+          let envelope =
+            { Wire.trace_id = Some "e2e-trace-7"; parent_span = None;
+              stream = false }
+          in
+          let resp = request_env conn ~envelope (decide_req s2_text) in
+          Alcotest.(check (option string)) "decided" (Some "ok")
+            (member_str "status" resp)));
+  let tagged name =
+    List.exists
+      (fun (n, tr) -> n = name && tr = Some "e2e-trace-7")
+      !seen
+  in
+  Alcotest.(check bool) "route span carries the trace id" true
+    (tagged "service.route");
+  Alcotest.(check bool) "shard request span carries the trace id" true
+    (tagged "service.request");
+  Alcotest.(check bool) "decision-phase span carries the trace id" true
+    (tagged "decide.rem")
+
+let test_e2e_streaming_progress () =
+  observed (fun () ->
+      with_sharded_cluster ~store:false (fun ~router:_ ~s0:_ ~s1:_ addr ->
+          Client.with_connection addr (fun conn ->
+              (* Plain decide first: its result block is the reference
+                 the streamed decide must reproduce byte-for-byte. *)
+              let plain = request_ok conn (decide_req s3_text) in
+              let frames = ref [] in
+              let envelope =
+                { Wire.trace_id = Some "stream-1"; parent_span = None;
+                  stream = true }
+              in
+              let line =
+                Wire.request_line ~envelope (decide_req s3_text)
+              in
+              let final =
+                match
+                  Client.request_stream conn
+                    ~on_progress:(fun f -> frames := f :: !frames)
+                    line
+                with
+                | Ok l -> (
+                    match Json.parse l with
+                    | Ok j -> j
+                    | Error m -> Alcotest.failf "final line: %s" m)
+                | Error m -> Alcotest.failf "stream failed: %s" m
+              in
+              Alcotest.(check bool) "at least one progress frame" true
+                (!frames <> []);
+              List.iter
+                (fun f ->
+                  match Json.parse f with
+                  | Ok j -> (
+                      (match member_str "progress" j with
+                      | Some ("enter" | "exit") -> ()
+                      | _ -> Alcotest.failf "bad progress kind: %s" f);
+                      match
+                        (member_str "phase" j,
+                         Option.bind (Json.member "t_s" j) Json.to_float)
+                      with
+                      | Some _, Some t ->
+                          Alcotest.(check bool) "t_s non-negative" true (t >= 0.)
+                      | _ -> Alcotest.failf "frame without phase/t_s: %s" f)
+                  | Error m -> Alcotest.failf "unparsable frame: %s" m)
+                !frames;
+              Alcotest.(check bool) "an exit frame reports a duration" true
+                (List.exists
+                   (fun f ->
+                     match Json.parse f with
+                     | Ok j ->
+                         member_str "progress" j = Some "exit"
+                         && Json.member "dur_s" j <> None
+                     | Error _ -> false)
+                   !frames);
+              Alcotest.(check bool) "final line is not a frame" true
+                (Json.member "progress" final = None);
+              Alcotest.(check string)
+                "streamed result block byte-identical to plain"
+                (result_block plain) (result_block final))))
+
+let test_e2e_observation_free_service () =
+  (* The whole-plane invariant at the service level: a server running
+     with telemetry fully off and one under streaming + metrics answers
+     byte-identical result blocks for the same instance. *)
+  Obs.disable ();
+  let off =
+    with_server (fun addr _srv ->
+        Client.with_connection addr (fun conn ->
+            result_block (request_ok conn (decide_req ~lang:"krem" s2_text))))
+  in
+  let on =
+    observed (fun () ->
+        with_server (fun addr _srv ->
+            Client.with_connection addr (fun conn ->
+                let envelope =
+                  { Wire.trace_id = Some "obsfree"; parent_span = None;
+                    stream = true }
+                in
+                let line =
+                  Wire.request_line ~envelope (decide_req ~lang:"krem" s2_text)
+                in
+                let j =
+                  match
+                    Client.request_stream conn ~on_progress:ignore line
+                  with
+                  | Ok l -> (
+                      match Json.parse l with
+                      | Ok j -> j
+                      | Error m -> Alcotest.failf "final line: %s" m)
+                  | Error m -> Alcotest.failf "stream failed: %s" m
+                in
+                ignore (request_ok conn Wire.Metrics);
+                result_block j)))
+  in
+  Alcotest.(check string) "verdict bytes independent of the plane" off on
+
+let test_e2e_router_metrics_aggregation () =
+  observed (fun () ->
+      with_sharded_cluster ~store:false (fun ~router ~s0:_ ~s1:_ addr ->
+          Client.with_connection addr (fun conn ->
+              ignore (request_ok conn (decide_req s2_text));
+              ignore (request_ok conn (decide_req s3_text));
+              let m = request_ok conn Wire.Metrics in
+              Alcotest.(check (option string)) "ok" (Some "ok")
+                (member_str "status" m);
+              (* Both shards answered and identify their build. *)
+              (match Json.member "shards" m with
+              | Some (Json.Obj shards) ->
+                  Alcotest.(check int) "two shard reports" 2
+                    (List.length shards);
+                  List.iter
+                    (fun (_, s) ->
+                      Alcotest.(check (option string)) "shard ok" (Some "ok")
+                        (member_str "status" s))
+                    shards
+              | _ -> Alcotest.fail "no per-shard breakdown");
+              (* Merged decide histogram counts every request, whichever
+                 shard served it — the aggregation the router exists
+                 for.  In-process shards share one registry, so compare
+                 against the local capture rather than a constant. *)
+              let merged =
+                match Option.bind (Json.member "data" m) (fun d ->
+                    Result.to_option (Metrics.of_json d))
+                with
+                | Some s -> s
+                | None -> Alcotest.fail "merged snapshot unparsable"
+              in
+              let local = Metrics.capture () in
+              let count snap name =
+                match List.assoc_opt name snap.Metrics.histograms with
+                | Some s -> Obs.Histogram.total s
+                | None -> 0
+              in
+              Alcotest.(check bool) "decides measured" true
+                (count merged "op.decide" >= 2);
+              Alcotest.(check int) "aggregate = sum over shard replies"
+                (2 * count local "op.decide")
+                (count merged "op.decide"));
+          (* Router stats: chain-LRU counters, uptime, and per-shard
+             build strings ride along. *)
+          Client.with_connection addr (fun conn ->
+              let stats = request_ok conn Wire.Stats in
+              let router_stat name =
+                Option.bind (Json.member "router" stats) (fun r ->
+                    Option.bind (Json.member name r) Json.to_int)
+              in
+              List.iter
+                (fun name ->
+                  match router_stat name with
+                  | Some v ->
+                      Alcotest.(check bool) (name ^ " non-negative") true
+                        (v >= 0)
+                  | None -> Alcotest.failf "router stats missing %s" name)
+                [ "chain_entries"; "chain_hits"; "chain_misses";
+                  "chain_evictions"; "uptime_seconds"; "started_at";
+                  "forwarded" ];
+              match Json.member "shards" stats with
+              | Some (Json.Obj shards) ->
+                  List.iter
+                    (fun (_, s) ->
+                      Alcotest.(check (option string)) "shard version"
+                        (Some Metrics.build_string) (member_str "version" s))
+                    shards
+              | _ -> Alcotest.fail "no per-shard stats");
+          ignore router))
+
 let () =
   Alcotest.run "service"
     [
@@ -984,5 +1271,16 @@ let () =
           ("shard restart serves warm", `Quick, test_e2e_shard_restart_serves_warm);
           ("export/import/compact", `Quick, test_e2e_export_import_compact);
           ("rebalance", `Quick, test_e2e_rebalance);
+        ] );
+      ( "observability",
+        [
+          ("stats uptime and version", `Quick, test_e2e_stats_uptime_version);
+          ("metrics op", `Quick, test_e2e_metrics_op);
+          ("trace id crosses the router", `Quick, test_e2e_trace_propagation);
+          ("streaming progress frames", `Quick, test_e2e_streaming_progress);
+          ("verdict bytes plane-independent", `Quick,
+           test_e2e_observation_free_service);
+          ("router metrics aggregation", `Quick,
+           test_e2e_router_metrics_aggregation);
         ] );
     ]
