@@ -678,6 +678,118 @@ let acceptance_cases () =
   @ [ ("krem-k2-fig1-s2", Run (fun () -> ignore (krem_def g ~k:2 s2))) ]
   @ engine_rows @ par_rows @ service_rows
 
+(* ------------------------------------------------------------------ *)
+(* Pool-size scaling curve: the three stealable kernels plus batched
+   dispatch, each measured at pool sizes 1/2/4/8 with per-row round
+   statistics (min/median/max over [scaling_rounds] rounds) — the
+   acceptance criterion for the work-stealing pool is the shape of this
+   curve, and a single best-of number cannot show whether d4 beat d1 by
+   scaling or by noise.  On a single-core host the whole family is
+   skipped (explicit nulls, not coordination overhead posing as data);
+   [host_domains] rides along in every row so a reader never has to
+   guess which kind of host produced it.                                *)
+
+type scaling_row = {
+  p_id : string;
+  p_rounds : int;
+  p_stats : (float * float * float) option;  (* min/median/max secs *)
+  p_speedup_vs_d1 : float option;  (* of medians; None when skipped *)
+  p_note : string option;
+}
+
+let scaling_rounds = 5
+let scaling_sizes = [ 1; 2; 4; 8 ]
+
+let par_scaling_kernels () =
+  let gw, sw = krem_instance ~seed:8 ~n:6 ~delta:2 in
+  let gr, sr = krem_instance ~seed:15 ~n:5 ~delta:2 in
+  let gh =
+    Gen.random ~seed:23 ~n:7 ~delta:3 ~labels:[ "a"; "b" ] ~density:0.35 ()
+  in
+  let sh =
+    Datagraph.Tuple_relation.of_binary
+      (Gen.random_reachable_relation ~seed:23 gh ~count:3)
+  in
+  let batch_insts =
+    List.map
+      (fun seed ->
+        let bg, bs = krem_instance ~seed ~n:4 ~delta:2 in
+        Engine.Instance.of_binary bg bs)
+      [ 31; 32; 33; 34; 35; 36; 37; 38; 39; 40; 41; 42 ]
+  in
+  [
+    ("witness", fun () -> ignore (Remd.search ~max_tuples:200_000 gw sw));
+    ("ree-closure", fun () -> ignore (Reed.search ~max_size:2_000 gr sr));
+    ( "hom-violating",
+      fun () -> ignore (Definability.Hom.search_violating gh sh) );
+    ( "batch",
+      fun () ->
+        List.iter
+          (function Ok _ -> () | Error msg -> failwith msg)
+          (Engine.Registry.decide_batch ~lang:"rem" batch_insts) );
+  ]
+
+(* Per-round seconds per call, [scaling_rounds] rounds sorted so the
+   caller can read off min/median/max.  Reps per round are sized once
+   from a warm-up call so every round runs the same work. *)
+let scaling_round_stats f =
+  Gc.compact ();
+  ignore (f ());
+  let _, t1 = wall f in
+  let reps = max 1 (min 10_000 (int_of_float (0.1 /. Float.max t1 1e-7))) in
+  let round () =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  let xs = Array.init scaling_rounds (fun _ -> round ()) in
+  Array.sort compare xs;
+  (xs.(0), xs.(scaling_rounds / 2), xs.(scaling_rounds - 1))
+
+let par_scaling_rows () =
+  if Domain.recommended_domain_count () = 1 then
+    List.concat_map
+      (fun (kernel, _) ->
+        List.map
+          (fun d ->
+            {
+              p_id = Printf.sprintf "par-scaling-%s-d%d" kernel d;
+              p_rounds = 0;
+              p_stats = None;
+              p_speedup_vs_d1 = None;
+              p_note = Some "single-core host";
+            })
+          scaling_sizes)
+      (par_scaling_kernels ())
+  else begin
+    let restore = Par.Pool.size () in
+    let rows =
+      List.concat_map
+        (fun (kernel, f) ->
+          let d1_median = ref nan in
+          List.map
+            (fun d ->
+              Par.Pool.set_size d;
+              let mn, md, mx = scaling_round_stats f in
+              if d = 1 then d1_median := md;
+              {
+                p_id = Printf.sprintf "par-scaling-%s-d%d" kernel d;
+                p_rounds = scaling_rounds;
+                p_stats = Some (mn, md, mx);
+                p_speedup_vs_d1 =
+                  (if Float.is_nan !d1_median || md <= 0. then None
+                   else Some (!d1_median /. md));
+              p_note = None;
+              })
+            scaling_sizes)
+        (par_scaling_kernels ())
+    in
+    Par.Pool.set_size restore;
+    rows
+  end
+
 let acceptance_metrics cases =
   List.map
     (fun (id, case) ->
@@ -1152,15 +1264,15 @@ let read_baseline path =
   in
   go []
 
-let write_json ~path ~table_times ~acceptance ~delta ~trace ~breakdown
-    ~bechamel ~baseline =
+let write_json ~path ~table_times ~acceptance ~scaling ~delta ~trace
+    ~breakdown ~bechamel ~baseline =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"definability-bench-8\",\n";
+  p "  \"schema\": \"definability-bench-9\",\n";
   p
     "  \"command\": \"dune exec bench/main.exe -- tables --json --out \
-     bench/BENCH_8.json --baseline bench/BENCH_7.json\",\n";
+     bench/BENCH_9.json --baseline bench/BENCH_8.json\",\n";
   (* How many hardware threads the host offers: the context needed to
      read the par-* scaling rows (d2/d4 cannot beat d1 on one core). *)
   p "  \"host_domains\": %d,\n" (Domain.recommended_domain_count ());
@@ -1183,6 +1295,29 @@ let write_json ~path ~table_times ~acceptance ~delta ~trace ~breakdown
           p "    \"%s\": { \"secs_per_call\": null, \"skipped\": %S }" name
             note)
     acceptance;
+  p "  },\n";
+  p "  \"par_scaling\": {\n";
+  let host = Domain.recommended_domain_count () in
+  commas
+    (fun r ->
+      match (r.p_stats, r.p_note) with
+      | Some (mn, md, mx), _ ->
+          p
+            "    \"%s\": { \"rounds\": %d, \"min_s\": %.9e, \"median_s\": \
+             %.9e, \"max_s\": %.9e, \"host_domains\": %d, \
+             \"speedup_vs_d1\": %s }"
+            r.p_id r.p_rounds mn md mx host
+            (match r.p_speedup_vs_d1 with
+            | Some s -> Printf.sprintf "%.2f" s
+            | None -> "null")
+      | None, note ->
+          p
+            "    \"%s\": { \"rounds\": 0, \"min_s\": null, \"median_s\": \
+             null, \"max_s\": null, \"host_domains\": %d, \
+             \"speedup_vs_d1\": null, \"skipped\": %S }"
+            r.p_id host
+            (Option.value ~default:"skipped" note))
+    scaling;
   p "  },\n";
   p "  \"delta\": {\n";
   commas
@@ -1288,7 +1423,7 @@ let () =
     | _ :: rest -> opt_after key rest
     | [] -> None
   in
-  let out = Option.value ~default:"BENCH_8.json" (opt_after "--out" argv) in
+  let out = Option.value ~default:"BENCH_9.json" (opt_after "--out" argv) in
   let baseline = Option.map read_baseline (opt_after "--baseline" argv) in
   (match opt_after "--domains" argv with
   | None -> ()
@@ -1328,6 +1463,21 @@ let () =
         | `Skipped note -> Printf.printf "%-32s skipped (%s)\n%!" name note)
       acceptance;
     let breakdown = phase_breakdowns cases in
+    header "pool-size scaling curve (min/median/max secs per call)";
+    let scaling = par_scaling_rows () in
+    List.iter
+      (fun r ->
+        match r.p_stats with
+        | Some (mn, md, mx) ->
+            Printf.printf "%-32s rounds %d  min %.3e  med %.3e  max %.3e%s\n%!"
+              r.p_id r.p_rounds mn md mx
+              (match r.p_speedup_vs_d1 with
+              | Some s -> Printf.sprintf "  (%.2fx vs d1)" s
+              | None -> "")
+        | None ->
+            Printf.printf "%-32s skipped (%s)\n%!" r.p_id
+              (Option.value ~default:"skipped" r.p_note))
+      scaling;
     header "delta edit streams (secs/edit, repair vs cold)";
     let delta = delta_rows () in
     List.iter
@@ -1365,8 +1515,8 @@ let () =
     end;
     Printf.printf "store bytes %d -> %d across compaction\n%!"
       trace.t_store_bytes_before trace.t_store_bytes_after;
-    write_json ~path:out ~table_times ~acceptance ~delta ~trace ~breakdown
-      ~bechamel ~baseline;
+    write_json ~path:out ~table_times ~acceptance ~scaling ~delta ~trace
+      ~breakdown ~bechamel ~baseline;
     Printf.printf "\nwrote %s\n%!" out
   end;
   print_endline "\nbench: done."

@@ -685,14 +685,15 @@ let slow_ms_arg =
            its trace id, op, digest and phase breakdown.")
 
 let serve_cmd =
-  let run addr domains fuel timeout max_inflight queue_depth cache_size store
-      fsync auto_compact shard trace slow_ms =
+  let run addr domains fuel timeout max_inflight queue_depth pool_queue
+      cache_size store fsync auto_compact shard trace slow_ms =
     set_domains domains;
     let addr = address_of addr in
-    if max_inflight < 1 || queue_depth < 0 || cache_size < 1 then begin
+    if max_inflight < 1 || queue_depth < 0 || pool_queue < 0 || cache_size < 1
+    then begin
       Printf.eprintf
-        "error: need --max-inflight >= 1, --queue-depth >= 0, --cache-size \
-         >= 1\n";
+        "error: need --max-inflight >= 1, --queue-depth >= 0, --pool-queue \
+         >= 0, --cache-size >= 1\n";
       exit 2
     end;
     let fsync =
@@ -716,6 +717,7 @@ let serve_cmd =
       {
         Service.Server.max_inflight;
         queue_depth;
+        pool_queue_depth = pool_queue;
         default_fuel = fuel;
         default_deadline_s = timeout;
         cache =
@@ -748,9 +750,11 @@ let serve_cmd =
           (Unix.error_message e) arg;
         exit 2
     | server ->
-        Printf.eprintf "defcheck: serving on %s (inflight <= %d, queue <= %d%s%s)\n%!"
+        Printf.eprintf
+          "defcheck: serving on %s (domains %d, inflight <= %d, queue <= %d, \
+           pool-queue <= %d%s%s)\n%!"
           (Service.Wire.address_to_string addr)
-          max_inflight queue_depth
+          (Par.Pool.size ()) max_inflight queue_depth pool_queue
           (match config.store_dir with
           | Some dir -> Printf.sprintf ", store %s" dir
           | None -> "")
@@ -772,6 +776,15 @@ let serve_cmd =
           ~doc:
             "Work requests allowed to wait for a slot; beyond this the \
              server answers $(b,overloaded) immediately.")
+  in
+  let pool_queue_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "pool-queue" ] ~docv:"N"
+          ~doc:
+            "Backlog bound for work bodies submitted to the domain pool \
+             ($(b,--domains) > 1); an admitted request whose body cannot \
+             even be queued is answered $(b,overloaded).")
   in
   let cache_size_arg =
     Arg.(
@@ -825,8 +838,9 @@ let serve_cmd =
           requests that carry none.")
     Term.(
       const run $ address_arg $ domains_arg $ fuel_arg $ timeout_arg
-      $ max_inflight_arg $ queue_depth_arg $ cache_size_arg $ store_arg
-      $ fsync_arg $ auto_compact_arg $ shard_arg $ trace_arg $ slow_ms_arg)
+      $ max_inflight_arg $ queue_depth_arg $ pool_queue_arg $ cache_size_arg
+      $ store_arg $ fsync_arg $ auto_compact_arg $ shard_arg $ trace_arg
+      $ slow_ms_arg)
 
 let retries_arg =
   Arg.(

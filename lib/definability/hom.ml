@@ -497,15 +497,23 @@ let solve_par ?budget ~nodes csp ~prune ~leaf =
           let results =
             Par.Pool.run (Array.of_list (List.mapi subtree values))
           in
-          Array.iter (fun (_, k) -> nodes := !nodes + k) results;
-          (* Merge in value order = the sequential exploration order. *)
+          (* Merge in value order = the sequential exploration order.
+             Fuel accounting follows the same rule: bill exactly the
+             subtrees the sequential search would have entered — those
+             up to and including the first [`Found]/[`Exhausted] in value
+             order.  A later subtree that was cancelled (or that ran to
+             completion speculatively before the winner posted) explored
+             nodes the sequential order never would; billing those would
+             make the reported count depend on the steal schedule. *)
           let rec scan i =
             if i >= Array.length results then None
-            else
+            else begin
+              nodes := !nodes + snd results.(i);
               match fst results.(i) with
               | `Exhausted -> raise Out_of_budget
               | `Found h -> Some h
               | `Not_found -> scan (i + 1)
+            end
           in
           scan 0
         end
@@ -549,8 +557,12 @@ let search_violating ?budget ?csp g s =
      schedule, so finite-fuel searches keep the sequential order (same
      exhaustion point at any pool size).  Deadlines are fine — a timeout
      is inherently wall-clock-dependent either way. *)
+  (* [in_pool]: inside a pool task a nested batch would inline anyway,
+     so the speculative parallel shapes fall back to their sequential
+     form instead of paying fan-out overhead for no concurrency. *)
   let par_ok =
     Par.Pool.size () > 1
+    && (not (Par.Pool.in_pool ()))
     && match budget with
        | None -> true
        | Some b -> not (Engine.Budget.has_fuel_limit b)

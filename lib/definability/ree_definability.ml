@@ -113,7 +113,11 @@ let search ?budget ?(max_size = 200_000) g s =
     add (Relation.restrict_eq ~value r) (Ree_term.EqTest t);
     add (Relation.restrict_neq ~value r) (Ree_term.NeqTest t);
     let snapshot = !order in
-    if Par.Pool.size () > 1 && List.length snapshot >= par_threshold then begin
+    if
+      Par.Pool.size () > 1
+      && (not (Par.Pool.in_pool ()))
+      && List.length snapshot >= par_threshold
+    then begin
       (* Saturation step, parallel form.  The compose products are pure
          functions of [r] and the snapshot (relations are immutable), so
          they fan out across the domain pool; the [add]s — dedup,

@@ -200,7 +200,8 @@ let search ?(max_tuples = 2_000_000) ?budget cfg ~target =
   while !frontier <> [] && (not !done_) && not (budget_dead ()) do
     let items = Array.of_list !frontier in
     next := [];
-    if Par.Pool.size () > 1 && Array.length items > 1 then begin
+    if Par.Pool.size () > 1 && (not (Par.Pool.in_pool ())) && Array.length items > 1
+    then begin
       let results = Par.Pool.map compute items in
       Array.iteri
         (fun k r ->

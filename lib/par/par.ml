@@ -1,20 +1,186 @@
+(* Work-stealing domain pool.
+
+   Each batch owns a Chase–Lev deque: the opening domain pushes tasks at
+   the bottom and pops them LIFO; worker domains steal FIFO from the top
+   via CAS.  Live batches register in a fixed victim table so several
+   batches (from different system threads, or the service submission
+   path) run concurrently; idle workers scan the table from a randomized
+   start and back off exponentially — brief spinning first, then a
+   condition variable — when repeated scans come up empty. *)
+
+let now_s = Unix.gettimeofday
+
+module Deque = struct
+  (* All indices and cells are [Atomic]: OCaml 5 atomics are seq-cst, so
+     the classic Chase–Lev fences are implied.  [top] only ever grows
+     (no ABA); the buffer is grown owner-side by copying live cells into
+     a fresh array and republishing — a thief holding the old buffer
+     still reads valid cells because live logical indices are never
+     moved within a buffer, and the owner never writes a retired one. *)
+  type 'a buffer = { mask : int; cells : 'a option Atomic.t array }
+
+  type 'a t = {
+    top : int Atomic.t; (* next steal index; thieves CAS it forward *)
+    bottom : int Atomic.t; (* next push index; owner-written *)
+    buf : 'a buffer Atomic.t;
+  }
+
+  let make_buffer capacity =
+    { mask = capacity - 1; cells = Array.init capacity (fun _ -> Atomic.make None) }
+
+  let next_pow2 n =
+    let rec go p = if p >= n then p else go (p * 2) in
+    go 8
+
+  let create ?(capacity = 64) () =
+    let capacity = next_pow2 (max 1 capacity) in
+    {
+      top = Atomic.make 0;
+      bottom = Atomic.make 0;
+      buf = Atomic.make (make_buffer capacity);
+    }
+
+  let length q =
+    let b = Atomic.get q.bottom and t = Atomic.get q.top in
+    max 0 (b - t)
+
+  (* Owner only. *)
+  let grow q old t b =
+    let nbuf = make_buffer (2 * (old.mask + 1)) in
+    for i = t to b - 1 do
+      Atomic.set nbuf.cells.(i land nbuf.mask) (Atomic.get old.cells.(i land old.mask))
+    done;
+    Atomic.set q.buf nbuf;
+    nbuf
+
+  let push q v =
+    let b = Atomic.get q.bottom and t = Atomic.get q.top in
+    let buf = Atomic.get q.buf in
+    let buf = if b - t > buf.mask then grow q buf t b else buf in
+    Atomic.set buf.cells.(b land buf.mask) (Some v);
+    Atomic.set q.bottom (b + 1)
+
+  let pop q =
+    let b = Atomic.get q.bottom - 1 in
+    (* Publish the claim on [b] before re-reading [top]: a thief that
+       subsequently targets [b] will lose its CAS-vs-owner race below. *)
+    Atomic.set q.bottom b;
+    let t = Atomic.get q.top in
+    if b < t then begin
+      Atomic.set q.bottom t;
+      None
+    end
+    else
+      let buf = Atomic.get q.buf in
+      let cell = buf.cells.(b land buf.mask) in
+      if b > t then begin
+        let v = Atomic.get cell in
+        Atomic.set cell None;
+        v
+      end
+      else begin
+        (* Last element: race any thief for it through [top]. *)
+        let won = Atomic.compare_and_set q.top t (t + 1) in
+        Atomic.set q.bottom (t + 1);
+        if won then begin
+          let v = Atomic.get cell in
+          Atomic.set cell None;
+          v
+        end
+        else None
+      end
+
+  let steal q =
+    let t = Atomic.get q.top in
+    let b = Atomic.get q.bottom in
+    if t >= b then `Empty
+    else
+      let buf = Atomic.get q.buf in
+      let v = Atomic.get buf.cells.(t land buf.mask) in
+      if Atomic.compare_and_set q.top t (t + 1) then
+        match v with
+        | Some v -> `Stolen v
+        | None -> `Retry (* cell already recycled: treat as a lost race *)
+      else `Retry
+end
+
 module Pool = struct
-  (* One batch at a time.  Tasks are claimed by index through [next];
-     [pending] counts tasks not yet finished, so the caller can wait for
-     stragglers after the index runs out.  Workers that wake up late (or
-     spuriously) find [next >= n] and simply go back to waiting. *)
-  type job = { task : int -> unit; n : int; next : int Atomic.t; pending : int Atomic.t }
+  (* A pool task is pre-wrapped: [run_t] stores its result or exception
+     into the batch's arrays and never raises, so workers need no
+     handler around stolen work. *)
+  type task = { run_t : unit -> unit; batch : batch }
+
+  and batch = {
+    deque : task Deque.t;
+    pending : int Atomic.t; (* tasks not yet finished *)
+    bm : Mutex.t;
+    bcv : Condition.t; (* signalled when [pending] hits 0 *)
+    submitted_s : float; (* submit timestamp; 0. for owner-drained runs *)
+  }
+
+  (* ---- always-on tallies (server [stats] must work with obs off) ---- *)
+
+  let s_push = Atomic.make 0
+  let s_pop = Atomic.make 0
+  let s_steal_ok = Atomic.make 0
+  let s_steal_fail = Atomic.make 0
+  let s_nested = Atomic.make 0
+  let s_submitted = Atomic.make 0
+  let s_rejected = Atomic.make 0
+  let s_qwait_count = Atomic.make 0
+  let s_qwait_total_ns = Atomic.make 0
+  let s_qwait_max_ns = Atomic.make 0
+
+  (* Obs mirrors: no-ops while telemetry is disabled, picked up by the
+     Prometheus exposition automatically when it is not. *)
+  let c_steal_ok = Obs.Counter.make "steal.success"
+  let c_steal_fail = Obs.Counter.make "steal.fail"
+  let c_push = Obs.Counter.make "deque.push"
+  let c_pop = Obs.Counter.make "deque.pop"
+  let c_nested = Obs.Counter.make "pool.nested_inline"
+  let h_qwait = Obs.Histogram.make "pool.queue_wait"
+
+  let atomic_max a v =
+    let rec go () =
+      let cur = Atomic.get a in
+      if v > cur && not (Atomic.compare_and_set a cur v) then go ()
+    in
+    go ()
+
+  (* ---- victim table ---- *)
+
+  let n_slots = 64
+  let slots : batch option Atomic.t array = Array.init n_slots (fun _ -> Atomic.make None)
+  let n_sources = Atomic.make 0
+
+  let register b =
+    let rec go i =
+      if i >= n_slots then None
+      else if Atomic.compare_and_set slots.(i) None (Some b) then begin
+        Atomic.incr n_sources;
+        Some i
+      end
+      else go (i + 1)
+    in
+    go 0
+
+  let unregister i =
+    Atomic.set slots.(i) None;
+    Atomic.decr n_sources
+
+  (* ---- worker lifecycle ---- *)
 
   let lock = Mutex.create ()
   let work_cv = Condition.create ()
-  let done_cv = Condition.create ()
-  let current : job option ref = ref None
 
-  (* Bumped (under [lock]) each time a batch is published; workers wait
-     for a bump rather than for [current] itself so a batch that is
-     published and fully drained between two waits is never replayed. *)
-  let generation = ref 0
-  let stop = ref false
+  (* Bumped (under [lock]) whenever new work is published; sleeping
+     workers wait for a bump so a batch published between their last
+     scan and the wait is never missed. *)
+  let generation = Atomic.make 0
+  let stop = Atomic.make false
+  let handles : unit Domain.t list ref = ref []
+  let spawned = ref 0
+  let at_exit_registered = ref false
 
   let default_size =
     match Sys.getenv_opt "PAR_DOMAINS" with
@@ -28,128 +194,246 @@ module Pool = struct
   let size () = Atomic.get target
   let set_size n = Atomic.set target (max 1 n)
 
-  (* True in worker domains: a task that itself calls [run] must execute
-     it inline rather than publish a second batch. *)
-  let in_worker = Domain.DLS.new_key (fun () -> false)
+  (* True in worker domains: a task that itself calls [run]/[submit]
+     must execute inline rather than publish a nested batch. *)
+  let in_pool_key = Domain.DLS.new_key (fun () -> false)
+  let in_pool () = Domain.DLS.get in_pool_key
 
-  (* Only one batch may be in flight; [busy] also serializes callers
-     from different domains (e.g. tests hammering the pool). *)
-  let busy = Atomic.make false
+  (* ---- submission backlog bound ---- *)
 
-  let handles : unit Domain.t list ref = ref []
-  let spawned = ref 0
-  let at_exit_registered = ref false
+  let submission_cap = Atomic.make 32
+  let submission_bound () = Atomic.get submission_cap
+  let set_submission_bound n = Atomic.set submission_cap (max 0 n)
+  let backlog = Atomic.make 0
 
-  let drain (j : job) =
-    let rec go () =
-      let i = Atomic.fetch_and_add j.next 1 in
-      if i < j.n then begin
-        j.task i;
-        if Atomic.fetch_and_add j.pending (-1) = 1 then begin
-          (* Last task of the batch: wake the caller. *)
-          Mutex.lock lock;
-          Condition.broadcast done_cv;
-          Mutex.unlock lock
-        end;
-        go ()
-      end
-    in
-    go ()
+  (* ---- task execution ---- *)
 
-  let worker () =
-    Domain.DLS.set in_worker true;
-    let last = ref (-1) in
-    let running = ref true in
-    while !running do
-      Mutex.lock lock;
-      while !generation = !last && not !stop do
-        Condition.wait work_cv lock
+  let finish_task (b : batch) =
+    if Atomic.fetch_and_add b.pending (-1) = 1 then begin
+      Mutex.lock b.bm;
+      Condition.broadcast b.bcv;
+      Mutex.unlock b.bm
+    end
+
+  let execute (t : task) =
+    let b = t.batch in
+    if b.submitted_s > 0. then begin
+      (* External submission: leaving the queue — release its backlog
+         slot and record how long it waited. *)
+      ignore (Atomic.fetch_and_add backlog (-1));
+      let wait_ns = max 0 (int_of_float ((now_s () -. b.submitted_s) *. 1e9)) in
+      Atomic.incr s_qwait_count;
+      ignore (Atomic.fetch_and_add s_qwait_total_ns wait_ns);
+      atomic_max s_qwait_max_ns wait_ns;
+      Obs.Histogram.record_ns h_qwait wait_ns
+    end;
+    t.run_t ();
+    finish_task b
+
+  (* One randomized sweep over the victim table; [true] iff a task was
+     stolen and executed. *)
+  let try_steal rng =
+    if Atomic.get n_sources = 0 then false
+    else begin
+      let x = !rng in
+      let x = x lxor (x lsl 13) in
+      let x = x lxor (x lsr 7) in
+      let x = x lxor (x lsl 17) in
+      rng := x;
+      let start = x land (n_slots - 1) in
+      let stolen = ref false in
+      let i = ref 0 in
+      while (not !stolen) && !i < n_slots do
+        let s = (start + !i) land (n_slots - 1) in
+        (match Atomic.get slots.(s) with
+        | None -> ()
+        | Some b -> (
+            match Deque.steal b.deque with
+            | `Stolen task ->
+                Atomic.incr s_steal_ok;
+                Obs.Counter.incr c_steal_ok;
+                execute task;
+                stolen := true
+            | `Retry ->
+                Atomic.incr s_steal_fail;
+                Obs.Counter.incr c_steal_fail
+            | `Empty -> ()));
+        incr i
       done;
-      last := !generation;
-      let job = !current in
-      let stopping = !stop in
-      Mutex.unlock lock;
-      if stopping then running := false
-      else Option.iter drain job
+      !stolen
+    end
+
+  let worker wid =
+    Domain.DLS.set in_pool_key true;
+    let rng = ref (((wid + 1) * 0x9E3779B9) lor 1) in
+    let fails = ref 0 in
+    while not (Atomic.get stop) do
+      let gen = Atomic.get generation in
+      if try_steal rng then fails := 0
+      else begin
+        incr fails;
+        if !fails <= 8 then
+          (* Exponential backoff: spin a little longer after each empty
+             sweep before paying for the condition variable. *)
+          for _ = 1 to 1 lsl !fails do
+            Domain.cpu_relax ()
+          done
+        else begin
+          Mutex.lock lock;
+          while Atomic.get generation = gen && not (Atomic.get stop) do
+            Condition.wait work_cv lock
+          done;
+          Mutex.unlock lock;
+          fails := 0
+        end
+      end
     done
 
   let shutdown () =
     Mutex.lock lock;
-    stop := true;
+    Atomic.set stop true;
     Condition.broadcast work_cv;
     Mutex.unlock lock;
     List.iter Domain.join !handles;
     Mutex.lock lock;
     handles := [];
     spawned := 0;
-    stop := false;
+    Atomic.set stop false;
     Mutex.unlock lock
 
-  (* Called with [busy] held, so no batch is racing the spawn. *)
   let ensure_workers wanted =
     if !spawned < wanted then begin
+      Mutex.lock lock;
       if not !at_exit_registered then begin
         at_exit_registered := true;
         at_exit shutdown
       end;
-      for _ = !spawned + 1 to wanted do
-        handles := Domain.spawn worker :: !handles
+      for wid = !spawned to wanted - 1 do
+        handles := Domain.spawn (fun () -> worker wid) :: !handles
       done;
-      spawned := wanted
+      spawned := max !spawned wanted;
+      Mutex.unlock lock
     end
 
+  let wake_all () =
+    Mutex.lock lock;
+    Atomic.incr generation;
+    Condition.broadcast work_cv;
+    Mutex.unlock lock
+
+  (* ---- batch plumbing shared by [run] and [submit] ---- *)
+
   let run_seq tasks = Array.map (fun f -> f ()) tasks
+
+  let make_batch ~submitted_s n =
+    {
+      deque = Deque.create ~capacity:n ();
+      pending = Atomic.make n;
+      bm = Mutex.create ();
+      bcv = Condition.create ();
+      submitted_s;
+    }
+
+  let push_tasks (type a) batch (tasks : (unit -> a) array) (results : a option array)
+      (errors : exn option array) =
+    let n = Array.length tasks in
+    for i = 0 to n - 1 do
+      let run_t () =
+        match tasks.(i) () with
+        | v -> results.(i) <- Some v
+        | exception e -> errors.(i) <- Some e
+      in
+      Deque.push batch.deque { run_t; batch };
+      Atomic.incr s_push;
+      Obs.Counter.incr c_push
+    done
+
+  let wait_done batch =
+    Mutex.lock batch.bm;
+    while Atomic.get batch.pending > 0 do
+      Condition.wait batch.bcv batch.bm
+    done;
+    Mutex.unlock batch.bm
+
+  let collect results errors =
+    (* Lowest-indexed failure wins, after the whole batch completed. *)
+    Array.iter (function Some e -> raise e | None -> ()) errors;
+    Array.map (function Some v -> v | None -> assert false (* all tasks ran *)) results
+
+  let nested_inline tasks =
+    Atomic.incr s_nested;
+    Obs.Counter.incr c_nested;
+    run_seq tasks
 
   let run (type a) (tasks : (unit -> a) array) : a array =
     let n = Array.length tasks in
     if n = 0 then [||]
     else
       let p = size () in
-      if
-        p <= 1 || n = 1
-        || Domain.DLS.get in_worker
-        || not (Atomic.compare_and_set busy false true)
-      then run_seq tasks
+      if p <= 1 || n = 1 then run_seq tasks
+      else if in_pool () then nested_inline tasks
+      else
+        let batch = make_batch ~submitted_s:0. n in
+        match register batch with
+        | None -> run_seq tasks (* victim table full: degrade gracefully *)
+        | Some slot ->
+            let results : a option array = Array.make n None in
+            let errors : exn option array = Array.make n None in
+            push_tasks batch tasks results errors;
+            ensure_workers (p - 1);
+            wake_all ();
+            (* The caller drains its own deque LIFO alongside thieves. *)
+            let rec drain () =
+              match Deque.pop batch.deque with
+              | Some t ->
+                  Atomic.incr s_pop;
+                  Obs.Counter.incr c_pop;
+                  execute t;
+                  drain ()
+              | None -> ()
+            in
+            drain ();
+            wait_done batch;
+            unregister slot;
+            collect results errors
+
+  let submit (type a) (tasks : (unit -> a) array) : (a array, [ `Queue_full ]) result =
+    let n = Array.length tasks in
+    if n = 0 then Ok [||]
+    else
+      let p = size () in
+      if p <= 1 then Ok (run_seq tasks) (* no workers: run on the caller *)
+      else if in_pool () then Ok (nested_inline tasks)
       else begin
-        ensure_workers (p - 1);
-        let results : a option array = Array.make n None in
-        let errors : exn option array = Array.make n None in
-        let task i =
-          match tasks.(i) () with
-          | v -> results.(i) <- Some v
-          | exception e -> errors.(i) <- Some e
+        let cap = Atomic.get submission_cap in
+        (* Admit iff there is any room; an oversized batch may overshoot
+           the cap once rather than being unadmittable forever. *)
+        let rec reserve () =
+          let cur = Atomic.get backlog in
+          if cur >= cap then false
+          else if Atomic.compare_and_set backlog cur (cur + n) then true
+          else reserve ()
         in
-        let job =
-          { task; n; next = Atomic.make 0; pending = Atomic.make n }
-        in
-        Mutex.lock lock;
-        current := Some job;
-        incr generation;
-        Condition.broadcast work_cv;
-        Mutex.unlock lock;
-        (* The caller drains alongside the workers. *)
-        let rec go () =
-          let i = Atomic.fetch_and_add job.next 1 in
-          if i < job.n then begin
-            task i;
-            ignore (Atomic.fetch_and_add job.pending (-1));
-            go ()
-          end
-        in
-        go ();
-        Mutex.lock lock;
-        while Atomic.get job.pending > 0 do
-          Condition.wait done_cv lock
-        done;
-        current := None;
-        Mutex.unlock lock;
-        Atomic.set busy false;
-        Array.iteri
-          (fun _ e -> match e with Some e -> raise e | None -> ())
-          errors;
-        Array.map
-          (function Some v -> v | None -> assert false (* all tasks ran *))
-          results
+        if not (reserve ()) then begin
+          Atomic.incr s_rejected;
+          Error `Queue_full
+        end
+        else
+          let batch = make_batch ~submitted_s:(now_s ()) n in
+          match register batch with
+          | None ->
+              ignore (Atomic.fetch_and_add backlog (-n));
+              Ok (run_seq tasks)
+          | Some slot ->
+              ignore (Atomic.fetch_and_add s_submitted n);
+              let results : a option array = Array.make n None in
+              let errors : exn option array = Array.make n None in
+              push_tasks batch tasks results errors;
+              ensure_workers p;
+              wake_all ();
+              wait_done batch;
+              unregister slot;
+              Ok (collect results errors)
       end
 
   let map ?chunk f arr =
@@ -178,4 +462,22 @@ module Pool = struct
       end
 
   let map_list ?chunk f l = Array.to_list (map ?chunk f (Array.of_list l))
+
+  let stats () =
+    List.sort compare
+      [
+        ("size", size ());
+        ("workers", !spawned);
+        ("deque_push", Atomic.get s_push);
+        ("deque_pop", Atomic.get s_pop);
+        ("steal_success", Atomic.get s_steal_ok);
+        ("steal_fail", Atomic.get s_steal_fail);
+        ("nested_inline", Atomic.get s_nested);
+        ("submitted", Atomic.get s_submitted);
+        ("submit_rejected", Atomic.get s_rejected);
+        ("submit_backlog", Atomic.get backlog);
+        ("queue_wait_count", Atomic.get s_qwait_count);
+        ("queue_wait_us_total", Atomic.get s_qwait_total_ns / 1000);
+        ("queue_wait_us_max", Atomic.get s_qwait_max_ns / 1000);
+      ]
 end

@@ -1,15 +1,19 @@
-(** A fixed-size domain pool for the decision procedures.
+(** A work-stealing domain pool for the decision procedures.
 
-    The pool is the repo's one multicore primitive: a set of worker
-    domains spawned once (lazily, on first parallel use) and fed batches
-    of independent tasks through a shared atomic work index — workers and
-    the calling domain all drain the same batch, so a batch of [n] tasks
-    costs [n] fetch-and-adds, not [n] context switches.  Everything is
-    stdlib-only ([Domain], [Atomic], [Mutex], [Condition]); there is no
-    external dependency.
+    The pool is the repo's one multicore primitive.  Since PR 9 it is
+    built on per-batch Chase–Lev deques: the domain that opens a batch
+    owns a deque, pushes its tasks at the bottom and pops them back LIFO,
+    while worker domains steal FIFO from the top with a single CAS.
+    Several batches may be in flight at once (each registered in a small
+    victim table); idle workers scan the table from a randomized start
+    and back off exponentially when repeated steals find nothing.
+    Everything is stdlib-only ([Domain], [Atomic], [Mutex], [Condition],
+    [Unix] for timestamps); there is no external dependency.
 
     {b Pool size.}  The size counts the calling domain, so size [p] runs
-    at most [p-1] worker domains.  The default comes from the
+    at most [p-1] worker domains for [run]/[map] (the caller drains its
+    own deque alongside the thieves) and [p] workers for [submit] (the
+    submitting system thread only waits).  The default comes from the
     [PAR_DOMAINS] environment variable and falls back to [1]; size [1]
     never spawns anything and every combinator degenerates to its
     sequential equivalent on the calling domain — the byte-for-byte
@@ -17,15 +21,52 @@
 
     {b Determinism.}  All combinators return results in input order, so
     a parallel map is observationally a sequential map of a pure
-    function.  Callers that need stronger guarantees (ordered effects,
+    function — which tasks were stolen and in what order is invisible in
+    the result.  Callers that need stronger guarantees (ordered effects,
     deterministic fuel accounting) run the effectful merge sequentially
     on the results — see [Witness_search] and [Ree_definability].
 
-    {b Nesting.}  One batch runs at a time.  A [run]/[map] issued while
-    another batch is active — including from inside a task — executes
-    sequentially inline on the calling domain, so nested parallelism
-    (e.g. a parallel kernel inside [decide_batch]) degrades gracefully
-    instead of deadlocking. *)
+    {b Nesting.}  A [run]/[map]/[submit] issued from inside a pool
+    worker executes sequentially inline on that worker (counted by the
+    [pool.nested_inline] obs counter) rather than publishing a nested
+    batch, so nested parallelism (e.g. a parallel kernel inside
+    [decide_batch]) degrades gracefully instead of deadlocking.  Kernels
+    can ask [Pool.in_pool] to decline speculative fan-out up front.
+    Batches opened by distinct non-worker threads are independent and
+    genuinely concurrent. *)
+
+module Deque : sig
+  (** Single-owner Chase–Lev work-stealing deque.
+
+      The owner pushes and pops at the {e bottom} (LIFO); any number of
+      thieves steal from the {e top} (FIFO) racing each other and the
+      owner through a CAS on the top index.  All cells and indices are
+      [Atomic] so the implementation is sequentially consistent under
+      the OCaml 5 memory model; the buffer grows (owner-side only) by
+      doubling, and stale thieves that read a pre-growth buffer are
+      safe because live cells are never moved, only copied. *)
+
+  type 'a t
+
+  val create : ?capacity:int -> unit -> 'a t
+  (** Fresh empty deque.  [capacity] (default 64) is rounded up to a
+      power of two; the deque grows on demand, so this is a hint. *)
+
+  val push : 'a t -> 'a -> unit
+  (** Owner only: push at the bottom. *)
+
+  val pop : 'a t -> 'a option
+  (** Owner only: pop the most recently pushed element (LIFO).  [None]
+      when empty or when a thief won the race for the last element. *)
+
+  val steal : 'a t -> [ `Stolen of 'a | `Empty | `Retry ]
+  (** Thief: steal the oldest element (FIFO).  [`Retry] means the CAS
+      was lost to the owner or another thief — the deque may still be
+      non-empty, try again. *)
+
+  val length : 'a t -> int
+  (** Snapshot of [bottom - top] (clamped at 0); racy, advisory only. *)
+end
 
 module Pool : sig
   val size : unit -> int
@@ -36,14 +77,24 @@ module Pool : sig
   (** Set the pool size.  Values below [1] are clamped to [1].  Growing
       spawns the missing workers on the next parallel call; shrinking
       simply stops using the extras (idle workers cost nothing — they
-      block on a condition variable). *)
+      back off to a condition variable). *)
+
+  val in_pool : unit -> bool
+  (** [true] iff the calling domain is a pool worker, i.e. the current
+      code is already executing a pool task.  Kernels use this to
+      decline to sub-split: a nested [run] would inline anyway (see
+      {e Nesting} above), so speculative parallel shapes — which trade
+      redundant work for latency — should fall back to their sequential
+      form when this returns [true]. *)
 
   val run : (unit -> 'a) array -> 'a array
   (** Run the thunks, possibly in parallel, and return their results in
-      input order.  If any task raised, the exception of the
-      lowest-indexed failing task is re-raised after the whole batch has
-      completed (the pool is never left with stray tasks).  Tasks must
-      not themselves block on the pool. *)
+      input order.  The calling domain pushes all tasks onto a fresh
+      deque, drains it LIFO, and waits for stolen stragglers.  If any
+      task raised, the exception of the lowest-indexed failing task is
+      re-raised after the whole batch has completed (the pool is never
+      left with stray tasks).  Tasks must not themselves block on the
+      pool. *)
 
   val map : ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
   (** Parallel [Array.map], chunked: the input is split into contiguous
@@ -53,6 +104,40 @@ module Pool : sig
 
   val map_list : ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
   (** [map] over a list (converted through an array; order preserved). *)
+
+  val submit : (unit -> 'a) array -> ('a array, [ `Queue_full ]) result
+  (** External submission path, used by the service layer: the batch is
+      executed {e entirely by pool workers} — the calling (system)
+      thread does not participate, it only blocks until completion, so
+      every task of an admitted submission is a steal.  Admission is
+      bounded: if the backlog of submitted-but-not-yet-started tasks has
+      reached [submission_bound] the call is rejected immediately with
+      [Error `Queue_full] (an oversized batch is admitted whenever there
+      is {e any} room, so a single submission larger than the bound is
+      not wedged forever; the backlog can thus transiently overshoot by
+      one batch).  At pool size 1 — no workers — the tasks run inline on
+      the caller and the bound does not apply.  Results, exceptions and
+      ordering follow the [run] contract.  Per-task queue wait (submit →
+      execution start) is recorded in the [pool.queue_wait] histogram. *)
+
+  val submission_bound : unit -> int
+  (** Current backlog bound for [submit] (default 32). *)
+
+  val set_submission_bound : int -> unit
+  (** Set the backlog bound (clamped at ≥ 0; [0] rejects every
+      submission).  Process-global, like the pool itself. *)
+
+  val stats : unit -> (string * int) list
+  (** Always-on pool tallies, independent of whether the obs plane is
+      enabled: [size], [workers], [deque_push], [deque_pop] (owner-side
+      LIFO pops), [steal_success], [steal_fail] (lost CAS races),
+      [nested_inline], [submitted], [submit_rejected], [submit_backlog],
+      [queue_wait_count], [queue_wait_us_total], [queue_wait_us_max].
+      Sorted by key.  The same signals are mirrored into [Obs] counters
+      ([steal.success], [steal.fail], [deque.push], [deque.pop],
+      [pool.nested_inline]) and the [pool.queue_wait] histogram when
+      telemetry is enabled, so they also reach the Prometheus [metrics]
+      exposition. *)
 
   val shutdown : unit -> unit
   (** Stop and join all worker domains.  Registered [at_exit] when the

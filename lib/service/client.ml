@@ -35,18 +35,38 @@ let transient = function
       true
   | _ -> false
 
+(* Retry delay for attempt [attempt] (0-based): exponential backoff with
+   ±25% jitter, so N clients retrying a restarting shard spread out
+   instead of stampeding in lockstep.  The jitter is a hash of the
+   attempt counter and a per-process salt — deterministic and pure (no
+   [Random] state, nothing shared) so it is unit-testable and free on
+   the hot path; distinct processes hash to distinct factors, which is
+   the only decorrelation a stampede needs. *)
+let retry_delay_s ?salt ~attempt base_s =
+  let salt = match salt with Some s -> s | None -> Unix.getpid () in
+  (* splitmix-style finalizer: a few shift-xor-multiply rounds give the
+     low bits avalanche even for consecutive (salt, attempt) inputs. *)
+  let h = (salt * 0x1000193) lxor ((attempt + 1) * 0x9E3779B9) in
+  let h = (h lxor (h lsr 16)) * 0x45d9f3b in
+  let h = (h lxor (h lsr 16)) * 0x45d9f3b in
+  let h = (h lxor (h lsr 16)) land 0x3FFFFFFF in
+  let unit = float_of_int h /. float_of_int 0x40000000 in
+  (* factor in [0.75, 1.25) *)
+  let factor = 0.75 +. (0.5 *. unit) in
+  base_s *. (2. ** float_of_int attempt) *. factor
+
 let connect ?(retries = 0) ?(backoff_s = 0.05) addr =
-  let rec attempt left delay =
+  let rec attempt n left =
     match connect_once addr with
     | t -> t
     | exception (Unix.Unix_error (e, _, _) as exn) when transient e ->
         if left <= 0 then raise exn
         else begin
-          Thread.delay delay;
-          attempt (left - 1) (delay *. 2.)
+          Thread.delay (retry_delay_s ~attempt:n backoff_s);
+          attempt (n + 1) (left - 1)
         end
   in
-  attempt retries backoff_s
+  attempt 0 retries
 
 let request_raw t line =
   if t.closed then Error "connection closed"

@@ -13,11 +13,23 @@ type t
 val connect : ?retries:int -> ?backoff_s:float -> Wire.address -> t
 (** Connect, retrying a {e transient} refusal (ECONNREFUSED, ENOENT of
     a not-yet-bound Unix socket, ECONNRESET, ETIMEDOUT) up to [retries]
-    times (default 0: single attempt) with exponential backoff starting
-    at [backoff_s] (default 0.05 s, doubling each attempt) — so a
-    client racing a server that is milliseconds from binding waits
-    instead of dying.  Non-transient errors propagate immediately.
+    times (default 0: single attempt) with jittered exponential backoff
+    starting at [backoff_s] (default 0.05 s, doubling each attempt,
+    ±25% jitter per {!retry_delay_s}) — so a client racing a server
+    that is milliseconds from binding waits instead of dying, and N
+    clients racing the same restarting shard don't stampede it in
+    lockstep.  Non-transient errors propagate immediately.
     @raise Unix.Unix_error when the server stays unreachable. *)
+
+val retry_delay_s : ?salt:int -> attempt:int -> float -> float
+(** [retry_delay_s ~attempt base_s] is the delay {!connect} sleeps
+    before retry number [attempt] (0-based): [base_s · 2^attempt ·
+    factor] with [factor ∈ \[0.75, 1.25)] derived by hashing [attempt]
+    against [salt] (default: the process id) — deterministic, pure, no
+    [Random] on the hot path.  Successive attempts always wait longer:
+    the jitter bands of consecutive attempts never overlap
+    (1.25 < 2 · 0.75).  Exposed for unit tests and for callers rolling
+    their own retry loop. *)
 
 val request : t -> Wire.request -> (Json.t, string) result
 (** Send the request, block for the response line, parse it.  [Error]

@@ -83,6 +83,7 @@ end
 type config = {
   max_inflight : int;
   queue_depth : int;
+  pool_queue_depth : int;
   default_fuel : int option;
   default_deadline_s : float option;
   cache : Cache.config;
@@ -99,6 +100,7 @@ let default_config =
   {
     max_inflight = 4;
     queue_depth = 16;
+    pool_queue_depth = 32;
     default_fuel = None;
     default_deadline_s = None;
     cache = Cache.default_config;
@@ -160,6 +162,9 @@ let create ?(config = default_config) addr =
      an execution lane.  [Obs] takes the hook rather than a [threads]
      dependency. *)
   Obs.set_thread_id_fn (fun () -> Thread.id (Thread.self ()));
+  (* Work-op bodies execute on the shared domain pool ([pool_exec]); its
+     submission backlog bound is process-global, like the pool itself. *)
+  Par.Pool.set_submission_bound config.pool_queue_depth;
   let listen_fd =
     match addr with
     | Wire.Unix_sock path ->
@@ -230,6 +235,7 @@ let stats t =
       | None -> []
       | Some (i, n) -> [ ("shard_index", i); ("shard_count", n) ])
     @ List.map (fun (k, v) -> ("cache_" ^ k, v)) (Cache.stats t.cache_)
+    @ List.map (fun (k, v) -> ("pool_" ^ k, v)) (Par.Pool.stats ())
   in
   List.sort compare snap
 
@@ -257,8 +263,12 @@ let overloaded_fields t op why =
     ("status", Wire.json_string "overloaded");
     ( "detail",
       Wire.json_string
-        (match why with `Overloaded -> "queue_full" | `Draining -> "draining")
-    );
+        (match why with
+        (* [`Pool_queue] — the admitted body could not even be queued on
+           the domain pool — answers like thread-queue saturation: to the
+           client both are "the server is full, back off and retry". *)
+        | `Overloaded | `Pool_queue -> "queue_full"
+        | `Draining -> "draining") );
   ]
 
 (* Request fuel/deadline override the server defaults. *)
@@ -301,20 +311,53 @@ let decide_one t ~lang ~k ~fuel ~timeout_s text =
               ],
               key ))
 
+(* Execute the body (or bodies — one per batch item) of an admitted
+   work op on the shared domain pool.  Handler threads keep doing socket
+   I/O and admission; the compute runs on worker domains, so concurrent
+   requests and batch items fill idle domains instead of timeslicing one.
+   The request's trace context is captured here (on the handler thread)
+   and re-established inside each task, so spans recorded by a worker
+   domain still carry this request's trace id.  [`Pool_queue] means the
+   pool's bounded submission queue was full — answered as overload.  At
+   pool size 1 there are no workers and the bodies run inline right
+   here, the byte-for-byte pre-pool execution path. *)
+let pool_exec bodies =
+  if Par.Pool.size () <= 1 then Ok (Array.map (fun f -> f ()) bodies)
+  else
+    let trace = Obs.Ctx.current () in
+    match
+      Par.Pool.submit (Array.map (fun f () -> Obs.Ctx.with_trace trace f) bodies)
+    with
+    | Ok r -> Ok r
+    | Error `Queue_full -> Error `Pool_queue
+
 (* ---------------------------------------------------------------- *)
-(* Request-scoped sinks.  Both filter on the recording lane — this
-   handler thread on this domain — so concurrent requests never leak
-   into each other's stream or phase breakdown.  Both swallow their own
-   failures: sink callbacks run inside span dispatch, and a client that
-   vanished mid-stream must not take the decide down with it. *)
+(* Request-scoped sinks.  Both filter on the request's trace id when one
+   is live — work bodies execute on pool domains, so the recording lane
+   no longer identifies the request, but the trace context travels into
+   the submitted tasks ([pool_exec]) — and fall back to the recording
+   lane (this handler thread on this domain) when no trace was minted.
+   Concurrent requests thus never leak into each other's stream or phase
+   breakdown, unless clients deliberately share a trace id.  Both
+   swallow their own failures: sink callbacks run inside span dispatch,
+   and a client that vanished mid-stream must not take the decide down
+   with it. *)
+
+let span_filter () =
+  let trace = Obs.Ctx.current () in
+  let dom = (Domain.self () :> int) in
+  let tid = Obs.thread_id () in
+  fun (s : Obs.span) ->
+    match trace with
+    | Some _ -> s.Obs.trace = trace
+    | None -> s.Obs.dom = dom && s.Obs.tid = tid
 
 (* Streaming progress: one newline-JSON frame per span enter/exit on
    this lane, counter deltas attached at exit.  Frames carry a
    ["progress"] field, which is how the client tells them from the
    final response line. *)
 let progress_sink oc =
-  let dom = (Domain.self () :> int) in
-  let tid = Obs.thread_id () in
+  let mine = span_filter () in
   let t0 = Unix.gettimeofday () in
   let dead = ref false in
   let last = ref (Obs.Counter.all ()) in
@@ -335,10 +378,9 @@ let progress_sink oc =
     ]
   in
   Obs.Sink.make_full
-    ~enter:(fun s ->
-      if s.Obs.dom = dom && s.Obs.tid = tid then emit (base "enter" s))
+    ~enter:(fun s -> if mine s then emit (base "enter" s))
     (fun s ->
-      if s.Obs.dom = dom && s.Obs.tid = tid then begin
+      if mine s then begin
         let now_c = Obs.Counter.all () in
         let deltas =
           List.filter_map
@@ -359,20 +401,29 @@ let progress_sink oc =
 (* Phase totals for the slow-request log: span name -> summed wall time
    on this lane. *)
 let phase_collector () =
-  let dom = (Domain.self () :> int) in
-  let tid = Obs.thread_id () in
+  let mine = span_filter () in
+  (* [acc] is written from whichever lane records a matching span —
+     handler thread or pool worker — so it takes a lock. *)
+  let m = Mutex.create () in
   let acc : (string, float) Hashtbl.t = Hashtbl.create 8 in
   let sink =
     Obs.Sink.make (fun (s : Obs.span) ->
-        if s.Obs.dom = dom && s.Obs.tid = tid then
+        if mine s then begin
+          Mutex.lock m;
           let prev =
             Option.value ~default:0. (Hashtbl.find_opt acc s.Obs.name)
           in
-          Hashtbl.replace acc s.Obs.name (prev +. (s.Obs.stop_s -. s.Obs.start_s)))
+          Hashtbl.replace acc s.Obs.name
+            (prev +. (s.Obs.stop_s -. s.Obs.start_s));
+          Mutex.unlock m
+        end)
   in
   ( sink,
     fun () ->
-      List.sort compare (Hashtbl.fold (fun k v l -> (k, v) :: l) acc []) )
+      Mutex.lock m;
+      let l = Hashtbl.fold (fun k v l -> (k, v) :: l) acc [] in
+      Mutex.unlock m;
+      List.sort compare l )
 
 let note_slow t ~op ~digest ~queue_wait_s ~wall_s ~phases =
   match t.config.slow_ms with
@@ -434,18 +485,24 @@ let handle_decide t oc ~env ~lang ~k ~fuel ~timeout_s text =
         ~finally:(fun () -> Admission.release t.gate)
         (fun () ->
           with_request_sinks t oc ~env (fun phases ->
-              match decide_one t ~lang ~k ~fuel ~timeout_s text with
-              | Error msg ->
+              match
+                pool_exec
+                  [| (fun () -> decide_one t ~lang ~k ~fuel ~timeout_s text) |]
+              with
+              | Error `Pool_queue ->
+                  respond oc (overloaded_fields t "decide" `Pool_queue)
+              | Ok [| Error msg |] ->
                   incr t.n_errors;
                   respond oc (error_fields "decide" msg)
-              | Ok (fields, digest) ->
+              | Ok [| Ok (fields, digest) |] ->
                   let wall_s = Unix.gettimeofday () -. t0 in
                   Obs.Histogram.record_s h_decide wall_s;
                   note_slow t ~op:"decide" ~digest:(Some digest) ~queue_wait_s
                     ~wall_s ~phases;
                   respond oc
                     (ok "decide"
-                       (fields @ [ service_fields ~queue_wait_s ~wall_s ]))))
+                       (fields @ [ service_fields ~queue_wait_s ~wall_s ]))
+              | Ok _ -> assert false (* one body in, one result out *)))
 
 let handle_batch t oc ~env ~lang ~k ~fuel ~timeout_s texts =
   incr t.n_batches;
@@ -458,30 +515,38 @@ let handle_batch t oc ~env ~lang ~k ~fuel ~timeout_s texts =
         ~finally:(fun () -> Admission.release t.gate)
         (fun () ->
           with_request_sinks t oc ~env (fun phases ->
-              (* Sequential on purpose: per-instance cache hits and the
-                 pool-parallel kernels inside each decide do the heavy
-                 lifting; a failed instance yields a per-item error object
-                 instead of failing the batch. *)
-              let items =
-                List.map
-                  (fun text ->
-                    match decide_one t ~lang ~k ~fuel ~timeout_s text with
-                    | Ok (fields, _digest) -> Wire.json_obj fields
-                    | Error msg ->
-                        incr t.n_errors;
-                        Wire.json_obj [ ("error", Wire.json_string msg) ])
-                  texts
+              (* One pool task per instance: batch items fill idle
+                 domains (batch-level parallelism is the easy published
+                 win — the kernels inside each decide decline to
+                 sub-split while on a worker).  A failed instance yields
+                 a per-item error object instead of failing the batch;
+                 results come back in input order, so the response is
+                 byte-identical to the sequential form. *)
+              let bodies =
+                Array.of_list
+                  (List.map
+                     (fun text () ->
+                       match decide_one t ~lang ~k ~fuel ~timeout_s text with
+                       | Ok (fields, _digest) -> Wire.json_obj fields
+                       | Error msg ->
+                           incr t.n_errors;
+                           Wire.json_obj [ ("error", Wire.json_string msg) ])
+                     texts)
               in
-              let wall_s = Unix.gettimeofday () -. t0 in
-              Obs.Histogram.record_s h_batch wall_s;
-              note_slow t ~op:"batch" ~digest:None ~queue_wait_s ~wall_s
-                ~phases;
-              respond oc
-                (ok "batch"
-                   [
-                     ("results", Wire.json_list items);
-                     service_fields ~queue_wait_s ~wall_s;
-                   ])))
+              match pool_exec bodies with
+              | Error `Pool_queue ->
+                  respond oc (overloaded_fields t "batch" `Pool_queue)
+              | Ok items ->
+                  let wall_s = Unix.gettimeofday () -. t0 in
+                  Obs.Histogram.record_s h_batch wall_s;
+                  note_slow t ~op:"batch" ~digest:None ~queue_wait_s ~wall_s
+                    ~phases;
+                  respond oc
+                    (ok "batch"
+                       [
+                         ("results", Wire.json_list (Array.to_list items));
+                         service_fields ~queue_wait_s ~wall_s;
+                       ])))
 
 let handle_delta t oc ~env ~lang ~k ~fuel ~timeout_s ~digest edit =
   incr t.n_deltas;
@@ -494,7 +559,7 @@ let handle_delta t oc ~env ~lang ~k ~fuel ~timeout_s ~digest edit =
         ~finally:(fun () -> Admission.release t.gate)
         (fun () ->
           with_request_sinks t oc ~env @@ fun phases ->
-          let result =
+          let body () =
             match Cache.find_instance t.cache_ digest with
             | None ->
                 Error
@@ -512,11 +577,13 @@ let handle_delta t oc ~env ~lang ~k ~fuel ~timeout_s ~digest edit =
                     Cache.apply_edit t.cache_ ?fuel ?deadline_s ?k ~lang
                       ~key:digest edit)
           in
-          match result with
-          | Error msg ->
+          match pool_exec [| body |] with
+          | Error `Pool_queue ->
+              respond oc (overloaded_fields t "delta" `Pool_queue)
+          | Ok [| Error msg |] ->
               incr t.n_errors;
               respond oc (error_fields "delta" msg)
-          | Ok { Cache.outcome; inst; key; repaired } ->
+          | Ok [| Ok { Cache.outcome; inst; key; repaired } |] ->
               let wall_s = Unix.gettimeofday () -. t0 in
               Obs.Histogram.record_s h_delta wall_s;
               note_slow t ~op:"delta" ~digest:(Some key) ~queue_wait_s ~wall_s
@@ -530,7 +597,8 @@ let handle_delta t oc ~env ~lang ~k ~fuel ~timeout_s ~digest edit =
                        Wire.verdict_to_string (Engine.Instance.graph inst) ~lang
                          outcome );
                      service_fields ~queue_wait_s ~wall_s;
-                   ]))
+                   ])
+          | Ok _ -> assert false (* one body in, one result out *))
 
 let handle_sleep t oc ~ms =
   incr t.n_sleeps;

@@ -7,9 +7,15 @@
     [stats], [shutdown]) are answered directly by the handler thread and
     never queue behind work, so the server answers [ping] while a
     long-budget [decide] is in flight.  Work ops ([decide], [batch],
-    [delta], [sleep]) pass {e admission control} first; admitted work runs on the
-    handler thread — the decision procedures themselves fan out over the
-    shared [Par.Pool] domains exactly as in the CLI.
+    [delta], [sleep]) pass {e admission control} first; admitted
+    [decide]/[batch]/[delta] bodies are then {e submitted to the shared
+    [Par.Pool] domains} through its bounded submission queue
+    ([pool_queue_depth]) — handler threads only do socket I/O and
+    admission, so concurrent requests and batch items fill idle domains.
+    A body that cannot even be queued (pool backlog full) is answered
+    [overloaded]/[queue_full] like thread-queue saturation.  At pool
+    size 1 bodies run inline on the handler thread, the pre-pool
+    execution path, byte for byte.
 
     {b Admission control.}  At most [max_inflight] work ops execute at
     once; up to [queue_depth] more wait (FIFO-ish, condition-variable
@@ -74,6 +80,10 @@ end
 type config = {
   max_inflight : int;  (** concurrent work ops (default 4) *)
   queue_depth : int;  (** waiting work ops beyond that (default 16) *)
+  pool_queue_depth : int;
+      (** backlog bound for work-op bodies submitted to the domain pool
+          (default 32); applied to [Par.Pool.set_submission_bound] at
+          {!create} — process-global, like the pool itself *)
   default_fuel : int option;  (** budget fuel when the request has none *)
   default_deadline_s : float option;
       (** budget deadline when the request has none *)

@@ -19,7 +19,7 @@ let s1 = Gen.fig1_s1 fig1
 let s2 = Gen.fig1_s2 fig1
 let s3 = Gen.fig1_s3 fig1
 let all_langs = [ "krem"; "ree"; "rem"; "rpq"; "ucrdpq" ]
-let pool_sizes = [ 1; 2; 4 ]
+let pool_sizes = [ 1; 2; 4; 8 ]
 
 (* A canonical string for everything the determinism contract covers —
    verdict, certificate, counterexample, reason, and the step count
@@ -116,6 +116,269 @@ let test_pool_size_env () =
   Alcotest.(check bool) "size is at least 1" true (Pool.size () >= 1);
   with_pool_size 3 @@ fun () ->
   Alcotest.(check int) "set_size takes effect" 3 (Pool.size ())
+
+(* ---------- work-stealing deque ---------- *)
+
+module Deque = Par.Deque
+
+let test_deque_lifo () =
+  let q = Deque.create () in
+  for i = 1 to 5 do
+    Deque.push q i
+  done;
+  Alcotest.(check int) "length" 5 (Deque.length q);
+  List.iter
+    (fun expect ->
+      Alcotest.(check (option int)) "owner pops LIFO" (Some expect) (Deque.pop q))
+    [ 5; 4; 3; 2; 1 ];
+  Alcotest.(check (option int)) "then empty" None (Deque.pop q);
+  Alcotest.(check (option int)) "stays empty" None (Deque.pop q)
+
+let steal_opt q =
+  match Deque.steal q with `Stolen v -> Some v | `Empty | `Retry -> None
+
+let test_deque_fifo_steals () =
+  let q = Deque.create () in
+  for i = 1 to 5 do
+    Deque.push q i
+  done;
+  List.iter
+    (fun expect ->
+      Alcotest.(check (option int)) "thief steals FIFO" (Some expect)
+        (steal_opt q))
+    [ 1; 2; 3; 4; 5 ];
+  (match Deque.steal q with
+  | `Empty -> ()
+  | `Stolen _ | `Retry -> Alcotest.fail "steal from empty must report `Empty");
+  (* Opposite ends meet in the middle. *)
+  for i = 1 to 6 do
+    Deque.push q (10 + i)
+  done;
+  Alcotest.(check (option int)) "steal oldest" (Some 11) (steal_opt q);
+  Alcotest.(check (option int)) "pop newest" (Some 16) (Deque.pop q);
+  Alcotest.(check (option int)) "steal next" (Some 12) (steal_opt q);
+  Alcotest.(check (option int)) "pop next" (Some 15) (Deque.pop q);
+  Alcotest.(check int) "two left" 2 (Deque.length q)
+
+let test_deque_growth () =
+  (* Start at the minimum capacity and push far past it: growth must
+     preserve order and lose nothing, from both ends. *)
+  let q = Deque.create ~capacity:1 () in
+  for i = 0 to 999 do
+    Deque.push q i
+  done;
+  for i = 0 to 499 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "steal %d after growth" i)
+      (Some i) (steal_opt q)
+  done;
+  for i = 999 downto 500 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "pop %d after growth" i)
+      (Some i) (Deque.pop q)
+  done;
+  Alcotest.(check (option int)) "drained" None (Deque.pop q)
+
+let test_deque_empty_races () =
+  (* One owner domain pushes [n] values and pops aggressively; three
+     thieves hammer [steal] the whole time, racing the owner for the
+     last element over and over.  Every value must be delivered exactly
+     once, across all participants. *)
+  let n = 20_000 in
+  let q = Deque.create ~capacity:2 () in
+  let seen = Array.init n (fun _ -> Atomic.make 0) in
+  let stop = Atomic.make false in
+  let thieves =
+    Array.init 3 (fun _ ->
+        Domain.spawn (fun () ->
+            let continue_ = ref true in
+            while !continue_ do
+              match Deque.steal q with
+              | `Stolen v -> Atomic.incr seen.(v)
+              | `Retry -> Domain.cpu_relax ()
+              | `Empty ->
+                  if Atomic.get stop then continue_ := false
+                  else Domain.cpu_relax ()
+            done))
+  in
+  for i = 0 to n - 1 do
+    Deque.push q i;
+    (* Pop in bursts so the owner keeps racing thieves at b = t. *)
+    if i mod 3 = 0 then
+      match Deque.pop q with Some v -> Atomic.incr seen.(v) | None -> ()
+  done;
+  let rec drain () =
+    match Deque.pop q with
+    | Some v ->
+        Atomic.incr seen.(v);
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Atomic.set stop true;
+  Array.iter Domain.join thieves;
+  Array.iteri
+    (fun i c ->
+      let c = Atomic.get c in
+      if c <> 1 then
+        Alcotest.failf "value %d delivered %d times (want exactly once)" i c)
+    seen
+
+(* ---------- steal-path determinism under skewed costs ---------- *)
+
+(* A spin that the compiler cannot elide: data-dependent accumulator. *)
+let burn units =
+  let acc = ref 0 in
+  for i = 1 to units * 64 do
+    acc := (!acc * 31) + i
+  done;
+  !acc
+
+(* Task sets with one pathologically heavy subtree: the heavy task pins
+   whoever claims it while the others get stolen around it, maximally
+   exercising uneven-split scheduling.  Results (and hence their order)
+   must not depend on pool size or on the run. *)
+let qcheck_skewed_tasks =
+  QCheck.Test.make ~name:"skewed task sets: results independent of stealing"
+    ~count:30
+    QCheck.(
+      pair (int_range 2 24) (int_range 0 1_000_000)
+      (* (task count, seed); the heavy index is derived from the seed *))
+    (fun (n, seed) ->
+      let heavy = seed mod n in
+      let task i () =
+        let units = if i = heavy then 1000 else 1 in
+        (i, burn units)
+      in
+      let reference = with_pool_size 1 (fun () -> Pool.run (Array.init n task)) in
+      List.for_all
+        (fun size ->
+          List.for_all
+            (fun _run ->
+              with_pool_size size (fun () -> Pool.run (Array.init n task))
+              = reference)
+            [ 1; 2 ])
+        [ 2; 4; 8 ])
+
+let qcheck_skewed_deciders =
+  (* Same adversarial shape at the decider level: random instances,
+     verdict/certificate/fuel byte-identity across pool sizes 1/2/4/8
+     and across repeated runs. *)
+  QCheck.Test.make ~name:"random instances: verdict bytes independent of pool"
+    ~count:8
+    QCheck.(int_range 100 10_000)
+    (fun seed ->
+      let g =
+        Gen.random ~seed ~n:4 ~delta:2 ~labels:[ "a"; "b" ] ~density:0.35 ()
+      in
+      let s = Gen.random_reachable_relation ~seed g ~count:2 in
+      List.for_all
+        (fun lang ->
+          let reference =
+            with_pool_size 1 (fun () -> verdict_repr (decide lang g s))
+          in
+          List.for_all
+            (fun size ->
+              List.for_all
+                (fun _run ->
+                  with_pool_size size (fun () ->
+                      verdict_repr (decide lang g s))
+                  = reference)
+                [ 1; 2 ])
+            pool_sizes)
+        [ "krem"; "ree"; "rem" ])
+
+(* ---------- submission path and nesting signals ---------- *)
+
+let pool_stat key =
+  match List.assoc_opt key (Pool.stats ()) with
+  | Some v -> v
+  | None -> Alcotest.failf "Pool.stats has no %S field" key
+
+let test_in_pool () =
+  Alcotest.(check bool) "not in pool on the main domain" false (Pool.in_pool ());
+  with_pool_size 4 @@ fun () ->
+  match Pool.submit [| (fun () -> Pool.in_pool ()) |] with
+  | Ok [| inside |] ->
+      Alcotest.(check bool) "submitted tasks run on pool workers" true inside;
+      Alcotest.(check bool) "still not in pool after" false (Pool.in_pool ())
+  | Ok _ | Error `Queue_full -> Alcotest.fail "submit of one task failed"
+
+let test_submit_order_and_errors () =
+  with_pool_size 4 @@ fun () ->
+  (match Pool.submit (Array.init 50 (fun i () -> i * 3)) with
+  | Ok r ->
+      Alcotest.(check (array int))
+        "submit returns results in input order"
+        (Array.init 50 (fun i -> i * 3))
+        r
+  | Error `Queue_full -> Alcotest.fail "unexpected Queue_full");
+  match
+    Pool.submit
+      (Array.init 16 (fun i () ->
+           if i mod 7 = 3 then failwith (Printf.sprintf "sub %d" i) else i))
+  with
+  | Ok _ -> Alcotest.fail "expected an exception"
+  | Error `Queue_full -> Alcotest.fail "unexpected Queue_full"
+  | exception Failure msg ->
+      Alcotest.(check string) "lowest-index exception wins" "sub 3" msg
+
+let test_submit_queue_full () =
+  with_pool_size 4 @@ fun () ->
+  let saved = Pool.submission_bound () in
+  Fun.protect ~finally:(fun () -> Pool.set_submission_bound saved) @@ fun () ->
+  Pool.set_submission_bound 0;
+  (match Pool.submit [| (fun () -> ()) |] with
+  | Error `Queue_full -> ()
+  | Ok _ -> Alcotest.fail "bound 0 must reject every submission");
+  let rejected = pool_stat "submit_rejected" in
+  Alcotest.(check bool) "rejection counted" true (rejected >= 1);
+  Pool.set_submission_bound 32;
+  match Pool.submit [| (fun () -> 41 + 1) |] with
+  | Ok [| v |] -> Alcotest.(check int) "admitted again after raising bound" 42 v
+  | Ok _ | Error `Queue_full -> Alcotest.fail "submit after restore failed"
+
+let test_submit_counts_steals () =
+  with_pool_size 4 @@ fun () ->
+  let before = pool_stat "steal_success" in
+  (match Pool.submit (Array.init 8 (fun i () -> burn (i + 1))) with
+  | Ok _ -> ()
+  | Error `Queue_full -> Alcotest.fail "unexpected Queue_full");
+  let after = pool_stat "steal_success" in
+  (* The submitter does not participate, so every one of the 8 tasks was
+     necessarily a steal. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "steal_success grew by >= 8 (before %d, after %d)" before
+       after)
+    true
+    (after - before >= 8)
+
+let test_nested_inline_counter () =
+  with_pool_size 4 @@ fun () ->
+  let before = pool_stat "nested_inline" in
+  (match
+     Pool.submit
+       [|
+         (fun () ->
+           (* A nested batch from inside a pool task: must inline, and
+              must say so. *)
+           Array.fold_left ( + ) 0 (Pool.run (Array.init 5 (fun i () -> i))))
+       |]
+   with
+  | Ok [| v |] -> Alcotest.(check int) "nested run computes" 10 v
+  | Ok _ | Error `Queue_full -> Alcotest.fail "submit failed");
+  let after = pool_stat "nested_inline" in
+  Alcotest.(check bool)
+    (Printf.sprintf "nested_inline grew (before %d, after %d)" before after)
+    true (after > before)
+
+let test_submit_size_one_inline () =
+  with_pool_size 1 @@ fun () ->
+  match Pool.submit [| (fun () -> Pool.in_pool ()) |] with
+  | Ok [| inside |] ->
+      Alcotest.(check bool) "size 1 runs submissions inline on the caller"
+        false inside
+  | Ok _ | Error `Queue_full -> Alcotest.fail "size-1 submit must not reject"
 
 (* ---------- budget domain-safety ---------- *)
 
@@ -257,12 +520,19 @@ let test_decider_agreement () =
           in
           List.iter
             (fun size ->
-              let got =
-                with_pool_size size @@ fun () -> verdict_repr (decide lang g s)
-              in
-              Alcotest.(check string)
-                (Printf.sprintf "%s instance %d at pool size %d" lang idx size)
-                reference got)
+              (* Twice per size: steal order varies between runs and must
+                 not leak into the verdict. *)
+              List.iter
+                (fun run ->
+                  let got =
+                    with_pool_size size @@ fun () ->
+                    verdict_repr (decide lang g s)
+                  in
+                  Alcotest.(check string)
+                    (Printf.sprintf "%s instance %d at pool size %d, run %d"
+                       lang idx size run)
+                    reference got)
+                [ 1; 2 ])
             pool_sizes)
         instances)
     all_langs
@@ -368,6 +638,30 @@ let () =
           Alcotest.test_case "exception propagation" `Quick test_pool_exception;
           Alcotest.test_case "nesting" `Quick test_pool_nesting;
           Alcotest.test_case "sizing" `Quick test_pool_size_env;
+        ] );
+      ( "deque",
+        [
+          Alcotest.test_case "owner ops are LIFO" `Quick test_deque_lifo;
+          Alcotest.test_case "steals are FIFO" `Quick test_deque_fifo_steals;
+          Alcotest.test_case "growth preserves order" `Quick test_deque_growth;
+          Alcotest.test_case "empty races deliver exactly once" `Quick
+            test_deque_empty_races;
+        ] );
+      ( "stealing",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_skewed_tasks; qcheck_skewed_deciders ] );
+      ( "submit",
+        [
+          Alcotest.test_case "in_pool signal" `Quick test_in_pool;
+          Alcotest.test_case "order and errors" `Quick
+            test_submit_order_and_errors;
+          Alcotest.test_case "bounded backlog" `Quick test_submit_queue_full;
+          Alcotest.test_case "all submitted tasks are steals" `Quick
+            test_submit_counts_steals;
+          Alcotest.test_case "nested inline is counted" `Quick
+            test_nested_inline_counter;
+          Alcotest.test_case "size one runs inline" `Quick
+            test_submit_size_one_inline;
         ] );
       ( "budget",
         [

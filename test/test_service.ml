@@ -459,6 +459,93 @@ let test_e2e_overload () =
             (member_str "detail" j));
       Thread.join sleeper)
 
+let with_pool_size n f =
+  let old = Par.Pool.size () in
+  Par.Pool.set_size n;
+  Fun.protect ~finally:(fun () -> Par.Pool.set_size old) f
+
+let pool_stat stats name =
+  Option.bind (Json.member "stats" stats) (fun s ->
+      Option.bind (Json.member name s) Json.to_int)
+
+let test_e2e_pool_execution () =
+  (* With a multi-domain pool, request bodies run on pool workers via
+     [submit] — the handler thread never executes them itself, so every
+     pool-served request implies at least one successful steal.  The
+     verdict must nonetheless be byte-identical to the inline path. *)
+  let inline =
+    with_pool_size 1 (fun () ->
+        with_server (fun addr _srv ->
+            Client.with_connection addr (fun conn ->
+                request_ok conn (decide_req s2_text))))
+  in
+  with_pool_size 4 (fun () ->
+      with_server (fun addr _srv ->
+          Client.with_connection addr (fun conn ->
+              let before =
+                Option.value ~default:0
+                  (pool_stat (request_ok conn Wire.Stats) "pool_steal_success")
+              in
+              let pooled = request_ok conn (decide_req s2_text) in
+              let batch =
+                request_ok conn
+                  (Wire.Batch
+                     {
+                       lang = "rem";
+                       k = None;
+                       fuel = None;
+                       timeout_s = None;
+                       instances = [ s2_text; s3_text ];
+                     })
+              in
+              Alcotest.(check (option string)) "batch ok" (Some "ok")
+                (member_str "status" batch);
+              let result j =
+                match Json.member "result" j with
+                | Some r -> Json.to_string r
+                | None -> Alcotest.fail "no result field"
+              in
+              Alcotest.(check string) "pool verdict = inline verdict"
+                (result inline) (result pooled);
+              let stats = request_ok conn Wire.Stats in
+              (match pool_stat stats "pool_steal_success" with
+              | Some after ->
+                  Alcotest.(check bool) "workers stole the request bodies"
+                    true (after > before)
+              | None -> Alcotest.fail "stats missing pool_steal_success");
+              List.iter
+                (fun name ->
+                  match pool_stat stats name with
+                  | Some v ->
+                      Alcotest.(check bool) (name ^ " non-negative") true
+                        (v >= 0)
+                  | None -> Alcotest.failf "stats missing %s" name)
+                [ "pool_size"; "pool_deque_push"; "pool_deque_pop";
+                  "pool_steal_fail"; "pool_submitted"; "pool_submit_rejected";
+                  "pool_nested_inline" ])))
+
+let test_e2e_pool_queue_full () =
+  (* A zero-capacity submission queue refuses every pool hand-off: the
+     server answers [overloaded]/[queue_full] instead of wedging, and
+     ping (which never touches the pool) still works. *)
+  with_pool_size 4 (fun () ->
+      let config = { Server.default_config with Server.pool_queue_depth = 0 } in
+      with_server ~config (fun addr _srv ->
+          Client.with_connection addr (fun conn ->
+              let j = request_ok conn (decide_req s2_text) in
+              Alcotest.(check (option string)) "refused" (Some "overloaded")
+                (member_str "status" j);
+              Alcotest.(check (option string)) "pool queue full"
+                (Some "queue_full") (member_str "detail" j);
+              let pong = request_ok conn Wire.Ping in
+              Alcotest.(check (option string)) "ping bypasses the pool"
+                (Some "ok") (member_str "status" pong);
+              let stats = request_ok conn Wire.Stats in
+              match pool_stat stats "pool_submit_rejected" with
+              | Some v ->
+                  Alcotest.(check bool) "rejection counted" true (v >= 1)
+              | None -> Alcotest.fail "stats missing pool_submit_rejected")))
+
 let test_e2e_shutdown_drains () =
   let path = Filename.temp_file "defsvc" ".sock" in
   let addr = Wire.Unix_sock path in
@@ -678,6 +765,34 @@ let test_client_retry_backoff () =
   Client.close conn;
   (match !srv with Some s -> Server.shutdown s | None -> ());
   Thread.join starter
+
+let test_client_retry_jitter () =
+  (* Pure-function contract of the connect backoff: every delay lands in
+     the ±25% band around base·2^attempt, consecutive attempts strictly
+     increase (bands never overlap: 1.25 < 2·0.75), and different salts
+     actually decorrelate instead of collapsing to one value. *)
+  let base = 0.05 in
+  let distinct = Hashtbl.create 64 in
+  for salt = 1 to 50 do
+    let prev = ref neg_infinity in
+    for attempt = 0 to 6 do
+      let d = Client.retry_delay_s ~salt ~attempt base in
+      let nominal = base *. (2. ** float_of_int attempt) in
+      if d < 0.75 *. nominal || d >= 1.25 *. nominal then
+        Alcotest.failf "delay %g outside [%g, %g) (salt %d attempt %d)" d
+          (0.75 *. nominal) (1.25 *. nominal) salt attempt;
+      if d <= !prev then
+        Alcotest.failf "delay not increasing at salt %d attempt %d" salt
+          attempt;
+      prev := d;
+      if attempt = 3 then Hashtbl.replace distinct (Printf.sprintf "%h" d) ()
+    done
+  done;
+  Alcotest.(check bool) "salts decorrelate" true (Hashtbl.length distinct > 10);
+  (* Deterministic: same inputs, same delay. *)
+  Alcotest.(check bool) "pure" true
+    (Client.retry_delay_s ~salt:7 ~attempt:2 base
+    = Client.retry_delay_s ~salt:7 ~attempt:2 base)
 
 (* ---------- sharded serving end-to-end ---------- *)
 
@@ -1248,6 +1363,8 @@ let () =
           ("batch and malformed requests", `Quick, test_e2e_batch_and_errors);
           ("ping while busy", `Quick, test_e2e_ping_while_busy);
           ("overload refusal", `Quick, test_e2e_overload);
+          ("pool executes request bodies", `Quick, test_e2e_pool_execution);
+          ("pool queue full refusal", `Quick, test_e2e_pool_queue_full);
           ("shutdown drains", `Quick, test_e2e_shutdown_drains);
           ("wire roundtrip", `Quick, test_wire_roundtrip);
         ] );
@@ -1262,7 +1379,11 @@ let () =
            test_cache_eviction_backstopped_by_store);
         ] );
       ("ring", [ ("deterministic placement", `Quick, test_ring_deterministic) ]);
-      ("client", [ ("connect retry backoff", `Quick, test_client_retry_backoff) ]);
+      ( "client",
+        [
+          ("connect retry backoff", `Quick, test_client_retry_backoff);
+          ("retry jitter bounds", `Quick, test_client_retry_jitter);
+        ] );
       ( "router",
         [
           ("decide via router", `Quick, test_e2e_router_decide);
