@@ -1213,6 +1213,127 @@ let trace_replay () =
     t_store_bytes_after = after;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Adversarial load rows: the seeded workload generator driven through
+   the 2-shard router — closed loop, open loop, and closed loop again
+   through a zero-fault chaos proxy (the proxy's pure relay overhead).
+   Latency numbers come from the runner's own [load.op.decide]
+   histogram; a row whose decide count is zero records explicit nulls
+   (the honest-null convention), never a made-up number.               *)
+
+type load_row = {
+  l_id : string;
+  l_requests : int;  (* wire requests actually sent *)
+  l_wall_s : float;
+  l_rps : float;
+  l_decide_p50_us : int option;
+  l_decide_p99_us : int option;
+  l_errors : (string * int) list;
+}
+
+let load_default_requests = 2_000
+
+let load_rows () =
+  let requests =
+    match Sys.getenv_opt "LOAD_REQUESTS" with
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some n when n > 0 -> n
+        | _ -> load_default_requests)
+    | None -> load_default_requests
+  in
+  (* In-memory shards: these rows measure the serving and transport
+     path, not fsync latency (the trace replay covers durable stores). *)
+  let mk_shard i =
+    let path = Filename.temp_file "defload-shard" ".sock" in
+    let config =
+      { Service.Server.default_config with Service.Server.shard = Some (i, 2) }
+    in
+    let srv = Service.Server.create ~config (Service.Wire.Unix_sock path) in
+    (srv, Thread.create Service.Server.run srv)
+  in
+  let s0, th0 = mk_shard 0 and s1, th1 = mk_shard 1 in
+  let rpath = Filename.temp_file "defload-route" ".sock" in
+  let router =
+    Service.Router.create
+      ~shards:
+        [
+          ("shard0", Service.Server.address s0);
+          ("shard1", Service.Server.address s1);
+        ]
+      (Service.Wire.Unix_sock rpath)
+  in
+  let rth = Thread.create Service.Router.run router in
+  let profile =
+    {
+      Load.Workload.default_profile with
+      Load.Workload.requests;
+      (* random + fig1 only: millisecond decides, so the rows measure
+         the serving path rather than solver time. *)
+      families = [ ("random", 6); ("fig1", 2) ];
+      fuel = 1_000;
+      deadline_s = Some 10.;
+    }
+  in
+  let run_one l_id mode addr =
+    let profile = { profile with Load.Workload.mode } in
+    match Load.Workload.build ~seed:42 profile with
+    | Error e -> failwith ("load rows: " ^ e)
+    | Ok wl -> (
+        match Load.Runner.run ~seed:42 ~addr wl with
+        | Error e -> failwith ("load rows: " ^ e)
+        | Ok r ->
+            let p50, p99 =
+              match List.assoc_opt "decide" r.Load.Runner.latency_us with
+              | Some (count, p50, p99, _) when count > 0 ->
+                  (Some p50, Some p99)
+              | _ -> (None, None)
+            in
+            {
+              l_id;
+              l_requests = r.Load.Runner.requests;
+              l_wall_s = r.Load.Runner.wall_s;
+              l_rps =
+                float_of_int r.Load.Runner.requests
+                /. Float.max 1e-9 r.Load.Runner.wall_s;
+              l_decide_p50_us = p50;
+              l_decide_p99_us = p99;
+              l_errors = r.Load.Runner.errors;
+            })
+  in
+  let router_addr = Service.Wire.Unix_sock rpath in
+  let closed = run_one "load-closed-router" (Load.Workload.Closed 4) router_addr in
+  let open_ =
+    run_one "load-open-router"
+      (Load.Workload.Open { rate = 500.; max_outstanding = 8 })
+      router_addr
+  in
+  (* The same closed-loop workload through a transparent (zero-fault)
+     proxy: the delta against [load-closed-router] is the proxy's own
+     relay cost, the overhead every chaos run pays before any fault
+     fires. *)
+  let ppath = Filename.temp_file "defload-proxy" ".sock" in
+  let proxy =
+    Fault.Proxy.create
+      ~listen:(Unix.ADDR_UNIX ppath)
+      ~upstream:(Service.Wire.sockaddr_of router_addr)
+      []
+  in
+  let pth = Thread.create Fault.Proxy.run proxy in
+  let proxied =
+    run_one "load-closed-proxy-clean" (Load.Workload.Closed 4)
+      (Service.Wire.Unix_sock ppath)
+  in
+  Fault.Proxy.shutdown proxy;
+  Service.Router.shutdown router;
+  Service.Server.shutdown s0;
+  Service.Server.shutdown s1;
+  Thread.join pth;
+  Thread.join rth;
+  Thread.join th0;
+  Thread.join th1;
+  [ closed; open_; proxied ]
+
 (* Minimal scanner for the acceptance section of an earlier --json
    record: the writer puts one entry per line, so a line-based scan
    suffices (no JSON dependency in the package).                        *)
@@ -1264,15 +1385,15 @@ let read_baseline path =
   in
   go []
 
-let write_json ~path ~table_times ~acceptance ~scaling ~delta ~trace
+let write_json ~path ~table_times ~acceptance ~scaling ~delta ~trace ~load
     ~breakdown ~bechamel ~baseline =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"definability-bench-9\",\n";
+  p "  \"schema\": \"definability-bench-10\",\n";
   p
     "  \"command\": \"dune exec bench/main.exe -- tables --json --out \
-     bench/BENCH_9.json --baseline bench/BENCH_8.json\",\n";
+     bench/BENCH_10.json --baseline bench/BENCH_9.json\",\n";
   (* How many hardware threads the host offers: the context needed to
      read the par-* scaling rows (d2/d4 cannot beat d1 on one core). *)
   p "  \"host_domains\": %d,\n" (Domain.recommended_domain_count ());
@@ -1360,6 +1481,21 @@ let write_json ~path ~table_times ~acceptance ~scaling ~delta ~trace
     p "    \"server_p50_us\": %.1f,\n" trace.t_server_p50_us;
     p "    \"server_p99_us\": %.1f\n" trace.t_server_p99_us
   end;
+  p "  },\n";
+  p "  \"load\": {\n";
+  let opt = function Some n -> string_of_int n | None -> "null" in
+  commas
+    (fun r ->
+      p
+        "    \"%s\": { \"requests\": %d, \"wall_s\": %.3f, \"rps\": %.1f, \
+         \"decide_p50_us\": %s, \"decide_p99_us\": %s, \"errors\": {%s} }"
+        r.l_id r.l_requests r.l_wall_s r.l_rps (opt r.l_decide_p50_us)
+        (opt r.l_decide_p99_us)
+        (String.concat ", "
+           (List.map
+              (fun (k, v) -> Printf.sprintf "\"%s\": %d" k v)
+              r.l_errors)))
+    load;
   p "  },\n";
   p "  \"phase_breakdown\": {\n";
   commas
@@ -1515,7 +1651,26 @@ let () =
     end;
     Printf.printf "store bytes %d -> %d across compaction\n%!"
       trace.t_store_bytes_before trace.t_store_bytes_after;
-    write_json ~path:out ~table_times ~acceptance ~scaling ~delta ~trace
+    header "adversarial load (2-shard router; closed / open / proxied)";
+    let load = load_rows () in
+    List.iter
+      (fun r ->
+        Printf.printf "%-32s %d req  %.2fs  %.0f req/s  p50 %s  p99 %s%s\n%!"
+          r.l_id r.l_requests r.l_wall_s r.l_rps
+          (match r.l_decide_p50_us with
+          | Some n -> Printf.sprintf "%dus" n
+          | None -> "null")
+          (match r.l_decide_p99_us with
+          | Some n -> Printf.sprintf "%dus" n
+          | None -> "null")
+          (match r.l_errors with
+          | [] -> ""
+          | e ->
+              "  errors "
+              ^ String.concat ","
+                  (List.map (fun (k, v) -> Printf.sprintf "%s:%d" k v) e)))
+      load;
+    write_json ~path:out ~table_times ~acceptance ~scaling ~delta ~trace ~load
       ~breakdown ~bechamel ~baseline;
     Printf.printf "\nwrote %s\n%!" out
   end;

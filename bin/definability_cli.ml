@@ -686,9 +686,15 @@ let slow_ms_arg =
 
 let serve_cmd =
   let run addr domains fuel timeout max_inflight queue_depth pool_queue
-      cache_size store fsync auto_compact shard trace slow_ms =
+      cache_size store fsync auto_compact shard trace slow_ms idle_timeout
+      failpoints fault_seed =
     set_domains domains;
     let addr = address_of addr in
+    (match Fault.Failpoint.arm ~seed:fault_seed failpoints with
+    | Ok () -> ()
+    | Error msg ->
+        Printf.eprintf "error: --failpoints: %s\n" msg;
+        exit 2);
     if max_inflight < 1 || queue_depth < 0 || pool_queue < 0 || cache_size < 1
     then begin
       Printf.eprintf
@@ -732,6 +738,7 @@ let serve_cmd =
         export_limit = Service.Server.default_config.export_limit;
         slow_ms;
         slow_log = Service.Server.default_config.slow_log;
+        idle_timeout_s = idle_timeout;
       }
     in
     (* Enable telemetry for the server's lifetime so the service.*
@@ -827,6 +834,35 @@ let serve_cmd =
             "This process's shard identity in a sharded deployment (e.g. \
              $(b,0/2)); informational, reported in $(b,stats).")
   in
+  let idle_timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "idle-timeout-s" ] ~docv:"SECONDS"
+          ~doc:
+            "Close a keep-alive connection whose next request does not \
+             arrive within $(docv) seconds, so idle clients stop holding \
+             a handler thread each (default: wait forever).")
+  in
+  let failpoints_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "failpoints" ] ~docv:"SPEC"
+          ~doc:
+            "Arm deterministic failpoints for chaos testing: \
+             comma-separated $(i,NAME=TRIGGER) with triggers $(b,once), \
+             $(b,after:K) or $(b,1-in:N) — e.g. \
+             $(b,store.append.corrupt=1-in:50).  Sites: \
+             $(b,store.append.corrupt), $(b,store.append.torn), \
+             $(b,store.fsync.skip), $(b,server.admit.overload), \
+             $(b,server.pool.reject).")
+  in
+  let fault_seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "fault-seed" ] ~docv:"N"
+          ~doc:"Seed for the failpoint trigger schedule (deterministic).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -840,7 +876,7 @@ let serve_cmd =
       const run $ address_arg $ domains_arg $ fuel_arg $ timeout_arg
       $ max_inflight_arg $ queue_depth_arg $ pool_queue_arg $ cache_size_arg
       $ store_arg $ fsync_arg $ auto_compact_arg $ shard_arg $ trace_arg
-      $ slow_ms_arg)
+      $ slow_ms_arg $ idle_timeout_arg $ failpoints_arg $ fault_seed_arg)
 
 let retries_arg =
   Arg.(
@@ -904,7 +940,10 @@ let client_cmd =
               in
               match status with
               | Some "ok" -> ()
-              | Some "overloaded" -> worst := max !worst 3
+              (* Retryable conditions (back off and try again) share an
+                 exit code distinct from hard errors. *)
+              | Some "overloaded" | Some "unavailable" ->
+                  worst := max !worst 3
               | Some _ | None -> worst := max !worst 2)
         in
         let need_files what =
@@ -1050,7 +1089,8 @@ let client_cmd =
       $ backoff_arg $ trace_id_arg $ progress_arg)
 
 let route_cmd =
-  let run addr shards vnodes warm retries backoff trace =
+  let run addr shards vnodes warm retries backoff trace shard_timeout_ms
+      unhealthy_after health_cooldown =
     let addr = address_of addr in
     if shards = [] then begin
       Printf.eprintf "error: route needs at least one shard address\n";
@@ -1067,6 +1107,10 @@ let route_cmd =
         Service.Router.vnodes;
         connect_retries = retries;
         retry_backoff_s = backoff;
+        shard_timeout_s =
+          Option.map (fun ms -> float_of_int ms /. 1000.) shard_timeout_ms;
+        unhealthy_after;
+        health_cooldown_s = health_cooldown;
       }
     in
     enable_service_plane ~process:"defcheck route" trace;
@@ -1115,6 +1159,34 @@ let route_cmd =
              onto the shard the ring says owns them (0 = off) — the join \
              path for a shard that starts empty.")
   in
+  let shard_timeout_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shard-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request deadline on shard connections: a shard that does \
+             not answer within $(docv) milliseconds yields a typed \
+             $(b,shard_unavailable) response instead of stalling the \
+             client forever (default: wait forever).")
+  in
+  let unhealthy_after_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "unhealthy-after" ] ~docv:"K"
+          ~doc:
+            "Mark a shard unhealthy after $(docv) consecutive forward \
+             failures; requests to it then fail fast until the cooldown \
+             lapses.")
+  in
+  let health_cooldown_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "health-cooldown-s" ] ~docv:"SECONDS"
+          ~doc:
+            "How long an unhealthy mark lasts before the next routed \
+             request probes the shard again.")
+  in
   Cmd.v
     (Cmd.info "route"
        ~doc:
@@ -1125,7 +1197,8 @@ let route_cmd =
           shard's bytes verbatim.")
     Term.(
       const run $ address_arg $ shards_arg $ vnodes_arg $ warm_arg
-      $ retries_arg $ backoff_arg $ trace_arg)
+      $ retries_arg $ backoff_arg $ trace_arg $ shard_timeout_arg
+      $ unhealthy_after_arg $ health_cooldown_arg)
 
 (* Stitch per-process Chrome trace files (each traced relative to its
    own start) onto one shared timeline: every stream opens with a
@@ -1282,6 +1355,237 @@ let trace_merge_cmd =
           loads in Perfetto or chrome://tracing.")
     Term.(const run $ inputs_arg $ output_arg)
 
+let load_cmd =
+  let run addr seed profile_file report_file compare_file requests quiet =
+    let addr = address_of addr in
+    let profile =
+      match profile_file with
+      | None -> Load.Workload.default_profile
+      | Some path -> (
+          match
+            try Load.Workload.profile_of_string (read_file path)
+            with Sys_error msg -> Error msg
+          with
+          | Ok p -> p
+          | Error msg ->
+              Printf.eprintf "error: %s: %s\n" path msg;
+              exit 2)
+    in
+    let profile =
+      match requests with
+      | Some n -> { profile with Load.Workload.requests = n }
+      | None -> profile
+    in
+    match Load.Workload.build ~seed profile with
+    | Error msg ->
+        Printf.eprintf "error: workload: %s\n" msg;
+        exit 2
+    | Ok wl -> (
+        Printf.eprintf
+          "defcheck: load seed=%d entries=%d ops=%d schedule_crc=%s -> %s\n%!"
+          seed
+          (Array.length wl.Load.Workload.entries)
+          (Array.length wl.Load.Workload.ops)
+          wl.Load.Workload.schedule_crc
+          (Service.Wire.address_to_string addr);
+        let progress =
+          if quiet then fun _ -> ()
+          else fun n ->
+            Printf.eprintf "defcheck: %d/%d ops done\n%!" n
+              profile.Load.Workload.requests
+        in
+        match Load.Runner.run ~progress ~seed ~addr wl with
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit 2
+        | Ok report -> (
+            let text = Load.Runner.report_to_string report in
+            (match report_file with
+            | Some path ->
+                let oc = open_out_bin path in
+                output_string oc text;
+                output_char oc '\n';
+                close_out oc
+            | None -> print_endline text);
+            Printf.eprintf
+              "defcheck: %d requests, %d ok, %d verdict digests, %.2fs\n%!"
+              report.Load.Runner.requests report.Load.Runner.ok
+              (List.length report.Load.Runner.verdicts)
+              report.Load.Runner.wall_s;
+            List.iter
+              (fun (cls, n) -> Printf.eprintf "defcheck:   %s: %d\n%!" cls n)
+              report.Load.Runner.errors;
+            match compare_file with
+            | None -> if report.Load.Runner.disallowed <> [] then exit 1
+            | Some path -> (
+                match
+                  try Load.Runner.report_of_string (read_file path)
+                  with Sys_error msg -> Error msg
+                with
+                | Error msg ->
+                    Printf.eprintf "error: %s: %s\n" path msg;
+                    exit 2
+                | Ok clean -> (
+                    match Load.Runner.check ~clean ~chaos:report with
+                    | Ok compared ->
+                        Printf.eprintf
+                          "defcheck: safety invariant holds (%d digests \
+                           compared against %s)\n\
+                           %!"
+                          compared path
+                    | Error violations ->
+                        List.iter
+                          (fun v ->
+                            Printf.eprintf "defcheck: VIOLATION: %s\n%!" v)
+                          violations;
+                        exit 1))))
+  in
+  let addr_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ADDR"
+          ~doc:"Server or router address (same syntax as $(b,--address)).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"S"
+          ~doc:
+            "Workload seed.  The whole schedule — instances, op mix, key \
+             popularity, delta chains — is a pure function of \
+             $(b,--seed) and the profile, so the same seed replays \
+             byte-identical requests anywhere.")
+  in
+  let profile_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile" ] ~docv:"FILE"
+          ~doc:
+            "Workload profile (JSON); absent fields take their defaults. \
+             Omit for the built-in default profile.")
+  in
+  let report_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:
+            "Write the JSON report (latencies, error taxonomy, verdict \
+             map) to $(docv) instead of stdout.")
+  in
+  let compare_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "compare" ] ~docv:"FILE"
+          ~doc:
+            "Check the safety invariant against a clean run's report: \
+             same schedule CRC, byte-identical verdicts per digest, no \
+             disallowed events.  Exit 1 on any violation.")
+  in
+  let requests_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "requests" ] ~docv:"N"
+          ~doc:"Override the profile's request count.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"No per-1000-ops progress lines.")
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Drive a deterministic adversarial workload (seeded instance \
+          families, Zipf/uniform/shifting-hot key popularity, \
+          decide/batch/delta op mix, closed- or open-loop arrival) \
+          against a running $(b,serve) or $(b,route) process; record \
+          latencies, a typed error taxonomy and the digest->verdict map; \
+          optionally $(b,--compare) against a clean run to assert the \
+          chaos safety invariant.")
+    Term.(
+      const run $ addr_pos $ seed_arg $ profile_arg $ report_arg
+      $ compare_arg $ requests_arg $ quiet_arg)
+
+let chaos_proxy_cmd =
+  let run listen upstream faults seed =
+    let listen = address_of listen and upstream = address_of upstream in
+    match Fault.Proxy.rules_of_string faults with
+    | Error msg ->
+        Printf.eprintf "error: --faults: %s\n" msg;
+        exit 2
+    | Ok rules -> (
+        match
+          Fault.Proxy.create ~seed
+            ~listen:(Service.Wire.sockaddr_of listen)
+            ~upstream:(Service.Wire.sockaddr_of upstream)
+            rules
+        with
+        | exception Unix.Unix_error (e, _, arg) ->
+            Printf.eprintf "error: cannot listen on %s: %s (%s)\n"
+              (Service.Wire.address_to_string listen)
+              (Unix.error_message e) arg;
+            exit 2
+        | proxy ->
+            Printf.eprintf
+              "defcheck: chaos proxy %s -> %s, seed=%d, faults=%s\n%!"
+              (Service.Wire.address_to_string listen)
+              (Service.Wire.address_to_string upstream)
+              seed
+              (match rules with
+              | [] -> "(none)"
+              | rs -> Fault.Proxy.rules_to_string rs);
+            at_exit (fun () ->
+                List.iter
+                  (fun (k, v) ->
+                    Printf.eprintf "defcheck: proxy %s=%d\n%!" k v)
+                  (Fault.Proxy.stats proxy));
+            Fault.Proxy.run proxy)
+  in
+  let listen_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"LISTEN"
+          ~doc:"Address to listen on (same syntax as $(b,--address)).")
+  in
+  let upstream_pos =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"UPSTREAM"
+          ~doc:"Address of the real server/shard to forward to.")
+  in
+  let faults_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Comma-separated $(i,ACTION@TRIGGER) rules; actions \
+             $(b,delay-ms:N), $(b,reset), $(b,truncate), $(b,corrupt); \
+             triggers $(b,once), $(b,after:K), $(b,1-in:N).  Example: \
+             $(b,delay-ms:20@1-in:11,reset@1-in:211,corrupt@1-in:97).  \
+             Empty: a transparent proxy (the overhead baseline).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Fault-schedule seed (deterministic per line ordinal).")
+  in
+  Cmd.v
+    (Cmd.info "chaos-proxy"
+       ~doc:
+         "Byte-level fault-injecting proxy for the newline-JSON \
+          protocol: sit between a router and a shard (or a client and a \
+          server) and inject delays, connection resets, line truncation \
+          and byte corruption on a deterministic seeded schedule.  \
+          Sealed responses make corruption downstream-detectable: the \
+          receiver rejects the line, it never becomes a wrong verdict.")
+    Term.(const run $ listen_pos $ upstream_pos $ faults_arg $ seed_arg)
+
 let main =
   Cmd.group
     (Cmd.info "defcheck" ~version:"1.0.0"
@@ -1299,6 +1603,8 @@ let main =
       serve_cmd;
       route_cmd;
       client_cmd;
+      load_cmd;
+      chaos_proxy_cmd;
       trace_merge_cmd;
     ]
 

@@ -1,0 +1,94 @@
+type state = {
+  trigger : Trigger.t;
+  salt : int;
+  mutable calls : int;
+  mutable fires : int;
+}
+
+let armed_flag = Atomic.make false
+let lock = Mutex.create ()
+let sites : (string * state) list ref = ref []
+let tbl : (string, state) Hashtbl.t = Hashtbl.create 16
+
+let parse spec =
+  if String.trim spec = "" then Ok []
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest -> (
+          let p = String.trim p in
+          match String.index_opt p '=' with
+          | None -> Error (Printf.sprintf "failpoint %S: expected NAME=TRIGGER" p)
+          | Some i -> (
+              let name = String.sub p 0 i in
+              let t = String.sub p (i + 1) (String.length p - i - 1) in
+              if name = "" then Error (Printf.sprintf "failpoint %S: empty name" p)
+              else
+                match Trigger.of_string t with
+                | Ok trigger -> go ((name, trigger) :: acc) rest
+                | Error e -> Error e))
+    in
+    go [] (String.split_on_char ',' spec)
+
+let disarm () =
+  Mutex.lock lock;
+  Atomic.set armed_flag false;
+  sites := [];
+  Hashtbl.reset tbl;
+  Mutex.unlock lock
+
+let arm ?(seed = 0) spec =
+  match parse spec with
+  | Error _ as e -> e
+  | Ok l ->
+      Mutex.lock lock;
+      sites := [];
+      Hashtbl.reset tbl;
+      List.iter
+        (fun (name, trigger) ->
+          let st =
+            { trigger; salt = seed lxor Rng.of_name name; calls = 0; fires = 0 }
+          in
+          sites := (name, st) :: !sites;
+          Hashtbl.replace tbl name st)
+        l;
+      sites := List.rev !sites;
+      Atomic.set armed_flag (l <> []);
+      Mutex.unlock lock;
+      Ok ()
+
+let armed () = Atomic.get armed_flag
+
+let fire name =
+  if not (Atomic.get armed_flag) then false
+  else begin
+    Mutex.lock lock;
+    let hit =
+      match Hashtbl.find_opt tbl name with
+      | None -> false
+      | Some st ->
+          let call = st.calls in
+          st.calls <- call + 1;
+          let hit = Trigger.hits st.trigger ~salt:st.salt call in
+          if hit then st.fires <- st.fires + 1;
+          hit
+    in
+    Mutex.unlock lock;
+    hit
+  end
+
+let salt name =
+  Mutex.lock lock;
+  let s =
+    match Hashtbl.find_opt tbl name with
+    | Some st -> st.salt
+    | None -> Rng.of_name name
+  in
+  Mutex.unlock lock;
+  s
+
+let stats () =
+  Mutex.lock lock;
+  let l = List.map (fun (n, st) -> (n, st.calls, st.fires)) !sites in
+  Mutex.unlock lock;
+  l

@@ -1,0 +1,53 @@
+(** The chaos proxy: a line-level TCP/Unix-socket proxy that sits
+    between a router and its shards (or a client and a server) and
+    injects transport faults into the newline-JSON protocol stream —
+    delays, connection resets, truncated lines, corrupted bytes.
+
+    The proxy is deliberately line-oriented: the protocol is one JSON
+    object per line in each direction, so faulting whole lines gives
+    precise, countable injections (the Nth line of a connection's
+    direction, deterministic per seed) where a byte-position fault
+    schedule would depend on kernel read boundaries.
+
+    Fault schedules are deterministic per (seed, direction, rule, line
+    ordinal): every connection sees the same schedule at the same line
+    ordinals, so a seeded chaos run is as reproducible as its thread
+    interleaving allows.  Corruption never produces a newline byte (it
+    would silently split one line into two); everything else about the
+    corrupted line — including the now-wrong integrity checksum — is
+    the receiver's problem, which is the point. *)
+
+type action =
+  | Delay_ms of int  (** hold the line for N ms before forwarding *)
+  | Reset  (** drop both sides of the connection on the spot *)
+  | Truncate  (** forward a strict prefix of the line, then drop *)
+  | Corrupt  (** flip one byte of the line (never to a newline) *)
+
+type rule = { action : action; trigger : Trigger.t }
+
+val rules_of_string : string -> (rule list, string) result
+(** Comma-separated [ACTION@TRIGGER] with trigger grammar as in
+    {!Trigger.of_string}:
+    ["delay-ms:50@1-in:20,reset@1-in:500,truncate@1-in:97,corrupt@1-in:61"].
+    Empty string: no faults (a transparent proxy, the bench's overhead
+    row). *)
+
+val rules_to_string : rule list -> string
+
+type t
+
+val create :
+  ?seed:int -> listen:Unix.sockaddr -> upstream:Unix.sockaddr -> rule list -> t
+(** Bind the listen address (unlinking a stale Unix socket path first).
+    @raise Unix.Unix_error when binding fails. *)
+
+val run : t -> unit
+(** Accept loop: one pump thread per direction per connection; returns
+    after {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Close the listener and every live connection; idempotent. *)
+
+val stats : t -> (string * int) list
+(** [connections], [lines_up], [lines_down], and fire counts per
+    action ([delayed], [reset], [truncated], [corrupted]). *)

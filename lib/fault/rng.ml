@@ -1,0 +1,15 @@
+let mix salt n =
+  let h = (salt * 0x1000193) lxor ((n + 1) * 0x9E3779B9) in
+  let h = h lxor (h lsr 16) in
+  let h = h * 0x45d9f3b in
+  let h = h lxor (h lsr 16) in
+  let h = h * 0x45d9f3b in
+  let h = h lxor (h lsr 16) in
+  h land max_int
+
+let unit_float h = float_of_int (h land 0x3FFFFFFF) /. 1073741824.0
+
+let of_name name =
+  String.fold_left
+    (fun a c -> ((a * 0x1000193) lxor Char.code c) land max_int)
+    0x811c9dc5 name

@@ -1,0 +1,31 @@
+type t = Once | After of int | One_in of int
+
+let of_string s =
+  let int_arg prefix =
+    let a =
+      String.sub s (String.length prefix) (String.length s - String.length prefix)
+    in
+    match int_of_string_opt a with
+    | Some n when n >= 0 -> Ok n
+    | _ -> Error (Printf.sprintf "trigger %S: bad count %S" s a)
+  in
+  if s = "once" then Ok Once
+  else if String.length s > 6 && String.sub s 0 6 = "after:" then
+    Result.map (fun n -> After n) (int_arg "after:")
+  else if String.length s > 5 && String.sub s 0 5 = "1-in:" then
+    match int_arg "1-in:" with
+    | Ok n when n >= 1 -> Ok (One_in n)
+    | Ok _ -> Error (Printf.sprintf "trigger %S: 1-in:N needs N >= 1" s)
+    | Error _ as e -> e
+  else Error (Printf.sprintf "trigger %S: expected once, after:K or 1-in:N" s)
+
+let to_string = function
+  | Once -> "once"
+  | After k -> Printf.sprintf "after:%d" k
+  | One_in n -> Printf.sprintf "1-in:%d" n
+
+let hits t ~salt call =
+  match t with
+  | Once -> call = 0
+  | After k -> call = k
+  | One_in n -> Rng.mix salt call mod n = 0

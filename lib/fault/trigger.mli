@@ -1,0 +1,17 @@
+(** When a failpoint or proxy fault fires: on the first call, on the
+    K-th call, or on a hashed 1-in-N schedule — all deterministic from
+    a seed, no [Random]. *)
+
+type t =
+  | Once  (** fire on the first call, never again *)
+  | After of int  (** fire on call [K] (0-based), once *)
+  | One_in of int  (** fire each call with probability [1/N], hashed *)
+
+val of_string : string -> (t, string) result
+(** ["once"], ["after:K"], ["1-in:N"]. *)
+
+val to_string : t -> string
+
+val hits : t -> salt:int -> int -> bool
+(** [hits t ~salt call] — does the trigger fire on [call] (0-based
+    ordinal)?  Pure; [salt] feeds the [One_in] hash. *)

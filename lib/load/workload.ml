@@ -1,0 +1,403 @@
+module Json = Service.Json
+module Wire = Service.Wire
+module Graph_gen = Datagraph.Graph_gen
+module Graph_io = Datagraph.Graph_io
+module Data_graph = Datagraph.Data_graph
+module Tuple_relation = Datagraph.Tuple_relation
+
+type popularity =
+  | Uniform
+  | Zipf of float
+  | Hot of { fraction : float; period : int }
+
+type mode = Closed of int | Open of { rate : float; max_outstanding : int }
+
+type profile = {
+  requests : int;
+  mode : mode;
+  lang : string;
+  k : int;
+  fuel : int;
+  deadline_s : float option;
+  families : (string * int) list;
+  size : int;
+  popularity : popularity;
+  ops : int * int * int;
+  batch_size : int;
+  edits_per_entry : int;
+}
+
+let default_profile =
+  {
+    requests = 1000;
+    mode = Closed 4;
+    lang = "rem";
+    k = 1;
+    (* The defaults are tuned so a cold decide of any default-family
+       instance lands in the low milliseconds (sat: ~0.4s) and repeat
+       decides are digest-cache hits — a 10^5-request run stays in the
+       minutes.  Tiling instances cost ~10s per cold decide even at
+       n = 2, so they are profile-opt-in ({"families":{"tiling":N}}),
+       not part of the default mix. *)
+    fuel = 2_000;
+    deadline_s = Some 10.;
+    families = [ ("random", 6); ("fig1", 2); ("sat", 3) ];
+    size = 6;
+    popularity = Zipf 1.1;
+    ops = (6, 1, 3);
+    batch_size = 4;
+    edits_per_entry = 6;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Profile decoding.  Absent fields fall back to [default_profile], so
+   a profile file names only what it changes. *)
+
+let profile_of_json j =
+  let ( let* ) = Result.bind in
+  let d = default_profile in
+  let int_f name dflt =
+    match Json.member name j with
+    | None -> Ok dflt
+    | Some v -> (
+        match Json.to_int v with
+        | Some n -> Ok n
+        | None -> Error (Printf.sprintf "%s: expected an integer" name))
+  in
+  let float_f name dflt =
+    match Json.member name j with
+    | None -> Ok dflt
+    | Some v -> (
+        match Json.to_float v with
+        | Some f -> Ok f
+        | None -> Error (Printf.sprintf "%s: expected a number" name))
+  in
+  let str_f name dflt =
+    match Json.member name j with
+    | None -> Ok dflt
+    | Some v -> (
+        match Json.to_str v with
+        | Some s -> Ok s
+        | None -> Error (Printf.sprintf "%s: expected a string" name))
+  in
+  let* requests = int_f "requests" d.requests in
+  let* lang = str_f "lang" d.lang in
+  let* k = int_f "k" d.k in
+  let* fuel = int_f "fuel" d.fuel in
+  let* deadline_s =
+    match Json.member "deadline_s" j with
+    | None -> Ok d.deadline_s
+    | Some Json.Null -> Ok None
+    | Some v -> (
+        match Json.to_float v with
+        | Some f -> Ok (Some f)
+        | None -> Error "deadline_s: expected a number or null")
+  in
+  let* size = int_f "size" d.size in
+  let* batch_size = int_f "batch_size" d.batch_size in
+  let* edits_per_entry = int_f "edits_per_entry" d.edits_per_entry in
+  let* mode =
+    let* workers = int_f "workers" 4 in
+    let* rate = float_f "rate" 200. in
+    let* max_outstanding = int_f "max_outstanding" 32 in
+    let* which = str_f "mode" "closed" in
+    match which with
+    | "closed" -> Ok (Closed workers)
+    | "open" -> Ok (Open { rate; max_outstanding })
+    | s -> Error (Printf.sprintf "mode: unknown %S (closed|open)" s)
+  in
+  let* popularity =
+    let* s = float_f "zipf_s" 1.1 in
+    let* fraction = float_f "hot_fraction" 0.125 in
+    let* period = int_f "hot_period" 256 in
+    let* which = str_f "popularity" "zipf" in
+    match which with
+    | "uniform" -> Ok Uniform
+    | "zipf" -> Ok (Zipf s)
+    | "hot" -> Ok (Hot { fraction; period })
+    | s -> Error (Printf.sprintf "popularity: unknown %S (uniform|zipf|hot)" s)
+  in
+  let* families =
+    match Json.member "families" j with
+    | None -> Ok d.families
+    | Some (Json.Obj kvs) ->
+        List.fold_left
+          (fun acc (name, v) ->
+            let* acc = acc in
+            match Json.to_int v with
+            | Some n when n >= 0 -> Ok ((name, n) :: acc)
+            | _ -> Error (Printf.sprintf "families.%s: expected a count" name))
+          (Ok []) kvs
+        |> Result.map List.rev
+    | Some _ -> Error "families: expected an object of counts"
+  in
+  let* ops =
+    match Json.member "ops" j with
+    | None -> Ok d.ops
+    | Some o ->
+        let w name =
+          match Option.bind (Json.member name o) Json.to_int with
+          | Some n when n >= 0 -> Ok n
+          | Some _ -> Error (Printf.sprintf "ops.%s: negative weight" name)
+          | None -> Ok 0
+        in
+        let* de = w "decide" in
+        let* ba = w "batch" in
+        let* dl = w "delta" in
+        Ok (de, ba, dl)
+  in
+  if requests < 1 then Error "requests: must be >= 1"
+  else if batch_size < 1 then Error "batch_size: must be >= 1"
+  else if edits_per_entry < 1 then Error "edits_per_entry: must be >= 1"
+  else
+    Ok
+      {
+        requests;
+        mode;
+        lang;
+        k;
+        fuel;
+        deadline_s;
+        families;
+        size;
+        popularity;
+        ops;
+        batch_size;
+        edits_per_entry;
+      }
+
+let profile_of_string s =
+  Result.bind
+    (Result.map_error (fun m -> "profile: " ^ m) (Json.parse s))
+    profile_of_json
+
+(* ------------------------------------------------------------------ *)
+(* Entry synthesis. *)
+
+type entry = {
+  name : string;
+  lang : string;
+  k : int;
+  text : string;
+  edits : Service.Wire.edit array;
+}
+
+type op = Decide of int | Batch of int array | Delta of int
+
+type t = {
+  profile : profile;
+  entries : entry array;
+  ops : op array;
+  schedule_crc : string;
+}
+
+(* An always-applicable edit chain over any graph: alternate adding a
+   fresh node (names no generator uses) and an edge from it to the
+   graph's first node — each step is valid on the result of the
+   previous ones, from any starting point of the base instance. *)
+let make_edits ~salt g m =
+  let first = Data_graph.name g (List.hd (Data_graph.nodes g)) in
+  let label = List.hd (Data_graph.alphabet g) in
+  let values = Data_graph.domain g in
+  let nvals = List.length values in
+  Array.init m (fun j ->
+      if j land 1 = 0 then
+        let v =
+          Datagraph.Data_value.to_int
+            (List.nth values (Fault.Rng.mix salt j mod nvals))
+        in
+        Wire.Add_node (Printf.sprintf "zz%d" (j / 2), v)
+      else Wire.Add_edge (Printf.sprintf "zz%d" (j / 2), label, first))
+
+let stripes n =
+  {
+    Reductions.Tiling.num_tiles = 2;
+    horiz = [ (0, 1); (1, 0); (0, 0); (1, 1) ];
+    vert = [ (0, 0); (1, 1) ];
+    t_init = 0;
+    t_final = 1;
+    n;
+  }
+
+let build_family ~seed profile fam count =
+  let mk i name lang k g target =
+    let salt = Fault.Rng.mix (seed lxor Fault.Rng.of_name name) i in
+    {
+      name;
+      lang;
+      k;
+      text = Graph_io.instance_to_string g target;
+      edits = make_edits ~salt g profile.edits_per_entry;
+    }
+  in
+  match fam with
+  | "random" ->
+      Ok
+        (List.init count (fun i ->
+             let s = Fault.Rng.mix (seed lxor 0x11) i in
+             let n = profile.size + (i mod 3) in
+             let g =
+               Graph_gen.random ~seed:s ~n ~delta:(max 2 (n / 2))
+                 ~labels:[ "a"; "b" ] ~density:0.3 ()
+             in
+             let rel =
+               Graph_gen.random_reachable_relation ~seed:s g
+                 ~count:(max 1 (n / 2))
+             in
+             mk i
+               (Printf.sprintf "random-%d" i)
+               profile.lang profile.k g
+               (Tuple_relation.of_binary rel)))
+  | "fig1" ->
+      Ok
+        (List.init count (fun i ->
+             let g = Graph_gen.fig1 () in
+             mk i
+               (Printf.sprintf "fig1-%d" i)
+               profile.lang profile.k g
+               (Tuple_relation.of_binary (Graph_gen.fig1_s2 g))))
+  | "tiling" ->
+      Ok
+        (List.init count (fun i ->
+             let r = Reductions.Tiling.build (stripes (2 + (i mod 2))) in
+             mk i
+               (Printf.sprintf "tiling-%d" i)
+               "rem" profile.k r.Reductions.Tiling.graph
+               (Tuple_relation.of_binary r.Reductions.Tiling.target)))
+  | "sat" ->
+      Ok
+        (List.init count (fun i ->
+             let s = Fault.Rng.mix (seed lxor 0x35) i in
+             let f =
+               Reductions.Cnf.random ~seed:s ~num_vars:3
+                 ~num_clauses:(2 + (i mod 2)) ()
+             in
+             let r = Reductions.Sat_reduction.build f in
+             (* The SAT gadget's relation is unary and its language is
+                fixed by Theorem 35; [k] is irrelevant for ucrdpq. *)
+             mk i
+               (Printf.sprintf "sat-%d" i)
+               "ucrdpq" 1 r.Reductions.Sat_reduction.graph
+               r.Reductions.Sat_reduction.target))
+  | other -> Error (Printf.sprintf "unknown instance family %S" other)
+
+(* ------------------------------------------------------------------ *)
+(* Popularity. *)
+
+(* Zipf by inverse-CDF over ranks; rank = entry index, so entry 0 is
+   the hottest.  The CDF is precomputed once per build. *)
+let zipf_cdf s n =
+  let w = Array.init n (fun r -> 1. /. Float.pow (float_of_int (r + 1)) s) in
+  let total = Array.fold_left ( +. ) 0. w in
+  let acc = ref 0. in
+  Array.map
+    (fun x ->
+      acc := !acc +. (x /. total);
+      !acc)
+    w
+
+let pick_cdf cdf u =
+  let n = Array.length cdf in
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let make_picker ~salt popularity n =
+  match popularity with
+  | Uniform -> fun i -> Fault.Rng.mix salt i mod n
+  | Zipf s ->
+      let cdf = zipf_cdf s n in
+      fun i -> pick_cdf cdf (Fault.Rng.unit_float (Fault.Rng.mix salt i))
+  | Hot { fraction; period } ->
+      let hot = max 1 (int_of_float (fraction *. float_of_int n)) in
+      let period = max 1 period in
+      fun i ->
+        let h = Fault.Rng.mix salt (2 * i) in
+        if Fault.Rng.unit_float (Fault.Rng.mix salt ((2 * i) + 1)) < 0.9 then
+          let base = i / period * hot mod n in
+          (base + (h mod hot)) mod n
+        else h mod n
+
+(* ------------------------------------------------------------------ *)
+
+let edit_render e = Wire.edit_to_json_string e
+
+let schedule_crc entries ops =
+  let b = Buffer.create 4096 in
+  Array.iter
+    (fun e ->
+      Buffer.add_string b e.name;
+      Buffer.add_char b '\x00';
+      Buffer.add_string b e.lang;
+      Buffer.add_string b (string_of_int e.k);
+      Buffer.add_string b e.text;
+      Array.iter (fun ed -> Buffer.add_string b (edit_render ed)) e.edits)
+    entries;
+  Array.iter
+    (fun op ->
+      match op with
+      | Decide i -> Buffer.add_string b (Printf.sprintf "D%d;" i)
+      | Delta i -> Buffer.add_string b (Printf.sprintf "E%d;" i)
+      | Batch idx ->
+          Buffer.add_char b 'B';
+          Array.iter (fun i -> Buffer.add_string b (Printf.sprintf "%d," i)) idx;
+          Buffer.add_char b ';')
+    ops;
+  Printf.sprintf "%08x" (Store.Crc32.digest_string (Buffer.contents b))
+
+let build ~seed profile =
+  let ( let* ) = Result.bind in
+  let* entries =
+    List.fold_left
+      (fun acc (fam, count) ->
+        let* acc = acc in
+        if count = 0 then Ok acc
+        else
+          let* es = build_family ~seed profile fam count in
+          Ok (acc @ es))
+      (Ok []) profile.families
+  in
+  if entries = [] then Error "no entries: every family count is zero"
+  else
+    let entries = Array.of_list entries in
+    let n = Array.length entries in
+    let wd, wb, wdl = profile.ops in
+    let total_w = wd + wb + wdl in
+    if total_w <= 0 then Error "ops: all weights are zero"
+    else begin
+      let pick = make_picker ~salt:(seed lxor 0xA5A5) profile.popularity n in
+      (* Batch items must share one [lang] (the wire request carries a
+         single language), so co-batched entries come from the first
+         pick's language group. *)
+      let groups = Hashtbl.create 4 in
+      Array.iteri
+        (fun i e ->
+          let prev = Option.value (Hashtbl.find_opt groups e.lang) ~default:[] in
+          Hashtbl.replace groups e.lang (i :: prev))
+        entries;
+      let group_of = Hashtbl.create 4 in
+      Hashtbl.iter
+        (fun lang is -> Hashtbl.replace group_of lang (Array.of_list (List.rev is)))
+        groups;
+      let op_salt = seed lxor 0x0F0F in
+      let batch_salt = seed lxor 0xB0B0 in
+      let ops =
+        Array.init profile.requests (fun i ->
+            let r = Fault.Rng.mix op_salt i mod total_w in
+            if r < wd then Decide (pick i)
+            else if r < wd + wb then begin
+              let first = pick i in
+              let group = Hashtbl.find group_of entries.(first).lang in
+              let gn = Array.length group in
+              Batch
+                (Array.init profile.batch_size (fun j ->
+                     if j = 0 then first
+                     else group.(Fault.Rng.mix batch_salt ((i * profile.batch_size) + j) mod gn)))
+            end
+            else Delta (pick i))
+      in
+      Ok { profile; entries; ops; schedule_crc = schedule_crc entries ops }
+    end

@@ -1,0 +1,93 @@
+(** Deterministic adversarial workload synthesis.
+
+    A {e workload} is a fully precomputed request schedule against the
+    definability service: a pool of instance {e entries} drawn from the
+    paper's instance families, plus one {e op} per request slot —
+    [decide] / [batch] / [delta] over those entries, keys picked by a
+    configurable popularity model.  Everything is a pure function of
+    [(seed, profile)] via the splitmix hash in {!Fault.Rng} — no
+    [Random], no wall clock — so the same seed replays the same bytes
+    on any host, which is what lets the chaos harness compare a clean
+    run against a faulty one response-by-response.
+
+    Instance families:
+    - ["random"] — {!Datagraph.Graph_gen.random} graphs with a random
+      reachable relation;
+    - ["fig1"] — the paper's Figure 1 running example with S2;
+    - ["tiling"] — the Theorem 25 tiling reduction (stripes system);
+    - ["sat"] — the Theorem 35 SAT reduction graphs (Figure 3),
+      decided as [ucrdpq].
+
+    Delta chains: every entry carries a fixed edit trace (alternating
+    fresh-node / fresh-edge edits, so each chain step is always
+    applicable).  The runner walks it from the entry's base digest;
+    because {!Service}'s chained digests are path-deterministic, the
+    digest sequence of a chain is identical in every run that walks the
+    same prefix. *)
+
+type popularity =
+  | Uniform
+  | Zipf of float  (** exponent [s]; rank 0 = entry 0 most popular *)
+  | Hot of { fraction : float; period : int }
+      (** a hot set of [fraction * entries] keys takes 90% of picks and
+          rotates every [period] requests *)
+
+type mode =
+  | Closed of int  (** N workers, each sends as soon as the last answered *)
+  | Open of { rate : float; max_outstanding : int }
+      (** target requests/s with bounded outstanding requests *)
+
+type profile = {
+  requests : int;  (** schedule length (ops, not wire messages) *)
+  mode : mode;
+  lang : string;  (** language for the random/fig1 families *)
+  k : int;
+  fuel : int;  (** per-request fuel — the determinism knob: a fuel
+                   bound replays identically, a wall-clock budget does
+                   not *)
+  deadline_s : float option;  (** client-side per-request deadline *)
+  families : (string * int) list;  (** family name -> entry count *)
+  size : int;  (** base node count for the random family *)
+  popularity : popularity;
+  ops : int * int * int;  (** decide/batch/delta weights *)
+  batch_size : int;
+  edits_per_entry : int;  (** delta-chain length *)
+}
+
+val default_profile : profile
+
+val profile_of_json : Service.Json.t -> (profile, string) result
+(** Decode a profile object; absent fields take their
+    {!default_profile} values.  [mode] is ["closed"]/["open"] plus
+    ["workers"] / ["rate"], ["max_outstanding"]; [popularity] is
+    ["uniform"] / ["zipf"] / ["hot"] plus ["zipf_s"] /
+    ["hot_fraction"], ["hot_period"]; [ops] is an object
+    [{"decide":W,"batch":W,"delta":W}]. *)
+
+val profile_of_string : string -> (profile, string) result
+
+type entry = {
+  name : string;
+  lang : string;
+  k : int;
+  text : string;  (** rendered instance, ready for the wire *)
+  edits : Service.Wire.edit array;  (** the entry's delta chain *)
+}
+
+type op =
+  | Decide of int  (** entry index *)
+  | Batch of int array  (** entry indices, all sharing one [lang] *)
+  | Delta of int  (** advance the entry's chain by one edit *)
+
+type t = {
+  profile : profile;
+  entries : entry array;
+  ops : op array;
+  schedule_crc : string;
+      (** CRC-32 (hex) over every entry and op — two runs with equal
+          [schedule_crc] executed byte-identical schedules *)
+}
+
+val build : seed:int -> profile -> (t, string) result
+(** Synthesize the workload.  [Error] on an unknown family name, an
+    empty entry pool, or all-zero op weights. *)

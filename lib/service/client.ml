@@ -55,7 +55,18 @@ let retry_delay_s ?salt ~attempt base_s =
   let factor = 0.75 +. (0.5 *. unit) in
   base_s *. (2. ** float_of_int attempt) *. factor
 
-let connect ?(retries = 0) ?(backoff_s = 0.05) addr =
+(* A per-request deadline is a socket receive/send timeout: the kernel
+   bounds how long a blocked read waits, the expiry surfaces through the
+   channel as [Sys_blocked_io] and is reported as a transport error.  The
+   connection is poisoned afterwards (a late response may still be in
+   flight), so callers reconnect — which is why the router maps this to
+   a typed [shard_unavailable] and drops the shard connection. *)
+let set_deadline t deadline_s =
+  let v = match deadline_s with Some s when s > 0. -> s | _ -> 0. in
+  Unix.setsockopt_float t.fd Unix.SO_RCVTIMEO v;
+  Unix.setsockopt_float t.fd Unix.SO_SNDTIMEO v
+
+let connect ?(retries = 0) ?(backoff_s = 0.05) ?deadline_s addr =
   let rec attempt n left =
     match connect_once addr with
     | t -> t
@@ -66,7 +77,9 @@ let connect ?(retries = 0) ?(backoff_s = 0.05) addr =
           attempt (n + 1) (left - 1)
         end
   in
-  attempt 0 retries
+  let t = attempt 0 retries in
+  (match deadline_s with Some _ -> set_deadline t deadline_s | None -> ());
+  t
 
 let request_raw t line =
   if t.closed then Error "connection closed"
@@ -77,9 +90,14 @@ let request_raw t line =
       flush t.oc;
       input_line t.ic
     with
-    | line -> Ok line
+    | line ->
+        if Wire.crc_ok line then Ok line
+        else Error "transport: response failed integrity check"
     | exception End_of_file -> Error "connection closed by server"
     | exception Sys_error msg -> Error ("transport: " ^ msg)
+    (* A buffered channel surfaces an expired SO_RCVTIMEO/SO_SNDTIMEO
+       as [Sys_blocked_io], not [Sys_error]. *)
+    | exception Sys_blocked_io -> Error "transport: request deadline expired"
     | exception Unix.Unix_error (e, _, _) ->
         Error ("transport: " ^ Unix.error_message e)
 
@@ -108,9 +126,12 @@ let request_stream t ~on_progress line =
       flush t.oc;
       read ()
     with
-    | resp -> Ok resp
+    | resp ->
+        if Wire.crc_ok resp then Ok resp
+        else Error "transport: response failed integrity check"
     | exception End_of_file -> Error "connection closed by server"
     | exception Sys_error msg -> Error ("transport: " ^ msg)
+    | exception Sys_blocked_io -> Error "transport: request deadline expired"
     | exception Unix.Unix_error (e, _, _) ->
         Error ("transport: " ^ Unix.error_message e)
   end

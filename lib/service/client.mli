@@ -10,7 +10,8 @@
 
 type t
 
-val connect : ?retries:int -> ?backoff_s:float -> Wire.address -> t
+val connect :
+  ?retries:int -> ?backoff_s:float -> ?deadline_s:float -> Wire.address -> t
 (** Connect, retrying a {e transient} refusal (ECONNREFUSED, ENOENT of
     a not-yet-bound Unix socket, ECONNRESET, ETIMEDOUT) up to [retries]
     times (default 0: single attempt) with jittered exponential backoff
@@ -19,7 +20,15 @@ val connect : ?retries:int -> ?backoff_s:float -> Wire.address -> t
     that is milliseconds from binding waits instead of dying, and N
     clients racing the same restarting shard don't stampede it in
     lockstep.  Non-transient errors propagate immediately.
+    [deadline_s] arms a per-request deadline (see {!set_deadline}).
     @raise Unix.Unix_error when the server stays unreachable. *)
+
+val set_deadline : t -> float option -> unit
+(** Bound how long any single request may block: a kernel receive/send
+    timeout on the socket.  Expiry surfaces from {!request_raw} as a
+    transport [Error]; the connection is poisoned afterwards (a late
+    response may still arrive), so reconnect before reusing the
+    address.  [None] (or a non-positive value) clears the bound. *)
 
 val retry_delay_s : ?salt:int -> attempt:int -> float -> float
 (** [retry_delay_s ~attempt base_s] is the delay {!connect} sleeps
@@ -40,7 +49,9 @@ val request : t -> Wire.request -> (Json.t, string) result
 val request_raw : t -> string -> (string, string) result
 (** Send one pre-rendered request line (no newline), return the raw
     response line.  The bench uses this to keep parsing out of timed
-    sections. *)
+    sections.  A response that carries an integrity seal
+    ({!Wire.crc_status}) failing verification is reported as a
+    transport [Error], never returned. *)
 
 val request_stream :
   t -> on_progress:(string -> unit) -> string -> (string, string) result

@@ -188,7 +188,13 @@ let parse text =
     | Some f -> Number f
     | None -> fail ("bad number " ^ s)
   in
-  let rec parse_value () =
+  (* Nesting is the only unbounded recursion in this parser (strings,
+     numbers and the per-element loops are all tail calls), so a depth
+     cap is what turns adversarial input like 10^6 '[' bytes into a
+     typed error instead of a stack overflow.  512 is two orders of
+     magnitude beyond any protocol document. *)
+  let rec parse_value depth =
+    if depth > 512 then fail "nesting too deep (max 512)";
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
@@ -202,7 +208,7 @@ let parse text =
             let k = parse_string () in
             skip_ws ();
             expect ':';
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' -> advance (); fields ((k, v) :: acc)
@@ -216,7 +222,7 @@ let parse text =
         if peek () = Some ']' then begin advance (); List [] end
         else
           let rec elems acc =
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' -> advance (); elems (v :: acc)
@@ -232,7 +238,7 @@ let parse text =
     | Some c -> fail (Printf.sprintf "unexpected character %C" c)
   in
   match
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos <> n then fail "trailing garbage after document";
     v

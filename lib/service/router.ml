@@ -5,22 +5,44 @@ type config = {
   chain_capacity : int;
   connect_retries : int;
   retry_backoff_s : float;
+  shard_timeout_s : float option;
+  unhealthy_after : int;
+  health_cooldown_s : float;
 }
 
 let default_config =
-  { vnodes = 64; chain_capacity = 4096; connect_retries = 20; retry_backoff_s = 0.05 }
+  {
+    vnodes = 64;
+    chain_capacity = 4096;
+    connect_retries = 20;
+    retry_backoff_s = 0.05;
+    shard_timeout_s = None;
+    unhealthy_after = 3;
+    health_cooldown_s = 1.0;
+  }
+
+(* Per-shard health, under [health_mu].  [fails] counts consecutive
+   forward failures; at [unhealthy_after] the shard is marked down
+   until [down_until], during which requests fail fast with a typed
+   [shard_unavailable] instead of burning a connect-retry cycle each.
+   When the cooldown lapses the next request probes the shard
+   (half-open): success resets, failure re-arms the cooldown. *)
+type health = { mutable fails : int; mutable down_until : float }
 
 type t = {
   config : config;
   shards : (string * Wire.address) list;
   ring : Ring.t;
   chain : string Lru.t;  (* chained digest -> shard name *)
+  health : (string, health) Hashtbl.t;
+  health_mu : Mutex.t;
   addr : Wire.address;
   listen_fd : Unix.file_descr;
   started_s : float;
   n_requests : int Atomic.t;
   n_forwarded : int Atomic.t;
   n_forward_errors : int Atomic.t;
+  n_unavailable : int Atomic.t;
   n_rebalanced : int Atomic.t;
   stop : bool Atomic.t;
 }
@@ -52,12 +74,15 @@ let create ?(config = default_config) ~shards addr =
     shards;
     ring = Ring.create ~vnodes:config.vnodes (List.map fst shards);
     chain = Lru.create ~capacity:config.chain_capacity;
+    health = Hashtbl.create 8;
+    health_mu = Mutex.create ();
     addr;
     listen_fd;
     started_s = Unix.gettimeofday ();
     n_requests = Atomic.make 0;
     n_forwarded = Atomic.make 0;
     n_forward_errors = Atomic.make 0;
+    n_unavailable = Atomic.make 0;
     n_rebalanced = Atomic.make 0;
     stop = Atomic.make false;
   }
@@ -74,6 +99,55 @@ let shard_of_digest t digest =
 let incr a = ignore (Atomic.fetch_and_add a 1)
 
 (* ------------------------------------------------------------------ *)
+(* Shard health. *)
+
+let with_lock mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let health_of t name =
+  match Hashtbl.find_opt t.health name with
+  | Some h -> h
+  | None ->
+      let h = { fails = 0; down_until = 0. } in
+      Hashtbl.replace t.health name h;
+      h
+
+(* Down and still cooling?  A lapsed cooldown answers [false] without
+   resetting [fails] — the caller's request is the half-open probe. *)
+let shard_down t name =
+  with_lock t.health_mu (fun () ->
+      let h = health_of t name in
+      h.fails >= t.config.unhealthy_after
+      && Unix.gettimeofday () < h.down_until)
+
+let note_forward_ok t name =
+  with_lock t.health_mu (fun () ->
+      let h = health_of t name in
+      h.fails <- 0;
+      h.down_until <- 0.)
+
+let note_forward_fail t name =
+  with_lock t.health_mu (fun () ->
+      let h = health_of t name in
+      h.fails <- h.fails + 1;
+      if h.fails >= t.config.unhealthy_after then
+        h.down_until <- Unix.gettimeofday () +. t.config.health_cooldown_s)
+
+let shard_healthy t name =
+  with_lock t.health_mu (fun () ->
+      (health_of t name).fails < t.config.unhealthy_after)
+
+(* Typed unavailability: every forward-level failure is reported with
+   this prefix so clients (and the load runner's error taxonomy) can
+   tell "the shard was down" from "your request was wrong". *)
+let unavailable name msg =
+  Printf.sprintf "shard_unavailable: %s: %s" name msg
+
+let is_unavailable msg =
+  String.length msg >= 17 && String.sub msg 0 17 = "shard_unavailable"
+
+(* ------------------------------------------------------------------ *)
 (* Per-incoming-connection shard connections: opened lazily (with
    retry, so a still-binding shard is waited for), dropped on transport
    failure so the next request reconnects. *)
@@ -86,7 +160,8 @@ let get_conn t (conns : conns) name =
   | None ->
       let c =
         Client.connect ~retries:t.config.connect_retries
-          ~backoff_s:t.config.retry_backoff_s (shard_addr t name)
+          ~backoff_s:t.config.retry_backoff_s
+          ?deadline_s:t.config.shard_timeout_s (shard_addr t name)
       in
       Hashtbl.replace conns name c;
       c
@@ -100,29 +175,48 @@ let drop_conn (conns : conns) name =
 
 (* Forward one pre-rendered line to a shard, returning the raw response
    line.  One reconnect-and-retry on a transport error: the shard may
-   have restarted since this connection was opened. *)
+   have restarted since this connection was opened.  The reply must
+   carry an intact integrity seal ({!Wire.crc_status} [`Sealed_ok]) —
+   every shard seals its responses, so anything else means the bytes
+   were damaged in flight and relaying them would hand the client a
+   corrupted verdict.  A shard marked unhealthy fails fast until its
+   cooldown lapses. *)
 let forward t conns name line =
-  let once () =
-    match Client.request_raw (get_conn t conns name) line with
-    | Ok _ as ok ->
-        incr t.n_forwarded;
-        Obs.Counter.incr c_forwarded;
-        ok
-    | Error msg ->
-        drop_conn conns name;
-        Error msg
-    | exception Unix.Unix_error (e, _, _) ->
-        drop_conn conns name;
-        Error (Unix.error_message e)
-  in
-  match once () with
-  | Ok _ as ok -> ok
-  | Error _ -> (
-      match once () with
-      | Ok _ as ok -> ok
+  if shard_down t name then begin
+    incr t.n_unavailable;
+    Error (unavailable name "marked unhealthy, cooling down")
+  end
+  else begin
+    let once () =
+      match Client.request_raw (get_conn t conns name) line with
+      | Ok reply when Wire.crc_status reply = `Sealed_ok ->
+          incr t.n_forwarded;
+          Obs.Counter.incr c_forwarded;
+          Ok reply
+      | Ok _ ->
+          drop_conn conns name;
+          Error "reply failed integrity check"
       | Error msg ->
-          incr t.n_forward_errors;
-          Error (Printf.sprintf "shard %s unreachable: %s" name msg))
+          drop_conn conns name;
+          Error msg
+      | exception Unix.Unix_error (e, _, _) ->
+          drop_conn conns name;
+          Error (Unix.error_message e)
+    in
+    match once () with
+    | Ok _ as ok ->
+        note_forward_ok t name;
+        ok
+    | Error _ -> (
+        match once () with
+        | Ok _ as ok ->
+            note_forward_ok t name;
+            ok
+        | Error msg ->
+            note_forward_fail t name;
+            incr t.n_forward_errors;
+            Error (unavailable name msg))
+  end
 
 (* Streaming forward: progress frames from the shard relay to the
    client as they arrive; the first non-frame line is the response.
@@ -130,22 +224,37 @@ let forward t conns name line =
    a mid-stream transport failure surfaces as an error instead of a
    silent replay. *)
 let forward_stream t conns name ~on_progress line =
-  match Client.request_stream (get_conn t conns name) ~on_progress line with
-  | Ok _ as ok ->
-      incr t.n_forwarded;
-      Obs.Counter.incr c_forwarded;
-      ok
-  | Error msg ->
-      drop_conn conns name;
-      incr t.n_forward_errors;
-      Error (Printf.sprintf "shard %s: %s" name msg)
-  | exception Unix.Unix_error (e, _, _) ->
-      drop_conn conns name;
-      incr t.n_forward_errors;
-      Error (Printf.sprintf "shard %s: %s" name (Unix.error_message e))
+  if shard_down t name then begin
+    incr t.n_unavailable;
+    Error (unavailable name "marked unhealthy, cooling down")
+  end
+  else
+    match Client.request_stream (get_conn t conns name) ~on_progress line with
+    | Ok reply when Wire.crc_status reply = `Sealed_ok ->
+        note_forward_ok t name;
+        incr t.n_forwarded;
+        Obs.Counter.incr c_forwarded;
+        Ok reply
+    | Ok _ ->
+        drop_conn conns name;
+        note_forward_fail t name;
+        incr t.n_forward_errors;
+        Error (unavailable name "reply failed integrity check")
+    | Error msg ->
+        drop_conn conns name;
+        note_forward_fail t name;
+        incr t.n_forward_errors;
+        Error (unavailable name msg)
+    | exception Unix.Unix_error (e, _, _) ->
+        drop_conn conns name;
+        note_forward_fail t name;
+        incr t.n_forward_errors;
+        Error (unavailable name (Unix.error_message e))
 
+(* Responses the router composes itself are sealed like a shard's;
+   relayed shard lines keep the shard's own seal (relay is verbatim). *)
 let respond oc fields =
-  output_string oc (Wire.json_obj fields);
+  output_string oc (Wire.seal fields);
   output_char oc '\n';
   flush oc
 
@@ -154,12 +263,19 @@ let relay oc line =
   output_char oc '\n';
   flush oc
 
-let error_fields op msg =
+let error_fields ?(status = "error") op msg =
   [
     ("op", Wire.json_string op);
-    ("status", Wire.json_string "error");
+    ("status", Wire.json_string status);
     ("error", Wire.json_string msg);
   ]
+
+(* A forward-level failure answers with status ["unavailable"] — the
+   typed signal that the request was fine but its shard was not, so the
+   caller may retry elsewhere/later; anything else stays ["error"]. *)
+let respond_error oc op msg =
+  let status = if is_unavailable msg then "unavailable" else "error" in
+  respond oc (error_fields ~status op msg)
 
 let ok op rest =
   ("op", Wire.json_string op) :: ("status", Wire.json_string "ok") :: rest
@@ -167,6 +283,9 @@ let ok op rest =
 (* ------------------------------------------------------------------ *)
 
 let stats t =
+  let unhealthy =
+    List.length (List.filter (fun (n, _) -> not (shard_healthy t n)) t.shards)
+  in
   List.sort compare
     [
       ("chain_entries", Lru.length t.chain);
@@ -178,6 +297,8 @@ let stats t =
       ("rebalanced", Atomic.get t.n_rebalanced);
       ("requests", Atomic.get t.n_requests);
       ("shards", List.length t.shards);
+      ("shards_unhealthy", unhealthy);
+      ("unavailable_fast_fails", Atomic.get t.n_unavailable);
       ("uptime_seconds", int_of_float (Unix.gettimeofday () -. t.started_s));
       ("started_at", int_of_float t.started_s);
     ]
@@ -213,7 +334,7 @@ let handle_decide t conns oc line ~env ~lang ~k ~instance =
       in
       match forward_work t conns (shard_of_digest t digest) oc ~env line with
       | Ok reply -> relay oc reply
-      | Error msg -> respond oc (error_fields "decide" msg))
+      | Error msg -> respond_error oc "decide" msg)
 
 let handle_delta t conns oc line ~env ~digest =
   let name = shard_of_digest t digest in
@@ -221,7 +342,7 @@ let handle_delta t conns oc line ~env ~digest =
   | Ok reply ->
       note_chained t name reply;
       relay oc reply
-  | Error msg -> respond oc (error_fields "delta" msg)
+  | Error msg -> respond_error oc "delta" msg
 
 (* Split a batch by placement, forward the sub-batches, reassemble in
    request order.  Items are re-rendered from parsed JSON (string and
@@ -278,17 +399,44 @@ let handle_batch t conns oc ~env ~lang ~k ~fuel ~timeout_s ~instances =
       match forward t conns name sub with
       | Error msg -> fill_errors msg
       | Ok reply -> (
-          match
-            Option.bind
-              (Result.to_option (Json.parse reply))
-              (fun j -> Option.bind (Json.member "results" j) Json.to_list)
-          with
-          | Some objs when List.length objs = List.length items ->
-              List.iter2
-                (fun (i, _) obj -> results.(i) <- Json.to_string obj)
-                items objs
-          | Some _ | None ->
-              fill_errors (Printf.sprintf "shard %s: malformed batch reply" name)))
+          match Result.to_option (Json.parse reply) with
+          | None ->
+              fill_errors (Printf.sprintf "shard %s: malformed batch reply" name)
+          | Some j -> (
+              match Option.bind (Json.member "status" j) Json.to_str with
+              (* A refused sub-batch keeps its typed status: the
+                 per-item error text says "overloaded: queue_full", not
+                 "malformed", so clients can classify it as
+                 backpressure. *)
+              | Some "overloaded" ->
+                  fill_errors
+                    (match
+                       Option.bind (Json.member "detail" j) Json.to_str
+                     with
+                    | Some d -> "overloaded: " ^ d
+                    | None -> "overloaded")
+              | Some ("unavailable" | "error") ->
+                  (* Keep the shard's own error text: it already carries
+                     its class prefix ("shard_unavailable: ...",
+                     "unknown instance digest ..."). *)
+                  fill_errors
+                    (match
+                       Option.bind (Json.member "error" j) Json.to_str
+                     with
+                    | Some e -> e
+                    | None -> Printf.sprintf "shard %s: unspecified error" name)
+              | _ -> (
+                  match
+                    Option.bind (Json.member "results" j) Json.to_list
+                  with
+                  | Some objs when List.length objs = List.length items ->
+                      List.iter2
+                        (fun (i, _) obj -> results.(i) <- Json.to_string obj)
+                        items objs
+                  | Some _ | None ->
+                      fill_errors
+                        (Printf.sprintf "shard %s: malformed batch reply" name)
+                  ))))
     by_shard;
   let wall_s = Unix.gettimeofday () -. t0 in
   respond oc
@@ -354,11 +502,19 @@ let handle_stats t conns oc line =
     Hashtbl.fold (fun k v acc -> (k, string_of_int v) :: acc) totals []
     |> List.sort compare
   in
+  let health =
+    List.map
+      (fun (name, _) ->
+        ( name,
+          Wire.json_string (if shard_healthy t name then "up" else "down") ))
+      t.shards
+  in
   respond oc
     (ok "stats"
        [
          ("stats", Wire.json_obj aggregated);
          ("shards", Wire.json_obj per_shard);
+         ("health", Wire.json_obj health);
          ( "router",
            Wire.json_obj
              (List.map (fun (k, v) -> (k, string_of_int v)) (stats t)) );
@@ -466,7 +622,7 @@ let dispatch_request t conns oc line ~env req =
   | Wire.Sleep _ -> (
       match forward t conns (fst (List.hd t.shards)) line with
       | Ok reply -> relay oc reply
-      | Error msg -> respond oc (error_fields "sleep" msg))
+      | Error msg -> respond_error oc "sleep" msg)
   | Wire.Decide { lang; k; instance; _ } ->
       handle_decide t conns oc line ~env ~lang ~k ~instance
   | Wire.Batch { lang; k; fuel; timeout_s; instances } ->
@@ -481,6 +637,12 @@ let dispatch_request t conns oc line ~env req =
 
 let handle_request t conns oc line =
   incr t.n_requests;
+  (* Same request-seal policy as the shard server: a sealed line whose
+     seal fails verification must not execute (it was corrupted in
+     transit); unsealed requests are accepted as-is. *)
+  if Wire.crc_status line = `Sealed_bad then
+    respond oc (error_fields "unknown" "request failed integrity check")
+  else
   match Json.parse line with
   | Error msg -> respond oc (error_fields "unknown" msg)
   | Ok j -> (
@@ -505,18 +667,19 @@ let handle_conn t fd =
   let oc = Unix.out_channel_of_descr fd in
   let rec loop () =
     match input_line ic with
-    | exception (End_of_file | Sys_error _) -> ()
+    | exception (End_of_file | Sys_error _ | Sys_blocked_io) -> ()
     | line when String.trim line = "" -> loop ()
     | line ->
         (match handle_request t conns oc line with
         | () -> ()
-        | exception (Sys_error _ | Unix.Unix_error _) -> raise Exit
+        | exception (Sys_error _ | Sys_blocked_io | Unix.Unix_error _) ->
+            raise Exit
         | exception e ->
             respond oc
               (error_fields "unknown" ("internal: " ^ Printexc.to_string e)));
         loop ()
   in
-  (try loop () with Exit | Sys_error _ | Unix.Unix_error _ -> ());
+  (try loop () with Exit | Sys_error _ | Sys_blocked_io | Unix.Unix_error _ -> ());
   Hashtbl.iter (fun _ c -> Client.close c) conns;
   try close_out oc with _ -> ()
 

@@ -42,14 +42,44 @@
 
     Shard connections are opened lazily per incoming connection (with
     {!Client.connect} retry, so racing a still-binding shard works) and
-    a dead shard surfaces as a per-request [error] response naming the
-    shard; the next request reconnects. *)
+    a dead shard surfaces as a per-request response with status
+    ["unavailable"] and an error beginning ["shard_unavailable:"] — a
+    {e typed} failure, distinguishable from a malformed request; the
+    next request reconnects.
+
+    {b Health.}  After [unhealthy_after] consecutive forward failures a
+    shard is marked down for [health_cooldown_s] seconds, during which
+    requests routed to it fail fast with the same typed
+    [shard_unavailable] instead of re-running the connect-retry cycle.
+    When the cooldown lapses the next routed request probes the shard
+    (half-open); success clears the mark.  Per-shard health appears in
+    the aggregated [stats] response (["health"] object) and the down
+    count in the router's own counters.
+
+    {b Reply integrity.}  Shards seal every response line with a
+    trailing CRC ({!Wire.seal}); the router refuses to relay a reply
+    whose seal is missing or wrong ({!Wire.crc_status}), so bytes
+    damaged between shard and router (a chaos proxy, a bad NIC) become
+    a typed [shard_unavailable] rather than a corrupted verdict.
+
+    A [shard_timeout_s] deadline (kernel socket timeouts on the shard
+    connections) bounds how long a hung shard can stall a routed
+    request; expiry surfaces as the same typed unavailability. *)
 
 type config = {
   vnodes : int;  (** ring points per shard (default 64) *)
   chain_capacity : int;  (** chained-digest map size (default 4096) *)
   connect_retries : int;  (** per shard-connect (default 20) *)
   retry_backoff_s : float;  (** initial backoff (default 0.05 s) *)
+  shard_timeout_s : float option;
+      (** per-request deadline on shard connections ([None] = wait
+          forever, the default) *)
+  unhealthy_after : int;
+      (** consecutive forward failures before a shard is marked down
+          (default 3) *)
+  health_cooldown_s : float;
+      (** how long a down mark lasts before the next request probes the
+          shard again (default 1.0 s) *)
 }
 
 val default_config : config
@@ -86,4 +116,5 @@ val shutdown : t -> unit
 
 val stats : t -> (string * int) list
 (** The router's own counters: [forwarded], [forward_errors],
-    [requests], [chain_entries], [rebalanced], [shards], [uptime_s]. *)
+    [requests], [chain_entries], [rebalanced], [shards],
+    [shards_unhealthy], [unavailable_fast_fails], [uptime_s]. *)

@@ -94,6 +94,7 @@ type config = {
   export_limit : int;
   slow_ms : float option;
   slow_log : string -> unit;
+  idle_timeout_s : float option;
 }
 
 let default_config =
@@ -111,6 +112,7 @@ let default_config =
     export_limit = 64;
     slow_ms = None;
     slow_log = (fun line -> Printf.eprintf "%s\n%!" line);
+    idle_timeout_s = None;
   }
 
 type t = {
@@ -236,14 +238,24 @@ let stats t =
       | Some (i, n) -> [ ("shard_index", i); ("shard_count", n) ])
     @ List.map (fun (k, v) -> ("cache_" ^ k, v)) (Cache.stats t.cache_)
     @ List.map (fun (k, v) -> ("pool_" ^ k, v)) (Par.Pool.stats ())
+    @
+    if not (Fault.Failpoint.armed ()) then []
+    else
+      List.concat_map
+        (fun (site, calls, fires) ->
+          let flat = String.map (fun c -> if c = '.' then '_' else c) site in
+          [ ("fault_" ^ flat ^ "_calls", calls); ("fault_" ^ flat ^ "_fires", fires) ])
+        (Fault.Failpoint.stats ())
   in
   List.sort compare snap
 
 (* ------------------------------------------------------------------ *)
-(* Responses.  Field values are pre-rendered JSON (Wire combinators). *)
+(* Responses.  Field values are pre-rendered JSON (Wire combinators).
+   Every response line is sealed (Wire.seal) so corruption between here
+   and the requester is detectable; progress frames are not. *)
 
 let respond oc fields =
-  output_string oc (Wire.json_obj fields);
+  output_string oc (Wire.seal fields);
   output_char oc '\n';
   flush oc
 
@@ -278,9 +290,16 @@ let effective_budget t ~fuel ~timeout_s =
   )
 
 let admit_timed t =
-  let t0 = Unix.gettimeofday () in
-  let r = Obs.Span.with_ "service.queue_wait" (fun () -> Admission.admit t.gate) in
-  (r, Unix.gettimeofday () -. t0)
+  (* Failpoint: shed this admission as if the gate were full — the
+     chaos harness's way of exercising the overload path on demand. *)
+  if Fault.Failpoint.armed () && Fault.Failpoint.fire "server.admit.overload" then
+    (`Overloaded, 0.)
+  else
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Obs.Span.with_ "service.queue_wait" (fun () -> Admission.admit t.gate)
+    in
+    (r, Unix.gettimeofday () -. t0)
 
 let service_fields ~queue_wait_s ~wall_s =
   ( "service",
@@ -322,7 +341,9 @@ let decide_one t ~lang ~k ~fuel ~timeout_s text =
    pool size 1 there are no workers and the bodies run inline right
    here, the byte-for-byte pre-pool execution path. *)
 let pool_exec bodies =
-  if Par.Pool.size () <= 1 then Ok (Array.map (fun f -> f ()) bodies)
+  if Fault.Failpoint.armed () && Fault.Failpoint.fire "server.pool.reject" then
+    Error `Pool_queue
+  else if Par.Pool.size () <= 1 then Ok (Array.map (fun f -> f ()) bodies)
   else
     let trace = Obs.Ctx.current () in
     match
@@ -757,6 +778,14 @@ let dispatch_request t oc ~env req =
 
 let handle_request t oc line =
   bump t.n_requests c_requests;
+  (* Sealed requests (load generator, chaos harness) are verified before
+     parsing: a corrupted sealed line must fail typed rather than
+     execute as a subtly different request.  Unsealed requests pass. *)
+  if Wire.crc_status line = `Sealed_bad then begin
+    incr t.n_errors;
+    respond oc (error_fields "unknown" "request failed integrity check")
+  end
+  else
   match Json.parse line with
   | Error msg ->
       incr t.n_errors;
@@ -790,18 +819,25 @@ let handle_request t oc line =
           else Obs.Ctx.with_trace trace_id work)
 
 let handle_conn t fd =
+  (* Idle timeout: a kernel receive timeout, so a connection whose next
+     request never comes surfaces as [Sys_blocked_io] from [input_line]
+     (the buffered channel's rendering of EAGAIN) and the handler
+     thread exits instead of parking forever. *)
+  (match t.config.idle_timeout_s with
+  | Some s when s > 0. -> Unix.setsockopt_float fd Unix.SO_RCVTIMEO s
+  | _ -> ());
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   let rec loop () =
     match input_line ic with
-    | exception (End_of_file | Sys_error _) -> ()
+    | exception (End_of_file | Sys_error _ | Sys_blocked_io) -> ()
     | line when String.trim line = "" -> loop ()
     | line ->
         (* The root "service.request" span lives inside [handle_request],
            under the request's trace context. *)
         (match handle_request t oc line with
         | () -> ()
-        | exception (Sys_error _ | Unix.Unix_error _) ->
+        | exception (Sys_error _ | Sys_blocked_io | Unix.Unix_error _) ->
             (* Client went away mid-response; drop the connection. *)
             raise Exit
         | exception e ->
@@ -810,7 +846,7 @@ let handle_conn t fd =
               (error_fields "unknown" ("internal: " ^ Printexc.to_string e)));
         loop ()
   in
-  (try loop () with Exit | Sys_error _ | Unix.Unix_error _ -> ());
+  (try loop () with Exit | Sys_error _ | Sys_blocked_io | Unix.Unix_error _ -> ());
   (* [close_out] flushes and closes the shared fd; everything after is
      best-effort. *)
   try close_out oc with _ -> ()

@@ -110,6 +110,12 @@ type config = {
           work split. *)
   slow_log : string -> unit;
       (** where slow-request lines go (default: stderr, flushed) *)
+  idle_timeout_s : float option;
+      (** close a keep-alive connection whose {e next} request does not
+          arrive within this many seconds — a kernel receive timeout on
+          the accepted socket, so an idle client stops costing this
+          server a parked handler thread.  [None] (default): wait
+          forever, the pre-PR-10 behaviour. *)
 }
 
 val default_config : config

@@ -19,6 +19,52 @@ let json_obj fields =
 
 let json_list xs = "[" ^ String.concat "," xs ^ "]"
 
+(* Response integrity: a sealed response line ends with a ["crc"] field
+   holding the CRC-32 (8 hex digits) of the object rendered without it.
+   The seal rides inside the JSON object, so a router can relay a shard
+   line verbatim and the seal stays valid end to end; a flipped byte
+   anywhere in the payload fails the check at the first hop that looks.
+   Progress frames are not sealed — they are advisory and discarded on
+   any parse doubt. *)
+let seal fields =
+  let body = json_obj fields in
+  if fields = [] then body
+  else
+    Printf.sprintf "%s,\"crc\":\"%08x\"}"
+      (String.sub body 0 (String.length body - 1))
+      (Store.Crc32.digest_string body)
+
+(* Seal an already-rendered object line.  The load generator seals its
+   request lines with this so a byte corrupted in transit (chaos proxy)
+   is detected server-side instead of executing as a subtly different
+   request. *)
+let seal_line line =
+  let n = String.length line in
+  if n < 3 || line.[0] <> '{' || line.[n - 1] <> '}' then line
+  else
+    Printf.sprintf "%s,\"crc\":\"%08x\"}"
+      (String.sub line 0 (n - 1))
+      (Store.Crc32.digest_string line)
+
+let is_hex8 s =
+  String.length s = 8
+  && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) s
+
+let crc_status line =
+  let n = String.length line in
+  if n < 18 || String.sub line (n - 18) 8 <> ",\"crc\":\""
+     || line.[n - 2] <> '"' || line.[n - 1] <> '}'
+  then `Unsealed
+  else
+    let hex = String.sub line (n - 10) 8 in
+    if not (is_hex8 hex) then `Sealed_bad
+    else
+      let crc = int_of_string ("0x" ^ hex) in
+      let body = String.sub line 0 (n - 18) ^ "}" in
+      if Store.Crc32.digest_string body = crc then `Sealed_ok else `Sealed_bad
+
+let crc_ok line = crc_status line <> `Sealed_bad
+
 (* The verdict block: everything that must be byte-identical at any
    domain-pool size and across cache hits (stats blocks may legitimately
    vary — timings, node counts under parallel cancellation).  [check

@@ -66,6 +66,39 @@ val json_string : string -> string
 val json_obj : (string * string) list -> string
 val json_list : string list -> string
 
+(** {2 Response integrity}
+
+    Every response line the server or router composes is {e sealed}: a
+    trailing ["crc"] field carries the CRC-32 (8 lowercase hex digits)
+    of the object rendered without it.  The seal lives inside the JSON
+    object, so verbatim relay preserves it across hops and any byte
+    flipped in transit (a chaos proxy, a bad NIC) fails verification at
+    the first receiver that checks — the router drops and retries the
+    shard connection, the client reports a typed transport error —
+    instead of surfacing as a silently wrong verdict.  Progress frames
+    are not sealed. *)
+
+val seal : (string * string) list -> string
+(** [json_obj fields] with the integrity field appended (the empty
+    field list renders unsealed — there is nothing to protect). *)
+
+val seal_line : string -> string
+(** Seal an already-rendered object line (identity on anything that is
+    not an [{...}] object).  Clients may seal {e request} lines with
+    this; servers reject a request whose seal fails verification with a
+    typed ["request failed integrity check"] error, so a byte flipped in
+    transit cannot execute as a subtly different request.  Unsealed
+    requests are always accepted. *)
+
+val crc_status : string -> [ `Sealed_ok | `Sealed_bad | `Unsealed ]
+(** [`Unsealed] — no trailing crc field (progress frames, foreign or
+    truncated lines); [`Sealed_bad] — a crc field that does not match
+    the rest of the line's bytes. *)
+
+val crc_ok : string -> bool
+(** Not [`Sealed_bad]: unsealed lines pass, so callers that may
+    legitimately receive unsealed lines can still reject corruption. *)
+
 val verdict_fields :
   Datagraph.Data_graph.t ->
   lang:string ->

@@ -131,8 +131,15 @@ let alive t = if t.closed then invalid_arg "Store.Log: store is closed"
 let file_size fd = (Unix.fstat fd).Unix.st_size
 
 let do_fsync t fd =
-  Obs.Histogram.time h_fsync (fun () -> Unix.fsync fd);
-  t.fsyncs <- t.fsyncs + 1
+  (* Failpoint: a lying disk that acks without persisting — only
+     observable across a crash, which is exactly what the chaos
+     harness's kill -9 step exercises. *)
+  if Fault.Failpoint.armed () && Fault.Failpoint.fire "store.fsync.skip" then
+    t.fsyncs <- t.fsyncs + 1
+  else begin
+    Obs.Histogram.time h_fsync (fun () -> Unix.fsync fd);
+    t.fsyncs <- t.fsyncs + 1
+  end
 
 let open_ ?(fsync = Every 64) ?(auto_compact_bytes = 0)
     ?(check = fun ~key:_ _ -> true) dir =
@@ -218,10 +225,27 @@ let read_value t loc =
     invalid_arg "Store.Log: short read (truncated file under a live store?)";
   Bytes.unsafe_to_string b
 
+(* A location that cannot be read back (a torn write left the file
+   shorter than the index believes) degrades to "not stored": the entry
+   is dropped and the caller recomputes — never a crash, never a wrong
+   value.  Damaged-but-readable bytes are the check callback's problem
+   (Tier re-checks certificates on decode). *)
+let read_value_opt t loc =
+  match read_value t loc with
+  | v -> Some v
+  | exception Invalid_argument _ -> None
+
 let find t key =
   locked t (fun () ->
       alive t;
-      Option.map (read_value t) (Hashtbl.find_opt t.index key))
+      match Hashtbl.find_opt t.index key with
+      | None -> None
+      | Some loc -> (
+          match read_value_opt t loc with
+          | Some _ as v -> v
+          | None ->
+              Hashtbl.remove t.index key;
+              None))
 
 let mem t key =
   locked t (fun () ->
@@ -248,7 +272,28 @@ let after_append t =
 let append t ~kind ~key ~value =
   Obs.Histogram.time h_append (fun () ->
       let b = frame ~kind ~key ~value in
-      write_all t.log_write b;
+      (* Failpoints: bit-rot one byte of the frame, or tear the write
+         short, before the bytes reach the file.  Either way the
+         in-memory index keeps accounting as if the append succeeded —
+         the damage is only discoverable by a reader, which is the
+         safety property under test: the CRC frame (recovery) and the
+         certificate re-check (live reads) must degrade the damage to a
+         recompute, never serve it as a verdict. *)
+      if Fault.Failpoint.armed () then begin
+        if Fault.Failpoint.fire "store.append.corrupt" then begin
+          let salt = Fault.Failpoint.salt "store.append.corrupt" in
+          let n = Bytes.length b in
+          let pos = Fault.Rng.mix salt t.appends mod n in
+          let mask = 1 + (Fault.Rng.mix salt (t.appends + 1) mod 255) in
+          Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor mask land 0xff))
+        end;
+        if Fault.Failpoint.fire "store.append.torn" then begin
+          let keep = max 1 (Bytes.length b / 2) in
+          write_all t.log_write (Bytes.sub b 0 keep)
+        end
+        else write_all t.log_write b
+      end
+      else write_all t.log_write b;
       let value_off = t.log_bytes + header_len + 5 + String.length key in
       t.log_bytes <- t.log_bytes + Bytes.length b;
       after_append t;
@@ -259,7 +304,12 @@ let append t ~kind ~key ~value =
 let compact_locked t =
   let tmp = Filename.concat t.dir "snapshot.tmp" in
   let live =
-    Hashtbl.fold (fun key loc acc -> (key, read_value t loc) :: acc) t.index []
+    Hashtbl.fold
+      (fun key loc acc ->
+        match read_value_opt t loc with
+        | Some value -> (key, value) :: acc
+        | None -> acc)
+      t.index []
   in
   let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   let relocated = Hashtbl.create (List.length live) in
@@ -323,7 +373,12 @@ let iter t f =
   locked t (fun () ->
       alive t;
       (* Snapshot the bindings first: [f] must not observe the lock. *)
-      Hashtbl.fold (fun key loc acc -> (key, read_value t loc) :: acc) t.index [])
+      Hashtbl.fold
+        (fun key loc acc ->
+          match read_value_opt t loc with
+          | Some value -> (key, value) :: acc
+          | None -> acc)
+        t.index [])
   |> List.iter (fun (key, value) -> f key value)
 
 let sync t =

@@ -1320,6 +1320,99 @@ let test_e2e_router_metrics_aggregation () =
               | _ -> Alcotest.fail "no per-shard stats");
           ignore router))
 
+(* ---------- idle timeout, client deadline, shard health ---------- *)
+
+let test_e2e_idle_timeout () =
+  let config =
+    { Server.default_config with Server.idle_timeout_s = Some 0.2 }
+  in
+  with_server ~config (fun addr _srv ->
+      let conn = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          (match Client.request conn Wire.Ping with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "live connection refused: %s" e);
+          (* Stay idle past the timeout: the server reclaims the handler
+             thread and the next request finds the connection gone. *)
+          Thread.delay 0.6;
+          match Client.request conn Wire.Ping with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "request succeeded on a reaped connection"))
+
+let test_e2e_client_deadline () =
+  with_server (fun addr _srv ->
+      let conn = Client.connect ~deadline_s:0.3 addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          match Client.request conn (Wire.Sleep { ms = 1500 }) with
+          | Error e ->
+              Alcotest.(check string) "typed deadline error"
+                "transport: request deadline expired" e
+          | Ok _ -> Alcotest.fail "slow request beat a 0.3s deadline"))
+
+let test_e2e_router_shard_unavailable () =
+  (* A router whose only shard does not exist: the first decide fails
+     with a typed [shard_unavailable] error, the health machinery marks
+     the shard down, and subsequent requests fail fast without
+     redialling until the cooldown lapses. *)
+  let dead = Filename.temp_file "defdead" ".sock" in
+  Sys.remove dead;
+  let config =
+    {
+      Service.Router.default_config with
+      Service.Router.connect_retries = 0;
+      unhealthy_after = 1;
+      health_cooldown_s = 30.;
+    }
+  in
+  let rpath = Filename.temp_file "defroute" ".sock" in
+  let router =
+    Service.Router.create ~config
+      ~shards:[ ("ghost", Wire.Unix_sock dead) ]
+      (Wire.Unix_sock rpath)
+  in
+  let rth = Thread.create Service.Router.run router in
+  Fun.protect
+    ~finally:(fun () ->
+      Service.Router.shutdown router;
+      Thread.join rth)
+    (fun () ->
+      Client.with_connection (Wire.Unix_sock rpath) (fun conn ->
+          let first = request_ok conn (decide_req s2_text) in
+          Alcotest.(check (option string)) "typed status" (Some "unavailable")
+            (member_str "status" first);
+          (match member_str "error" first with
+          | Some msg ->
+              Alcotest.(check bool) "shard_unavailable prefix" true
+                (String.length msg >= 17
+                && String.sub msg 0 17 = "shard_unavailable")
+          | None -> Alcotest.fail "no error text");
+          let second = request_ok conn (decide_req s2_text) in
+          Alcotest.(check (option string)) "still unavailable"
+            (Some "unavailable")
+            (member_str "status" second);
+          let stats = request_ok conn Wire.Stats in
+          let int_field f =
+            match
+              Option.bind (Json.member "router" stats) (fun r ->
+                  Option.bind (Json.member f r) Json.to_int)
+            with
+            | Some n -> n
+            | None -> Alcotest.failf "stats without %s" f
+          in
+          Alcotest.(check int) "shard marked unhealthy" 1
+            (int_field "shards_unhealthy");
+          Alcotest.(check bool) "fast fails counted" true
+            (int_field "unavailable_fast_fails" >= 1);
+          match
+            Option.bind (Json.member "health" stats) (Json.member "ghost")
+          with
+          | Some (Json.String "down") -> ()
+          | _ -> Alcotest.fail "health map does not show ghost down"))
+
 let () =
   Alcotest.run "service"
     [
@@ -1365,6 +1458,8 @@ let () =
           ("overload refusal", `Quick, test_e2e_overload);
           ("pool executes request bodies", `Quick, test_e2e_pool_execution);
           ("pool queue full refusal", `Quick, test_e2e_pool_queue_full);
+          ("idle timeout reaps parked connections", `Quick, test_e2e_idle_timeout);
+          ("client deadline", `Quick, test_e2e_client_deadline);
           ("shutdown drains", `Quick, test_e2e_shutdown_drains);
           ("wire roundtrip", `Quick, test_wire_roundtrip);
         ] );
@@ -1390,6 +1485,8 @@ let () =
           ("batch split and reassembly", `Quick, test_e2e_router_batch);
           ("delta chain routing", `Quick, test_e2e_router_delta_chain);
           ("shard restart serves warm", `Quick, test_e2e_shard_restart_serves_warm);
+          ("shard unavailable is typed and fast", `Quick,
+           test_e2e_router_shard_unavailable);
           ("export/import/compact", `Quick, test_e2e_export_import_compact);
           ("rebalance", `Quick, test_e2e_rebalance);
         ] );

@@ -1,0 +1,159 @@
+(* Fuzzing the protocol edge: whatever bytes arrive on a socket —
+   hostile nesting, oversized tokens, truncated or bit-flipped lines —
+   the parsing layer must return [Error]/[`Unsealed], never raise and
+   never overflow the stack.  This is the property the chaos proxy
+   leans on: a corrupted line becomes a typed error, not a crash. *)
+
+module Json = Service.Json
+module Wire = Service.Wire
+
+let no_raise name f =
+  QCheck.Test.make ~count:500 ~name (QCheck.string_of_size (QCheck.Gen.int_bound 2048))
+    (fun s ->
+      (match Json.parse s with Ok _ | Error _ -> ());
+      (match Wire.request_of_string s with Ok _ | Error _ -> ());
+      (match Wire.crc_status s with `Sealed_ok | `Sealed_bad | `Unsealed -> ());
+      ignore (f s);
+      true)
+
+(* ---------- deep nesting ---------- *)
+
+let nested open_c close_c n =
+  String.make n open_c ^ String.make n close_c
+
+let test_deep_nesting () =
+  List.iter
+    (fun n ->
+      (* Arrays and objects, at and far beyond the 512 cap: a typed
+         error, not a stack overflow. *)
+      (match Json.parse (nested '[' ']' n) with
+      | Ok _ -> Alcotest.(check bool) "under cap parses" true (n <= 513)
+      | Error _ -> Alcotest.(check bool) "over cap rejected" true (n > 513));
+      let braces =
+        String.concat "" (List.init n (fun _ -> "{\"k\":"))
+        ^ "null" ^ String.make n '}'
+      in
+      match Json.parse braces with
+      | Ok _ -> Alcotest.(check bool) "under cap parses" true (n <= 513)
+      | Error _ -> Alcotest.(check bool) "over cap rejected" true (n > 513))
+    [ 8; 511; 514; 4096; 100_000 ]
+
+let test_oversized_tokens () =
+  (* Megabyte-long strings and absurd numbers parse or fail cleanly. *)
+  let big = String.make (1 lsl 20) 'a' in
+  (match Json.parse (Printf.sprintf "{\"k\":%S}" big) with
+  | Ok j -> (
+      match Option.bind (Json.member "k" j) Json.to_str with
+      | Some s -> Alcotest.(check int) "big string survives" (String.length big) (String.length s)
+      | None -> Alcotest.fail "big string lost")
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun s -> match Json.parse s with Ok _ | Error _ -> ())
+    [
+      "1" ^ String.make 400 '0';
+      "-1e99999";
+      "\"" ^ String.make 65536 '\\';
+      String.make 100_000 '"';
+    ]
+
+(* ---------- truncation and corruption of real protocol lines ---------- *)
+
+let sample_lines =
+  [
+    Wire.request_to_string
+      (Wire.Decide
+         {
+           lang = "rem";
+           k = Some 1;
+           fuel = Some 100;
+           timeout_s = None;
+           instance = "graph { a -> b } relation { (a,b) }";
+         });
+    Wire.request_to_string Wire.Stats;
+    Wire.seal [ ("op", Wire.json_string "decide"); ("status", Wire.json_string "ok") ];
+    Wire.seal_line "{\"op\":\"ping\"}";
+  ]
+
+let test_truncated_lines () =
+  List.iter
+    (fun line ->
+      for cut = 0 to String.length line - 1 do
+        let s = String.sub line 0 cut in
+        (match Json.parse s with Ok _ | Error _ -> ());
+        (match Wire.request_of_string s with Ok _ | Error _ -> ());
+        match Wire.crc_status s with
+        | `Sealed_ok ->
+            (* A strict prefix of a sealed line can never re-seal. *)
+            Alcotest.failf "truncation sealed ok: %S" s
+        | `Sealed_bad | `Unsealed -> ()
+      done)
+    sample_lines
+
+let test_corrupted_seal_never_ok () =
+  (* Flip every byte of a sealed line through a few masks: the seal
+     must never verify on damaged bytes. *)
+  let line = Wire.seal_line "{\"op\":\"decide\",\"lang\":\"rem\",\"k\":1}" in
+  Alcotest.(check bool) "pristine line seals ok" true
+    (Wire.crc_status line = `Sealed_ok);
+  List.iter
+    (fun mask ->
+      String.iteri
+        (fun i c ->
+          let b = Bytes.of_string line in
+          Bytes.set b i (Char.chr (Char.code c lxor mask land 0xff));
+          let s = Bytes.to_string b in
+          if s <> line then
+            match Wire.crc_status s with
+            | `Sealed_ok -> Alcotest.failf "corruption at %d sealed ok" i
+            | `Sealed_bad | `Unsealed -> ())
+        line)
+    [ 0x01; 0x80; 0xff ]
+
+(* ---------- QCheck: arbitrary bytes ---------- *)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      no_raise "arbitrary bytes never raise" (fun _ -> ());
+      QCheck.Test.make ~count:200 ~name:"mutated request lines never raise"
+        QCheck.(pair (int_bound (List.length sample_lines - 1)) (pair small_nat char))
+        (fun (which, (pos, c)) ->
+          let line = List.nth sample_lines which in
+          let b = Bytes.of_string line in
+          let pos = pos mod String.length line in
+          Bytes.set b pos c;
+          let s = Bytes.to_string b in
+          (match Json.parse s with Ok _ | Error _ -> ());
+          (match Wire.request_of_string s with Ok _ | Error _ -> ());
+          (match Wire.crc_status s with
+          | `Sealed_ok | `Sealed_bad | `Unsealed -> ());
+          true);
+      QCheck.Test.make ~count:200 ~name:"seal/crc_status inverse"
+        QCheck.(
+          small_list
+            (pair
+               (string_of_size (Gen.int_bound 12))
+               (string_of_size (Gen.int_bound 24))))
+        (fun pairs ->
+          QCheck.assume (pairs <> []);
+          let fields =
+            List.map (fun (k, v) -> (k, Wire.json_string v)) pairs
+          in
+          Wire.crc_status (Wire.seal fields) = `Sealed_ok
+          && Wire.crc_status (Wire.seal_line (Wire.json_obj fields))
+             = `Sealed_ok);
+    ]
+
+let () =
+  Alcotest.run "wire_fuzz"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "deep nesting" `Quick test_deep_nesting;
+          Alcotest.test_case "oversized tokens" `Quick test_oversized_tokens;
+          Alcotest.test_case "truncated lines" `Quick test_truncated_lines;
+          Alcotest.test_case "corrupted seal never verifies" `Quick
+            test_corrupted_seal_never_ok;
+        ] );
+      ("qcheck", qcheck_tests);
+    ]
